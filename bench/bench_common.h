@@ -1,0 +1,130 @@
+// Shared setup for the experiment reproductions (Section 8): builds a
+// cluster with the paper's cost regime — injected network/WAL/disk costs,
+// a small block cache so base reads are disk-bound — loads the extended
+// YCSB item table, and pushes the base data to disk stores.
+//
+// Scaled down from the paper's 8-server/40M-row testbed to laptop size;
+// the *relative* behavior of the schemes is the target ("rather than the
+// absolute numbers, the relative performance of different schemes are
+// more interesting", Section 8.1).
+
+#ifndef DIFFINDEX_BENCH_BENCH_COMMON_H_
+#define DIFFINDEX_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "cluster/cluster.h"
+#include "workload/item_table.h"
+#include "workload/runner.h"
+
+namespace diffindex::bench {
+
+struct EnvOptions {
+  int num_servers = 4;
+  int regions_per_table = 8;
+  uint64_t num_items = 20000;
+  double latency_scale = 1.0;
+  size_t block_cache_bytes = 256 << 10;  // small: base reads miss (disk-bound)
+  bool with_title_index = true;
+  bool with_price_index = false;
+  IndexScheme scheme = IndexScheme::kSyncFull;
+  int load_threads = 8;
+  // Flush + major-compact after load so reads hit disk stores.
+  bool settle_to_disk = true;
+};
+
+struct BenchEnv {
+  std::unique_ptr<Cluster> cluster;
+  std::unique_ptr<ItemTable> items;
+  std::unique_ptr<WorkloadRunner> runner;  // holds item versions
+};
+
+inline Status MakeLoadedEnv(const EnvOptions& env_options,
+                            const RunnerOptions& runner_options,
+                            BenchEnv* env) {
+  ClusterOptions cluster_options;
+  cluster_options.num_servers = env_options.num_servers;
+  cluster_options.regions_per_table = env_options.regions_per_table;
+  cluster_options.latency.scale = env_options.latency_scale;
+  cluster_options.server.block_cache_bytes = env_options.block_cache_bytes;
+  // Dense staleness sampling (Figure 11's probe uses 0.1% at 40M rows;
+  // our runs are 1000x smaller).
+  cluster_options.auq.staleness_sample_every = 20;
+  DIFFINDEX_RETURN_NOT_OK(
+      Cluster::Create(cluster_options, &env->cluster));
+
+  ItemTableOptions item_options;
+  item_options.num_items = env_options.num_items;
+  item_options.title_scheme = env_options.scheme;
+  item_options.price_scheme = env_options.scheme;
+  item_options.create_title_index = env_options.with_title_index;
+  item_options.create_price_index = env_options.with_price_index;
+  env->items =
+      std::make_unique<ItemTable>(env->cluster.get(), item_options);
+  DIFFINDEX_RETURN_NOT_OK(env->items->Create());
+
+  env->runner = std::make_unique<WorkloadRunner>(
+      env->cluster.get(), env->items.get(), runner_options);
+  DIFFINDEX_RETURN_NOT_OK(env->runner->LoadItems(env_options.load_threads));
+
+  if (env_options.settle_to_disk) {
+    auto client = env->cluster->NewClient();
+    DIFFINDEX_RETURN_NOT_OK(client->FlushTable(item_options.table));
+    DIFFINDEX_RETURN_NOT_OK(client->CompactTable(item_options.table));
+  }
+  return Status::OK();
+}
+
+inline const char* SchemeLabel(IndexScheme scheme) {
+  switch (scheme) {
+    case IndexScheme::kSyncFull:
+      return "sync-full";
+    case IndexScheme::kSyncInsert:
+      return "sync-insert";
+    case IndexScheme::kAsyncSimple:
+      return "async-simple";
+    case IndexScheme::kAsyncSession:
+      return "async-session";
+  }
+  return "?";
+}
+
+inline void PrintHeader(const char* title, const char* citation) {
+  printf("==============================================================\n");
+  printf("%s\n", title);
+  printf("  reproduces: %s\n", citation);
+  printf("==============================================================\n");
+}
+
+inline void PrintSeriesRow(const char* scheme, int threads,
+                           const RunnerResult& result) {
+  printf("%-14s threads=%-3d tps=%8.0f  avg=%8.0fus  p50=%7lluus  "
+         "p95=%7lluus  p99=%7lluus  errors=%llu\n",
+         scheme, threads, result.tps, result.latency->Average(),
+         static_cast<unsigned long long>(result.latency->Percentile(50)),
+         static_cast<unsigned long long>(result.latency->Percentile(95)),
+         static_cast<unsigned long long>(result.latency->Percentile(99)),
+         static_cast<unsigned long long>(result.errors));
+}
+
+// Waits until every server's AUQ is empty.
+inline void WaitQuiescent(Cluster* cluster) {
+  for (;;) {
+    bool all_empty = true;
+    for (NodeId id : cluster->server_ids()) {
+      IndexManager* manager = cluster->index_manager(id);
+      if (manager != nullptr && manager->QueueDepth() > 0) {
+        all_empty = false;
+        break;
+      }
+    }
+    if (all_empty) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+}  // namespace diffindex::bench
+
+#endif  // DIFFINDEX_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,135 @@
+// Equations 1 and 2 (Section 4): the latency decomposition of the
+// synchronous schemes —
+//
+//   L(sync-full)   = L(PI) + L(RB) + L(DI)     (Eq. 1)
+//   L(sync-insert) = L(PI)                      (Eq. 2)
+//
+// and the premise behind the whole design: in LSM, L(RB) (a disk-bound
+// base read) dwarfs L(PI)/L(DI) (log-structured writes). This bench
+// measures each primitive on the loaded cluster and checks the additive
+// relation L(sync-full) - L(base put) ≈ L(PI) + L(RB) + L(DI).
+
+#include <chrono>
+
+#include "bench_common.h"
+#include "core/index_codec.h"
+
+namespace diffindex::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+template <typename Fn>
+double AvgMicros(int n, Fn fn) {
+  const auto start = Clock::now();
+  for (int i = 0; i < n; i++) fn(i);
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::microseconds>(
+                 Clock::now() - start)
+                 .count()) /
+         n;
+}
+
+}  // namespace
+}  // namespace diffindex::bench
+
+int main() {
+  using namespace diffindex;
+  using namespace diffindex::bench;
+  PrintHeader("Equations 1-2: latency decomposition of the sync schemes",
+              "Tan et al., EDBT 2014, Section 4, Equations 1 and 2");
+
+  EnvOptions env_options;
+  env_options.num_items = 12000;
+  env_options.scheme = IndexScheme::kSyncFull;
+  env_options.with_title_index = false;  // measure primitives by hand
+
+  RunnerOptions runner_options;
+  BenchEnv env;
+  Status s = MakeLoadedEnv(env_options, runner_options, &env);
+  if (!s.ok()) {
+    printf("setup failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  auto client = env.cluster->NewClient();
+  const int kN = 200;
+  Random rng(7);
+
+  // L(base put): put into the (unindexed) base table.
+  const double base_put = AvgMicros(kN, [&](int i) {
+    (void)client->PutColumn("item", env.items->RowKey(rng.Uniform(12000)),
+                            ItemTable::kTitleColumn,
+                            "probe" + std::to_string(i));
+  });
+
+  // L(PI): a put into a small key-only "index" table.
+  (void)env.cluster->master()->CreateTable("probe_index");
+  (void)client->RefreshLayout();
+  const double index_put = AvgMicros(kN, [&](int i) {
+    (void)client->PutColumn("probe_index",
+                            EncodeIndexRow("v" + std::to_string(i), "row"),
+                            "", "");
+  });
+
+  // L(RB): disk-bound read of a random base row (cold cache).
+  const double base_read = AvgMicros(kN, [&](int i) {
+    std::string value;
+    (void)client->GetCell("item",
+                          env.items->RowKey((i * 997 + 13) % 12000),
+                          ItemTable::kTitleColumn, kMaxTimestamp, &value);
+  });
+
+  // L(DI): delete from the index table (a put of a tombstone).
+  const double index_delete = AvgMicros(kN, [&](int i) {
+    (void)client->Put("probe_index",
+                      EncodeIndexRow("v" + std::to_string(i), "row"),
+                      {Cell{"", "", true}});
+  });
+
+  printf("L(base put) = %7.0f us\n", base_put);
+  printf("L(PI)       = %7.0f us   (index put)\n", index_put);
+  printf("L(RB)       = %7.0f us   (base read: disk-bound)\n", base_read);
+  printf("L(DI)       = %7.0f us   (index delete)\n", index_delete);
+  const double eq1 = index_put + base_read + index_delete;
+  printf("Eq.1 L(sync-full index work) = L(PI)+L(RB)+L(DI) = %7.0f us\n",
+         eq1);
+  printf("Eq.2 L(sync-insert index work) = L(PI)           = %7.0f us\n",
+         index_put);
+  printf("ratio RB / PI = %.1fx  (LSM read/write asymmetry, Section 2.1)\n",
+         base_read / index_put);
+
+  // Cross-check against the end-to-end schemes on identical clusters.
+  struct SchemePoint {
+    const char* label;
+    IndexScheme scheme;
+    bool with_index;
+  } points[] = {
+      {"no-index", IndexScheme::kSyncFull, false},
+      {"sync-insert", IndexScheme::kSyncInsert, true},
+      {"sync-full", IndexScheme::kSyncFull, true},
+  };
+  printf("\nEnd-to-end single-threaded update latencies:\n");
+  double measured[3] = {0, 0, 0};
+  for (int p = 0; p < 3; p++) {
+    EnvOptions scheme_env;
+    scheme_env.num_items = 8000;
+    scheme_env.scheme = points[p].scheme;
+    scheme_env.with_title_index = points[p].with_index;
+    RunnerOptions scheme_run;
+    scheme_run.op = points[p].with_index ? WorkloadOp::kUpdateTitle
+                                         : WorkloadOp::kBasePutNoIndex;
+    scheme_run.threads = 1;
+    scheme_run.total_operations = 300;
+    BenchEnv scheme_bench;
+    if (!MakeLoadedEnv(scheme_env, scheme_run, &scheme_bench).ok()) continue;
+    RunnerResult result;
+    (void)scheme_bench.runner->Run(&result);
+    measured[p] = result.latency->Average();
+    printf("  %-12s avg = %7.0f us\n", points[p].label, measured[p]);
+  }
+  printf("\nCheck: L(sync-full) - L(no-index) = %7.0f us vs Eq.1 %7.0f us\n",
+         measured[2] - measured[0], eq1);
+  printf("       L(sync-insert) - L(no-index) = %6.0f us vs Eq.2 %6.0f us\n",
+         measured[1] - measured[0], index_put);
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 7: index update performance — average update latency vs.
+// throughput for no-index, sync-insert, sync-full and async-simple, sweep
+// over client thread counts.
+//
+// Expected shape (paper): sync-insert ≈ 2x a base put (one extra index
+// put); sync-full up to ~5x (it adds the disk-bound base read RB and the
+// index delete); async tracks no-index at low load and degrades toward
+// sync-insert as the AUQ contends for resources at high load; async's
+// peak throughput exceeds sync-full's.
+
+#include "bench_common.h"
+
+namespace diffindex::bench {
+namespace {
+
+void RunSeries(const char* label, bool with_index, IndexScheme scheme) {
+  const int kThreadSweep[] = {1, 2, 4, 8, 16};
+  for (int threads : kThreadSweep) {
+    EnvOptions env_options;
+    env_options.with_title_index = with_index;
+    env_options.scheme = scheme;
+    env_options.num_items = 12000;
+
+    RunnerOptions runner_options;
+    runner_options.op = with_index ? WorkloadOp::kUpdateTitle
+                                   : WorkloadOp::kBasePutNoIndex;
+    runner_options.threads = threads;
+    runner_options.total_operations = 600ull * threads;
+    runner_options.seed = 7 + threads;
+
+    BenchEnv env;
+    Status s = MakeLoadedEnv(env_options, runner_options, &env);
+    if (!s.ok()) {
+      printf("setup failed: %s\n", s.ToString().c_str());
+      return;
+    }
+    RunnerResult result;
+    s = env.runner->Run(&result);
+    if (!s.ok()) {
+      printf("run failed: %s\n", s.ToString().c_str());
+      return;
+    }
+    PrintSeriesRow(label, threads, result);
+    if (scheme == IndexScheme::kAsyncSimple) {
+      WaitQuiescent(env.cluster.get());
+    }
+  }
+  printf("\n");
+}
+
+}  // namespace
+}  // namespace diffindex::bench
+
+int main() {
+  using namespace diffindex;
+  using namespace diffindex::bench;
+  PrintHeader("Figure 7: update latency vs throughput per scheme",
+              "Tan et al., EDBT 2014, Section 8.2, Figure 7");
+  RunSeries("no-index", /*with_index=*/false, IndexScheme::kSyncFull);
+  RunSeries("sync-insert", true, IndexScheme::kSyncInsert);
+  RunSeries("sync-full", true, IndexScheme::kSyncFull);
+  RunSeries("async-simple", true, IndexScheme::kAsyncSimple);
+  printf("Expected shape: insert ~2x no-index latency; full up to ~5x;\n");
+  printf("async tracks no-index at low load and rises under saturation.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Figure 9: range-query latency under different selectivity (the paper
+// sweeps 0.0001% -> 0.1% on the item_price index with 10 client threads).
+//
+// Expected shape: sync-insert degrades sharply as selectivity grows
+// coarser — every returned row costs an extra base read for the
+// double-check — while sync-full and async stay comparatively flat.
+
+#include "bench_common.h"
+
+namespace diffindex::bench {
+namespace {
+
+constexpr uint64_t kItems = 12000;
+constexpr uint64_t kPriceDomain = 1000000;
+
+void RunSeries(const char* label, IndexScheme scheme) {
+  // Selectivity -> expected result rows (items uniformly priced over the
+  // domain): width w returns ~ items * w / domain rows.
+  const struct {
+    const char* selectivity;
+    uint64_t expected_rows;
+  } kSweep[] = {
+      {"0.0001%", 4}, {"0.001%", 12}, {"0.01%", 120}, {"0.1%", 1200}};
+
+  EnvOptions env_options;
+  env_options.scheme = scheme;
+  env_options.num_items = kItems;
+  env_options.with_title_index = false;
+  env_options.with_price_index = true;
+
+  RunnerOptions base_options;
+  base_options.op = WorkloadOp::kRangeIndexPrice;
+  base_options.threads = 10;  // the paper uses 10 concurrent clients
+  base_options.seed = 29;
+
+  BenchEnv env;
+  Status s = MakeLoadedEnv(env_options, base_options, &env);
+  if (!s.ok()) {
+    printf("setup failed: %s\n", s.ToString().c_str());
+    return;
+  }
+  WaitQuiescent(env.cluster.get());
+
+  for (const auto& point : kSweep) {
+    RunnerOptions options = base_options;
+    options.price_range_width =
+        point.expected_rows * kPriceDomain / kItems;
+    options.total_operations =
+        point.expected_rows >= 1000 ? 60 : 400;
+    RunnerResult result;
+    s = env.runner->RunWith(options, &result);
+    if (!s.ok()) {
+      printf("run failed: %s\n", s.ToString().c_str());
+      return;
+    }
+    printf("%-14s selectivity=%-8s (~%4llu rows)  avg=%9.0fus  "
+           "p95=%8lluus\n",
+           label, point.selectivity,
+           static_cast<unsigned long long>(point.expected_rows),
+           result.latency->Average(),
+           static_cast<unsigned long long>(result.latency->Percentile(95)));
+  }
+  printf("\n");
+}
+
+}  // namespace
+}  // namespace diffindex::bench
+
+int main() {
+  using namespace diffindex;
+  using namespace diffindex::bench;
+  PrintHeader("Figure 9: range-query latency vs selectivity",
+              "Tan et al., EDBT 2014, Section 8.2, Figure 9");
+  RunSeries("sync-full", IndexScheme::kSyncFull);
+  RunSeries("async-simple", IndexScheme::kAsyncSimple);
+  RunSeries("sync-insert", IndexScheme::kSyncInsert);
+  printf("Expected shape: sync-insert grows sharply with result size (K\n");
+  printf("base reads per query); sync-full/async grow only mildly.\n");
+  return 0;
+}

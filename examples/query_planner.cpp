@@ -1,0 +1,109 @@
+// The mini query layer (the Big SQL stand-in of Section 7): declarative
+// predicates, EXPLAIN output showing the planner picking index access
+// paths, and the latency gap between an index plan and a full scan.
+//
+//   build/examples/example_query_planner
+
+#include <chrono>
+#include <cstdio>
+
+#include "cluster/cluster.h"
+#include "core/index_codec.h"
+#include "core/query.h"
+
+using namespace diffindex;
+
+namespace {
+
+uint64_t RunTimed(QueryEngine* engine, const Query& query,
+                  std::vector<ScannedRow>* rows) {
+  const auto start = std::chrono::steady_clock::now();
+  Status s = engine->Execute(query, rows);
+  if (!s.ok()) fprintf(stderr, "query: %s\n", s.ToString().c_str());
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace
+
+int main() {
+  ClusterOptions options;
+  options.num_servers = 3;
+  options.latency.scale = 1.0;  // realistic cost model: show the plan gap
+  std::unique_ptr<Cluster> cluster;
+  if (!Cluster::Create(options, &cluster).ok()) return 1;
+
+  (void)cluster->master()->CreateTable("products");
+  for (auto [name, column] : {std::pair{"by_category", "category"},
+                              std::pair{"by_price", "price"}}) {
+    IndexDescriptor index;
+    index.name = name;
+    index.column = column;
+    index.scheme = IndexScheme::kSyncFull;
+    (void)cluster->master()->CreateIndex("products", index);
+  }
+
+  auto client = cluster->NewDiffIndexClient();
+  QueryEngine engine(client.get());
+
+  Random rng(99);
+  for (int i = 0; i < 2000; i++) {
+    char row[20];
+    snprintf(row, sizeof(row), "%02x-p%d",
+             static_cast<unsigned>(rng.Uniform(256)), i);
+    // 200 categories of ~10 products each: category predicates are
+    // selective, the regime global indexes are built for (Section 3.1).
+    const std::string category = "cat" + std::to_string(i % 200);
+    (void)client->Put(
+        "products", row,
+        {Cell{"category", category, false},
+         Cell{"price", EncodeUint64IndexValue(rng.Uniform(100000)), false},
+         Cell{"stock", i % 5 == 0 ? "out" : "in", false}});
+  }
+  // Settle to disk stores so scans pay real (simulated) I/O.
+  (void)client->raw_client()->FlushTable("products");
+  (void)client->raw_client()->CompactTable("products");
+  printf("loaded 2000 products (200 categories; two indexes; on disk)\n\n");
+
+  struct Example {
+    const char* description;
+    Query query;
+  } examples[] = {
+      {"category = 'cat42'",
+       {"products", {{"category", PredicateOp::kEq, "cat42"}}, {}, 0}},
+      {"price in [10000, 11000)",
+       {"products",
+        {{"price", PredicateOp::kGe, EncodeUint64IndexValue(10000)},
+         {"price", PredicateOp::kLt, EncodeUint64IndexValue(11000)}},
+        {},
+        0}},
+      {"category = 'cat7' AND stock = 'out'",
+       {"products",
+        {{"category", PredicateOp::kEq, "cat7"},
+         {"stock", PredicateOp::kEq, "out"}},
+        {},
+        0}},
+      {"stock = 'out'  (no usable index)",
+       {"products", {{"stock", PredicateOp::kEq, "out"}}, {}, 0}},
+  };
+
+  for (auto& example : examples) {
+    std::string plan;
+    (void)engine.Explain(example.query, &plan);
+    std::vector<ScannedRow> rows;
+    const uint64_t micros = RunTimed(&engine, example.query, &rows);
+    printf("SELECT * WHERE %s\n", example.description);
+    printf("  plan: %s\n", plan.c_str());
+    printf("  -> %zu rows in %llu us\n\n", rows.size(),
+           static_cast<unsigned long long>(micros));
+  }
+
+  printf("Selective predicates resolve through the index in a few\n");
+  printf("milliseconds; predicates with no usable index scan and filter\n");
+  printf("the whole table — the gap the paper's query-by-index vs\n");
+  printf("parallel-scan comparison quantifies (and it widens with table\n");
+  printf("size; at the paper's 40M rows it is 2-3 orders of magnitude).\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// The paper's motivating application (Sections 1 and 3.3): a social
+// review site. The Reviews table is partitioned by ReviewID, so answering
+// "all reviews for a given product" or "all reviews by a given user"
+// needs global secondary indexes on ProductID and UserID.
+//
+// The second half replays the session-consistency scenario of Section
+// 3.3: User 1 posts a review and must see it in his own product listing
+// (read-your-write) even though the index is maintained asynchronously,
+// while User 2's listing catches up eventually.
+//
+//   build/examples/example_social_review
+
+#include <cstdio>
+
+#include "cluster/cluster.h"
+
+using namespace diffindex;
+
+namespace {
+
+void ListReviews(const char* who, const std::vector<IndexHit>& hits) {
+  printf("%s sees %zu review(s):", who, hits.size());
+  for (const auto& hit : hits) printf(" %s", hit.base_row.c_str());
+  printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  ClusterOptions options;
+  options.num_servers = 3;
+  std::unique_ptr<Cluster> cluster;
+  if (!Cluster::Create(options, &cluster).ok()) return 1;
+
+  // Schema of Figure 1: Reviews(ReviewID, UserID, ProductID, Rating...).
+  // Two async-session indexes: by product and by user.
+  (void)cluster->master()->CreateTable("reviews");
+  for (const char* column : {"product_id", "user_id"}) {
+    IndexDescriptor index;
+    index.name = std::string("by_") + column;
+    index.column = column;
+    index.scheme = IndexScheme::kAsyncSession;
+    if (!cluster->master()->CreateIndex("reviews", index).ok()) return 1;
+  }
+
+  auto user1 = cluster->NewDiffIndexClient();
+  auto user2 = cluster->NewDiffIndexClient();
+
+  // Seed a few existing reviews (plain puts; the AUQ indexes them).
+  auto seed = cluster->NewDiffIndexClient();
+  (void)seed->Put("reviews", "1f-r100",
+                  {Cell{"product_id", "productB", false},
+                   Cell{"user_id", "user9", false},
+                   Cell{"rating", "4", false}});
+  (void)seed->Put("reviews", "8c-r101",
+                  {Cell{"product_id", "productA", false},
+                   Cell{"user_id", "user7", false},
+                   Cell{"rating", "5", false}});
+
+  // --- The Section 3.3 interaction ---
+  const SessionId s1 = user1->GetSession();
+  const SessionId s2 = user2->GetSession();
+  std::vector<IndexHit> hits;
+
+  // time=1: User 1 views reviews for product A; User 2 views product B.
+  (void)user1->SessionGetByIndex(s1, "reviews", "by_product_id", "productA",
+                                 &hits);
+  ListReviews("t=1 user1 (product A)", hits);
+  (void)user2->SessionGetByIndex(s2, "reviews", "by_product_id", "productB",
+                                 &hits);
+  ListReviews("t=1 user2 (product B)", hits);
+
+  // time=2: User 1 posts a review for product A.
+  if (!user1->SessionPut(s1, "reviews", "b2-r102",
+                         {Cell{"product_id", "productA", false},
+                          Cell{"user_id", "user1", false},
+                          Cell{"rating", "5", false}})
+           .ok()) {
+    return 1;
+  }
+  printf("t=2 user1 posts review b2-r102 for product A\n");
+
+  // time=3: both users list product A. Session consistency guarantees
+  // User 1 sees his own review; User 2 has no such guarantee while the
+  // asynchronous index catches up.
+  (void)user1->SessionGetByIndex(s1, "reviews", "by_product_id", "productA",
+                                 &hits);
+  ListReviews("t=3 user1 (product A, read-your-write)", hits);
+  const bool user1_sees_own =
+      std::any_of(hits.begin(), hits.end(), [](const IndexHit& hit) {
+        return hit.base_row == "b2-r102";
+      });
+
+  (void)user2->SessionGetByIndex(s2, "reviews", "by_product_id", "productA",
+                                 &hits);
+  ListReviews("t=3 user2 (product A, eventual)", hits);
+
+  // Let the AUQ drain; now everyone agrees.
+  for (int i = 0; i < 1000; i++) {
+    bool idle = true;
+    for (NodeId id : cluster->server_ids()) {
+      if (cluster->index_manager(id)->QueueDepth() > 0) idle = false;
+    }
+    if (idle) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  (void)user2->SessionGetByIndex(s2, "reviews", "by_product_id", "productA",
+                                 &hits);
+  ListReviews("t=4 user2 (after index catch-up)", hits);
+
+  // Reviews by user: the second index.
+  (void)user1->SessionGetByIndex(s1, "reviews", "by_user_id", "user1",
+                                 &hits);
+  ListReviews("reviews by user1", hits);
+
+  user1->EndSession(s1);
+  user2->EndSession(s2);
+  return user1_sees_own ? 0 : 1;
+}

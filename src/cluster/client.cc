@@ -1,0 +1,352 @@
+#include "cluster/client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <thread>
+
+#include "util/logging.h"
+
+namespace diffindex {
+
+Client::Client(Fabric* fabric, NodeId self_node, const ClientOptions& options)
+    : fabric_(fabric), self_node_(self_node), options_(options) {}
+
+Status Client::RefreshLayout() {
+  std::lock_guard<std::mutex> lock(mu_);
+  layout_valid_ = false;
+  return EnsureLayoutLocked();
+}
+
+Status Client::EnsureLayoutLocked() {
+  if (layout_valid_) return Status::OK();
+  std::string response;
+  DIFFINDEX_RETURN_NOT_OK(
+      fabric_->Call(self_node_, kMasterNode, MsgType::kFetchLayout, "",
+                    &response));
+  Slice in(response);
+  FetchLayoutResponse layout;
+  if (!FetchLayoutResponse::DecodeFrom(&in, &layout)) {
+    return Status::Corruption("malformed layout response");
+  }
+  std::vector<TableDescriptor> tables;
+  tables.reserve(layout.tables.size());
+  for (const auto& wire : layout.tables) tables.push_back(FromWire(wire));
+  catalog_ = CatalogSnapshot(std::move(tables));
+  regions_ = std::move(layout.regions);
+  std::sort(regions_.begin(), regions_.end(),
+            [](const RegionInfoWire& a, const RegionInfoWire& b) {
+              if (a.table != b.table) return a.table < b.table;
+              return a.start_row < b.start_row;
+            });
+  layout_valid_ = true;
+  layout_refreshes_++;
+  return Status::OK();
+}
+
+CatalogSnapshot Client::catalog() {
+  std::lock_guard<std::mutex> lock(mu_);
+  (void)EnsureLayoutLocked();
+  return catalog_;
+}
+
+Status Client::RouteRow(const std::string& table, const Slice& row,
+                        RegionInfoWire* info) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DIFFINDEX_RETURN_NOT_OK(EnsureLayoutLocked());
+  const RegionInfoWire* best = nullptr;
+  for (const auto& region : regions_) {
+    if (region.table != table) continue;
+    if (Slice(region.start_row).compare(row) > 0) continue;
+    if (!region.end_row.empty() && row.compare(Slice(region.end_row)) >= 0) {
+      continue;
+    }
+    best = &region;
+    break;  // regions are sorted; first match wins
+  }
+  if (best == nullptr) {
+    return Status::NotFound("no region for " + table);
+  }
+  *info = *best;
+  return Status::OK();
+}
+
+std::vector<RegionInfoWire> Client::TableRegions(const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  (void)EnsureLayoutLocked();
+  std::vector<RegionInfoWire> result;
+  for (const auto& region : regions_) {
+    if (region.table == table) result.push_back(region);
+  }
+  return result;
+}
+
+Status Client::CallRegion(const std::string& table, const Slice& row,
+                          MsgType type, const std::string& body,
+                          std::string* response) {
+  Status last;
+  for (int attempt = 0; attempt <= options_.max_retries; attempt++) {
+    if (attempt > 0) {
+      // Stale map or mid-failover: refresh and retry with backoff.
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options_.retry_backoff_ms * attempt));
+      Status rs = RefreshLayout();
+      if (!rs.ok()) {
+        last = rs;
+        continue;
+      }
+    }
+    RegionInfoWire region;
+    last = RouteRow(table, row, &region);
+    if (!last.ok()) continue;
+    response->clear();
+    last = fabric_->Call(self_node_, region.server_id, type, body, response);
+    if (last.ok()) return last;
+    if (!last.IsWrongRegion() && !last.IsUnavailable()) return last;
+  }
+  return last;
+}
+
+Status Client::Put(const std::string& table, const std::string& row,
+                   std::vector<Cell> cells, Timestamp ts,
+                   bool return_old_values, PutResponse* resp) {
+  PutRequest req;
+  req.table = table;
+  req.row = row;
+  req.cells = std::move(cells);
+  req.ts = ts;
+  req.return_old_values = return_old_values;
+  std::string body, response;
+  req.EncodeTo(&body);
+  DIFFINDEX_RETURN_NOT_OK(
+      CallRegion(table, row, MsgType::kPut, body, &response));
+  if (resp != nullptr) {
+    Slice in(response);
+    if (!PutResponse::DecodeFrom(&in, resp)) {
+      return Status::Corruption("malformed put response");
+    }
+  }
+  return Status::OK();
+}
+
+Status Client::PutColumn(const std::string& table, const std::string& row,
+                         const std::string& column,
+                         const std::string& value) {
+  return Put(table, row, {Cell{column, value, false}});
+}
+
+Status Client::MultiPut(const std::string& table,
+                        std::vector<RowPut> puts) {
+  if (puts.empty()) return Status::OK();
+  Status last;
+  for (int attempt = 0; attempt <= options_.max_retries; attempt++) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options_.retry_backoff_ms * attempt));
+      Status rs = RefreshLayout();
+      if (!rs.ok()) {
+        last = rs;
+        continue;
+      }
+    }
+    // Group by owning server under the current layout.
+    std::map<NodeId, MultiPutRequest> batches;
+    last = Status::OK();
+    for (const RowPut& put : puts) {
+      RegionInfoWire region;
+      last = RouteRow(table, put.row, &region);
+      if (!last.ok()) break;
+      PutRequest req;
+      req.table = table;
+      req.row = put.row;
+      req.cells = put.cells;
+      batches[region.server_id].puts.push_back(std::move(req));
+    }
+    if (!last.ok()) continue;
+
+    for (auto& [server_id, batch] : batches) {
+      std::string body, response;
+      batch.EncodeTo(&body);
+      last = fabric_->Call(self_node_, server_id, MsgType::kMultiPut, body,
+                           &response);
+      if (!last.ok()) break;
+      Slice in(response);
+      MultiPutResponse resp;
+      if (!MultiPutResponse::DecodeFrom(&in, &resp)) {
+        return Status::Corruption("malformed multi-put response");
+      }
+    }
+    if (last.ok()) return Status::OK();
+    if (!last.IsWrongRegion() && !last.IsUnavailable()) return last;
+  }
+  return last;
+}
+
+Status Client::DeleteColumns(const std::string& table, const std::string& row,
+                             const std::vector<std::string>& columns,
+                             Timestamp ts) {
+  std::vector<Cell> cells;
+  cells.reserve(columns.size());
+  for (const auto& column : columns) {
+    cells.push_back(Cell{column, "", /*is_delete=*/true});
+  }
+  return Put(table, row, std::move(cells), ts);
+}
+
+Status Client::GetCell(const std::string& table, const std::string& row,
+                       const std::string& column, Timestamp read_ts,
+                       std::string* value, Timestamp* version_ts) {
+  GetCellRequest req;
+  req.table = table;
+  req.row = row;
+  req.column = column;
+  req.read_ts = read_ts;
+  std::string body, response;
+  req.EncodeTo(&body);
+  DIFFINDEX_RETURN_NOT_OK(
+      CallRegion(table, row, MsgType::kGetCell, body, &response));
+  Slice in(response);
+  GetCellResponse resp;
+  if (!GetCellResponse::DecodeFrom(&in, &resp)) {
+    return Status::Corruption("malformed get response");
+  }
+  if (!resp.found) return Status::NotFound(table + "/" + row);
+  *value = std::move(resp.value);
+  if (version_ts != nullptr) *version_ts = resp.ts;
+  return Status::OK();
+}
+
+Status Client::GetRow(const std::string& table, const std::string& row,
+                      Timestamp read_ts, GetRowResponse* resp) {
+  GetRowRequest req;
+  req.table = table;
+  req.row = row;
+  req.read_ts = read_ts;
+  std::string body, response;
+  req.EncodeTo(&body);
+  DIFFINDEX_RETURN_NOT_OK(
+      CallRegion(table, row, MsgType::kGetRow, body, &response));
+  Slice in(response);
+  if (!GetRowResponse::DecodeFrom(&in, resp)) {
+    return Status::Corruption("malformed get-row response");
+  }
+  return Status::OK();
+}
+
+Status Client::ScanRows(const std::string& table,
+                        const std::string& start_row,
+                        const std::string& end_row, Timestamp read_ts,
+                        uint32_t limit, std::vector<ScannedRow>* rows) {
+  rows->clear();
+  std::string cursor = start_row;
+  for (;;) {
+    // Each round trip covers one region (the server clamps to its range).
+    ScanRowsRequest req;
+    req.table = table;
+    req.start_row = cursor;
+    req.end_row = end_row;
+    req.read_ts = read_ts;
+    req.limit_rows =
+        limit == 0 ? 0 : limit - static_cast<uint32_t>(rows->size());
+    std::string body, response;
+    req.EncodeTo(&body);
+    DIFFINDEX_RETURN_NOT_OK(
+        CallRegion(table, cursor, MsgType::kScanRows, body, &response));
+    Slice in(response);
+    ScanRowsResponse resp;
+    if (!ScanRowsResponse::DecodeFrom(&in, &resp)) {
+      return Status::Corruption("malformed scan response");
+    }
+    for (auto& row : resp.rows) rows->push_back(std::move(row));
+    if (limit != 0 && rows->size() >= limit) {
+      rows->resize(limit);
+      return Status::OK();
+    }
+
+    // Advance to the next region.
+    RegionInfoWire region;
+    DIFFINDEX_RETURN_NOT_OK(RouteRow(table, cursor, &region));
+    if (region.end_row.empty()) return Status::OK();
+    if (!end_row.empty() && region.end_row >= end_row) return Status::OK();
+    cursor = region.end_row;
+  }
+}
+
+Status Client::ScanLocalIndex(const std::string& table,
+                              const std::string& index_name,
+                              const std::string& start_key,
+                              const std::string& end_key, Timestamp read_ts,
+                              uint32_t limit,
+                              std::vector<RawEntry>* entries) {
+  entries->clear();
+  Status last = Status::OK();
+  for (int attempt = 0; attempt <= options_.max_retries; attempt++) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options_.retry_backoff_ms * attempt));
+      DIFFINDEX_RETURN_NOT_OK(RefreshLayout());
+      entries->clear();
+    }
+    last = Status::OK();
+    for (const RegionInfoWire& region : TableRegions(table)) {
+      LocalIndexScanRequest req;
+      req.table = table;
+      req.region_id = region.region_id;
+      req.index_name = index_name;
+      req.start_key = start_key;
+      req.end_key = end_key;
+      req.read_ts = read_ts;
+      req.limit = limit;
+      std::string body, response;
+      req.EncodeTo(&body);
+      last = fabric_->Call(self_node_, region.server_id,
+                           MsgType::kLocalIndexScan, body, &response);
+      if (!last.ok()) break;
+      Slice in(response);
+      RawScanResponse resp;
+      if (!RawScanResponse::DecodeFrom(&in, &resp)) {
+        return Status::Corruption("malformed local index scan response");
+      }
+      for (auto& entry : resp.entries) {
+        entries->push_back(std::move(entry));
+      }
+      if (limit != 0 && entries->size() >= limit) {
+        entries->resize(limit);
+        return Status::OK();
+      }
+    }
+    if (last.ok()) return Status::OK();
+    if (!last.IsWrongRegion() && !last.IsUnavailable()) return last;
+  }
+  return last;
+}
+
+Status Client::FlushTable(const std::string& table) {
+  for (const auto& region : TableRegions(table)) {
+    RegionAdminRequest req;
+    req.table = table;
+    req.region_id = region.region_id;
+    std::string body, response;
+    req.EncodeTo(&body);
+    DIFFINDEX_RETURN_NOT_OK(fabric_->Call(self_node_, region.server_id,
+                                          MsgType::kFlushRegion, body,
+                                          &response));
+  }
+  return Status::OK();
+}
+
+Status Client::CompactTable(const std::string& table) {
+  for (const auto& region : TableRegions(table)) {
+    RegionAdminRequest req;
+    req.table = table;
+    req.region_id = region.region_id;
+    std::string body, response;
+    req.EncodeTo(&body);
+    DIFFINDEX_RETURN_NOT_OK(fabric_->Call(self_node_, region.server_id,
+                                          MsgType::kCompactRegion, body,
+                                          &response));
+  }
+  return Status::OK();
+}
+
+}  // namespace diffindex

@@ -1,0 +1,118 @@
+// Client library: caches a copy of the partition map and routes requests
+// to the region server serving the key (Section 2.2). On WrongRegion or
+// Unavailable errors it refreshes the map from the master and retries —
+// this is how the cluster keeps serving through region reassignment after
+// a server failure.
+//
+// The same class doubles as the *internal* client that Diff-Index's
+// server-side observers use to deliver index puts/deletes to the (remote)
+// index regions.
+
+#ifndef DIFFINDEX_CLUSTER_CLIENT_H_
+#define DIFFINDEX_CLUSTER_CLIENT_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/catalog.h"
+#include "net/fabric.h"
+#include "net/message.h"
+
+namespace diffindex {
+
+struct ClientOptions {
+  int max_retries = 8;
+  int retry_backoff_ms = 2;
+};
+
+class Client {
+ public:
+  Client(Fabric* fabric, NodeId self_node,
+         const ClientOptions& options = ClientOptions());
+
+  // ---- Data plane ----
+
+  // ts == 0: server assigns. resp may be null.
+  Status Put(const std::string& table, const std::string& row,
+             std::vector<Cell> cells, Timestamp ts = 0,
+             bool return_old_values = false, PutResponse* resp = nullptr);
+
+  Status PutColumn(const std::string& table, const std::string& row,
+                   const std::string& column, const std::string& value);
+
+  struct RowPut {
+    std::string row;
+    std::vector<Cell> cells;
+  };
+  // Batched write: groups rows by owning region server and ships one
+  // multi-put RPC per server (the "client buffer" path of Section 8.1).
+  // Per-row atomicity only.
+  Status MultiPut(const std::string& table, std::vector<RowPut> puts);
+
+  Status DeleteColumns(const std::string& table, const std::string& row,
+                       const std::vector<std::string>& columns,
+                       Timestamp ts = 0);
+
+  Status GetCell(const std::string& table, const std::string& row,
+                 const std::string& column, Timestamp read_ts,
+                 std::string* value, Timestamp* version_ts = nullptr);
+
+  Status GetRow(const std::string& table, const std::string& row,
+                Timestamp read_ts, GetRowResponse* resp);
+
+  // Scans [start_row, end_row) across region boundaries; limit 0 =
+  // unlimited.
+  Status ScanRows(const std::string& table, const std::string& start_row,
+                  const std::string& end_row, Timestamp read_ts,
+                  uint32_t limit, std::vector<ScannedRow>* rows);
+
+  // Local-index query (Section 3.1): broadcasts the scan to EVERY region
+  // of the base table and merges the per-region results — the cost
+  // profile that makes local indexes poor for highly selective queries.
+  Status ScanLocalIndex(const std::string& table,
+                        const std::string& index_name,
+                        const std::string& start_key,
+                        const std::string& end_key, Timestamp read_ts,
+                        uint32_t limit, std::vector<RawEntry>* entries);
+
+  // ---- Admin helpers (tests and benchmarks) ----
+
+  Status FlushTable(const std::string& table);
+  Status CompactTable(const std::string& table);
+
+  // ---- Layout ----
+
+  Status RefreshLayout();
+  CatalogSnapshot catalog();
+  // Region hosting `row`, from the cached layout.
+  Status RouteRow(const std::string& table, const Slice& row,
+                  RegionInfoWire* info);
+  std::vector<RegionInfoWire> TableRegions(const std::string& table);
+
+  NodeId self_node() const { return self_node_; }
+  uint64_t layout_refreshes() const { return layout_refreshes_; }
+
+ private:
+  // Sends to the server owning (table, row); refreshes layout and retries
+  // on routing/availability errors.
+  Status CallRegion(const std::string& table, const Slice& row, MsgType type,
+                    const std::string& body, std::string* response);
+
+  Status EnsureLayoutLocked();
+
+  Fabric* const fabric_;
+  const NodeId self_node_;
+  const ClientOptions options_;
+
+  std::mutex mu_;
+  bool layout_valid_ = false;
+  CatalogSnapshot catalog_;
+  std::vector<RegionInfoWire> regions_;  // sorted by (table, start_row)
+  uint64_t layout_refreshes_ = 0;
+};
+
+}  // namespace diffindex
+
+#endif  // DIFFINDEX_CLUSTER_CLIENT_H_

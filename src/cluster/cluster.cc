@@ -1,0 +1,162 @@
+#include "cluster/cluster.h"
+
+#include "util/logging.h"
+
+namespace diffindex {
+
+Cluster::Cluster(const ClusterOptions& options)
+    : options_(options), latency_(options.latency) {}
+
+Status Cluster::Create(const ClusterOptions& options,
+                       std::unique_ptr<Cluster>* cluster) {
+  std::unique_ptr<Cluster> c(new Cluster(options));
+  DIFFINDEX_RETURN_NOT_OK(c->Init());
+  *cluster = std::move(c);
+  return Status::OK();
+}
+
+Cluster::~Cluster() {
+  // Stop index managers first (their APS threads talk over the fabric),
+  // then servers, then the master.
+  for (auto& [id, bundle] : servers_) {
+    if (bundle.index_manager != nullptr) bundle.index_manager->Shutdown();
+  }
+  for (auto& bundle : graveyard_) {
+    if (bundle.index_manager != nullptr) bundle.index_manager->Shutdown();
+  }
+  for (auto& [id, bundle] : servers_) {
+    (void)bundle.server->Stop();
+  }
+  if (master_ != nullptr) master_->Stop();
+  servers_.clear();
+  graveyard_.clear();
+  if (options_.remove_data_on_destroy && !options_.data_root.empty()) {
+    (void)Env::Default()->RemoveDirRecursively(options_.data_root);
+  }
+}
+
+Status Cluster::Init() {
+  if (options_.data_root.empty()) {
+    options_.data_root =
+        "/tmp/diffindex_cluster_" +
+        std::to_string(TimestampOracle::NowMicros()) + "_" +
+        std::to_string(reinterpret_cast<uintptr_t>(this) & 0xffff);
+  }
+  DIFFINDEX_RETURN_NOT_OK(
+      Env::Default()->CreateDirIfMissing(options_.data_root));
+
+  options_.server.lsm.latency = &latency_;
+  options_.master.default_regions_per_table = options_.regions_per_table;
+
+  fabric_ = std::make_unique<Fabric>(&latency_);
+  master_ = std::make_unique<Master>(fabric_.get(), options_.data_root,
+                                     options_.master);
+  DIFFINDEX_RETURN_NOT_OK(master_->Start());
+
+  for (int i = 1; i <= options_.num_servers; i++) {
+    DIFFINDEX_RETURN_NOT_OK(AddServer(static_cast<NodeId>(i)));
+  }
+  return Status::OK();
+}
+
+Status Cluster::StartServer(NodeId id, ServerBundle* bundle) {
+  bundle->server = std::make_shared<RegionServer>(
+      id, options_.data_root, fabric_.get(), options_.server);
+  DIFFINDEX_RETURN_NOT_OK(bundle->server->Start());
+  // The coprocessors deliver index updates through an internal client
+  // whose fabric identity is the server itself.
+  bundle->internal_client = std::make_shared<Client>(fabric_.get(), id);
+  bundle->index_manager = std::make_unique<IndexManager>(
+      bundle->server.get(), bundle->internal_client, &stats_, options_.auq);
+  bundle->server->SetHooks(bundle->index_manager.get());
+  return Status::OK();
+}
+
+Status Cluster::AddServer(NodeId id) {
+  if (servers_.count(id) > 0) {
+    return Status::InvalidArgument("server id in use");
+  }
+  ServerBundle bundle;
+  DIFFINDEX_RETURN_NOT_OK(StartServer(id, &bundle));
+  DIFFINDEX_RETURN_NOT_OK(master_->RegisterServer(bundle.server.get()));
+  servers_[id] = std::move(bundle);
+  return Status::OK();
+}
+
+Status Cluster::SilentlyCrashServer(NodeId id) {
+  auto it = servers_.find(id);
+  if (it == servers_.end()) return Status::NotFound("no such server");
+
+  // The crash: node unreachable, pending AUQ work and memtables lost.
+  fabric_->SetNodeDown(id, true);
+  fabric_->UnregisterNode(id);
+  it->second.server->Crash();
+  it->second.index_manager->Shutdown();
+
+  // Quarantine the object (in-flight RPC handlers may still reference it).
+  graveyard_.push_back(std::move(it->second));
+  servers_.erase(it);
+  return Status::OK();
+}
+
+Status Cluster::KillServer(NodeId id) {
+  DIFFINDEX_RETURN_NOT_OK(SilentlyCrashServer(id));
+  // ZooKeeper-equivalent: detect and reassign, with WAL split + replay on
+  // the new owners.
+  return master_->OnServerDead(id);
+}
+
+RegionServer* Cluster::server(NodeId id) {
+  auto it = servers_.find(id);
+  return it == servers_.end() ? nullptr : it->second.server.get();
+}
+
+IndexManager* Cluster::index_manager(NodeId id) {
+  auto it = servers_.find(id);
+  return it == servers_.end() ? nullptr : it->second.index_manager.get();
+}
+
+std::vector<NodeId> Cluster::server_ids() const {
+  std::vector<NodeId> ids;
+  ids.reserve(servers_.size());
+  for (const auto& [id, bundle] : servers_) ids.push_back(id);
+  return ids;
+}
+
+std::shared_ptr<Client> Cluster::NewClient() {
+  const NodeId node = next_client_node_.fetch_add(1);
+  return std::make_shared<Client>(fabric_.get(), node);
+}
+
+std::unique_ptr<DiffIndexClient> Cluster::NewDiffIndexClient(
+    const SessionOptions& session_options) {
+  return std::make_unique<DiffIndexClient>(NewClient(), &stats_,
+                                           session_options);
+}
+
+void Cluster::AggregateStaleness(Histogram* out) const {
+  for (const auto& [id, bundle] : servers_) {
+    out->Merge(bundle.index_manager->auq()->staleness());
+  }
+  for (const auto& bundle : graveyard_) {
+    out->Merge(bundle.index_manager->auq()->staleness());
+  }
+}
+
+uint64_t Cluster::TotalFlushStallMicros() const {
+  uint64_t total = 0;
+  for (const auto& [id, bundle] : servers_) {
+    total += bundle.server->flush_stall_micros();
+  }
+  return total;
+}
+
+uint64_t Cluster::TotalFlushes() const {
+  uint64_t total = 0;
+  for (const auto& [id, bundle] : servers_) {
+    total += bundle.server->flush_count();
+  }
+  return total;
+}
+
+}  // namespace diffindex

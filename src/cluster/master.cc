@@ -1,0 +1,375 @@
+#include "cluster/master.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/logging.h"
+
+namespace diffindex {
+
+Master::Master(Fabric* fabric, std::string data_root,
+               const MasterOptions& options)
+    : fabric_(fabric), data_root_(std::move(data_root)), options_(options) {}
+
+Master::~Master() { Stop(); }
+
+Status Master::Start() {
+  fabric_->RegisterNode(
+      kMasterNode, [this](MsgType type, Slice body, std::string* response) {
+        return Handle(type, body, response);
+      });
+  if (options_.failure_detect_ms > 0) {
+    detector_thread_ = std::thread([this] { DetectorLoop(); });
+  }
+  return Status::OK();
+}
+
+void Master::Stop() {
+  if (stopped_.exchange(true)) return;
+  if (detector_thread_.joinable()) detector_thread_.join();
+  fabric_->UnregisterNode(kMasterNode);
+}
+
+Status Master::RegisterServer(RegionServer* server) {
+  std::lock_guard<std::mutex> lock(mu_);
+  servers_[server->id()] = server;
+  last_heartbeat_micros_[server->id()] = TimestampOracle::NowMicros();
+  server->UpdateCatalog(CatalogSnapshot(catalog_.ListTables()));
+  return Status::OK();
+}
+
+void Master::DeregisterServer(NodeId server_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  servers_.erase(server_id);
+  last_heartbeat_micros_.erase(server_id);
+}
+
+std::vector<NodeId> Master::live_servers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<NodeId> ids;
+  ids.reserve(servers_.size());
+  for (const auto& [id, server] : servers_) ids.push_back(id);
+  return ids;
+}
+
+std::vector<RegionInfoWire> Master::regions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return regions_;
+}
+
+std::vector<std::string> Master::UniformHexSplits(int num_regions) {
+  // Row keys in the workloads hash uniformly into hex strings, so split
+  // points at i*256/n two-digit-hex prefixes balance the regions.
+  std::vector<std::string> splits;
+  for (int i = 1; i < num_regions; i++) {
+    const unsigned boundary =
+        static_cast<unsigned>(i) * 256u / static_cast<unsigned>(num_regions);
+    char buf[8];
+    snprintf(buf, sizeof(buf), "%02x", boundary & 0xffu);
+    splits.emplace_back(buf);
+  }
+  return splits;
+}
+
+Status Master::CreateTable(const std::string& name,
+                           std::vector<std::string> split_points) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DIFFINDEX_RETURN_NOT_OK(CreateTableLocked(name, std::move(split_points)));
+  PushCatalogLocked();
+  return Status::OK();
+}
+
+Status Master::CreateTableLocked(const std::string& name,
+                                 std::vector<std::string> split_points) {
+  if (servers_.empty()) {
+    return Status::Unavailable("no region servers registered");
+  }
+  TableDescriptor desc;
+  desc.name = name;
+  desc.is_index_table = name.rfind("__idx_", 0) == 0;
+  DIFFINDEX_RETURN_NOT_OK(catalog_.AddTable(desc));
+
+  if (split_points.empty()) {
+    split_points = UniformHexSplits(options_.default_regions_per_table);
+  }
+  std::sort(split_points.begin(), split_points.end());
+
+  std::vector<RegionServer*> server_list;
+  for (const auto& [id, server] : servers_) server_list.push_back(server);
+
+  std::string start;
+  for (size_t i = 0; i <= split_points.size(); i++) {
+    RegionInfoWire info;
+    info.table = name;
+    info.region_id = next_region_id_++;
+    info.start_row = start;
+    info.end_row = i < split_points.size() ? split_points[i] : "";
+    RegionServer* owner = server_list[next_assign_ % server_list.size()];
+    next_assign_++;
+    info.server_id = owner->id();
+    DIFFINDEX_RETURN_NOT_OK(owner->OpenRegion(info));
+    regions_.push_back(info);
+    start = info.end_row;
+  }
+  layout_epoch_.fetch_add(1);
+  DIFFINDEX_LOG_INFO << "master: created table " << name << " with "
+                     << split_points.size() + 1 << " regions";
+  return Status::OK();
+}
+
+Status Master::CreateIndex(const std::string& table,
+                           const IndexDescriptor& index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!catalog_.GetTable(table).has_value()) {
+    return Status::NotFound("no such table: " + table);
+  }
+  IndexDescriptor resolved = index;
+  if (resolved.is_local) {
+    // Local indexes co-locate with their base regions: no backing table.
+    resolved.index_table.clear();
+  } else {
+    resolved.index_table = IndexTableNameFor(table, index.name);
+    // The index table is itself partitioned across all nodes — Diff-Index
+    // builds *global* indexes (Section 3.1).
+    DIFFINDEX_RETURN_NOT_OK(CreateTableLocked(resolved.index_table, {}));
+  }
+  DIFFINDEX_RETURN_NOT_OK(catalog_.AddIndex(table, resolved));
+  layout_epoch_.fetch_add(1);
+  PushCatalogLocked();
+  DIFFINDEX_LOG_INFO << "master: created " << IndexSchemeName(index.scheme)
+                     << " index " << index.name << " on " << table << "("
+                     << index.column << ")";
+  return Status::OK();
+}
+
+Status Master::AlterIndexScheme(const std::string& table,
+                                const std::string& index_name,
+                                IndexScheme scheme) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DIFFINDEX_RETURN_NOT_OK(
+      catalog_.SetIndexScheme(table, index_name, scheme));
+  layout_epoch_.fetch_add(1);
+  PushCatalogLocked();
+  DIFFINDEX_LOG_INFO << "master: index " << index_name << " on " << table
+                     << " switched to " << IndexSchemeName(scheme);
+  return Status::OK();
+}
+
+Status Master::DropIndex(const std::string& table,
+                         const std::string& index_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DIFFINDEX_RETURN_NOT_OK(catalog_.DropIndex(table, index_name));
+  layout_epoch_.fetch_add(1);
+  PushCatalogLocked();
+  return Status::OK();
+}
+
+void Master::PushCatalogLocked() {
+  CatalogSnapshot snapshot(catalog_.ListTables());
+  for (const auto& [id, server] : servers_) {
+    server->UpdateCatalog(snapshot);
+  }
+}
+
+Status Master::SplitRegion(const std::string& table, uint64_t region_id,
+                           const std::string& split_key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < regions_.size(); i++) {
+    const RegionInfoWire& parent = regions_[i];
+    if (parent.table != table || parent.region_id != region_id) continue;
+
+    auto server_it = servers_.find(parent.server_id);
+    if (server_it == servers_.end()) {
+      return Status::Unavailable("owning server not registered");
+    }
+    RegionInfoWire left = parent;
+    left.region_id = next_region_id_++;
+    left.end_row = split_key;
+    RegionInfoWire right = parent;
+    right.region_id = next_region_id_++;
+    right.start_row = split_key;
+
+    DIFFINDEX_RETURN_NOT_OK(server_it->second->SplitRegion(
+        table, region_id, split_key, left, right));
+    regions_[i] = left;
+    regions_.insert(regions_.begin() + static_cast<long>(i) + 1, right);
+    layout_epoch_.fetch_add(1);
+    DIFFINDEX_LOG_INFO << "master: split " << table << "/r" << region_id
+                       << " at '" << split_key << "'";
+    return Status::OK();
+  }
+  return Status::NotFound("no such region");
+}
+
+Status Master::MoveRegion(const std::string& table, uint64_t region_id,
+                          NodeId target_server) {
+  // Resolve under the lock; perform the hand-off outside it (the source's
+  // flush drains its AUQ, whose tasks fetch layout from this master).
+  RegionServer* source = nullptr;
+  RegionServer* target = nullptr;
+  RegionInfoWire info;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto target_it = servers_.find(target_server);
+    if (target_it == servers_.end()) {
+      return Status::NotFound("no such target server");
+    }
+    target = target_it->second;
+    bool found = false;
+    for (const RegionInfoWire& region : regions_) {
+      if (region.table == table && region.region_id == region_id) {
+        info = region;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return Status::NotFound("no such region");
+    if (info.server_id == target_server) return Status::OK();
+    auto source_it = servers_.find(info.server_id);
+    if (source_it == servers_.end()) {
+      return Status::Unavailable("source server not registered");
+    }
+    source = source_it->second;
+  }
+
+  DIFFINDEX_RETURN_NOT_OK(source->CloseRegionForMove(table, region_id));
+  info.server_id = target_server;
+  DIFFINDEX_RETURN_NOT_OK(target->OpenRegion(info));
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (RegionInfoWire& region : regions_) {
+      if (region.table == table && region.region_id == region_id) {
+        region.server_id = target_server;
+      }
+    }
+    layout_epoch_.fetch_add(1);
+  }
+  DIFFINDEX_LOG_INFO << "master: moved " << table << "/r" << region_id
+                     << " to server " << target_server;
+  return Status::OK();
+}
+
+Status Master::OnServerDead(NodeId server_id) {
+  // Phase 0 (under the lock): drop the dead server, pick new owners,
+  // publish the new layout. The actual replay and flush happen OUTSIDE
+  // the lock: recovery drains AUQs whose tasks need layout fetches and
+  // index puts against the newly assigned regions.
+  std::vector<std::pair<RegionInfoWire, RegionServer*>> moves;
+  std::vector<std::string> wal_paths;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    servers_.erase(server_id);
+    last_heartbeat_micros_.erase(server_id);
+    if (servers_.empty()) {
+      return Status::Unavailable("no survivors to host regions");
+    }
+
+    // The dead server's WAL directory on shared storage ("HDFS").
+    const std::string dead_wal_dir =
+        data_root_ + "/wal/s" + std::to_string(server_id);
+    std::vector<std::string> children;
+    if (Env::Default()->GetChildren(dead_wal_dir, &children).ok()) {
+      std::sort(children.begin(), children.end(),
+                [](const std::string& a, const std::string& b) {
+                  return strtoull(a.c_str(), nullptr, 10) <
+                         strtoull(b.c_str(), nullptr, 10);
+                });
+      for (const auto& child : children) {
+        wal_paths.push_back(dead_wal_dir + "/" + child);
+      }
+    }
+
+    std::vector<RegionServer*> survivors;
+    for (const auto& [id, server] : servers_) survivors.push_back(server);
+    for (auto& info : regions_) {
+      if (info.server_id != server_id) continue;
+      RegionServer* new_owner = survivors[next_assign_ % survivors.size()];
+      next_assign_++;
+      info.server_id = new_owner->id();
+      moves.emplace_back(info, new_owner);
+    }
+    layout_epoch_.fetch_add(1);
+  }
+
+  // Phase 1: open + WAL split/replay on every new owner. Regions start
+  // serving and the replayed index work is re-enqueued into the AUQs.
+  for (auto& [info, new_owner] : moves) {
+    Status s = new_owner->OpenRegionWithRecovery(info, wal_paths);
+    if (!s.ok()) {
+      DIFFINDEX_LOG_ERROR << "master: recovery of " << info.table << "/r"
+                          << info.region_id << " failed: " << s.ToString();
+      return s;
+    }
+  }
+
+  // Phase 2: flush the recovered regions so their state is durable under
+  // the new owners' WAL regime (drain-before-flush runs the re-enqueued
+  // index updates first — every target region is reachable by now).
+  for (auto& [info, new_owner] : moves) {
+    Status s = new_owner->FlushRegion(info.table, info.region_id);
+    if (!s.ok()) {
+      DIFFINDEX_LOG_ERROR << "master: post-recovery flush of " << info.table
+                          << "/r" << info.region_id
+                          << " failed: " << s.ToString();
+      return s;
+    }
+  }
+  DIFFINDEX_LOG_INFO << "master: server " << server_id << " dead, "
+                     << moves.size() << " regions reassigned";
+  return Status::OK();
+}
+
+Status Master::Handle(MsgType type, Slice body, std::string* response) {
+  switch (type) {
+    case MsgType::kHeartbeat: {
+      HeartbeatRequest hb;
+      if (!HeartbeatRequest::DecodeFrom(&body, &hb)) {
+        return Status::InvalidArgument("malformed heartbeat");
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      last_heartbeat_micros_[hb.server_id] = TimestampOracle::NowMicros();
+      return Status::OK();
+    }
+    case MsgType::kFetchLayout: {
+      FetchLayoutResponse resp;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        resp.layout_epoch = layout_epoch_.load();
+        for (const auto& table : catalog_.ListTables()) {
+          resp.tables.push_back(ToWire(table));
+        }
+        resp.regions = regions_;
+      }
+      resp.EncodeTo(response);
+      return Status::OK();
+    }
+    default:
+      return Status::NotSupported("master: unexpected message type");
+  }
+}
+
+void Master::DetectorLoop() {
+  while (!stopped_.load()) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.failure_detect_ms / 2 + 1));
+    std::vector<NodeId> dead;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const uint64_t now = TimestampOracle::NowMicros();
+      const uint64_t limit =
+          static_cast<uint64_t>(options_.failure_detect_ms) * 1000;
+      for (const auto& [id, last] : last_heartbeat_micros_) {
+        if (now - last > limit) dead.push_back(id);
+      }
+    }
+    for (NodeId id : dead) {
+      DIFFINDEX_LOG_WARN << "master: server " << id
+                         << " missed heartbeats, declaring dead";
+      fabric_->SetNodeDown(id, true);
+      (void)OnServerDead(id);
+    }
+  }
+}
+
+}  // namespace diffindex

@@ -1,0 +1,130 @@
+// Master: table/index DDL, region assignment, failure detection and
+// recovery orchestration — the roles HBase splits between HMaster and
+// ZooKeeper (Section 2.2). Heartbeats arrive over the fabric; control
+// plane operations (open/close region on a server) are direct calls into
+// the in-process RegionServer objects, standing in for the assignment
+// messages ZooKeeper would carry.
+
+#ifndef DIFFINDEX_CLUSTER_MASTER_H_
+#define DIFFINDEX_CLUSTER_MASTER_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/catalog.h"
+#include "cluster/region_server.h"
+#include "net/fabric.h"
+
+namespace diffindex {
+
+struct MasterOptions {
+  // Regions created per table unless explicit split points are given.
+  int default_regions_per_table = 8;
+  // A server missing heartbeats for this long is declared dead; 0
+  // disables the background detector (tests call OnServerDead directly).
+  int failure_detect_ms = 0;
+};
+
+class Master {
+ public:
+  Master(Fabric* fabric, std::string data_root, const MasterOptions& options);
+  ~Master();
+
+  Master(const Master&) = delete;
+  Master& operator=(const Master&) = delete;
+
+  Status Start();
+  void Stop();
+
+  // ---- Server membership (control plane) ----
+
+  // The master needs direct handles to in-process servers to open/close
+  // regions on them.
+  Status RegisterServer(RegionServer* server);
+  void DeregisterServer(NodeId server_id);
+
+  // Declares a server dead: reassigns all its regions across the
+  // survivors, each new owner replaying the dead server's WAL for its
+  // regions. Called by the failure detector or directly by tests.
+  Status OnServerDead(NodeId server_id);
+
+  // ---- DDL ----
+
+  // Creates a table partitioned into regions. Split points empty: the
+  // table is split into options.default_regions_per_table uniform ranges
+  // over 2-hex-digit prefixes (workload row keys are uniformly hashed).
+  Status CreateTable(const std::string& name,
+                     std::vector<std::string> split_points = {});
+
+  // Creates a global secondary index: registers metadata and creates the
+  // backing key-only index table (itself partitioned across the cluster).
+  // Backfill of existing data is the client utility's job
+  // (core/backfill.h).
+  Status CreateIndex(const std::string& table, const IndexDescriptor& index);
+  Status DropIndex(const std::string& table, const std::string& index_name);
+
+  // Live scheme switch (the advisor's output; takes effect on the next
+  // put). Switching away from sync-insert should be followed by an
+  // IndexBackfill::Cleanse to purge entries whose lazy repair stops.
+  Status AlterIndexScheme(const std::string& table,
+                          const std::string& index_name, IndexScheme scheme);
+
+  // Online split of a region at `split_key` into two daughters (both
+  // initially on the same server, as in HBase; a balancer would move one
+  // later). Clients discover the new layout through the usual
+  // WrongRegion/refresh path.
+  Status SplitRegion(const std::string& table, uint64_t region_id,
+                     const std::string& split_key);
+
+  // Moves a region to another live server (the balancer's primitive):
+  // fence + flush on the source, open-from-shared-storage on the target.
+  // Client writes bounce with WrongRegion during the hand-off and retry
+  // through the refreshed layout.
+  Status MoveRegion(const std::string& table, uint64_t region_id,
+                    NodeId target_server);
+
+  // ---- Introspection ----
+
+  Catalog* catalog() { return &catalog_; }
+  std::vector<RegionInfoWire> regions() const;
+  uint64_t layout_epoch() const { return layout_epoch_.load(); }
+  std::vector<NodeId> live_servers() const;
+
+  // Fabric handler (heartbeats, layout fetches).
+  Status Handle(MsgType type, Slice body, std::string* response);
+
+  // Generates uniform hex split points (also used by benchmarks).
+  static std::vector<std::string> UniformHexSplits(int num_regions);
+
+ private:
+  Status CreateTableLocked(const std::string& name,
+                           std::vector<std::string> split_points);
+  void PushCatalogLocked();
+  void DetectorLoop();
+
+  Fabric* const fabric_;
+  const std::string data_root_;
+  const MasterOptions options_;
+
+  Catalog catalog_;
+
+  mutable std::mutex mu_;
+  std::map<NodeId, RegionServer*> servers_;
+  std::map<NodeId, uint64_t> last_heartbeat_micros_;
+  std::vector<RegionInfoWire> regions_;
+  uint64_t next_region_id_ = 1;
+  size_t next_assign_ = 0;  // round-robin cursor
+
+  std::atomic<uint64_t> layout_epoch_{1};
+  std::atomic<bool> stopped_{false};
+  std::thread detector_thread_;
+};
+
+}  // namespace diffindex
+
+#endif  // DIFFINDEX_CLUSTER_MASTER_H_

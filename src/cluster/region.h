@@ -1,0 +1,99 @@
+// Region: a contiguous row-key range of one table, hosted by one region
+// server and stored as one LSM tree (Section 2.2). Region data lives
+// under <root>/tables/<table>/r<id>/, a shared directory standing in for
+// HDFS: after a server failure the new owner opens the same directory.
+//
+// Concurrency (see also lsm/lsm_tree.h):
+//   * `flush_gate`: puts hold it shared for their whole pipeline
+//     (timestamp, WAL, memtable, AUQ enqueue); a flush holds it exclusive
+//     while the AUQ drains and the memtable swaps. This is what makes the
+//     paper's "pause & drain" (Figure 5) airtight: while the gate is held
+//     exclusively no put can be between its memtable insert and its AUQ
+//     enqueue, so PR(Flushed) = ∅.
+//   * `write_mu`: serializes WAL append + memtable apply so the region's
+//     edit order matches the log order (HBase sequences writes per region).
+
+#ifndef DIFFINDEX_CLUSTER_REGION_H_
+#define DIFFINDEX_CLUSTER_REGION_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+
+#include "lsm/lsm_tree.h"
+#include "net/message.h"
+#include "util/status.h"
+
+namespace diffindex {
+
+struct RegionId {
+  std::string table;
+  uint64_t id = 0;
+
+  bool operator==(const RegionId& other) const {
+    return id == other.id && table == other.table;
+  }
+};
+
+class Region {
+ public:
+  static Status Open(const LsmOptions& options, const std::string& data_root,
+                     const RegionInfoWire& info,
+                     std::unique_ptr<Region>* region);
+
+  const RegionInfoWire& info() const { return info_; }
+
+  bool ContainsRow(const Slice& row) const {
+    if (Slice(info_.start_row).compare(row) > 0) return false;
+    return info_.end_row.empty() || row.compare(Slice(info_.end_row)) < 0;
+  }
+
+  LsmTree* tree() { return tree_.get(); }
+  // Region-co-located local index store (Section 3.1), lazily created.
+  // It carries no WAL entries: it is wiped and rebuilt from the base tree
+  // whenever the region is (re)opened, so crash recovery never needs a
+  // separate index log. Readers see the tree only after it is fully
+  // constructed (release/acquire on the published pointer).
+  LsmTree* local_index_tree() const {
+    return local_index_view_.load(std::memory_order_acquire);
+  }
+  // REQUIRES: holding write_mu (serialized with other local-index writes).
+  Status EnsureLocalIndexTree(const LsmOptions& options);
+
+  std::shared_mutex& flush_gate() { return flush_gate_; }
+  std::mutex& write_mu() { return write_mu_; }
+
+  // Fencing for region moves: set (under the exclusive gate) before the
+  // final flush; writers re-check after acquiring the shared gate and
+  // bounce with WrongRegion so no edit lands after the moving flush.
+  void set_closed() { closed_.store(true, std::memory_order_release); }
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  static std::string DataDir(const std::string& data_root,
+                             const std::string& table, uint64_t region_id);
+  static std::string LocalIndexDir(const std::string& data_root,
+                                   const std::string& table,
+                                   uint64_t region_id);
+
+ private:
+  Region(const RegionInfoWire& info, std::unique_ptr<LsmTree> tree,
+         std::string local_index_dir)
+      : info_(info),
+        tree_(std::move(tree)),
+        local_index_dir_(std::move(local_index_dir)) {}
+
+  RegionInfoWire info_;
+  std::unique_ptr<LsmTree> tree_;
+  std::string local_index_dir_;
+  std::unique_ptr<LsmTree> local_index_tree_;
+  std::atomic<LsmTree*> local_index_view_{nullptr};
+  std::atomic<bool> closed_{false};
+  std::shared_mutex flush_gate_;
+  std::mutex write_mu_;
+};
+
+}  // namespace diffindex
+
+#endif  // DIFFINDEX_CLUSTER_REGION_H_

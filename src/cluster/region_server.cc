@@ -1,0 +1,884 @@
+#include "cluster/region_server.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/coding.h"
+#include "util/logging.h"
+
+namespace diffindex {
+
+namespace {
+
+// End-of-row bound for cell scans: cell keys are row '\0' column, and rows
+// never contain '\0', so [row'\0', row'\x01') covers exactly one row.
+std::string RowScanStart(const Slice& row) {
+  std::string s(row.data(), row.size());
+  s.push_back('\0');
+  return s;
+}
+
+std::string RowScanEnd(const Slice& row) {
+  std::string s(row.data(), row.size());
+  s.push_back('\x01');
+  return s;
+}
+
+bool ValidName(const Slice& s) {
+  for (size_t i = 0; i < s.size(); i++) {
+    if (s[i] == kCellSeparator) return false;
+  }
+  return true;
+}
+
+// Groups a flat cell-key scan into rows.
+void GroupIntoRows(const std::vector<LsmTree::ScanEntry>& entries,
+                   std::vector<ScannedRow>* rows) {
+  for (const auto& entry : entries) {
+    std::string row, column;
+    if (!DecodeCellKey(entry.key, &row, &column)) continue;
+    if (rows->empty() || rows->back().row != row) {
+      rows->push_back(ScannedRow{row, {}});
+    }
+    rows->back().cells.push_back(RowCell{column, entry.value, entry.ts});
+  }
+}
+
+}  // namespace
+
+// ---- WalEdit ----
+
+void WalEdit::EncodeTo(std::string* out) const {
+  PutLengthPrefixedSlice(out, table);
+  PutVarint64(out, region_id);
+  PutVarint64(out, seq);
+  PutLengthPrefixedSlice(out, row);
+  PutVarint32(out, static_cast<uint32_t>(cells.size()));
+  for (const Cell& cell : cells) {
+    PutLengthPrefixedSlice(out, cell.column);
+    PutLengthPrefixedSlice(out, cell.value);
+    out->push_back(cell.is_delete ? 1 : 0);
+  }
+  PutFixed64(out, ts);
+}
+
+bool WalEdit::DecodeFrom(Slice* in, WalEdit* edit) {
+  uint32_t n;
+  if (!GetLengthPrefixedString(in, &edit->table) ||
+      !GetVarint64(in, &edit->region_id) || !GetVarint64(in, &edit->seq) ||
+      !GetLengthPrefixedString(in, &edit->row) || !GetVarint32(in, &n)) {
+    return false;
+  }
+  edit->cells.resize(n);
+  for (uint32_t i = 0; i < n; i++) {
+    if (!GetLengthPrefixedString(in, &edit->cells[i].column) ||
+        !GetLengthPrefixedString(in, &edit->cells[i].value) || in->empty()) {
+      return false;
+    }
+    edit->cells[i].is_delete = (*in)[0] != 0;
+    in->remove_prefix(1);
+  }
+  return GetFixed64(in, &edit->ts);
+}
+
+// ---- RegionServer ----
+
+RegionServer::RegionServer(NodeId id, std::string data_root, Fabric* fabric,
+                           const RegionServerOptions& options)
+    : id_(id),
+      data_root_(std::move(data_root)),
+      wal_dir_(data_root_ + "/wal/s" + std::to_string(id)),
+      fabric_(fabric),
+      options_(options),
+      lsm_options_(options.lsm) {
+  if (lsm_options_.block_cache == nullptr && options_.block_cache_bytes > 0) {
+    lsm_options_.block_cache =
+        std::make_shared<LruCache>(options_.block_cache_bytes);
+  }
+}
+
+RegionServer::~RegionServer() {
+  stopped_.store(true);
+  if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
+}
+
+Status RegionServer::Start() {
+  // Edit sequences are compared against values persisted by a region's
+  // previous owner after a failover, so they must grow across owner
+  // generations: seed from the wall clock (a new owner always starts
+  // after the old owner's last edit).
+  next_edit_seq_.store(TimestampOracle::NowMicros());
+  DIFFINDEX_RETURN_NOT_OK(lsm_options_.env->CreateDirIfMissing(wal_dir_));
+  {
+    std::lock_guard<std::mutex> lock(wal_mu_);
+    DIFFINDEX_RETURN_NOT_OK(RollWalLocked());
+  }
+  fabric_->RegisterNode(
+      id_, [this](MsgType type, Slice body, std::string* response) {
+        return Handle(type, body, response);
+      });
+  if (options_.heartbeat_interval_ms > 0) {
+    heartbeat_thread_ = std::thread([this] { HeartbeatLoop(); });
+  }
+  return Status::OK();
+}
+
+Status RegionServer::Stop() {
+  DIFFINDEX_RETURN_NOT_OK(FlushAll());
+  stopped_.store(true);
+  if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
+  fabric_->UnregisterNode(id_);
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  if (!wal_files_.empty() && wal_files_.back().writer != nullptr) {
+    (void)wal_files_.back().writer->Close();
+    wal_files_.back().writer.reset();
+  }
+  return Status::OK();
+}
+
+void RegionServer::Crash() {
+  stopped_.store(true);
+  if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
+}
+
+void RegionServer::UpdateCatalog(CatalogSnapshot snapshot) {
+  std::lock_guard<std::mutex> lock(catalog_mu_);
+  catalog_ = std::move(snapshot);
+}
+
+CatalogSnapshot RegionServer::catalog() const {
+  std::lock_guard<std::mutex> lock(catalog_mu_);
+  return catalog_;
+}
+
+void RegionServer::HeartbeatLoop() {
+  while (!stopped_.load()) {
+    HeartbeatRequest hb;
+    hb.server_id = id_;
+    hb.auq_depth = hooks_ != nullptr ? hooks_->QueueDepth() : 0;
+    std::string body, response;
+    hb.EncodeTo(&body);
+    (void)fabric_->Call(id_, kMasterNode, MsgType::kHeartbeat, body,
+                        &response);
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.heartbeat_interval_ms));
+  }
+}
+
+Status RegionServer::OpenRegionInternal(const RegionInfoWire& info) {
+  std::unique_ptr<Region> region;
+  DIFFINDEX_RETURN_NOT_OK(
+      Region::Open(lsm_options_, data_root_, info, &region));
+
+  // The adopted region's persisted applied_seq comes from its previous
+  // owner's sequence space. Future edits here must sort after it, or a
+  // crash of THIS server would make replay skip them; fast-forward the
+  // edit sequence past the checkpoint.
+  const uint64_t adopted = region->tree()->applied_seq();
+  uint64_t current = next_edit_seq_.load(std::memory_order_relaxed);
+  while (current <= adopted &&
+         !next_edit_seq_.compare_exchange_weak(current, adopted + 1,
+                                               std::memory_order_relaxed)) {
+  }
+
+  std::lock_guard<std::shared_mutex> lock(regions_mu_);
+  const auto key = std::make_pair(info.table, info.region_id);
+  regions_[key] = std::shared_ptr<Region>(region.release());
+  flushed_seq_[key] = regions_[key]->tree()->applied_seq();
+  return Status::OK();
+}
+
+Status RegionServer::OpenRegion(const RegionInfoWire& info) {
+  DIFFINDEX_RETURN_NOT_OK(OpenRegionInternal(info));
+  // Rebuild region-co-located local indexes from the base data.
+  if (hooks_ != nullptr) hooks_->OnRegionOpened(info.table, info.region_id);
+  return Status::OK();
+}
+
+Status RegionServer::OpenRegionWithRecovery(
+    const RegionInfoWire& info, const std::vector<std::string>& wal_paths) {
+  // Local index rebuild must wait for the WAL replay below, so open
+  // without the OnRegionOpened hook first.
+  DIFFINDEX_RETURN_NOT_OK(OpenRegionInternal(info));
+  auto region = FindRegionById(info.table, info.region_id);
+  const uint64_t recovered_through = region->tree()->applied_seq();
+
+  // "Split the log": scan the dead server's WAL files, pick out this
+  // region's edits, replay those past the flush point.
+  uint64_t replayed = 0;
+  for (const auto& path : wal_paths) {
+    std::unique_ptr<wal::Reader> reader;
+    Status s = wal::Reader::Open(lsm_options_.env, path, &reader);
+    if (!s.ok()) continue;  // file may be gone (GC'd); fine
+    std::string payload;
+    while (reader->ReadRecord(&payload)) {
+      Slice in(payload);
+      WalEdit edit;
+      if (!WalEdit::DecodeFrom(&in, &edit)) break;  // corrupt tail
+      if (edit.table != info.table || edit.region_id != info.region_id) {
+        continue;
+      }
+      if (edit.seq <= recovered_through) continue;  // already flushed
+
+      PutRequest put;
+      put.table = edit.table;
+      put.row = edit.row;
+      put.cells = edit.cells;
+      put.ts = edit.ts;
+      {
+        std::lock_guard<std::mutex> wlock(region->write_mu());
+        for (const Cell& cell : put.cells) {
+          const std::string cell_key = EncodeCellKey(put.row, cell.column);
+          if (cell.is_delete) {
+            DIFFINDEX_RETURN_NOT_OK(region->tree()->Delete(cell_key, edit.ts));
+          } else {
+            DIFFINDEX_RETURN_NOT_OK(
+                region->tree()->Put(cell_key, cell.value, edit.ts));
+          }
+        }
+      }
+      // Requirement (2) of the AUQ recovery protocol: every replayed base
+      // put re-enters the AUQ, "regardless of whether or not it has been
+      // delivered to index tables before the failure". Idempotent by the
+      // same-timestamp rule.
+      if (hooks_ != nullptr) hooks_->OnWalReplay(put, edit.ts);
+      replayed++;
+    }
+  }
+  DIFFINDEX_LOG_INFO << "server " << id_ << ": recovered region "
+                     << info.table << "/r" << info.region_id << ", "
+                     << replayed << " edits replayed";
+  // Replay done: local indexes can now be rebuilt over the full state.
+  if (hooks_ != nullptr) hooks_->OnRegionOpened(info.table, info.region_id);
+  // The master flushes the region (phase 2 of recovery) once every region
+  // of the dead server has a reachable new owner — the flush drains the
+  // re-enqueued AUQ entries first and those need the other regions up.
+  return Status::OK();
+}
+
+Status RegionServer::SplitRegion(const std::string& table,
+                                 uint64_t region_id,
+                                 const std::string& split_key,
+                                 const RegionInfoWire& left,
+                                 const RegionInfoWire& right) {
+  auto parent = FindRegionById(table, region_id);
+  if (parent == nullptr) return Status::WrongRegion(table);
+  if (!parent->ContainsRow(split_key)) {
+    return Status::InvalidArgument("split key outside the region range");
+  }
+  if (split_key == parent->info().start_row) {
+    return Status::InvalidArgument("split key equals the region start");
+  }
+
+  // Make the parent's state durable first (drains the AUQ so no pending
+  // index work references the parent's memtable).
+  DIFFINDEX_RETURN_NOT_OK(FlushRegionInternal(parent));
+
+  // Block writes to the parent for the copy + swap.
+  std::lock_guard<std::shared_mutex> gate(parent->flush_gate());
+
+  std::unique_ptr<Region> left_region, right_region;
+  DIFFINDEX_RETURN_NOT_OK(
+      Region::Open(lsm_options_, data_root_, left, &left_region));
+  DIFFINDEX_RETURN_NOT_OK(
+      Region::Open(lsm_options_, data_root_, right, &right_region));
+
+  // Copy all versions into the daughters. Cell keys order by row first,
+  // so [.., split'\0') and [split'\0', ..) partition the cell keyspace
+  // exactly at the row boundary.
+  const std::string split_cell = RowScanStart(split_key);
+  DIFFINDEX_RETURN_NOT_OK(
+      parent->tree()->ExportRecords("", split_cell, left_region->tree()));
+  DIFFINDEX_RETURN_NOT_OK(
+      parent->tree()->ExportRecords(split_cell, "", right_region->tree()));
+  DIFFINDEX_RETURN_NOT_OK(left_region->tree()->Flush());
+  DIFFINDEX_RETURN_NOT_OK(right_region->tree()->Flush());
+
+  // Atomic metadata swap: the parent disappears, the daughters take over.
+  {
+    std::lock_guard<std::shared_mutex> lock(regions_mu_);
+    regions_.erase({table, region_id});
+    flushed_seq_.erase({table, region_id});
+    regions_[{table, left.region_id}] =
+        std::shared_ptr<Region>(left_region.release());
+    regions_[{table, right.region_id}] =
+        std::shared_ptr<Region>(right_region.release());
+    flushed_seq_[{table, left.region_id}] = 0;
+    flushed_seq_[{table, right.region_id}] = 0;
+  }
+
+  // Rebuild any local indexes over the daughters.
+  if (hooks_ != nullptr) {
+    hooks_->OnRegionOpened(table, left.region_id);
+    hooks_->OnRegionOpened(table, right.region_id);
+  }
+
+  // Retire the parent's storage (its data now lives in the daughters).
+  (void)lsm_options_.env->RemoveDirRecursively(
+      Region::DataDir(data_root_, table, region_id));
+  DIFFINDEX_LOG_INFO << "server " << id_ << ": split " << table << "/r"
+                     << region_id << " at '" << split_key << "' into r"
+                     << left.region_id << " + r" << right.region_id;
+  return Status::OK();
+}
+
+Status RegionServer::CloseRegionForMove(const std::string& table,
+                                        uint64_t region_id) {
+  auto region = FindRegionById(table, region_id);
+  if (region == nullptr) return Status::WrongRegion(table);
+
+  // Fence first (under the exclusive gate so no put is mid-pipeline),
+  // then flush: after this no edit can land in this replica.
+  {
+    std::lock_guard<std::shared_mutex> gate(region->flush_gate());
+    region->set_closed();
+  }
+  DIFFINDEX_RETURN_NOT_OK(FlushRegionInternal(region));
+  {
+    std::lock_guard<std::shared_mutex> lock(regions_mu_);
+    regions_.erase({table, region_id});
+    flushed_seq_.erase({table, region_id});
+  }
+  DIFFINDEX_LOG_INFO << "server " << id_ << ": closed " << table << "/r"
+                     << region_id << " for move";
+  return Status::OK();
+}
+
+Status RegionServer::CloseRegion(const std::string& table,
+                                 uint64_t region_id) {
+  std::lock_guard<std::shared_mutex> lock(regions_mu_);
+  regions_.erase({table, region_id});
+  flushed_seq_.erase({table, region_id});
+  return Status::OK();
+}
+
+std::vector<RegionInfoWire> RegionServer::HostedRegions() const {
+  std::shared_lock<std::shared_mutex> lock(regions_mu_);
+  std::vector<RegionInfoWire> result;
+  result.reserve(regions_.size());
+  for (const auto& [key, region] : regions_) {
+    result.push_back(region->info());
+  }
+  return result;
+}
+
+std::shared_ptr<Region> RegionServer::FindRegion(const std::string& table,
+                                                 const Slice& row) const {
+  std::shared_lock<std::shared_mutex> lock(regions_mu_);
+  for (const auto& [key, region] : regions_) {
+    if (key.first == table && region->ContainsRow(row)) return region;
+  }
+  return nullptr;
+}
+
+std::shared_ptr<Region> RegionServer::FindRegionById(
+    const std::string& table, uint64_t region_id) const {
+  std::shared_lock<std::shared_mutex> lock(regions_mu_);
+  auto it = regions_.find({table, region_id});
+  return it == regions_.end() ? nullptr : it->second;
+}
+
+Status RegionServer::Handle(MsgType type, Slice body, std::string* response) {
+  switch (type) {
+    case MsgType::kPut:
+      return HandlePut(body, response);
+    case MsgType::kGetCell:
+      return HandleGetCell(body, response);
+    case MsgType::kGetRow:
+      return HandleGetRow(body, response);
+    case MsgType::kScanRows:
+      return HandleScanRows(body, response);
+    case MsgType::kRawScan:
+      return HandleRawScan(body, response);
+    case MsgType::kRawDelete:
+      return HandleRawDelete(body, response);
+    case MsgType::kFlushRegion:
+    case MsgType::kCompactRegion:
+      return HandleRegionAdmin(type, body);
+    case MsgType::kLocalIndexScan:
+      return HandleLocalIndexScan(body, response);
+    case MsgType::kMultiPut:
+      return HandleMultiPut(body, response);
+    default:
+      return Status::NotSupported("region server: unexpected message type");
+  }
+}
+
+Status RegionServer::LogAndApply(const std::shared_ptr<Region>& region,
+                                 const PutRequest& put, Timestamp ts) {
+  WalEdit edit;
+  edit.table = put.table;
+  edit.region_id = region->info().region_id;
+  edit.row = put.row;
+  edit.cells = put.cells;
+  edit.ts = ts;
+
+  std::lock_guard<std::mutex> wlock(region->write_mu());
+  edit.seq = next_edit_seq_.fetch_add(1, std::memory_order_relaxed);
+
+  std::string payload;
+  edit.EncodeTo(&payload);
+  {
+    std::lock_guard<std::mutex> wal_lock(wal_mu_);
+    WalFile& tail = wal_files_.back();
+    DIFFINDEX_RETURN_NOT_OK(tail.writer->AddRecord(payload));
+    auto& max_seq =
+        tail.region_max_seq[{put.table, region->info().region_id}];
+    max_seq = std::max(max_seq, edit.seq);
+    wal_appends_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (lsm_options_.latency != nullptr) lsm_options_.latency->WalAppend();
+
+  for (const Cell& cell : put.cells) {
+    const std::string cell_key = EncodeCellKey(put.row, cell.column);
+    if (cell.is_delete) {
+      DIFFINDEX_RETURN_NOT_OK(region->tree()->Delete(cell_key, ts));
+    } else {
+      DIFFINDEX_RETURN_NOT_OK(region->tree()->Put(cell_key, cell.value, ts));
+    }
+  }
+  region->tree()->set_applied_seq(edit.seq);
+  return Status::OK();
+}
+
+Status RegionServer::HandlePut(Slice body, std::string* response) {
+  PutRequest put;
+  if (!PutRequest::DecodeFrom(&body, &put)) {
+    return Status::InvalidArgument("malformed put");
+  }
+  PutResponse resp;
+  DIFFINDEX_RETURN_NOT_OK(ExecutePut(put, &resp));
+  resp.EncodeTo(response);
+  return Status::OK();
+}
+
+Status RegionServer::HandleMultiPut(Slice body, std::string* response) {
+  MultiPutRequest req;
+  if (!MultiPutRequest::DecodeFrom(&body, &req)) {
+    return Status::InvalidArgument("malformed multi-put");
+  }
+  MultiPutResponse resp;
+  resp.assigned_ts.reserve(req.puts.size());
+  for (const PutRequest& put : req.puts) {
+    // Per-row atomicity, as in HBase multi-puts: the batch is a transport
+    // optimization, not a transaction. The first failure aborts the rest
+    // (the client retries the batch; re-applied puts are idempotent only
+    // with explicit timestamps, so report the error).
+    PutResponse one;
+    DIFFINDEX_RETURN_NOT_OK(ExecutePut(put, &one));
+    resp.assigned_ts.push_back(one.assigned_ts);
+  }
+  resp.EncodeTo(response);
+  return Status::OK();
+}
+
+Status RegionServer::ExecutePut(const PutRequest& put, PutResponse* resp) {
+  if (!ValidName(put.row)) {
+    return Status::InvalidArgument("row contains the cell separator");
+  }
+  for (const Cell& cell : put.cells) {
+    if (!ValidName(cell.column)) {
+      return Status::InvalidArgument("column contains the cell separator");
+    }
+  }
+  auto region = FindRegion(put.table, put.row);
+  if (region == nullptr) {
+    return Status::WrongRegion(put.table + "/" + put.row);
+  }
+
+  const auto stall_start = std::chrono::steady_clock::now();
+  std::shared_lock<std::shared_mutex> gate(region->flush_gate());
+  const auto stall_end = std::chrono::steady_clock::now();
+  const auto stalled = std::chrono::duration_cast<std::chrono::microseconds>(
+                           stall_end - stall_start)
+                           .count();
+  if (stalled > 0) {
+    flush_stall_micros_.fetch_add(static_cast<uint64_t>(stalled),
+                                  std::memory_order_relaxed);
+  }
+
+  if (region->closed()) {
+    // Mid-move fence: the final flush already ran; no edit may land here.
+    return Status::WrongRegion(put.table + " (region moving)");
+  }
+
+  const Timestamp ts = put.ts != 0 ? put.ts : oracle_.Next();
+  resp->assigned_ts = ts;
+
+  // Session consistency support: report each cell's previous value so the
+  // client library can generate its private index entries/delete markers
+  // (Section 5.2).
+  if (put.return_old_values) {
+    for (const Cell& cell : put.cells) {
+      OldCellValue old;
+      old.column = cell.column;
+      std::string value;
+      Timestamp old_ts = 0;
+      Status s = region->tree()->Get(EncodeCellKey(put.row, cell.column),
+                                     ts - kDelta, &value, &old_ts);
+      if (s.ok()) {
+        old.found = true;
+        old.value = std::move(value);
+        old.ts = old_ts;
+      }
+      resp->old_values.push_back(std::move(old));
+    }
+  }
+
+  DIFFINDEX_RETURN_NOT_OK(LogAndApply(region, put, ts));
+
+  // Diff-Index coprocessors: sync schemes complete their index operations
+  // here (inside the put latency, as the paper measures); async schemes
+  // enqueue into the AUQ. Still under the shared flush gate so the
+  // drain-before-flush invariant holds.
+  Status index_status = Status::OK();
+  if (hooks_ != nullptr) {
+    index_status = hooks_->PostApply(put, ts);
+  }
+
+  gate.unlock();
+
+  if (!index_status.ok()) return index_status;
+
+  if (region->tree()->NeedsFlush()) {
+    DIFFINDEX_RETURN_NOT_OK(FlushRegionInternal(region));
+  }
+  return Status::OK();
+}
+
+Status RegionServer::HandleGetCell(Slice body, std::string* response) {
+  GetCellRequest req;
+  if (!GetCellRequest::DecodeFrom(&body, &req)) {
+    return Status::InvalidArgument("malformed get");
+  }
+  auto region = FindRegion(req.table, req.row);
+  if (region == nullptr) return Status::WrongRegion(req.table);
+
+  GetCellResponse resp;
+  std::string value;
+  Timestamp ts = 0;
+  Status s = region->tree()->Get(EncodeCellKey(req.row, req.column),
+                                 req.read_ts, &value, &ts);
+  if (s.ok()) {
+    resp.found = true;
+    resp.value = std::move(value);
+    resp.ts = ts;
+  } else if (!s.IsNotFound()) {
+    return s;
+  }
+  resp.EncodeTo(response);
+  return Status::OK();
+}
+
+Status RegionServer::HandleGetRow(Slice body, std::string* response) {
+  GetRowRequest req;
+  if (!GetRowRequest::DecodeFrom(&body, &req)) {
+    return Status::InvalidArgument("malformed get-row");
+  }
+  auto region = FindRegion(req.table, req.row);
+  if (region == nullptr) return Status::WrongRegion(req.table);
+
+  std::vector<LsmTree::ScanEntry> entries;
+  DIFFINDEX_RETURN_NOT_OK(region->tree()->Scan(
+      RowScanStart(req.row), RowScanEnd(req.row), req.read_ts, 0, &entries));
+  GetRowResponse resp;
+  resp.found = !entries.empty();
+  for (const auto& entry : entries) {
+    std::string row, column;
+    if (!DecodeCellKey(entry.key, &row, &column)) continue;
+    resp.cells.push_back(RowCell{column, entry.value, entry.ts});
+  }
+  resp.EncodeTo(response);
+  return Status::OK();
+}
+
+Status RegionServer::HandleScanRows(Slice body, std::string* response) {
+  ScanRowsRequest req;
+  if (!ScanRowsRequest::DecodeFrom(&body, &req)) {
+    return Status::InvalidArgument("malformed scan");
+  }
+  // Scans address a region by row range: the client splits a table scan
+  // by region boundaries, so start_row falls inside exactly one region.
+  auto region = FindRegion(req.table, req.start_row);
+  if (region == nullptr) return Status::WrongRegion(req.table);
+
+  // Clamp to the region's key range.
+  std::string start = RowScanStart(req.start_row);
+  std::string end;
+  if (!req.end_row.empty() &&
+      (region->info().end_row.empty() ||
+       req.end_row < region->info().end_row)) {
+    end = RowScanStart(req.end_row);
+  } else if (!region->info().end_row.empty()) {
+    end = RowScanStart(region->info().end_row);
+  }
+
+  std::vector<LsmTree::ScanEntry> entries;
+  // No cell-level limit: rows have multiple cells; over-fetch then trim.
+  DIFFINDEX_RETURN_NOT_OK(
+      region->tree()->Scan(start, end, req.read_ts, 0, &entries));
+
+  ScanRowsResponse resp;
+  GroupIntoRows(entries, &resp.rows);
+  if (req.limit_rows != 0 && resp.rows.size() > req.limit_rows) {
+    resp.rows.resize(req.limit_rows);
+  }
+  resp.EncodeTo(response);
+  return Status::OK();
+}
+
+Status RegionServer::HandleRawScan(Slice body, std::string* response) {
+  RawScanRequest req;
+  if (!RawScanRequest::DecodeFrom(&body, &req)) {
+    return Status::InvalidArgument("malformed raw scan");
+  }
+  // Raw keys are cell keys; the row portion routes.
+  std::string row, column;
+  if (!DecodeCellKey(req.start_key, &row, &column)) row = req.start_key;
+  auto region = FindRegion(req.table, row);
+  if (region == nullptr) return Status::WrongRegion(req.table);
+
+  std::string end = req.end_key;
+  if (!region->info().end_row.empty()) {
+    const std::string region_end = RowScanStart(region->info().end_row);
+    if (end.empty() || region_end < end) end = region_end;
+  }
+  std::vector<LsmTree::ScanEntry> entries;
+  DIFFINDEX_RETURN_NOT_OK(
+      region->tree()->Scan(req.start_key, end, req.read_ts, req.limit,
+                           &entries));
+  RawScanResponse resp;
+  for (auto& entry : entries) {
+    resp.entries.push_back(
+        RawEntry{std::move(entry.key), std::move(entry.value), entry.ts});
+  }
+  resp.EncodeTo(response);
+  return Status::OK();
+}
+
+Status RegionServer::HandleRawDelete(Slice body, std::string* response) {
+  RawDeleteRequest req;
+  if (!RawDeleteRequest::DecodeFrom(&body, &req)) {
+    return Status::InvalidArgument("malformed raw delete");
+  }
+  std::string row, column;
+  if (!DecodeCellKey(req.key, &row, &column)) row = req.key;
+  auto region = FindRegion(req.table, row);
+  if (region == nullptr) return Status::WrongRegion(req.table);
+
+  PutRequest put;
+  put.table = req.table;
+  put.row = row;
+  put.cells.push_back(Cell{column, "", /*is_delete=*/true});
+  put.ts = req.ts;
+  std::shared_lock<std::shared_mutex> gate(region->flush_gate());
+  DIFFINDEX_RETURN_NOT_OK(LogAndApply(region, put, req.ts));
+  gate.unlock();
+  response->clear();
+  return Status::OK();
+}
+
+Status RegionServer::HandleRegionAdmin(MsgType type, Slice body) {
+  RegionAdminRequest req;
+  if (!RegionAdminRequest::DecodeFrom(&body, &req)) {
+    return Status::InvalidArgument("malformed region admin request");
+  }
+  auto region = FindRegionById(req.table, req.region_id);
+  if (region == nullptr) return Status::WrongRegion(req.table);
+  if (type == MsgType::kFlushRegion) return FlushRegionInternal(region);
+  return region->tree()->CompactAll();
+}
+
+// Local index entries live in the region's side tree keyed as
+// index_name '\0' index_row (index rows contain no 0x00 by construction,
+// so the namespace split is unambiguous).
+Status RegionServer::ApplyLocalIndex(const std::string& table,
+                                     const Slice& base_row,
+                                     const std::string& index_name,
+                                     const std::string& index_row,
+                                     Timestamp ts, bool is_delete) {
+  auto region = FindRegion(table, base_row);
+  if (region == nullptr) return Status::WrongRegion(table);
+  std::lock_guard<std::mutex> wlock(region->write_mu());
+  DIFFINDEX_RETURN_NOT_OK(region->EnsureLocalIndexTree(lsm_options_));
+  const std::string key = index_name + '\0' + index_row;
+  if (is_delete) {
+    return region->local_index_tree()->Delete(key, ts);
+  }
+  return region->local_index_tree()->Put(key, "", ts);
+}
+
+Status RegionServer::ScanLocalIndex(const std::string& table,
+                                    uint64_t region_id,
+                                    const std::string& index_name,
+                                    const std::string& start_key,
+                                    const std::string& end_key,
+                                    Timestamp read_ts, uint32_t limit,
+                                    std::vector<RawEntry>* entries) {
+  entries->clear();
+  auto region = FindRegionById(table, region_id);
+  if (region == nullptr) return Status::WrongRegion(table);
+  if (region->local_index_tree() == nullptr) return Status::OK();  // empty
+
+  const std::string prefix = index_name + '\0';
+  std::string end = prefix;
+  if (end_key.empty()) {
+    end = index_name + '\x01';  // whole namespace of this index
+  } else {
+    end += end_key;
+  }
+  std::vector<LsmTree::ScanEntry> raw;
+  DIFFINDEX_RETURN_NOT_OK(region->local_index_tree()->Scan(
+      prefix + start_key, end, read_ts, limit, &raw));
+  entries->reserve(raw.size());
+  for (auto& entry : raw) {
+    RawEntry out;
+    out.key = entry.key.substr(prefix.size());  // strip the namespace
+    out.value = std::move(entry.value);
+    out.ts = entry.ts;
+    entries->push_back(std::move(out));
+  }
+  return Status::OK();
+}
+
+Status RegionServer::ScanRegionRows(const std::string& table,
+                                    uint64_t region_id,
+                                    std::vector<ScannedRow>* rows) {
+  rows->clear();
+  auto region = FindRegionById(table, region_id);
+  if (region == nullptr) return Status::WrongRegion(table);
+  std::vector<LsmTree::ScanEntry> entries;
+  DIFFINDEX_RETURN_NOT_OK(
+      region->tree()->Scan("", "", kMaxTimestamp, 0, &entries));
+  GroupIntoRows(entries, rows);
+  return Status::OK();
+}
+
+Status RegionServer::HandleLocalIndexScan(Slice body,
+                                          std::string* response) {
+  LocalIndexScanRequest req;
+  if (!LocalIndexScanRequest::DecodeFrom(&body, &req)) {
+    return Status::InvalidArgument("malformed local index scan");
+  }
+  RawScanResponse resp;
+  DIFFINDEX_RETURN_NOT_OK(ScanLocalIndex(req.table, req.region_id,
+                                         req.index_name, req.start_key,
+                                         req.end_key, req.read_ts, req.limit,
+                                         &resp.entries));
+  resp.EncodeTo(response);
+  return Status::OK();
+}
+
+Status RegionServer::LocalGetCell(const std::string& table, const Slice& row,
+                                  const Slice& column, Timestamp read_ts,
+                                  std::string* value, Timestamp* version_ts) {
+  auto region = FindRegion(table, row);
+  if (region == nullptr) return Status::WrongRegion(table);
+  return region->tree()->Get(EncodeCellKey(row, column), read_ts, value,
+                             version_ts);
+}
+
+Status RegionServer::FlushRegion(const std::string& table,
+                                 uint64_t region_id) {
+  auto region = FindRegionById(table, region_id);
+  if (region == nullptr) return Status::WrongRegion(table);
+  return FlushRegionInternal(region);
+}
+
+Status RegionServer::FlushRegionInternal(
+    const std::shared_ptr<Region>& region) {
+  // Exclusive gate: no put is mid-pipeline; every applied put's AUQ entry
+  // is enqueued. PreFlush pauses intake and waits for the APS to drain —
+  // this is "1. pause & drain / 2. flush / 3. roll forward" of Figure 5.
+  std::lock_guard<std::shared_mutex> gate(region->flush_gate());
+  if (hooks_ != nullptr) hooks_->PreFlush(region->info().table);
+  Status s = region->tree()->Flush();
+  if (s.ok() && region->local_index_tree() != nullptr) {
+    s = region->local_index_tree()->Flush();
+  }
+  if (hooks_ != nullptr) hooks_->PostFlush(region->info().table);
+  DIFFINDEX_RETURN_NOT_OK(s);
+  flush_count_.fetch_add(1, std::memory_order_relaxed);
+
+  const auto key =
+      std::make_pair(region->info().table, region->info().region_id);
+  {
+    std::lock_guard<std::shared_mutex> lock(regions_mu_);
+    flushed_seq_[key] = region->tree()->applied_seq();
+  }
+  std::lock_guard<std::mutex> wal_lock(wal_mu_);
+  MaybeGcWalFilesLocked();
+  if (!wal_files_.empty() &&
+      wal_files_.back().writer->bytes_written() >= options_.wal_roll_bytes) {
+    DIFFINDEX_RETURN_NOT_OK(RollWalLocked());
+  }
+  return Status::OK();
+}
+
+Status RegionServer::FlushAll() {
+  std::vector<std::shared_ptr<Region>> regions;
+  {
+    std::shared_lock<std::shared_mutex> lock(regions_mu_);
+    for (const auto& [key, region] : regions_) regions.push_back(region);
+  }
+  for (const auto& region : regions) {
+    DIFFINDEX_RETURN_NOT_OK(FlushRegionInternal(region));
+  }
+  return Status::OK();
+}
+
+Status RegionServer::CompactRegion(const std::string& table,
+                                   uint64_t region_id) {
+  auto region = FindRegionById(table, region_id);
+  if (region == nullptr) return Status::WrongRegion(table);
+  return region->tree()->CompactAll();
+}
+
+Status RegionServer::RollWalLocked() {
+  if (!wal_files_.empty() && wal_files_.back().writer != nullptr) {
+    DIFFINDEX_RETURN_NOT_OK(wal_files_.back().writer->Sync());
+    DIFFINDEX_RETURN_NOT_OK(wal_files_.back().writer->Close());
+    wal_files_.back().writer.reset();
+  }
+  WalFile file;
+  file.file_seq = next_wal_file_seq_++;
+  file.path = wal_dir_ + "/" + std::to_string(file.file_seq) + ".log";
+  DIFFINDEX_RETURN_NOT_OK(wal::Writer::Open(lsm_options_.env, file.path,
+                                            options_.wal_sync,
+                                            &file.writer));
+  wal_files_.push_back(std::move(file));
+  return Status::OK();
+}
+
+void RegionServer::MaybeGcWalFilesLocked() {
+  // A closed WAL file is deletable once every region mentioned in it has
+  // flushed past the file's highest edit for that region ("roll forward").
+  std::map<std::pair<std::string, uint64_t>, uint64_t> flushed;
+  {
+    std::shared_lock<std::shared_mutex> lock(regions_mu_);
+    flushed = flushed_seq_;
+  }
+  for (auto it = wal_files_.begin(); it != wal_files_.end();) {
+    if (it->writer != nullptr) {  // open tail: never GC'd
+      ++it;
+      continue;
+    }
+    bool deletable = true;
+    for (const auto& [region_key, max_seq] : it->region_max_seq) {
+      auto fit = flushed.find(region_key);
+      // Regions moved away keep the file pinned conservatively.
+      if (fit == flushed.end() || fit->second < max_seq) {
+        deletable = false;
+        break;
+      }
+    }
+    if (deletable) {
+      (void)lsm_options_.env->RemoveFile(it->path);
+      it = wal_files_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace diffindex

@@ -1,0 +1,271 @@
+// RegionServer: hosts regions, serves puts/gets/scans for their keys,
+// assigns timestamps, writes the shared per-server write-ahead log, and
+// runs the coprocessor-style index maintenance hooks at the three points
+// Diff-Index needs (Section 7):
+//
+//   * post-apply   — after WAL append + memtable apply of a base put,
+//                    still under the region's shared flush gate
+//                    (SyncFullObserver / SyncInsertObserver / AsyncObserver);
+//   * pre/post-flush — around a memtable flush, with the flush gate held
+//                    exclusively (the "pause & drain" of Figure 5);
+//   * WAL replay   — during region recovery, re-enqueuing every replayed
+//                    base put into the AUQ (Section 5.3).
+//
+// WAL entries carry a per-server sequence number; each region persists the
+// highest sequence covered by its last flush (WAL roll-forward), so replay
+// after a crash applies exactly the suffix the disk stores are missing and
+// log files whose edits are all flushed are garbage-collected.
+
+#ifndef DIFFINDEX_CLUSTER_REGION_SERVER_H_
+#define DIFFINDEX_CLUSTER_REGION_SERVER_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/catalog.h"
+#include "cluster/region.h"
+#include "lsm/wal.h"
+#include "net/fabric.h"
+#include "net/message.h"
+#include "util/timestamp_oracle.h"
+
+namespace diffindex {
+
+// One logged edit: every cell mutation of one put, applied atomically to
+// one region.
+struct WalEdit {
+  std::string table;
+  uint64_t region_id = 0;
+  uint64_t seq = 0;  // per-server, monotonically increasing
+  std::string row;
+  std::vector<Cell> cells;
+  Timestamp ts = 0;
+
+  void EncodeTo(std::string* out) const;
+  static bool DecodeFrom(Slice* in, WalEdit* edit);
+};
+
+// Implemented by core::IndexManager (the Diff-Index coprocessors).
+class IndexMaintenanceHooks {
+ public:
+  virtual ~IndexMaintenanceHooks() = default;
+
+  // Runs the scheme-specific index maintenance for a just-applied base
+  // put. Called with the region's flush gate held shared. The returned
+  // status is what the client observes for the overall put.
+  virtual Status PostApply(const PutRequest& put, Timestamp ts) = 0;
+
+  // Called with the flush gate held exclusively, before the memtable
+  // swap: pause AUQ intake and wait until the APS drains it.
+  virtual void PreFlush(const std::string& table) = 0;
+  // Called after the flush completes: resume AUQ intake.
+  virtual void PostFlush(const std::string& table) = 0;
+
+  // A base put replayed from the WAL during recovery: re-enqueue its index
+  // work (idempotent; Section 5.3 requirement (2)).
+  virtual void OnWalReplay(const PutRequest& put, Timestamp ts) = 0;
+
+  // A region finished opening (including any WAL replay): rebuild its
+  // region-co-located local indexes from the base data.
+  virtual void OnRegionOpened(const std::string& table,
+                              uint64_t region_id) = 0;
+
+  // Monitoring: current AUQ depth (exported via heartbeats).
+  virtual uint64_t QueueDepth() const = 0;
+};
+
+struct RegionServerOptions {
+  LsmOptions lsm;  // template; block_cache is created per server if null
+  size_t block_cache_bytes = 64 << 20;
+  wal::SyncMode wal_sync = wal::SyncMode::kNone;
+  uint64_t wal_roll_bytes = 8 << 20;
+  // Heartbeat interval; 0 disables the background heartbeat thread (tests
+  // drive failure detection explicitly).
+  int heartbeat_interval_ms = 0;
+};
+
+class RegionServer {
+ public:
+  RegionServer(NodeId id, std::string data_root, Fabric* fabric,
+               const RegionServerOptions& options);
+  ~RegionServer();
+
+  RegionServer(const RegionServer&) = delete;
+  RegionServer& operator=(const RegionServer&) = delete;
+
+  // Registers the fabric endpoint and opens the WAL.
+  Status Start();
+  // Graceful stop: final flush, close WAL, unregister. A crash is
+  // simulated by destroying the server without calling this.
+  Status Stop();
+  // Crash simulation: halts background threads without flushing anything;
+  // memtable contents survive only through the WAL.
+  void Crash();
+
+  NodeId id() const { return id_; }
+  const std::string& wal_dir() const { return wal_dir_; }
+
+  void UpdateCatalog(CatalogSnapshot snapshot);
+  CatalogSnapshot catalog() const;
+
+  // Must be set before any indexed put arrives; may be null (no indexes).
+  void SetHooks(IndexMaintenanceHooks* hooks) { hooks_ = hooks; }
+
+  // ---- Region lifecycle (control plane, called by the master) ----
+
+  Status OpenRegion(const RegionInfoWire& info);
+  // Opens the region and replays `wal_paths` (the dead server's logs,
+  // "split" down to this region by filtering). The master flushes the
+  // region afterwards (recovery phase 2) so the recovered state becomes
+  // durable under this server's own WAL regime.
+  Status OpenRegionWithRecovery(const RegionInfoWire& info,
+                                const std::vector<std::string>& wal_paths);
+  Status CloseRegion(const std::string& table, uint64_t region_id);
+  std::vector<RegionInfoWire> HostedRegions() const;
+
+  // Online region split: materializes two daughter regions covering
+  // [start, split) and [split, end), swaps them in atomically, and
+  // retires the parent. Writes to the parent block for the duration (the
+  // flush gate); reads keep being served from the parent until the swap.
+  // `left` and `right` carry the daughters' new region ids (assigned by
+  // the master); their ranges must partition the parent's at `split_key`.
+  Status SplitRegion(const std::string& table, uint64_t region_id,
+                     const std::string& split_key,
+                     const RegionInfoWire& left, const RegionInfoWire& right);
+
+  // Region move, source side: fences the region against further writes,
+  // flushes it durably (draining the AUQ first), and unhosts it. The
+  // region's data directory on shared storage is then complete; the new
+  // owner opens it with a plain OpenRegion.
+  Status CloseRegionForMove(const std::string& table, uint64_t region_id);
+
+  // ---- Data plane ----
+
+  // Fabric handler (dispatches on MsgType).
+  Status Handle(MsgType type, Slice body, std::string* response);
+
+  // Local cell read, used by the index maintenance hooks: the coprocessor
+  // runs on the server that holds the base region, so RB(k, ts) is a local
+  // LSM read (disk cost applies, no network hop).
+  Status LocalGetCell(const std::string& table, const Slice& row,
+                      const Slice& column, Timestamp read_ts,
+                      std::string* value, Timestamp* version_ts);
+
+  // ---- Local (region-co-located) indexes, Section 3.1 ----
+
+  // Applies one local index mutation to the region hosting base_row. No
+  // WAL: the local index is rebuilt from base data on region open.
+  Status ApplyLocalIndex(const std::string& table, const Slice& base_row,
+                         const std::string& index_name,
+                         const std::string& index_row, Timestamp ts,
+                         bool is_delete);
+
+  // Scans one region's local index (the per-region leg of a broadcast
+  // query).
+  Status ScanLocalIndex(const std::string& table, uint64_t region_id,
+                        const std::string& index_name,
+                        const std::string& start_key,
+                        const std::string& end_key, Timestamp read_ts,
+                        uint32_t limit, std::vector<RawEntry>* entries);
+
+  // Full row scan of one hosted region (local index rebuild).
+  Status ScanRegionRows(const std::string& table, uint64_t region_id,
+                        std::vector<ScannedRow>* rows);
+
+  // Forces a flush of every region (graceful shutdown, tests).
+  Status FlushAll();
+  Status FlushRegion(const std::string& table, uint64_t region_id);
+  Status CompactRegion(const std::string& table, uint64_t region_id);
+
+  TimestampOracle* oracle() { return &oracle_; }
+  Fabric* fabric() { return fabric_; }
+
+  // Stats for the experiment harness.
+  uint64_t wal_appends() const { return wal_appends_.load(); }
+  uint64_t flush_count() const { return flush_count_.load(); }
+  // Total microseconds puts spent stalled behind flushes (drain + swap),
+  // for the flush-stall measurement of Section 5.3.
+  uint64_t flush_stall_micros() const { return flush_stall_micros_.load(); }
+
+ private:
+  struct WalFile {
+    uint64_t file_seq = 0;
+    std::string path;
+    std::unique_ptr<wal::Writer> writer;  // null once closed
+    // Highest edit seq per region recorded in this file.
+    std::map<std::pair<std::string, uint64_t>, uint64_t> region_max_seq;
+  };
+
+  Status HandlePut(Slice body, std::string* response);
+  Status HandleMultiPut(Slice body, std::string* response);
+  // The shared put pipeline: validate, route, gate, timestamp, WAL,
+  // memtable, coprocessors, flush check.
+  Status ExecutePut(const PutRequest& put, PutResponse* resp);
+  Status HandleGetCell(Slice body, std::string* response);
+  Status HandleGetRow(Slice body, std::string* response);
+  Status HandleScanRows(Slice body, std::string* response);
+  Status HandleRawScan(Slice body, std::string* response);
+  Status HandleRawDelete(Slice body, std::string* response);
+  Status HandleRegionAdmin(MsgType type, Slice body);
+  Status HandleLocalIndexScan(Slice body, std::string* response);
+
+  // Region owning `row` in `table`, or null.
+  std::shared_ptr<Region> FindRegion(const std::string& table,
+                                     const Slice& row) const;
+  std::shared_ptr<Region> FindRegionById(const std::string& table,
+                                         uint64_t region_id) const;
+
+  Status RollWalLocked();
+  void MaybeGcWalFilesLocked();
+  Status FlushRegionInternal(const std::shared_ptr<Region>& region);
+  Status OpenRegionInternal(const RegionInfoWire& info);
+
+  // Applies one put to a region: assigns seq, appends to the WAL, applies
+  // cells to the memtable. Caller holds the region's flush gate (shared).
+  Status LogAndApply(const std::shared_ptr<Region>& region,
+                     const PutRequest& put, Timestamp ts);
+
+  void HeartbeatLoop();
+
+  const NodeId id_;
+  const std::string data_root_;
+  const std::string wal_dir_;
+  Fabric* const fabric_;
+  RegionServerOptions options_;
+  LsmOptions lsm_options_;  // with per-server cache installed
+
+  TimestampOracle oracle_;
+  IndexMaintenanceHooks* hooks_ = nullptr;
+
+  mutable std::shared_mutex regions_mu_;
+  // key: (table, region_id)
+  std::map<std::pair<std::string, uint64_t>, std::shared_ptr<Region>>
+      regions_;
+  // Seq covered by each region's last flush (mirrors the persisted value).
+  std::map<std::pair<std::string, uint64_t>, uint64_t> flushed_seq_;
+
+  mutable std::mutex catalog_mu_;
+  CatalogSnapshot catalog_;
+
+  std::mutex wal_mu_;
+  std::vector<WalFile> wal_files_;  // open tail is wal_files_.back()
+  uint64_t next_wal_file_seq_ = 1;
+  std::atomic<uint64_t> next_edit_seq_{1};
+
+  std::atomic<bool> stopped_{false};
+  std::thread heartbeat_thread_;
+
+  std::atomic<uint64_t> wal_appends_{0};
+  std::atomic<uint64_t> flush_count_{0};
+  std::atomic<uint64_t> flush_stall_micros_{0};
+};
+
+}  // namespace diffindex
+
+#endif  // DIFFINDEX_CLUSTER_REGION_SERVER_H_

@@ -1,0 +1,71 @@
+// TableScanner: paged, resumable scans over a table — the client-side
+// cursor a downstream application uses instead of materializing a whole
+// ScanRows result (the paper's parallel-table-scan comparisons stream
+// through tables this way).
+
+#ifndef DIFFINDEX_CLUSTER_SCANNER_H_
+#define DIFFINDEX_CLUSTER_SCANNER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/client.h"
+
+namespace diffindex {
+
+class TableScanner {
+ public:
+  struct Options {
+    std::string start_row;  // inclusive; "" = table start
+    std::string end_row;    // exclusive; "" = table end
+    Timestamp read_ts = kMaxTimestamp;
+    uint32_t batch_rows = 256;
+  };
+
+  TableScanner(std::shared_ptr<Client> client, std::string table,
+               const Options& options)
+      : client_(std::move(client)),
+        table_(std::move(table)),
+        options_(options),
+        cursor_(options.start_row) {}
+
+  TableScanner(std::shared_ptr<Client> client, std::string table)
+      : TableScanner(std::move(client), std::move(table), Options()) {}
+
+  // Fetches the next batch; empty *rows and OK means the scan is done.
+  Status NextBatch(std::vector<ScannedRow>* rows) {
+    rows->clear();
+    if (exhausted_) return Status::OK();
+    DIFFINDEX_RETURN_NOT_OK(client_->ScanRows(table_, cursor_,
+                                              options_.end_row,
+                                              options_.read_ts,
+                                              options_.batch_rows, rows));
+    if (rows->empty() ||
+        rows->size() < static_cast<size_t>(options_.batch_rows)) {
+      exhausted_ = true;
+    }
+    if (!rows->empty()) {
+      // The next possible row key after the last one returned ('\0' is
+      // reserved, so appending 0x01 yields the smallest valid successor).
+      cursor_ = rows->back().row + '\x01';
+    }
+    rows_returned_ += rows->size();
+    return Status::OK();
+  }
+
+  bool exhausted() const { return exhausted_; }
+  uint64_t rows_returned() const { return rows_returned_; }
+
+ private:
+  std::shared_ptr<Client> client_;
+  const std::string table_;
+  const Options options_;
+  std::string cursor_;
+  bool exhausted_ = false;
+  uint64_t rows_returned_ = 0;
+};
+
+}  // namespace diffindex
+
+#endif  // DIFFINDEX_CLUSTER_SCANNER_H_

@@ -1,0 +1,80 @@
+#include "core/advisor.h"
+
+namespace diffindex {
+
+SchemeAdvisor::Recommendation SchemeAdvisor::Recommend(
+    const IndexWorkloadProfile& profile, const AdvisorOptions& options) {
+  Recommendation result;
+
+  // Principle (5): read-your-write dominates everything else.
+  if (profile.requires_read_your_writes) {
+    result.scheme = IndexScheme::kAsyncSession;
+    result.reason =
+        "read-your-write semantics required: async-session gives session "
+        "consistency at async update cost";
+    result.cleanse_after_switch_from_insert = true;
+    return result;
+  }
+
+  // Principle (4): no consistency requirement -> cheapest updates.
+  if (!profile.requires_consistency) {
+    result.scheme = IndexScheme::kAsyncSimple;
+    result.reason =
+        "consistency not a concern: async-simple acknowledges after "
+        "base put + enqueue";
+    result.cleanse_after_switch_from_insert = true;
+    return result;
+  }
+
+  // Principles (1)-(3): consistency needed; choose by which latency the
+  // workload makes critical.
+  const uint64_t total = profile.updates + profile.reads;
+  const double update_fraction =
+      total == 0 ? 0.5
+                 : static_cast<double>(profile.updates) /
+                       static_cast<double>(total);
+
+  const bool insert_reads_affordable =
+      profile.avg_rows_per_read <= options.max_rows_per_read_for_insert;
+
+  if (update_fraction >= options.update_critical_ratio &&
+      insert_reads_affordable) {
+    result.scheme = IndexScheme::kSyncInsert;
+    result.reason =
+        "update latency critical (update fraction " +
+        std::to_string(update_fraction) +
+        "): sync-insert skips the disk-bound base read on every update "
+        "and repairs lazily on the rare reads";
+    return result;
+  }
+
+  result.scheme = IndexScheme::kSyncFull;
+  if (update_fraction >= options.update_critical_ratio) {
+    result.reason =
+        "write-heavy but reads return ~" +
+        std::to_string(profile.avg_rows_per_read) +
+        " rows each: sync-insert's K base-read double-checks would "
+        "dominate, so sync-full keeps reads index-only";
+  } else {
+    result.reason =
+        "read latency critical (update fraction " +
+        std::to_string(update_fraction) +
+        "): sync-full keeps the index exact so reads touch only the "
+        "small index table";
+  }
+  result.cleanse_after_switch_from_insert = true;
+  return result;
+}
+
+IndexScheme SchemeAdvisor::RecommendScheme(uint64_t updates, uint64_t reads,
+                                           bool requires_consistency,
+                                           bool requires_read_your_writes) {
+  IndexWorkloadProfile profile;
+  profile.updates = updates;
+  profile.reads = reads;
+  profile.requires_consistency = requires_consistency;
+  profile.requires_read_your_writes = requires_read_your_writes;
+  return Recommend(profile).scheme;
+}
+
+}  // namespace diffindex

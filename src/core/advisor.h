@@ -1,0 +1,77 @@
+// Workload-aware scheme selection — the paper's future work ("Ideally
+// Diff-Index should be able to adaptively choose a scheme by
+// understanding consistency requirements and observing workload
+// characteristics such as read/write ratio. Currently user selection is
+// required and we leave adaptive scheme selection for future work",
+// Section 3.4).
+//
+// SchemeAdvisor encodes Section 3.4's selection principles as an explicit
+// decision procedure over observed workload statistics:
+//   (1) use sync-full or sync-insert when consistency is needed;
+//   (2) use sync-full when read latency is critical;
+//   (3) use sync-insert when update latency is critical;
+//   (4) use async-simple when consistency is not a concern;
+//   (5) use async-session when read-your-write semantics is needed.
+//
+// Master::AlterIndexScheme applies a recommendation live: schemes are
+// consulted per put from the catalog snapshot, so a switch takes effect
+// on the next write. Switching away from sync-insert leaves previously
+// deferred deletions behind; run IndexBackfill::Cleanse afterwards (the
+// advisor's explanation says so when it applies).
+
+#ifndef DIFFINDEX_CORE_ADVISOR_H_
+#define DIFFINDEX_CORE_ADVISOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "cluster/catalog.h"
+
+namespace diffindex {
+
+// Observed/declared workload characteristics for one index.
+struct IndexWorkloadProfile {
+  uint64_t updates = 0;
+  uint64_t reads = 0;
+  // Average number of rows an index read returns (the K of Table 2 —
+  // sync-insert pays K base reads per read).
+  double avg_rows_per_read = 1.0;
+
+  // Application-declared consistency requirements.
+  bool requires_consistency = true;
+  bool requires_read_your_writes = false;
+};
+
+struct AdvisorOptions {
+  // A workload with update fraction above this is "update-latency
+  // critical" (principle 3); below `read_critical_ratio` it is
+  // "read-latency critical" (principle 2).
+  double update_critical_ratio = 0.7;
+  double read_critical_ratio = 0.3;
+  // sync-insert's read penalty grows with K; above this the advisor
+  // refuses to recommend it even for write-heavy workloads.
+  double max_rows_per_read_for_insert = 64.0;
+};
+
+class SchemeAdvisor {
+ public:
+  struct Recommendation {
+    IndexScheme scheme = IndexScheme::kSyncFull;
+    std::string reason;
+    // True when switching to `scheme` from sync-insert should be followed
+    // by a cleanse pass (stale entries stop being repaired lazily).
+    bool cleanse_after_switch_from_insert = false;
+  };
+
+  static Recommendation Recommend(const IndexWorkloadProfile& profile,
+                                  const AdvisorOptions& options = {});
+
+  // Convenience: profile built from two counters and defaults.
+  static IndexScheme RecommendScheme(uint64_t updates, uint64_t reads,
+                                     bool requires_consistency,
+                                     bool requires_read_your_writes);
+};
+
+}  // namespace diffindex
+
+#endif  // DIFFINDEX_CORE_ADVISOR_H_

@@ -1,0 +1,133 @@
+#include "core/auq.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace diffindex {
+
+AsyncUpdateQueue::AsyncUpdateQueue(const AuqOptions& options,
+                                   Processor processor)
+    : options_(options), processor_(std::move(processor)) {
+  workers_.reserve(options_.worker_threads);
+  for (int i = 0; i < options_.worker_threads; i++) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+AsyncUpdateQueue::~AsyncUpdateQueue() { Shutdown(); }
+
+bool AsyncUpdateQueue::Enqueue(IndexTask task) {
+  std::unique_lock<std::mutex> lock(mu_);
+  intake_cv_.wait(lock, [this] {
+    if (shutdown_) return true;
+    if (paused_ > 0) return false;
+    return options_.max_depth == 0 || queue_.size() < options_.max_depth;
+  });
+  if (shutdown_) return false;
+  queue_.push_back(std::move(task));
+  work_cv_.notify_one();
+  return true;
+}
+
+void AsyncUpdateQueue::Pause() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_++;
+}
+
+void AsyncUpdateQueue::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (paused_ > 0) paused_--;
+  }
+  intake_cv_.notify_all();
+}
+
+void AsyncUpdateQueue::WaitDrained() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_cv_.wait(lock, [this] {
+    return shutdown_ || (queue_.empty() && in_flight_ == 0);
+  });
+}
+
+void AsyncUpdateQueue::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+  }
+  intake_cv_.notify_all();
+  work_cv_.notify_all();
+  drained_cv_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+size_t AsyncUpdateQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size() + static_cast<size_t>(in_flight_);
+}
+
+uint64_t AsyncUpdateQueue::processed() const {
+  return processed_.load(std::memory_order_relaxed);
+}
+
+uint64_t AsyncUpdateQueue::retries() const {
+  return retries_.load(std::memory_order_relaxed);
+}
+
+void AsyncUpdateQueue::WorkerLoop() {
+  for (;;) {
+    IndexTask task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      in_flight_++;
+    }
+
+    const Status s = processor_(task);
+
+    if (s.ok()) {
+      processed_.fetch_add(1, std::memory_order_relaxed);
+      const uint64_t count =
+          task_counter_.fetch_add(1, std::memory_order_relaxed);
+      if (options_.staleness_sample_every > 0 &&
+          count % static_cast<uint64_t>(options_.staleness_sample_every) ==
+              0) {
+        // T2 - T1: base-entry timestamp vs. moment the index update
+        // completed, both in microseconds on the same clock.
+        const Timestamp now = TimestampOracle::NowMicros();
+        if (now > task.ts) staleness_.Add(now - task.ts);
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      in_flight_--;
+      if (queue_.empty() && in_flight_ == 0) drained_cv_.notify_all();
+      intake_cv_.notify_one();  // capacity freed
+      continue;
+    }
+
+    // Failure: retry with backoff until eventual success (the queue keeps
+    // the task in_flight through the backoff so WaitDrained stays honest).
+    retries_.fetch_add(1, std::memory_order_relaxed);
+    task.attempts++;
+    const int backoff_ms =
+        std::min(task.attempts, 8) * options_.retry_backoff_ms;
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      // Internal requeue ignores pause: the task is already part of the
+      // pending set a drain must wait for.
+      queue_.push_back(std::move(task));
+      in_flight_--;
+      work_cv_.notify_one();
+    }
+  }
+}
+
+}  // namespace diffindex

@@ -1,0 +1,117 @@
+// AUQ + APS (Section 5.1): the asynchronous update queue buffers index
+// maintenance work so a base put can be acknowledged as soon as it is
+// logged and enqueued; the asynchronous processing service drains the
+// queue in the background (BA1-BA4 of Algorithm 4).
+//
+// The queue also backs the failure-handling of the *sync* schemes: a
+// failed PI/RB/DI is enqueued here and retried until it succeeds, which is
+// how causal consistency degrades to eventual instead of failing the base
+// put (Section 6.2).
+//
+// Flush coordination (Section 5.3, Figure 5): Pause() blocks new Enqueue
+// calls; WaitDrained() returns once the queue is empty and no task is
+// mid-flight, establishing PR(Flushed) = ∅ before the memtable flush and
+// WAL roll-forward.
+
+#ifndef DIFFINDEX_CORE_AUQ_H_
+#define DIFFINDEX_CORE_AUQ_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/catalog.h"
+#include "util/histogram.h"
+#include "util/timestamp_oracle.h"
+
+namespace diffindex {
+
+// One unit of index maintenance: apply index updates for one (row,
+// column-set) base mutation against one index.
+struct IndexTask {
+  std::string base_table;
+  std::string row;
+  // New values of the index's components as written by the base put
+  // (empty + deleted=true for a column delete). Values not in the put are
+  // resolved by the processor from the base table.
+  std::vector<Cell> cells;
+  Timestamp ts = 0;
+  IndexDescriptor index;
+  int attempts = 0;
+};
+
+struct AuqOptions {
+  int worker_threads = 2;
+  // Retry backoff for failed tasks: attempt n waits min(n, 8) * this.
+  int retry_backoff_ms = 2;
+  // Sampling rate for the index-staleness probe (Figure 11): 1 sample per
+  // `staleness_sample_every` tasks; 0 disables.
+  int staleness_sample_every = 1000;
+  // Queue capacity; Enqueue blocks when full (backpressure under
+  // saturation). 0 = unbounded.
+  size_t max_depth = 0;
+};
+
+class AsyncUpdateQueue {
+ public:
+  // The processor performs BA2-BA4 for one task; a non-OK return puts the
+  // task back for retry.
+  using Processor = std::function<Status(const IndexTask& task)>;
+
+  AsyncUpdateQueue(const AuqOptions& options, Processor processor);
+  ~AsyncUpdateQueue();
+
+  AsyncUpdateQueue(const AsyncUpdateQueue&) = delete;
+  AsyncUpdateQueue& operator=(const AsyncUpdateQueue&) = delete;
+
+  // Blocks while the queue is paused (or full). Returns false after
+  // Shutdown.
+  bool Enqueue(IndexTask task);
+
+  // Flush protocol. Pause/Resume nest (two regions may flush at once).
+  void Pause();
+  void Resume();
+  // Waits until the queue is empty and no worker holds a task.
+  void WaitDrained();
+
+  void Shutdown();
+
+  size_t depth() const;
+  uint64_t processed() const;
+  uint64_t retries() const;
+
+  // Staleness probe: distribution of (index visible) - (base ts), in
+  // microseconds — the T2 - T1 time-lag of Figure 11.
+  const Histogram& staleness() const { return staleness_; }
+
+ private:
+  void WorkerLoop();
+
+  const AuqOptions options_;
+  const Processor processor_;
+
+  mutable std::mutex mu_;
+  std::condition_variable intake_cv_;   // waiting to enqueue (pause/full)
+  std::condition_variable work_cv_;     // workers waiting for tasks
+  std::condition_variable drained_cv_;  // flushers waiting for drain
+  std::deque<IndexTask> queue_;
+  int paused_ = 0;
+  int in_flight_ = 0;
+  bool shutdown_ = false;
+
+  std::vector<std::thread> workers_;
+  std::atomic<uint64_t> processed_{0};
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> task_counter_{0};
+  Histogram staleness_;
+};
+
+}  // namespace diffindex
+
+#endif  // DIFFINDEX_CORE_AUQ_H_

@@ -1,0 +1,184 @@
+#include "core/dense_column.h"
+
+#include "core/index_codec.h"
+#include "util/coding.h"
+
+namespace diffindex {
+
+DenseValue DenseValue::String(std::string s) {
+  DenseValue v;
+  v.type = DenseFieldType::kString;
+  v.string_value = std::move(s);
+  return v;
+}
+
+DenseValue DenseValue::Uint64(uint64_t value) {
+  DenseValue v;
+  v.type = DenseFieldType::kUint64;
+  v.uint_value = value;
+  return v;
+}
+
+DenseValue DenseValue::Double(double value) {
+  DenseValue v;
+  v.type = DenseFieldType::kDouble;
+  v.double_value = value;
+  return v;
+}
+
+DenseValue DenseValue::Bool(bool value) {
+  DenseValue v;
+  v.type = DenseFieldType::kBool;
+  v.bool_value = value;
+  return v;
+}
+
+int DenseColumnSchema::FieldIndex(const Slice& name) const {
+  for (size_t i = 0; i < fields_.size(); i++) {
+    if (Slice(fields_[i].name) == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+namespace {
+
+void EncodeOne(const DenseField& field, const DenseValue& value,
+               std::string* out) {
+  switch (field.type) {
+    case DenseFieldType::kString:
+      PutLengthPrefixedSlice(out, value.string_value);
+      break;
+    case DenseFieldType::kUint64:
+      PutVarint64(out, value.uint_value);
+      break;
+    case DenseFieldType::kDouble: {
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(value.double_value));
+      memcpy(&bits, &value.double_value, sizeof(bits));
+      PutFixed64(out, bits);
+      break;
+    }
+    case DenseFieldType::kBool:
+      out->push_back(value.bool_value ? 1 : 0);
+      break;
+  }
+}
+
+bool DecodeOne(const DenseField& field, Slice* in, DenseValue* value) {
+  value->type = field.type;
+  switch (field.type) {
+    case DenseFieldType::kString:
+      return GetLengthPrefixedString(in, &value->string_value);
+    case DenseFieldType::kUint64:
+      return GetVarint64(in, &value->uint_value);
+    case DenseFieldType::kDouble: {
+      uint64_t bits;
+      if (!GetFixed64(in, &bits)) return false;
+      memcpy(&value->double_value, &bits, sizeof(bits));
+      return true;
+    }
+    case DenseFieldType::kBool: {
+      if (in->empty()) return false;
+      value->bool_value = (*in)[0] != 0;
+      in->remove_prefix(1);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Status DenseColumnSchema::Encode(const std::vector<DenseValue>& values,
+                                 std::string* out) const {
+  if (values.size() != fields_.size()) {
+    return Status::InvalidArgument("dense column: value count mismatch");
+  }
+  out->clear();
+  for (size_t i = 0; i < fields_.size(); i++) {
+    if (values[i].type != fields_[i].type) {
+      return Status::InvalidArgument("dense column: type mismatch for " +
+                                     fields_[i].name);
+    }
+    EncodeOne(fields_[i], values[i], out);
+  }
+  return Status::OK();
+}
+
+Status DenseColumnSchema::Decode(const Slice& encoded,
+                                 std::vector<DenseValue>* values) const {
+  values->clear();
+  values->reserve(fields_.size());
+  Slice in = encoded;
+  for (const DenseField& field : fields_) {
+    DenseValue value;
+    if (!DecodeOne(field, &in, &value)) {
+      return Status::Corruption("dense column: truncated at " + field.name);
+    }
+    values->push_back(std::move(value));
+  }
+  if (!in.empty()) {
+    return Status::Corruption("dense column: trailing bytes");
+  }
+  return Status::OK();
+}
+
+Status DenseColumnSchema::GetField(const Slice& encoded,
+                                   const Slice& field_name,
+                                   DenseValue* value) const {
+  Slice in = encoded;
+  for (const DenseField& field : fields_) {
+    DenseValue current;
+    if (!DecodeOne(field, &in, &current)) {
+      return Status::Corruption("dense column: truncated at " + field.name);
+    }
+    if (Slice(field.name) == field_name) {
+      *value = std::move(current);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("dense column: no field " + field_name.ToString());
+}
+
+std::string DenseColumnSchema::EncodeFieldForIndex(const DenseValue& value) {
+  switch (value.type) {
+    case DenseFieldType::kString:
+      return value.string_value;
+    case DenseFieldType::kUint64:
+      return EncodeUint64IndexValue(value.uint_value);
+    case DenseFieldType::kDouble:
+      return EncodeDoubleIndexValue(value.double_value);
+    case DenseFieldType::kBool:
+      return std::string(1, value.bool_value ? '\x01' : '\x00');
+  }
+  return {};
+}
+
+void DenseColumnSchema::EncodeTo(std::string* out) const {
+  PutVarint32(out, static_cast<uint32_t>(fields_.size()));
+  for (const DenseField& field : fields_) {
+    PutLengthPrefixedSlice(out, field.name);
+    out->push_back(static_cast<char>(field.type));
+  }
+}
+
+bool DenseColumnSchema::DecodeFrom(Slice* in, DenseColumnSchema* schema) {
+  uint32_t n;
+  if (!GetVarint32(in, &n)) return false;
+  schema->fields_.clear();
+  schema->fields_.reserve(n);
+  for (uint32_t i = 0; i < n; i++) {
+    DenseField field;
+    if (!GetLengthPrefixedString(in, &field.name) || in->empty()) {
+      return false;
+    }
+    const auto type = static_cast<uint8_t>((*in)[0]);
+    in->remove_prefix(1);
+    if (type > static_cast<uint8_t>(DenseFieldType::kBool)) return false;
+    field.type = static_cast<DenseFieldType>(type);
+    schema->fields_.push_back(std::move(field));
+  }
+  return true;
+}
+
+}  // namespace diffindex

@@ -1,0 +1,185 @@
+#include "core/diff_index_client.h"
+
+#include "core/index_codec.h"
+
+namespace diffindex {
+
+DiffIndexClient::DiffIndexClient(std::shared_ptr<Client> client,
+                                 OpStats* stats,
+                                 const SessionOptions& session_options)
+    : client_(std::move(client)),
+      stats_(stats),
+      reader_(client_, stats),
+      sessions_(session_options) {}
+
+Status DiffIndexClient::Put(const std::string& table, const std::string& row,
+                            std::vector<Cell> cells) {
+  if (stats_ != nullptr) stats_->AddBasePut();
+  return client_->Put(table, row, std::move(cells));
+}
+
+Status DiffIndexClient::PutColumn(const std::string& table,
+                                  const std::string& row,
+                                  const std::string& column,
+                                  const std::string& value) {
+  return Put(table, row, {Cell{column, value, false}});
+}
+
+Status DiffIndexClient::DeleteColumns(
+    const std::string& table, const std::string& row,
+    const std::vector<std::string>& columns) {
+  if (stats_ != nullptr) stats_->AddBasePut();
+  return client_->DeleteColumns(table, row, columns);
+}
+
+Status DiffIndexClient::Get(const std::string& table, const std::string& row,
+                            const std::string& column, std::string* value) {
+  if (stats_ != nullptr) stats_->AddBaseRead();
+  return client_->GetCell(table, row, column, kMaxTimestamp, value);
+}
+
+Status DiffIndexClient::GetRow(const std::string& table,
+                               const std::string& row,
+                               GetRowResponse* resp) {
+  if (stats_ != nullptr) stats_->AddBaseRead();
+  return client_->GetRow(table, row, kMaxTimestamp, resp);
+}
+
+Status DiffIndexClient::GetByIndex(const std::string& table,
+                                   const std::string& index_name,
+                                   const std::string& value_encoded,
+                                   std::vector<IndexHit>* hits) {
+  return reader_.GetByIndex(table, index_name, value_encoded, hits);
+}
+
+Status DiffIndexClient::RangeByIndex(const std::string& table,
+                                     const std::string& index_name,
+                                     const std::string& value_lo_encoded,
+                                     const std::string& value_hi_encoded,
+                                     uint32_t limit,
+                                     std::vector<IndexHit>* hits) {
+  return reader_.RangeByIndex(table, index_name, value_lo_encoded,
+                              value_hi_encoded, limit, hits);
+}
+
+Status DiffIndexClient::QueryByIndex(const std::string& table,
+                                     const std::string& index_name,
+                                     const std::string& value_encoded,
+                                     std::vector<ScannedRow>* rows) {
+  rows->clear();
+  std::vector<IndexHit> hits;
+  DIFFINDEX_RETURN_NOT_OK(
+      GetByIndex(table, index_name, value_encoded, &hits));
+  for (const IndexHit& hit : hits) {
+    GetRowResponse resp;
+    if (stats_ != nullptr) stats_->AddBaseRead();
+    DIFFINDEX_RETURN_NOT_OK(
+        client_->GetRow(table, hit.base_row, kMaxTimestamp, &resp));
+    if (!resp.found) continue;  // row deleted since the index read
+    ScannedRow row;
+    row.row = hit.base_row;
+    row.cells = std::move(resp.cells);
+    rows->push_back(std::move(row));
+  }
+  return Status::OK();
+}
+
+SessionId DiffIndexClient::GetSession() { return sessions_.CreateSession(); }
+
+void DiffIndexClient::EndSession(SessionId session) {
+  sessions_.EndSession(session);
+}
+
+Status DiffIndexClient::SessionPut(SessionId session, const std::string& table,
+                                   const std::string& row,
+                                   std::vector<Cell> cells) {
+  // The server returns the previous value of each written cell plus the
+  // assigned timestamp; the client library mirrors the server-side index
+  // mutations into the session's private tables (Section 5.2).
+  if (stats_ != nullptr) stats_->AddBasePut();
+  PutResponse resp;
+  DIFFINDEX_RETURN_NOT_OK(client_->Put(table, row, cells, /*ts=*/0,
+                                       /*return_old_values=*/true, &resp));
+  const Timestamp ts = resp.assigned_ts;
+
+  CatalogSnapshot catalog = client_->catalog();
+  const TableDescriptor* desc = catalog.GetTable(table);
+  if (desc == nullptr) return Status::OK();
+
+  for (const IndexDescriptor& index : desc->indexes) {
+    // Private tracking needs every component value client-side, so it is
+    // maintained for indexes fully determined by this put (all single-
+    // column indexes qualify).
+    const Cell* new_cell = nullptr;
+    for (const Cell& cell : cells) {
+      if (cell.column == index.column) {
+        new_cell = &cell;
+        break;
+      }
+    }
+    if (new_cell == nullptr || !index.extra_columns.empty()) continue;
+
+    // Same logic as the server: delete-marker for the superseded entry at
+    // ts - δ, new entry at ts.
+    const OldCellValue* old = nullptr;
+    for (const OldCellValue& candidate : resp.old_values) {
+      if (candidate.column == index.column) {
+        old = &candidate;
+        break;
+      }
+    }
+    if (old != nullptr && old->found) {
+      std::string old_component;
+      if (IndexComponentFromCell(index, old->value, &old_component).ok()) {
+        const std::string old_row = EncodeIndexRow(old_component, row);
+        DIFFINDEX_RETURN_NOT_OK(sessions_.RecordEntry(
+            session, index.index_table, old_row, ts - kDelta,
+            /*is_delete=*/true));
+      }
+    }
+    if (!new_cell->is_delete) {
+      std::string new_component;
+      if (IndexComponentFromCell(index, new_cell->value, &new_component)
+              .ok()) {
+        const std::string new_row = EncodeIndexRow(new_component, row);
+        DIFFINDEX_RETURN_NOT_OK(sessions_.RecordEntry(
+            session, index.index_table, new_row, ts, /*is_delete=*/false));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status DiffIndexClient::SessionGetByIndex(SessionId session,
+                                          const std::string& table,
+                                          const std::string& index_name,
+                                          const std::string& value_encoded,
+                                          std::vector<IndexHit>* hits) {
+  IndexDescriptor index;
+  DIFFINDEX_RETURN_NOT_OK(reader_.FindIndex(table, index_name, &index));
+  DIFFINDEX_RETURN_NOT_OK(
+      reader_.GetByIndex(table, index_name, value_encoded, hits));
+  // Merge the session's private view over the server results.
+  return sessions_.MergeHits(session, index.index_table,
+                             IndexScanStartForValue(value_encoded),
+                             IndexScanEndForValue(value_encoded), hits,
+                             /*degraded=*/nullptr);
+}
+
+Status DiffIndexClient::SessionRangeByIndex(
+    SessionId session, const std::string& table,
+    const std::string& index_name, const std::string& value_lo_encoded,
+    const std::string& value_hi_encoded, std::vector<IndexHit>* hits) {
+  IndexDescriptor index;
+  DIFFINDEX_RETURN_NOT_OK(reader_.FindIndex(table, index_name, &index));
+  // No limit: a server-side limit would make the private-entry merge
+  // ambiguous about what the cutoff hides.
+  DIFFINDEX_RETURN_NOT_OK(reader_.RangeByIndex(
+      table, index_name, value_lo_encoded, value_hi_encoded, 0, hits));
+  return sessions_.MergeHits(session, index.index_table,
+                             IndexRangeStart(value_lo_encoded),
+                             IndexRangeEnd(value_hi_encoded), hits,
+                             /*degraded=*/nullptr);
+}
+
+}  // namespace diffindex

@@ -1,0 +1,104 @@
+// DiffIndexClient: the public client API of the library — base-table
+// CRUD, index reads (getByIndex / range queries), and the session-
+// consistent variants of Section 5.2:
+//
+//   session s = get_session()
+//   put(s, table, key, colname, colvalue)
+//   getFromIndex(s, table, colname, colvalue)
+//   end_session(s)
+//
+// Exact-match and range lookups dispatch per the index's scheme: plain
+// index scan for sync-full/async, double-check-and-clean (Algorithm 2)
+// for sync-insert, session-cache merge for async-session reads made
+// through a session.
+
+#ifndef DIFFINDEX_CORE_DIFF_INDEX_CLIENT_H_
+#define DIFFINDEX_CORE_DIFF_INDEX_CLIENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/client.h"
+#include "core/index_read.h"
+#include "core/session.h"
+
+namespace diffindex {
+
+class DiffIndexClient {
+ public:
+  // stats may be null.
+  DiffIndexClient(std::shared_ptr<Client> client, OpStats* stats = nullptr,
+                  const SessionOptions& session_options = SessionOptions());
+
+  // ---- Base table operations ----
+
+  Status Put(const std::string& table, const std::string& row,
+             std::vector<Cell> cells);
+  Status PutColumn(const std::string& table, const std::string& row,
+                   const std::string& column, const std::string& value);
+  Status DeleteColumns(const std::string& table, const std::string& row,
+                       const std::vector<std::string>& columns);
+  Status Get(const std::string& table, const std::string& row,
+             const std::string& column, std::string* value);
+  Status GetRow(const std::string& table, const std::string& row,
+                GetRowResponse* resp);
+
+  // ---- Index reads ----
+
+  // Base rowkeys whose indexed column equals value_encoded (use the
+  // index_codec Encode*IndexValue helpers for typed columns).
+  Status GetByIndex(const std::string& table, const std::string& index_name,
+                    const std::string& value_encoded,
+                    std::vector<IndexHit>* hits);
+
+  // Rowkeys with indexed value in [lo, hi); limit 0 = unlimited.
+  Status RangeByIndex(const std::string& table, const std::string& index_name,
+                      const std::string& value_lo_encoded,
+                      const std::string& value_hi_encoded, uint32_t limit,
+                      std::vector<IndexHit>* hits);
+
+  // GetByIndex + fetch of the matching base rows.
+  Status QueryByIndex(const std::string& table, const std::string& index_name,
+                      const std::string& value_encoded,
+                      std::vector<ScannedRow>* rows);
+
+  // ---- Session consistency ----
+
+  SessionId GetSession();
+  void EndSession(SessionId session);
+
+  // Put whose effects this session is guaranteed to see in its own
+  // subsequent index reads.
+  Status SessionPut(SessionId session, const std::string& table,
+                    const std::string& row, std::vector<Cell> cells);
+
+  // Index read that merges this session's private writes.
+  Status SessionGetByIndex(SessionId session, const std::string& table,
+                           const std::string& index_name,
+                           const std::string& value_encoded,
+                           std::vector<IndexHit>* hits);
+
+  // Session-consistent range query over [lo, hi) of encoded values.
+  Status SessionRangeByIndex(SessionId session, const std::string& table,
+                             const std::string& index_name,
+                             const std::string& value_lo_encoded,
+                             const std::string& value_hi_encoded,
+                             std::vector<IndexHit>* hits);
+
+  // ---- Accessors ----
+
+  Client* raw_client() { return client_.get(); }
+  IndexReader* reader() { return &reader_; }
+  SessionManager* sessions() { return &sessions_; }
+
+ private:
+  std::shared_ptr<Client> client_;
+  OpStats* const stats_;
+  IndexReader reader_;
+  SessionManager sessions_;
+};
+
+}  // namespace diffindex
+
+#endif  // DIFFINDEX_CORE_DIFF_INDEX_CLIENT_H_

@@ -1,0 +1,156 @@
+#include "core/index_codec.h"
+
+#include <cstring>
+
+namespace diffindex {
+
+namespace {
+constexpr char kEsc = '\x01';
+constexpr char kEscZero = '\x02';   // 0x01 0x02 encodes raw 0x00
+constexpr char kEscOne = '\x03';    // 0x01 0x03 encodes raw 0x01
+constexpr char kTermByte = '\x01';  // 0x01 0x01 is the terminator
+}  // namespace
+
+std::string EscapeIndexComponent(const Slice& raw) {
+  std::string out;
+  out.reserve(raw.size() + 4);
+  for (size_t i = 0; i < raw.size(); i++) {
+    const char c = raw[i];
+    if (c == '\x00') {
+      out.push_back(kEsc);
+      out.push_back(kEscZero);
+    } else if (c == kEsc) {
+      out.push_back(kEsc);
+      out.push_back(kEscOne);
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+bool UnescapeIndexComponent(const Slice& escaped, std::string* raw) {
+  raw->clear();
+  raw->reserve(escaped.size());
+  for (size_t i = 0; i < escaped.size(); i++) {
+    const char c = escaped[i];
+    if (c != kEsc) {
+      raw->push_back(c);
+      continue;
+    }
+    if (i + 1 >= escaped.size()) return false;
+    i++;
+    if (escaped[i] == kEscZero) {
+      raw->push_back('\x00');
+    } else if (escaped[i] == kEscOne) {
+      raw->push_back('\x01');
+    } else {
+      return false;  // 0x01 0x01 (terminator) must not appear inside
+    }
+  }
+  return true;
+}
+
+std::string EncodeIndexRow(const Slice& value_encoded,
+                           const Slice& base_row) {
+  std::string row = EscapeIndexComponent(value_encoded);
+  row.push_back(kEsc);
+  row.push_back(kTermByte);
+  row.append(base_row.data(), base_row.size());
+  return row;
+}
+
+bool DecodeIndexRow(const Slice& index_row, std::string* value_encoded,
+                    std::string* base_row) {
+  // Scan for the terminator pair; escape pairs consume two bytes so the
+  // parse is unambiguous.
+  for (size_t i = 0; i < index_row.size(); i++) {
+    if (index_row[i] != kEsc) continue;
+    if (i + 1 >= index_row.size()) return false;
+    const char next = index_row[i + 1];
+    if (next == kTermByte) {
+      if (!UnescapeIndexComponent(Slice(index_row.data(), i),
+                                  value_encoded)) {
+        return false;
+      }
+      base_row->assign(index_row.data() + i + 2, index_row.size() - i - 2);
+      return true;
+    }
+    if (next != kEscZero && next != kEscOne) return false;
+    i++;  // skip the escape payload byte
+  }
+  return false;  // no terminator
+}
+
+std::string IndexScanStartForValue(const Slice& value_encoded) {
+  std::string s = EscapeIndexComponent(value_encoded);
+  s.push_back(kEsc);
+  s.push_back(kTermByte);
+  return s;
+}
+
+std::string IndexScanEndForValue(const Slice& value_encoded) {
+  std::string s = EscapeIndexComponent(value_encoded);
+  s.push_back(kEsc);
+  s.push_back(kEscZero);  // 0x01 0x02 > 0x01 0x01, < any longer value
+  return s;
+}
+
+std::string IndexRangeStart(const Slice& value_lo_encoded) {
+  return EscapeIndexComponent(value_lo_encoded);
+}
+
+std::string IndexRangeEnd(const Slice& value_hi_encoded_exclusive) {
+  return EscapeIndexComponent(value_hi_encoded_exclusive);
+}
+
+std::string EncodeUint64IndexValue(uint64_t v) {
+  std::string out(8, '\0');
+  for (int i = 7; i >= 0; i--) {
+    out[i] = static_cast<char>(v & 0xff);
+    v >>= 8;
+  }
+  return out;
+}
+
+bool DecodeUint64IndexValue(const Slice& encoded, uint64_t* v) {
+  if (encoded.size() != 8) return false;
+  uint64_t result = 0;
+  for (int i = 0; i < 8; i++) {
+    result = (result << 8) | static_cast<unsigned char>(encoded[i]);
+  }
+  *v = result;
+  return true;
+}
+
+std::string EncodeDoubleIndexValue(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  memcpy(&bits, &v, sizeof(bits));
+  // Positive numbers: flip the sign bit. Negative: flip everything. The
+  // result compares in numeric order as unsigned bytes.
+  if (bits & (1ull << 63)) {
+    bits = ~bits;
+  } else {
+    bits |= (1ull << 63);
+  }
+  return EncodeUint64IndexValue(bits);
+}
+
+std::string EncodeCompositeIndexValue(
+    const std::vector<std::string>& components) {
+  // esc(c1) + term + esc(c2) + term + ... — the same order-preserving
+  // tuple scheme as the index row itself. The result is then escaped
+  // again as a whole by EncodeIndexRow.
+  std::string out;
+  for (size_t i = 0; i < components.size(); i++) {
+    if (i > 0) {
+      out.push_back(kEsc);
+      out.push_back(kTermByte);
+    }
+    out.append(EscapeIndexComponent(components[i]));
+  }
+  return out;
+}
+
+}  // namespace diffindex

@@ -1,0 +1,180 @@
+#include "core/index_read.h"
+
+#include "core/index_codec.h"
+
+namespace diffindex {
+
+Status IndexReader::FindIndex(const std::string& base_table,
+                              const std::string& index_name,
+                              IndexDescriptor* index) {
+  CatalogSnapshot catalog = client_->catalog();
+  const TableDescriptor* table = catalog.GetTable(base_table);
+  if (table == nullptr) return Status::NotFound("no such table: " + base_table);
+  for (const auto& candidate : table->indexes) {
+    if (candidate.name == index_name) {
+      *index = candidate;
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no such index: " + index_name + " on " +
+                          base_table);
+}
+
+Status IndexReader::ScanIndex(const IndexDescriptor& index,
+                              const std::string& start,
+                              const std::string& end, uint32_t limit,
+                              std::vector<IndexHit>* hits) {
+  if (stats_ != nullptr) stats_->AddIndexRead();
+  std::vector<ScannedRow> rows;
+  DIFFINDEX_RETURN_NOT_OK(client_->ScanRows(index.index_table, start, end,
+                                            kMaxTimestamp, limit, &rows));
+  hits->reserve(hits->size() + rows.size());
+  for (const auto& row : rows) {
+    IndexHit hit;
+    if (!DecodeIndexRow(row.row, &hit.value_encoded, &hit.base_row)) {
+      return Status::Corruption("malformed index row in " +
+                                index.index_table);
+    }
+    // Key-only entries carry one anonymous cell whose ts is the entry ts.
+    hit.ts = row.cells.empty() ? 0 : row.cells[0].ts;
+    hits->push_back(std::move(hit));
+  }
+  return Status::OK();
+}
+
+Status IndexReader::BroadcastLocalScan(const IndexDescriptor& index,
+                                       const std::string& base_table,
+                                       const std::string& start,
+                                       const std::string& end,
+                                       uint32_t limit,
+                                       std::vector<IndexHit>* hits) {
+  if (stats_ != nullptr) stats_->AddIndexRead();
+  std::vector<RawEntry> entries;
+  DIFFINDEX_RETURN_NOT_OK(client_->ScanLocalIndex(
+      base_table, index.name, start, end, kMaxTimestamp, limit, &entries));
+  hits->reserve(entries.size());
+  for (const auto& entry : entries) {
+    IndexHit hit;
+    if (!DecodeIndexRow(entry.key, &hit.value_encoded, &hit.base_row)) {
+      return Status::Corruption("malformed local index row");
+    }
+    hit.ts = entry.ts;
+    hits->push_back(std::move(hit));
+  }
+  // Per-region results arrive region by region; normalize the order.
+  std::sort(hits->begin(), hits->end(),
+            [](const IndexHit& a, const IndexHit& b) {
+              if (a.value_encoded != b.value_encoded) {
+                return a.value_encoded < b.value_encoded;
+              }
+              return a.base_row < b.base_row;
+            });
+  return Status::OK();
+}
+
+Status IndexReader::RepairHits(const std::string& base_table,
+                               const IndexDescriptor& index,
+                               std::vector<IndexHit>* hits) {
+  std::vector<IndexHit> verified;
+  verified.reserve(hits->size());
+  for (IndexHit& hit : *hits) {
+    // SR2: read the base table and get the newest value of k.
+    std::vector<std::string> columns;
+    columns.push_back(index.column);
+    for (const auto& extra : index.extra_columns) columns.push_back(extra);
+
+    std::vector<std::string> components;
+    bool missing = false;
+    for (const auto& column : columns) {
+      std::string value;
+      if (stats_ != nullptr) stats_->AddBaseRead();
+      Status s = client_->GetCell(base_table, hit.base_row, column,
+                                  kMaxTimestamp, &value);
+      if (s.ok() && column == index.column) {
+        std::string component;
+        s = IndexComponentFromCell(index, value, &component);
+        value = std::move(component);
+      }
+      if (s.IsNotFound()) {
+        missing = true;
+        break;
+      }
+      DIFFINDEX_RETURN_NOT_OK(s);
+      components.push_back(std::move(value));
+    }
+
+    std::string current_encoded;
+    if (!missing) {
+      current_encoded = components.size() == 1
+                            ? components[0]
+                            : EncodeCompositeIndexValue(components);
+    }
+
+    if (!missing && current_encoded == hit.value_encoded) {
+      // v_index == v_base: up-to-date entry.
+      verified.push_back(std::move(hit));
+      continue;
+    }
+    // Stale: delete <v_index ⊕ k, ts> from the index table. The tombstone
+    // at the entry's own ts cannot mask any newer entry.
+    if (stats_ != nullptr) stats_->AddIndexPut();
+    const std::string index_row =
+        EncodeIndexRow(hit.value_encoded, hit.base_row);
+    Status s = client_->Put(index.index_table, index_row,
+                            {Cell{"", "", /*is_delete=*/true}}, hit.ts);
+    if (!s.ok()) {
+      // Repair is best-effort; the entry stays stale and will be repaired
+      // by a later read.
+      continue;
+    }
+  }
+  *hits = std::move(verified);
+  return Status::OK();
+}
+
+Status IndexReader::GetByIndex(const std::string& base_table,
+                               const std::string& index_name,
+                               const std::string& value_encoded,
+                               std::vector<IndexHit>* hits) {
+  hits->clear();
+  IndexDescriptor index;
+  DIFFINDEX_RETURN_NOT_OK(FindIndex(base_table, index_name, &index));
+  if (index.is_local) {
+    return BroadcastLocalScan(index, base_table,
+                              IndexScanStartForValue(value_encoded),
+                              IndexScanEndForValue(value_encoded), 0, hits);
+  }
+  DIFFINDEX_RETURN_NOT_OK(ScanIndex(index,
+                                    IndexScanStartForValue(value_encoded),
+                                    IndexScanEndForValue(value_encoded), 0,
+                                    hits));
+  if (index.scheme == IndexScheme::kSyncInsert) {
+    DIFFINDEX_RETURN_NOT_OK(RepairHits(base_table, index, hits));
+  }
+  return Status::OK();
+}
+
+Status IndexReader::RangeByIndex(const std::string& base_table,
+                                 const std::string& index_name,
+                                 const std::string& value_lo_encoded,
+                                 const std::string& value_hi_encoded,
+                                 uint32_t limit,
+                                 std::vector<IndexHit>* hits) {
+  hits->clear();
+  IndexDescriptor index;
+  DIFFINDEX_RETURN_NOT_OK(FindIndex(base_table, index_name, &index));
+  if (index.is_local) {
+    return BroadcastLocalScan(index, base_table,
+                              IndexRangeStart(value_lo_encoded),
+                              IndexRangeEnd(value_hi_encoded), limit, hits);
+  }
+  DIFFINDEX_RETURN_NOT_OK(ScanIndex(index, IndexRangeStart(value_lo_encoded),
+                                    IndexRangeEnd(value_hi_encoded), limit,
+                                    hits));
+  if (index.scheme == IndexScheme::kSyncInsert) {
+    DIFFINDEX_RETURN_NOT_OK(RepairHits(base_table, index, hits));
+  }
+  return Status::OK();
+}
+
+}  // namespace diffindex

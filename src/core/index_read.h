@@ -1,0 +1,76 @@
+// Index reads (getByIndex): exact-match and range lookups against a
+// global index, with the sync-insert double-check-and-clean routine of
+// Algorithm 2 — each candidate rowkey is verified against the base table
+// and stale entries are lazily deleted (read-repair).
+
+#ifndef DIFFINDEX_CORE_INDEX_READ_H_
+#define DIFFINDEX_CORE_INDEX_READ_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/client.h"
+#include "core/op_stats.h"
+
+namespace diffindex {
+
+struct IndexHit {
+  std::string base_row;
+  // Encoded index value the entry carried (needed for range queries and
+  // for session-cache merging).
+  std::string value_encoded;
+  Timestamp ts = 0;
+};
+
+class IndexReader {
+ public:
+  // stats may be null.
+  IndexReader(std::shared_ptr<Client> client, OpStats* stats)
+      : client_(std::move(client)), stats_(stats) {}
+
+  // All base rowkeys whose index column equals value_encoded. Applies
+  // read-repair iff the index's scheme is sync-insert.
+  Status GetByIndex(const std::string& base_table,
+                    const std::string& index_name,
+                    const std::string& value_encoded,
+                    std::vector<IndexHit>* hits);
+
+  // Rowkeys with value in [lo, hi) (encoded order). limit 0 = unlimited.
+  Status RangeByIndex(const std::string& base_table,
+                      const std::string& index_name,
+                      const std::string& value_lo_encoded,
+                      const std::string& value_hi_encoded, uint32_t limit,
+                      std::vector<IndexHit>* hits);
+
+  // Looks up the index descriptor in the cached catalog.
+  Status FindIndex(const std::string& base_table,
+                   const std::string& index_name, IndexDescriptor* index);
+
+ private:
+  // Scans the raw index keyspace [start, end), decoding entries. For a
+  // global index this is one range scan over the (partitioned) index
+  // table; for a local index it is a broadcast to every region of the
+  // base table (Section 3.1's cost asymmetry).
+  Status ScanIndex(const IndexDescriptor& index, const std::string& start,
+                   const std::string& end, uint32_t limit,
+                   std::vector<IndexHit>* hits);
+
+  Status BroadcastLocalScan(const IndexDescriptor& index,
+                            const std::string& base_table,
+                            const std::string& start, const std::string& end,
+                            uint32_t limit, std::vector<IndexHit>* hits);
+
+  // Algorithm 2 SR2: double-check hits against the base table; stale
+  // entries are removed from `hits` AND deleted from the index table.
+  Status RepairHits(const std::string& base_table,
+                    const IndexDescriptor& index,
+                    std::vector<IndexHit>* hits);
+
+  std::shared_ptr<Client> client_;
+  OpStats* const stats_;
+};
+
+}  // namespace diffindex
+
+#endif  // DIFFINDEX_CORE_INDEX_READ_H_

@@ -1,0 +1,329 @@
+#include "core/observers.h"
+
+#include "core/index_codec.h"
+#include "util/logging.h"
+
+namespace diffindex {
+
+IndexManager::IndexManager(RegionServer* server,
+                           std::shared_ptr<Client> internal_client,
+                           OpStats* stats, const AuqOptions& auq_options)
+    : server_(server), internal_client_(std::move(internal_client)),
+      stats_(stats) {
+  auq_ = std::make_unique<AsyncUpdateQueue>(
+      auq_options,
+      [this](const IndexTask& task) {
+        // APS backend: full processing (BA2-BA4), background stats bucket.
+        return ProcessTask(task, /*insert_only=*/false, /*foreground=*/false);
+      });
+}
+
+IndexManager::~IndexManager() { Shutdown(); }
+
+void IndexManager::Shutdown() { auq_->Shutdown(); }
+
+uint64_t IndexManager::QueueDepth() const { return auq_->depth(); }
+
+bool IndexManager::Touches(const IndexDescriptor& index,
+                           const std::vector<Cell>& cells) {
+  for (const Cell& cell : cells) {
+    if (cell.column == index.column) return true;
+    for (const auto& extra : index.extra_columns) {
+      if (cell.column == extra) return true;
+    }
+  }
+  return false;
+}
+
+Status IndexManager::PostApply(const PutRequest& put, Timestamp ts) {
+  const CatalogSnapshot catalog = server_->catalog();
+  const TableDescriptor* table = catalog.GetTable(put.table);
+  if (table == nullptr || table->indexes.empty()) return Status::OK();
+
+  Status overall = Status::OK();
+  for (const IndexDescriptor& index : table->indexes) {
+    if (!Touches(index, put.cells)) continue;
+
+    IndexTask task;
+    task.base_table = put.table;
+    task.row = put.row;
+    task.cells = put.cells;
+    task.ts = ts;
+    task.index = index;
+
+    if (index.is_local) {
+      // Local index: synchronous, entirely server-local (no remote call
+      // to fail, so no AUQ fallback is needed — the put and the index
+      // share the region's fate).
+      Status s = ProcessLocalTask(task);
+      if (!s.ok() && overall.ok()) overall = s;
+      continue;
+    }
+
+    switch (index.scheme) {
+      case IndexScheme::kSyncFull: {
+        Status s = ProcessTask(task, /*insert_only=*/false,
+                               /*foreground=*/true);
+        if (!s.ok()) {
+          // Degrade to eventual: queue for retry, base put still succeeds.
+          DIFFINDEX_LOG_WARN << "sync-full index op failed (" << s.ToString()
+                             << "); queued for retry";
+          auq_->Enqueue(std::move(task));
+        }
+        break;
+      }
+      case IndexScheme::kSyncInsert: {
+        Status s = ProcessTask(task, /*insert_only=*/true,
+                               /*foreground=*/true);
+        if (!s.ok()) {
+          DIFFINDEX_LOG_WARN << "sync-insert index op failed ("
+                             << s.ToString() << "); queued for retry";
+          auq_->Enqueue(std::move(task));
+        }
+        break;
+      }
+      case IndexScheme::kAsyncSimple:
+      case IndexScheme::kAsyncSession: {
+        // AU1: acknowledge once the put is logged and the task enqueued.
+        if (!auq_->Enqueue(std::move(task))) {
+          overall = Status::Aborted("async update queue shut down");
+        }
+        break;
+      }
+    }
+  }
+  return overall;
+}
+
+void IndexManager::PreFlush(const std::string& table) {
+  const CatalogSnapshot catalog = server_->catalog();
+  const TableDescriptor* desc = catalog.GetTable(table);
+  // Only base tables with indexes can have pending AUQ work derived from
+  // their memtables. (Sync schemes also fall back to the AUQ on failure,
+  // so any indexed table gets the pause-and-drain treatment.)
+  if (desc == nullptr || desc->indexes.empty()) return;
+  auq_->Pause();
+  auq_->WaitDrained();
+}
+
+void IndexManager::PostFlush(const std::string& table) {
+  const CatalogSnapshot catalog = server_->catalog();
+  const TableDescriptor* desc = catalog.GetTable(table);
+  if (desc == nullptr || desc->indexes.empty()) return;
+  auq_->Resume();
+}
+
+void IndexManager::OnWalReplay(const PutRequest& put, Timestamp ts) {
+  const CatalogSnapshot catalog = server_->catalog();
+  const TableDescriptor* table = catalog.GetTable(put.table);
+  if (table == nullptr || table->indexes.empty()) return;
+  for (const IndexDescriptor& index : table->indexes) {
+    if (!Touches(index, put.cells)) continue;
+    // Local indexes are wiped and rebuilt wholesale after replay
+    // (OnRegionOpened); only global index work re-enters the AUQ.
+    if (index.is_local) continue;
+    IndexTask task;
+    task.base_table = put.table;
+    task.row = put.row;
+    task.cells = put.cells;
+    task.ts = ts;
+    task.index = index;
+    // "Each base put replayed is also put into AUQ again ... regardless of
+    // whether or not it has been delivered before the failure." Duplicate
+    // delivery is idempotent because index entries reuse the base ts.
+    auq_->Enqueue(std::move(task));
+  }
+}
+
+Status IndexManager::ProcessLocalTask(const IndexTask& task) {
+  // New entry @ ts from the put's own values.
+  std::optional<std::string> new_value =
+      ResolveIndexValue(task, task.ts, /*use_task_cells=*/true,
+                        /*foreground=*/true);
+  if (new_value.has_value()) {
+    if (stats_ != nullptr) stats_->AddIndexPut();
+    DIFFINDEX_RETURN_NOT_OK(server_->ApplyLocalIndex(
+        task.base_table, task.row, task.index.name,
+        EncodeIndexRow(*new_value, task.row), task.ts,
+        /*is_delete=*/false));
+  }
+  // Old entry @ ts - δ: the base read is local (collocation is the whole
+  // advantage of a local index), but it is still a base read.
+  std::optional<std::string> old_value = ResolveIndexValue(
+      task, task.ts - kDelta, /*use_task_cells=*/false, /*foreground=*/true);
+  if (!old_value.has_value()) return Status::OK();
+  if (stats_ != nullptr) stats_->AddIndexPut();
+  return server_->ApplyLocalIndex(task.base_table, task.row,
+                                  task.index.name,
+                                  EncodeIndexRow(*old_value, task.row),
+                                  task.ts - kDelta, /*is_delete=*/true);
+}
+
+void IndexManager::OnRegionOpened(const std::string& table,
+                                  uint64_t region_id) {
+  const CatalogSnapshot catalog = server_->catalog();
+  const TableDescriptor* desc = catalog.GetTable(table);
+  if (desc == nullptr) return;
+  bool has_local = false;
+  for (const IndexDescriptor& index : desc->indexes) {
+    if (index.is_local) has_local = true;
+  }
+  if (!has_local) return;
+
+  // Rebuild every local index of this region from its base data (the
+  // side tree was wiped at open).
+  std::vector<ScannedRow> rows;
+  if (!server_->ScanRegionRows(table, region_id, &rows).ok()) return;
+  for (const ScannedRow& row : rows) {
+    for (const IndexDescriptor& index : desc->indexes) {
+      if (!index.is_local) continue;
+      IndexTask task;
+      task.base_table = table;
+      task.row = row.row;
+      task.ts = 0;
+      task.index = index;
+      for (const RowCell& cell : row.cells) {
+        task.cells.push_back(Cell{cell.column, cell.value, false});
+        task.ts = std::max(task.ts, cell.ts);
+      }
+      std::optional<std::string> value = ResolveIndexValue(
+          task, task.ts, /*use_task_cells=*/true, /*foreground=*/false);
+      if (!value.has_value()) continue;
+      (void)server_->ApplyLocalIndex(table, row.row, index.name,
+                                     EncodeIndexRow(*value, row.row),
+                                     task.ts, /*is_delete=*/false);
+    }
+  }
+}
+
+std::optional<std::string> IndexManager::ResolveIndexValue(
+    const IndexTask& task, Timestamp read_ts, bool use_task_cells,
+    bool foreground) {
+  std::vector<std::string> columns;
+  columns.push_back(task.index.column);
+  for (const auto& extra : task.index.extra_columns) {
+    columns.push_back(extra);
+  }
+
+  std::vector<std::string> components;
+  components.reserve(columns.size());
+  for (const auto& column : columns) {
+    if (use_task_cells) {
+      const Cell* from_put = nullptr;
+      for (const Cell& cell : task.cells) {
+        if (cell.column == column) {
+          from_put = &cell;
+          break;
+        }
+      }
+      if (from_put != nullptr) {
+        if (from_put->is_delete) return std::nullopt;  // column removed
+        std::string component;
+        if (column == task.index.column) {
+          if (!IndexComponentFromCell(task.index, from_put->value,
+                                      &component)
+                   .ok()) {
+            return std::nullopt;  // dense cell lacks the indexed field
+          }
+        } else {
+          component = from_put->value;
+        }
+        components.push_back(std::move(component));
+        continue;
+      }
+    }
+    // Component not carried by the put (or historical lookup): read the
+    // base table — this is the RB of Algorithms 1 and 4.
+    std::string value;
+    Status s = server_->LocalGetCell(task.base_table, task.row, column,
+                                     read_ts, &value, nullptr);
+    if (stats_ != nullptr) {
+      if (foreground) {
+        stats_->AddBaseRead();
+      } else {
+        stats_->AddAsyncBaseRead();
+      }
+    }
+    if (s.IsWrongRegion()) {
+      // Region moved (mid-failover); fall back to a routed read.
+      Timestamp ts_out = 0;
+      s = internal_client_->GetCell(task.base_table, task.row, column,
+                                    read_ts, &value, &ts_out);
+    }
+    if (!s.ok()) return std::nullopt;  // no value at read_ts => no entry
+    std::string component;
+    if (column == task.index.column) {
+      if (!IndexComponentFromCell(task.index, value, &component).ok()) {
+        return std::nullopt;
+      }
+    } else {
+      component = std::move(value);
+    }
+    components.push_back(std::move(component));
+  }
+
+  if (components.size() == 1) return components[0];
+  return EncodeCompositeIndexValue(components);
+}
+
+Status IndexManager::PutIndexEntry(const std::string& index_table,
+                                   const std::string& index_row, Timestamp ts,
+                                   bool foreground) {
+  if (stats_ != nullptr) {
+    if (foreground) {
+      stats_->AddIndexPut();
+    } else {
+      stats_->AddAsyncIndexPut();
+    }
+  }
+  // Key-only entry: concatenated rowkey, null value (Section 4).
+  return internal_client_->Put(index_table, index_row,
+                               {Cell{"", "", /*is_delete=*/false}}, ts);
+}
+
+Status IndexManager::DeleteIndexEntry(const std::string& index_table,
+                                      const std::string& index_row,
+                                      Timestamp ts, bool foreground) {
+  if (stats_ != nullptr) {
+    if (foreground) {
+      stats_->AddIndexPut();  // deletes cost the same as puts in LSM
+    } else {
+      stats_->AddAsyncIndexPut();
+    }
+  }
+  return internal_client_->Put(index_table, index_row,
+                               {Cell{"", "", /*is_delete=*/true}}, ts);
+}
+
+Status IndexManager::ProcessTask(const IndexTask& task, bool insert_only,
+                                 bool foreground) {
+  // New index entry @ ts: value from the put itself (SU2/BA4). A put of a
+  // delete-cell produces no new entry ("deletion can be treated as a put
+  // with a null value").
+  std::optional<std::string> new_value =
+      ResolveIndexValue(task, task.ts, /*use_task_cells=*/true, foreground);
+
+  if (new_value.has_value()) {
+    const std::string new_row =
+        EncodeIndexRow(*new_value, task.row);
+    DIFFINDEX_RETURN_NOT_OK(
+        PutIndexEntry(task.index.index_table, new_row, task.ts, foreground));
+  }
+
+  if (insert_only) return Status::OK();  // sync-insert stops at SU2
+
+  // SU3/BA2: the previous value right before this put — RB(k, ts - δ).
+  // The δ matters: reading at ts would return the value just written.
+  std::optional<std::string> old_value = ResolveIndexValue(
+      task, task.ts - kDelta, /*use_task_cells=*/false, foreground);
+  if (!old_value.has_value()) return Status::OK();  // fresh insert
+
+  // SU4/BA3: delete the old entry @ ts - δ. With vold == vnew the rows
+  // coincide, but the tombstone at ts - δ cannot mask the new entry at ts
+  // — again the δ (Section 4.3).
+  const std::string old_row = EncodeIndexRow(*old_value, task.row);
+  return DeleteIndexEntry(task.index.index_table, old_row, task.ts - kDelta,
+                          foreground);
+}
+
+}  // namespace diffindex

@@ -1,0 +1,36 @@
+#include "core/op_stats.h"
+
+#include <sstream>
+
+namespace diffindex {
+
+std::string OpStats::Snapshot::ToString() const {
+  std::ostringstream out;
+  out << "base_put=" << base_put << " base_read=" << base_read
+      << " index_put=" << index_put << " index_read=" << index_read
+      << " async_base_read=[" << async_base_read << "] async_index_put=["
+      << async_index_put << "]";
+  return out.str();
+}
+
+OpStats::Snapshot OpStats::snapshot() const {
+  Snapshot s;
+  s.base_put = base_put_.load(std::memory_order_relaxed);
+  s.base_read = base_read_.load(std::memory_order_relaxed);
+  s.index_put = index_put_.load(std::memory_order_relaxed);
+  s.index_read = index_read_.load(std::memory_order_relaxed);
+  s.async_base_read = async_base_read_.load(std::memory_order_relaxed);
+  s.async_index_put = async_index_put_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void OpStats::Reset() {
+  base_put_.store(0);
+  base_read_.store(0);
+  index_put_.store(0);
+  index_read_.store(0);
+  async_base_read_.store(0);
+  async_index_put_.store(0);
+}
+
+}  // namespace diffindex

@@ -1,0 +1,54 @@
+// Operation counters matching the columns of Table 2 (I/O cost of
+// Diff-Index schemes): base puts, base reads, index puts (incl. deletes)
+// and index reads, split by foreground (inside a client-visible request)
+// and asynchronous (AUQ/APS background) work — the "[ ]" entries in the
+// table.
+
+#ifndef DIFFINDEX_CORE_OP_STATS_H_
+#define DIFFINDEX_CORE_OP_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace diffindex {
+
+class OpStats {
+ public:
+  struct Snapshot {
+    uint64_t base_put = 0;
+    uint64_t base_read = 0;
+    uint64_t index_put = 0;    // includes index deletes (same cost in LSM)
+    uint64_t index_read = 0;
+    uint64_t async_base_read = 0;
+    uint64_t async_index_put = 0;
+
+    std::string ToString() const;
+  };
+
+  void AddBasePut() { base_put_.fetch_add(1, std::memory_order_relaxed); }
+  void AddBaseRead() { base_read_.fetch_add(1, std::memory_order_relaxed); }
+  void AddIndexPut() { index_put_.fetch_add(1, std::memory_order_relaxed); }
+  void AddIndexRead() { index_read_.fetch_add(1, std::memory_order_relaxed); }
+  void AddAsyncBaseRead() {
+    async_base_read_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddAsyncIndexPut() {
+    async_index_put_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  Snapshot snapshot() const;
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> base_put_{0};
+  std::atomic<uint64_t> base_read_{0};
+  std::atomic<uint64_t> index_put_{0};
+  std::atomic<uint64_t> index_read_{0};
+  std::atomic<uint64_t> async_base_read_{0};
+  std::atomic<uint64_t> async_index_put_{0};
+};
+
+}  // namespace diffindex
+
+#endif  // DIFFINDEX_CORE_OP_STATS_H_

@@ -1,0 +1,86 @@
+// Bump allocator backing the memtable skiplist. Nodes allocated here stay
+// valid (and readable without locks) until the whole memtable is dropped
+// after its flush completes.
+
+#ifndef DIFFINDEX_LSM_ARENA_H_
+#define DIFFINDEX_LSM_ARENA_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace diffindex {
+
+class Arena {
+ public:
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  char* Allocate(size_t bytes) {
+    assert(bytes > 0);
+    if (bytes <= alloc_bytes_remaining_) {
+      char* result = alloc_ptr_;
+      alloc_ptr_ += bytes;
+      alloc_bytes_remaining_ -= bytes;
+      return result;
+    }
+    return AllocateFallback(bytes);
+  }
+
+  char* AllocateAligned(size_t bytes) {
+    constexpr size_t kAlign = alignof(std::max_align_t);
+    const size_t mod =
+        reinterpret_cast<uintptr_t>(alloc_ptr_) & (kAlign - 1);
+    const size_t slop = (mod == 0 ? 0 : kAlign - mod);
+    const size_t needed = bytes + slop;
+    if (needed <= alloc_bytes_remaining_) {
+      char* result = alloc_ptr_ + slop;
+      alloc_ptr_ += needed;
+      alloc_bytes_remaining_ -= needed;
+      return result;
+    }
+    // Fallback blocks from new[] are already max-aligned.
+    return AllocateFallback(bytes);
+  }
+
+  size_t MemoryUsage() const {
+    return memory_usage_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr size_t kBlockSize = 64 * 1024;
+
+  char* AllocateFallback(size_t bytes) {
+    if (bytes > kBlockSize / 4) {
+      // Large allocation: dedicated block so we don't waste the rest of a
+      // fresh standard block.
+      return AllocateNewBlock(bytes);
+    }
+    alloc_ptr_ = AllocateNewBlock(kBlockSize);
+    alloc_bytes_remaining_ = kBlockSize;
+    char* result = alloc_ptr_;
+    alloc_ptr_ += bytes;
+    alloc_bytes_remaining_ -= bytes;
+    return result;
+  }
+
+  char* AllocateNewBlock(size_t block_bytes) {
+    blocks_.push_back(std::make_unique<char[]>(block_bytes));
+    memory_usage_.fetch_add(block_bytes + sizeof(char*),
+                            std::memory_order_relaxed);
+    return blocks_.back().get();
+  }
+
+  char* alloc_ptr_ = nullptr;
+  size_t alloc_bytes_remaining_ = 0;
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  std::atomic<size_t> memory_usage_{0};
+};
+
+}  // namespace diffindex
+
+#endif  // DIFFINDEX_LSM_ARENA_H_

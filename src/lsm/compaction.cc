@@ -1,0 +1,153 @@
+#include "lsm/compaction.h"
+
+#include "lsm/merging_iterator.h"
+#include "lsm/record.h"
+
+namespace diffindex {
+
+namespace {
+
+// Applies the GC policy on top of a merged iterator.
+class GcIterator final : public RecordIterator {
+ public:
+  GcIterator(std::unique_ptr<RecordIterator> input, int max_versions,
+             bool drop_tombstones, CompactionStats* stats)
+      : input_(std::move(input)),
+        max_versions_(max_versions),
+        drop_tombstones_(drop_tombstones),
+        stats_(stats) {}
+
+  bool Valid() const override { return valid_; }
+
+  void SeekToFirst() override {
+    input_->SeekToFirst();
+    ResetKeyState();
+    Advance();
+  }
+
+  void Seek(const Slice& target) override {
+    input_->Seek(target);
+    ResetKeyState();
+    Advance();
+  }
+
+  void Next() override {
+    input_->Next();
+    Advance();
+  }
+
+  Slice key() const override { return input_->key(); }
+  Slice value() const override { return input_->value(); }
+  Status status() const override { return input_->status(); }
+
+ private:
+  void ResetKeyState() {
+    current_user_key_.clear();
+    has_current_key_ = false;
+    tombstone_ts_ = 0;
+    has_tombstone_ = false;
+    versions_kept_ = 0;
+  }
+
+  // Skips records the policy drops; leaves input_ on the next record to
+  // emit (or exhausted).
+  void Advance() {
+    while (input_->Valid()) {
+      stats_->input_records++;
+      ParsedInternalKey parsed;
+      if (!ParseInternalKey(input_->key(), &parsed)) {
+        // Skip malformed records defensively.
+        input_->Next();
+        continue;
+      }
+      if (!has_current_key_ || parsed.user_key != Slice(current_user_key_)) {
+        current_user_key_ = parsed.user_key.ToString();
+        has_current_key_ = true;
+        has_tombstone_ = false;
+        tombstone_ts_ = 0;
+        versions_kept_ = 0;
+        seen_exact_.clear();
+      }
+
+      // Duplicate (key, ts, type) across inputs (idempotent re-delivery):
+      // keep only the youngest copy. The merge yields the youngest source
+      // first on ties, so any repeat of the same (ts, type) is a dup.
+      const uint64_t exact_tag =
+          (parsed.ts << 1) | static_cast<uint64_t>(parsed.type);
+      bool duplicate = false;
+      for (uint64_t tag : seen_exact_) {
+        if (tag == exact_tag) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (duplicate) {
+        input_->Next();
+        continue;
+      }
+      seen_exact_.push_back(exact_tag);
+
+      if (has_tombstone_ && parsed.ts <= tombstone_ts_) {
+        stats_->dropped_masked++;
+        input_->Next();
+        continue;
+      }
+
+      if (parsed.type == ValueType::kTombstone) {
+        has_tombstone_ = true;
+        tombstone_ts_ = parsed.ts;
+        if (drop_tombstones_) {
+          stats_->dropped_tombstones++;
+          input_->Next();
+          continue;
+        }
+        valid_ = true;
+        stats_->output_records++;
+        return;
+      }
+
+      if (versions_kept_ >= max_versions_) {
+        stats_->dropped_versions++;
+        input_->Next();
+        continue;
+      }
+      versions_kept_++;
+      valid_ = true;
+      stats_->output_records++;
+      return;
+    }
+    valid_ = false;
+  }
+
+  std::unique_ptr<RecordIterator> input_;
+  const int max_versions_;
+  const bool drop_tombstones_;
+  CompactionStats* stats_;
+
+  bool valid_ = false;
+  std::string current_user_key_;
+  bool has_current_key_ = false;
+  bool has_tombstone_ = false;
+  Timestamp tombstone_ts_ = 0;
+  int versions_kept_ = 0;
+  std::vector<uint64_t> seen_exact_;
+};
+
+}  // namespace
+
+Status CompactTables(const LsmOptions& options,
+                     const std::vector<std::shared_ptr<SstReader>>& inputs,
+                     const std::string& output_path, uint64_t file_number,
+                     bool drop_tombstones, SstMeta* meta,
+                     CompactionStats* stats) {
+  std::vector<std::unique_ptr<RecordIterator>> children;
+  children.reserve(inputs.size());
+  for (const auto& table : inputs) {
+    children.push_back(table->NewIterator());
+  }
+  GcIterator gc(NewMergingIterator(std::move(children)), options.max_versions,
+                drop_tombstones, stats);
+  return BuildSstFromIterator(options, output_path, file_number, &gc, meta);
+}
+
+}  // namespace diffindex

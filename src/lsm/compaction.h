@@ -1,0 +1,41 @@
+// Compaction: merges several disk stores into one, consolidating the
+// multi-versions of each record into a single place (Section 2.1,
+// Figure 2c). Garbage-collection policy:
+//   * versions masked by a tombstone (ts <= tombstone ts) are dropped;
+//   * at most `max_versions` puts per user key are retained;
+//   * the tombstone itself is dropped only when `drop_tombstones` is set,
+//     i.e. when every store that could contain masked versions is part of
+//     this compaction (a major compaction).
+
+#ifndef DIFFINDEX_LSM_COMPACTION_H_
+#define DIFFINDEX_LSM_COMPACTION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lsm/options.h"
+#include "lsm/sstable.h"
+#include "util/status.h"
+
+namespace diffindex {
+
+struct CompactionStats {
+  uint64_t input_records = 0;
+  uint64_t output_records = 0;
+  uint64_t dropped_masked = 0;      // masked by tombstones
+  uint64_t dropped_versions = 0;    // beyond max_versions
+  uint64_t dropped_tombstones = 0;
+};
+
+// Merges `inputs` (youngest first) into a new table at `output_path`.
+// On success fills *meta and *stats.
+Status CompactTables(const LsmOptions& options,
+                     const std::vector<std::shared_ptr<SstReader>>& inputs,
+                     const std::string& output_path, uint64_t file_number,
+                     bool drop_tombstones, SstMeta* meta,
+                     CompactionStats* stats);
+
+}  // namespace diffindex
+
+#endif  // DIFFINDEX_LSM_COMPACTION_H_

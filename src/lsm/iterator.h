@@ -1,0 +1,33 @@
+// Iterator over internal records (encoded internal key + value), ordered
+// by InternalKeyComparator. Implemented by the memtable, SSTable readers,
+// and the merging iterator that combines them.
+
+#ifndef DIFFINDEX_LSM_ITERATOR_H_
+#define DIFFINDEX_LSM_ITERATOR_H_
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace diffindex {
+
+class RecordIterator {
+ public:
+  virtual ~RecordIterator() = default;
+
+  virtual bool Valid() const = 0;
+  virtual void SeekToFirst() = 0;
+  // Positions at the first record with internal key >= target.
+  virtual void Seek(const Slice& target) = 0;
+  virtual void Next() = 0;
+
+  // REQUIRES: Valid(). Slices remain valid until the next mutation of the
+  // iterator.
+  virtual Slice key() const = 0;
+  virtual Slice value() const = 0;
+
+  virtual Status status() const { return Status::OK(); }
+};
+
+}  // namespace diffindex
+
+#endif  // DIFFINDEX_LSM_ITERATOR_H_

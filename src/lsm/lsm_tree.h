@@ -1,0 +1,155 @@
+// LsmTree: one log-structured-merge tree (the storage of one region of one
+// table). Mirrors the abstract LSM model of Section 2.1:
+//
+//   * writes insert versioned records into the memtable; an update is a
+//     put with a newer timestamp, a delete writes a tombstone;
+//   * at capacity the memtable is flushed to an immutable disk store;
+//   * reads consult the memtable and all disk stores;
+//   * disk stores are periodically compacted into one.
+//
+// Durability is the owner's job: the RegionServer appends every edit to
+// its shared write-ahead log *before* calling Put/Delete here, and uses
+// flushed_ts() to decide which WAL entries still need replay after a crash
+// (WAL roll-forward).
+//
+// Threading contract: Put/Delete/Flush/Compact* must be serialized by the
+// caller (HBase sequences writes within a region); Get/Scan are safe from
+// any thread at any time and never block behind writes or flushes.
+
+#ifndef DIFFINDEX_LSM_LSM_TREE_H_
+#define DIFFINDEX_LSM_LSM_TREE_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lsm/compaction.h"
+#include "lsm/memtable.h"
+#include "lsm/options.h"
+#include "lsm/sstable.h"
+#include "util/status.h"
+
+namespace diffindex {
+
+class LsmTree {
+ public:
+  // Opens (or creates) the tree persisted in `dir`, recovering the set of
+  // live disk stores from the manifest.
+  static Status Open(const LsmOptions& options, const std::string& dir,
+                     std::unique_ptr<LsmTree>* tree);
+
+  LsmTree(const LsmTree&) = delete;
+  LsmTree& operator=(const LsmTree&) = delete;
+
+  // ---- Write path (externally serialized) ----
+
+  Status Put(const Slice& key, const Slice& value, Timestamp ts);
+  // Writes a tombstone masking every version with ts' <= ts.
+  Status Delete(const Slice& key, Timestamp ts);
+
+  bool NeedsFlush() const;
+  // Synchronously flushes the memtable into a new disk store and then runs
+  // a merge compaction if the store count reached the trigger.
+  Status Flush();
+  // Major compaction of all disk stores.
+  Status CompactAll();
+
+  // ---- Read path (thread-safe) ----
+
+  // Newest version of `key` visible at read_ts. NotFound if absent or
+  // masked by a tombstone. version_ts (optional) receives the version's
+  // timestamp.
+  Status Get(const Slice& key, Timestamp read_ts, std::string* value,
+             Timestamp* version_ts = nullptr);
+
+  struct ScanEntry {
+    std::string key;
+    std::string value;
+    Timestamp ts;
+  };
+  // Newest visible version per key in [start, end); end empty = unbounded.
+  // limit == 0 means unlimited.
+  Status Scan(const Slice& start, const Slice& end, Timestamp read_ts,
+              size_t limit, std::vector<ScanEntry>* out);
+
+  struct Version {
+    Timestamp ts;
+    bool is_tombstone;
+    std::string value;
+  };
+  // All retained versions of `key`, newest first (diagnostics and tests).
+  Status GetVersions(const Slice& key, std::vector<Version>* out);
+
+  // Copies every retained record (all versions AND tombstones) with user
+  // key in [start, end) into `target`, preserving timestamps. Used by
+  // region splits to materialize the daughter regions.
+  // REQUIRES: external write serialization on `target`.
+  Status ExportRecords(const Slice& start, const Slice& end,
+                       LsmTree* target);
+
+  // ---- Introspection ----
+
+  // Largest timestamp persisted into disk stores; WAL entries at or below
+  // it need no replay.
+  Timestamp flushed_ts() const {
+    return flushed_ts_.load(std::memory_order_acquire);
+  }
+
+  // Owner-managed WAL position: the owner records the log sequence of
+  // each edit as it applies it; Flush() persists the value captured at the
+  // memtable swap, and after a crash applied_seq() (recovered from the
+  // manifest) tells the recovery which WAL suffix to replay. Only the
+  // flush-time value is ever persisted — edits still in the memtable must
+  // stay replayable.
+  void set_applied_seq(uint64_t seq) {
+    applied_seq_.store(seq, std::memory_order_release);
+  }
+  uint64_t applied_seq() const {
+    return durable_seq_.load(std::memory_order_acquire);
+  }
+  size_t MemtableBytes() const;
+  uint64_t MemtableEntries() const;
+  int NumDiskStores() const;
+  uint64_t num_gets() const { return num_gets_.load(); }
+  uint64_t num_puts() const { return num_puts_.load(); }
+
+ private:
+  LsmTree(const LsmOptions& options, std::string dir);
+
+  struct State {
+    std::shared_ptr<MemTable> mem;
+    std::shared_ptr<MemTable> imm;  // memtable being flushed, may be null
+    std::vector<std::shared_ptr<SstReader>> tables;  // newest first
+  };
+
+  State CopyState() const;
+  Status WriteManifest();
+  Status RecoverManifest();
+  std::string SstPath(uint64_t file_number) const;
+
+  // Builds a merging iterator over every source in `state`.
+  static std::unique_ptr<RecordIterator> NewInternalIterator(
+      const State& state);
+
+  const LsmOptions options_;
+  const std::string dir_;
+
+  mutable std::mutex state_mu_;  // guards mem_/imm_/tables_ pointer swaps
+  std::shared_ptr<MemTable> mem_;
+  std::shared_ptr<MemTable> imm_;
+  std::vector<std::shared_ptr<SstReader>> tables_;
+
+  uint64_t next_file_number_ = 1;
+  std::atomic<Timestamp> flushed_ts_{0};
+  std::atomic<uint64_t> applied_seq_{0};  // volatile, owner-updated per edit
+  std::atomic<uint64_t> durable_seq_{0};  // persisted at flush
+  std::atomic<uint64_t> num_gets_{0};
+  std::atomic<uint64_t> num_puts_{0};
+};
+
+}  // namespace diffindex
+
+#endif  // DIFFINDEX_LSM_LSM_TREE_H_

@@ -1,0 +1,126 @@
+#include "lsm/memtable.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "util/coding.h"
+
+namespace diffindex {
+
+namespace {
+
+// Decodes the internal key portion of an encoded memtable entry.
+Slice GetInternalKey(const char* entry) {
+  uint32_t klen;
+  const char* p = GetVarint32Ptr(entry, entry + 5, &klen);
+  return Slice(p, klen);
+}
+
+Slice GetEntryValue(const char* entry) {
+  uint32_t klen;
+  const char* p = GetVarint32Ptr(entry, entry + 5, &klen);
+  p += klen;
+  uint32_t vlen;
+  p = GetVarint32Ptr(p, p + 5, &vlen);
+  return Slice(p, vlen);
+}
+
+}  // namespace
+
+int MemTable::KeyComparator::operator()(const char* a, const char* b) const {
+  static const InternalKeyComparator cmp;
+  return cmp.Compare(GetInternalKey(a), GetInternalKey(b));
+}
+
+MemTable::MemTable() : table_(KeyComparator(), &arena_) {}
+
+void MemTable::Add(const Slice& user_key, Timestamp ts, ValueType type,
+                   const Slice& value) {
+  const std::string ikey = MakeInternalKey(user_key, ts, type);
+  const size_t encoded_len = VarintLength(ikey.size()) + ikey.size() +
+                             VarintLength(value.size()) + value.size();
+  // Stack-encode into the arena buffer.
+  char* buf = arena_.Allocate(encoded_len);
+  std::string header;
+  PutVarint32(&header, static_cast<uint32_t>(ikey.size()));
+  char* p = buf;
+  memcpy(p, header.data(), header.size());
+  p += header.size();
+  memcpy(p, ikey.data(), ikey.size());
+  p += ikey.size();
+  std::string vlen;
+  PutVarint32(&vlen, static_cast<uint32_t>(value.size()));
+  memcpy(p, vlen.data(), vlen.size());
+  p += vlen.size();
+  memcpy(p, value.data(), value.size());
+  assert(p + value.size() == buf + encoded_len);
+
+  if (table_.Contains(buf)) {
+    // Identical (key, ts, type) already present: idempotent re-add (the
+    // recovery protocol may replay the same put twice). First write wins.
+    return;
+  }
+  table_.Insert(buf);
+  num_entries_.fetch_add(1, std::memory_order_relaxed);
+  data_bytes_.fetch_add(encoded_len, std::memory_order_relaxed);
+  Timestamp prev = max_ts_.load(std::memory_order_relaxed);
+  while (ts > prev && !max_ts_.compare_exchange_weak(
+                          prev, ts, std::memory_order_relaxed)) {
+  }
+}
+
+LookupResult MemTable::Get(const Slice& user_key, Timestamp read_ts) const {
+  LookupResult result;
+  // Records for user_key sort ts-descending with tombstone-before-put at
+  // equal ts; seeking to (user_key, read_ts, kTombstone) lands on the
+  // newest record with ts <= read_ts.
+  const std::string target =
+      MakeInternalKey(user_key, read_ts, ValueType::kTombstone);
+  std::string target_entry;
+  PutVarint32(&target_entry, static_cast<uint32_t>(target.size()));
+  target_entry.append(target);
+
+  Table::Iterator iter(&table_);
+  iter.Seek(target_entry.data());
+  if (!iter.Valid()) return result;
+
+  const Slice ikey = GetInternalKey(iter.key());
+  ParsedInternalKey parsed;
+  if (!ParseInternalKey(ikey, &parsed)) return result;
+  if (parsed.user_key != user_key) return result;
+
+  result.ts = parsed.ts;
+  if (parsed.type == ValueType::kTombstone) {
+    result.state = LookupState::kDeleted;
+  } else {
+    result.state = LookupState::kFound;
+    result.value = GetEntryValue(iter.key()).ToString();
+  }
+  return result;
+}
+
+class MemTable::Iter final : public RecordIterator {
+ public:
+  explicit Iter(const Table* table) : iter_(table) {}
+
+  bool Valid() const override { return iter_.Valid(); }
+  void SeekToFirst() override { iter_.SeekToFirst(); }
+  void Seek(const Slice& target) override {
+    std::string entry;
+    PutVarint32(&entry, static_cast<uint32_t>(target.size()));
+    entry.append(target.data(), target.size());
+    iter_.Seek(entry.data());
+  }
+  void Next() override { iter_.Next(); }
+  Slice key() const override { return GetInternalKey(iter_.key()); }
+  Slice value() const override { return GetEntryValue(iter_.key()); }
+
+ private:
+  Table::Iterator iter_;
+};
+
+std::unique_ptr<RecordIterator> MemTable::NewIterator() const {
+  return std::make_unique<Iter>(&table_);
+}
+
+}  // namespace diffindex

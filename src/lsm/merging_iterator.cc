@@ -1,0 +1,69 @@
+#include "lsm/merging_iterator.h"
+
+#include "lsm/record.h"
+
+namespace diffindex {
+
+namespace {
+
+class MergingIterator final : public RecordIterator {
+ public:
+  explicit MergingIterator(
+      std::vector<std::unique_ptr<RecordIterator>> children)
+      : children_(std::move(children)), current_(-1) {}
+
+  bool Valid() const override { return current_ >= 0; }
+
+  void SeekToFirst() override {
+    for (auto& child : children_) child->SeekToFirst();
+    FindSmallest();
+  }
+
+  void Seek(const Slice& target) override {
+    for (auto& child : children_) child->Seek(target);
+    FindSmallest();
+  }
+
+  void Next() override {
+    children_[current_]->Next();
+    FindSmallest();
+  }
+
+  Slice key() const override { return children_[current_]->key(); }
+  Slice value() const override { return children_[current_]->value(); }
+
+  Status status() const override {
+    for (const auto& child : children_) {
+      Status s = child->status();
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  }
+
+ private:
+  void FindSmallest() {
+    int smallest = -1;
+    for (size_t i = 0; i < children_.size(); i++) {
+      if (!children_[i]->Valid()) continue;
+      if (smallest < 0 ||
+          cmp_.Compare(children_[i]->key(), children_[smallest]->key()) < 0) {
+        // Strict < keeps the youngest (lowest index) child on ties.
+        smallest = static_cast<int>(i);
+      }
+    }
+    current_ = smallest;
+  }
+
+  std::vector<std::unique_ptr<RecordIterator>> children_;
+  InternalKeyComparator cmp_;
+  int current_;
+};
+
+}  // namespace
+
+std::unique_ptr<RecordIterator> NewMergingIterator(
+    std::vector<std::unique_ptr<RecordIterator>> children) {
+  return std::make_unique<MergingIterator>(std::move(children));
+}
+
+}  // namespace diffindex

@@ -1,0 +1,23 @@
+// K-way merge over record iterators (memtable + disk stores), ordered by
+// InternalKeyComparator with ties broken toward the younger source. Used
+// by scans ("the mem-store and all disk stores need to be scanned",
+// Section 2.1) and by compaction.
+
+#ifndef DIFFINDEX_LSM_MERGING_ITERATOR_H_
+#define DIFFINDEX_LSM_MERGING_ITERATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "lsm/iterator.h"
+
+namespace diffindex {
+
+// `children` must be ordered youngest source first; on duplicate internal
+// keys the youngest source's record is yielded first.
+std::unique_ptr<RecordIterator> NewMergingIterator(
+    std::vector<std::unique_ptr<RecordIterator>> children);
+
+}  // namespace diffindex
+
+#endif  // DIFFINDEX_LSM_MERGING_ITERATOR_H_

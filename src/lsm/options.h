@@ -1,0 +1,46 @@
+// Tuning knobs for one LSM tree (one column family of one region).
+
+#ifndef DIFFINDEX_LSM_OPTIONS_H_
+#define DIFFINDEX_LSM_OPTIONS_H_
+
+#include <cstddef>
+#include <memory>
+
+#include "util/cache.h"
+#include "util/env.h"
+#include "util/latency_model.h"
+
+namespace diffindex {
+
+struct LsmOptions {
+  Env* env = Env::Default();
+
+  // Injected device costs; nullptr disables injection.
+  const LatencyModel* latency = nullptr;
+
+  // Shared across trees of one server so the cache size models the HBase
+  // block cache (25% of heap in the paper's setup). May be nullptr.
+  std::shared_ptr<LruCache> block_cache;
+
+  // Flush the memtable once it holds this many bytes of key+value data.
+  size_t memtable_flush_bytes = 4 << 20;
+
+  // Target uncompressed size of one SSTable data block.
+  size_t block_size = 4096;
+
+  // Bloom filter bits per key; 0 disables the filter.
+  int bloom_bits_per_key = 10;
+
+  // Versions of a cell retained by a major compaction (HBase VERSIONS).
+  // Diff-Index needs >= 2 so that RB(k, ts_new - delta) can still see the
+  // previous version shortly after an update.
+  int max_versions = 3;
+
+  // Trigger a (minor) merge compaction when a region has this many
+  // on-disk stores.
+  int compaction_trigger = 6;
+};
+
+}  // namespace diffindex
+
+#endif  // DIFFINDEX_LSM_OPTIONS_H_

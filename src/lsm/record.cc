@@ -1,0 +1,62 @@
+#include "lsm/record.h"
+
+#include <cassert>
+
+#include "util/coding.h"
+
+namespace diffindex {
+
+void AppendInternalKey(std::string* dst, const Slice& user_key, Timestamp ts,
+                       ValueType type) {
+  dst->append(user_key.data(), user_key.size());
+  PutFixed64(dst, ts);
+  dst->push_back(static_cast<char>(type));
+}
+
+std::string MakeInternalKey(const Slice& user_key, Timestamp ts,
+                            ValueType type) {
+  std::string out;
+  out.reserve(user_key.size() + kInternalKeyTrailer);
+  AppendInternalKey(&out, user_key, ts, type);
+  return out;
+}
+
+bool ParseInternalKey(const Slice& internal_key, ParsedInternalKey* result) {
+  if (internal_key.size() < kInternalKeyTrailer) return false;
+  const size_t user_len = internal_key.size() - kInternalKeyTrailer;
+  result->user_key = Slice(internal_key.data(), user_len);
+  result->ts = DecodeFixed64(internal_key.data() + user_len);
+  const auto type_byte = static_cast<uint8_t>(
+      internal_key[internal_key.size() - 1]);
+  if (type_byte > static_cast<uint8_t>(ValueType::kPut)) return false;
+  result->type = static_cast<ValueType>(type_byte);
+  return true;
+}
+
+Slice ExtractUserKey(const Slice& internal_key) {
+  assert(internal_key.size() >= kInternalKeyTrailer);
+  return Slice(internal_key.data(),
+               internal_key.size() - kInternalKeyTrailer);
+}
+
+int InternalKeyComparator::Compare(const Slice& a, const Slice& b) const {
+  ParsedInternalKey pa, pb;
+  const bool ok_a = ParseInternalKey(a, &pa);
+  const bool ok_b = ParseInternalKey(b, &pb);
+  assert(ok_a && ok_b);
+  (void)ok_a;
+  (void)ok_b;
+  int r = pa.user_key.compare(pb.user_key);
+  if (r != 0) return r;
+  // Newer timestamps sort first.
+  if (pa.ts > pb.ts) return -1;
+  if (pa.ts < pb.ts) return +1;
+  // Tombstone (0) before put (1) at equal timestamp.
+  const auto ta = static_cast<uint8_t>(pa.type);
+  const auto tb = static_cast<uint8_t>(pb.type);
+  if (ta < tb) return -1;
+  if (ta > tb) return +1;
+  return 0;
+}
+
+}  // namespace diffindex

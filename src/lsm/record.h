@@ -1,0 +1,62 @@
+// The LSM record model.
+//
+// Every write is an append of a versioned record <key, value, ts> (Section
+// 2.1 of the paper): an update is a put with a newer timestamp, a deletion
+// is a tombstone. A tombstone at timestamp T masks every version of the
+// key with timestamp <= T (HBase "delete columns up to T" semantics, which
+// is what Algorithm 1's DI(v_old ⊕ k, t_new − δ) relies on — the deleter
+// does not know t_old, only that t_old <= t_new − δ).
+//
+// Internal key encoding (byte-comparable within the custom comparator):
+//   user_key | fixed64(ts) | type      (9-byte trailer)
+// Ordering: user_key ascending, then ts DESCENDING (newest first), then
+// tombstone before put at equal ts (so a same-timestamp delete wins).
+
+#ifndef DIFFINDEX_LSM_RECORD_H_
+#define DIFFINDEX_LSM_RECORD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/slice.h"
+#include "util/timestamp_oracle.h"
+
+namespace diffindex {
+
+enum class ValueType : uint8_t {
+  kTombstone = 0,  // sorts before kPut at equal (key, ts): delete wins
+  kPut = 1,
+};
+
+constexpr size_t kInternalKeyTrailer = 9;  // 8-byte ts + 1-byte type
+
+// Appends the encoded internal key to *dst.
+void AppendInternalKey(std::string* dst, const Slice& user_key, Timestamp ts,
+                       ValueType type);
+
+std::string MakeInternalKey(const Slice& user_key, Timestamp ts,
+                            ValueType type);
+
+struct ParsedInternalKey {
+  Slice user_key;
+  Timestamp ts = 0;
+  ValueType type = ValueType::kPut;
+};
+
+// Returns false if `internal_key` is too short to contain the trailer.
+bool ParseInternalKey(const Slice& internal_key, ParsedInternalKey* result);
+
+// Extracts the user key portion (asserts well-formedness).
+Slice ExtractUserKey(const Slice& internal_key);
+
+// Total order over encoded internal keys. Implements the ordering in the
+// file comment.
+class InternalKeyComparator {
+ public:
+  // <0 if a < b, 0 if equal, >0 if a > b.
+  int Compare(const Slice& a, const Slice& b) const;
+};
+
+}  // namespace diffindex
+
+#endif  // DIFFINDEX_LSM_RECORD_H_

@@ -1,0 +1,77 @@
+#include "net/fabric.h"
+
+#include <atomic>
+
+namespace diffindex {
+
+void Fabric::RegisterNode(NodeId node, Handler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  handlers_[node] = std::move(handler);
+  down_.erase(node);
+}
+
+void Fabric::UnregisterNode(NodeId node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  handlers_.erase(node);
+}
+
+void Fabric::SetNodeDown(NodeId node, bool down) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (down) {
+    down_.insert(node);
+  } else {
+    down_.erase(node);
+  }
+}
+
+bool Fabric::IsNodeDown(NodeId node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return down_.count(node) > 0;
+}
+
+void Fabric::SetPartitioned(NodeId a, NodeId b, bool partitioned) {
+  if (a > b) std::swap(a, b);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (partitioned) {
+    partitions_.insert({a, b});
+  } else {
+    partitions_.erase({a, b});
+  }
+}
+
+Status Fabric::Call(NodeId from, NodeId to, MsgType type,
+                    const std::string& body, std::string* response) {
+  Handler handler;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (down_.count(to) > 0) {
+      return Status::Unavailable("node " + std::to_string(to) + " is down");
+    }
+    const auto key = from < to ? std::make_pair(from, to)
+                               : std::make_pair(to, from);
+    if (partitions_.count(key) > 0) {
+      return Status::Unavailable("network partition between " +
+                                 std::to_string(from) + " and " +
+                                 std::to_string(to));
+    }
+    auto it = handlers_.find(to);
+    if (it == handlers_.end()) {
+      return Status::Unavailable("node " + std::to_string(to) +
+                                 " not registered");
+    }
+    handler = it->second;
+  }
+
+  calls_made_.fetch_add(1, std::memory_order_relaxed);
+  if (latency_ != nullptr) latency_->NetworkHop();  // request on the wire
+  Status s = handler(type, Slice(body), response);
+  if (latency_ != nullptr) {
+    latency_->NetworkHop();  // response on the wire
+    // Materialize this RPC's whole cost (hops + WAL/disk work accrued by
+    // the handler on this thread) as a single sleep.
+    latency_->Settle();
+  }
+  return s;
+}
+
+}  // namespace diffindex

@@ -1,0 +1,37 @@
+// Bloom filter used in SSTables so that point reads can skip disk stores
+// that cannot contain the key — the same mitigation HBase uses for the
+// slow-read half of the LSM read/write asymmetry.
+
+#ifndef DIFFINDEX_UTIL_BLOOM_H_
+#define DIFFINDEX_UTIL_BLOOM_H_
+
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+
+namespace diffindex {
+
+class BloomFilterPolicy {
+ public:
+  // bits_per_key around 10 gives ~1% false positive rate.
+  explicit BloomFilterPolicy(int bits_per_key);
+
+  // Appends a filter summarizing keys[0..n-1] to *dst.
+  void CreateFilter(const std::vector<Slice>& keys, std::string* dst) const;
+
+  // May return true for keys not in the filter (false positive) but never
+  // false for keys that are.
+  bool KeyMayMatch(const Slice& key, const Slice& filter) const;
+
+ private:
+  int bits_per_key_;
+  int k_;  // number of probes
+};
+
+// Double-hashing bloom hash, exposed for tests.
+uint32_t BloomHash(const Slice& key);
+
+}  // namespace diffindex
+
+#endif  // DIFFINDEX_UTIL_BLOOM_H_

@@ -1,0 +1,59 @@
+#include "util/cache.h"
+
+namespace diffindex {
+
+LruCache::LruCache(size_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+void LruCache::Insert(const std::string& key,
+                      std::shared_ptr<const std::string> value,
+                      size_t charge) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = table_.find(key);
+  if (it != table_.end()) {
+    usage_ -= it->second->charge;
+    lru_.erase(it->second);
+    table_.erase(it);
+  }
+  lru_.push_front(Entry{key, std::move(value), charge});
+  table_[key] = lru_.begin();
+  usage_ += charge;
+  EvictIfNeededLocked();
+}
+
+std::shared_ptr<const std::string> LruCache::Lookup(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = table_.find(key);
+  if (it == table_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  // Move to front.
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->value;
+}
+
+void LruCache::Erase(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = table_.find(key);
+  if (it == table_.end()) return;
+  usage_ -= it->second->charge;
+  lru_.erase(it->second);
+  table_.erase(it);
+}
+
+size_t LruCache::usage() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return usage_;
+}
+
+void LruCache::EvictIfNeededLocked() {
+  while (usage_ > capacity_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    usage_ -= victim.charge;
+    table_.erase(victim.key);
+    lru_.pop_back();
+  }
+}
+
+}  // namespace diffindex

@@ -1,0 +1,57 @@
+// Sharded LRU cache, used as the SSTable block cache. Entries are
+// reference-counted so a block stays valid while a reader holds a handle
+// even if it is evicted concurrently.
+
+#ifndef DIFFINDEX_UTIL_CACHE_H_
+#define DIFFINDEX_UTIL_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace diffindex {
+
+class LruCache {
+ public:
+  explicit LruCache(size_t capacity_bytes);
+
+  // Inserts (copying `value`'s ownership into the cache). charge is the
+  // approximate memory footprint. Replaces an existing entry for key.
+  void Insert(const std::string& key, std::shared_ptr<const std::string> value,
+              size_t charge);
+
+  // Returns nullptr on miss.
+  std::shared_ptr<const std::string> Lookup(const std::string& key);
+
+  void Erase(const std::string& key);
+
+  size_t usage() const;
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const std::string> value;
+    size_t charge;
+  };
+  using LruList = std::list<Entry>;
+
+  void EvictIfNeededLocked();
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  LruList lru_;  // front = most recent
+  std::unordered_map<std::string, LruList::iterator> table_;
+  size_t usage_ = 0;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace diffindex
+
+#endif  // DIFFINDEX_UTIL_CACHE_H_

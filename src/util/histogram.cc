@@ -1,0 +1,126 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace diffindex {
+
+const std::array<uint64_t, Histogram::kNumBuckets + 1>&
+Histogram::BucketBounds() {
+  static const auto kBounds = [] {
+    std::array<uint64_t, kNumBuckets + 1> b{};
+    b[0] = 0;
+    double v = 1.0;
+    for (int i = 1; i <= kNumBuckets; i++) {
+      b[i] = static_cast<uint64_t>(v);
+      // Ensure strictly increasing bounds even while v rounds to the same
+      // integer at the low end.
+      if (b[i] <= b[i - 1]) b[i] = b[i - 1] + 1;
+      v *= 1.3;
+    }
+    return b;
+  }();
+  return kBounds;
+}
+
+int Histogram::BucketFor(uint64_t value) {
+  const auto& bounds = BucketBounds();
+  // upper_bound over bounds[1..kNumBuckets]; bucket i covers
+  // [bounds[i], bounds[i+1]).
+  auto it = std::upper_bound(bounds.begin() + 1, bounds.end(), value);
+  int idx = static_cast<int>(it - bounds.begin()) - 1;
+  if (idx >= kNumBuckets) idx = kNumBuckets - 1;
+  return idx;
+}
+
+void Histogram::Clear() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<uint64_t>::max(), std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+void Histogram::Add(uint64_t value_micros) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value_micros, std::memory_order_relaxed);
+  uint64_t cur_min = min_.load(std::memory_order_relaxed);
+  while (value_micros < cur_min &&
+         !min_.compare_exchange_weak(cur_min, value_micros,
+                                     std::memory_order_relaxed)) {
+  }
+  uint64_t cur_max = max_.load(std::memory_order_relaxed);
+  while (value_micros > cur_max &&
+         !max_.compare_exchange_weak(cur_max, value_micros,
+                                     std::memory_order_relaxed)) {
+  }
+  buckets_[BucketFor(value_micros)].fetch_add(1, std::memory_order_relaxed);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  uint64_t other_min = other.min_.load(std::memory_order_relaxed);
+  uint64_t cur_min = min_.load(std::memory_order_relaxed);
+  while (other_min < cur_min &&
+         !min_.compare_exchange_weak(cur_min, other_min,
+                                     std::memory_order_relaxed)) {
+  }
+  uint64_t other_max = other.max_.load(std::memory_order_relaxed);
+  uint64_t cur_max = max_.load(std::memory_order_relaxed);
+  while (other_max > cur_max &&
+         !max_.compare_exchange_weak(cur_max, other_max,
+                                     std::memory_order_relaxed)) {
+  }
+  for (int i = 0; i < kNumBuckets; i++) {
+    buckets_[i].fetch_add(other.buckets_[i].load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  }
+}
+
+double Histogram::Average() const {
+  uint64_t c = count_.load(std::memory_order_relaxed);
+  if (c == 0) return 0;
+  return static_cast<double>(sum_.load(std::memory_order_relaxed)) /
+         static_cast<double>(c);
+}
+
+uint64_t Histogram::Min() const {
+  uint64_t c = count_.load(std::memory_order_relaxed);
+  return c == 0 ? 0 : min_.load(std::memory_order_relaxed);
+}
+
+uint64_t Histogram::Max() const { return max_.load(std::memory_order_relaxed); }
+
+uint64_t Histogram::Percentile(double p) const {
+  uint64_t total = count_.load(std::memory_order_relaxed);
+  if (total == 0) return 0;
+  const uint64_t threshold = static_cast<uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(total)));
+  uint64_t cumulative = 0;
+  const auto& bounds = BucketBounds();
+  for (int i = 0; i < kNumBuckets; i++) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    if (cumulative >= threshold) {
+      // The bucket upper bound, clamped so a percentile never exceeds the
+      // observed maximum.
+      return std::min(bounds[i + 1], Max());
+    }
+  }
+  return Max();
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream oss;
+  oss << "count=" << Count() << " avg=" << Average() << "us"
+      << " min=" << Min() << "us p50=" << Percentile(50)
+      << "us p95=" << Percentile(95) << "us p99=" << Percentile(99)
+      << "us max=" << Max() << "us";
+  return oss.str();
+}
+
+}  // namespace diffindex

@@ -1,0 +1,49 @@
+// Thread-safe latency histogram with exponential buckets, reporting
+// average / percentiles / min / max. Used by the benchmark harness to
+// produce the latency-vs-throughput curves of Figures 7-11.
+
+#ifndef DIFFINDEX_UTIL_HISTOGRAM_H_
+#define DIFFINDEX_UTIL_HISTOGRAM_H_
+
+#include <atomic>
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace diffindex {
+
+class Histogram {
+ public:
+  Histogram() { Clear(); }
+
+  void Clear();
+  void Add(uint64_t value_micros);
+  void Merge(const Histogram& other);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Average() const;
+  uint64_t Min() const;
+  uint64_t Max() const;
+  // p in (0, 100], e.g. 50.0, 95.0, 99.0. Returns an upper bound of the
+  // bucket containing the percentile.
+  uint64_t Percentile(double p) const;
+
+  std::string ToString() const;
+
+ private:
+  // Bucket i covers [BucketLower(i), BucketLower(i+1)). Buckets grow
+  // geometrically (~x1.3) from 1us to ~30 minutes; 128 buckets suffice.
+  static constexpr int kNumBuckets = 132;
+  static const std::array<uint64_t, kNumBuckets + 1>& BucketBounds();
+  static int BucketFor(uint64_t value);
+
+  std::atomic<uint64_t> count_;
+  std::atomic<uint64_t> sum_;
+  std::atomic<uint64_t> min_;
+  std::atomic<uint64_t> max_;
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_;
+};
+
+}  // namespace diffindex
+
+#endif  // DIFFINDEX_UTIL_HISTOGRAM_H_

@@ -1,0 +1,30 @@
+#include "util/latency_model.h"
+
+#include <chrono>
+#include <thread>
+
+namespace diffindex {
+
+namespace {
+// Cost accrued by the current thread, not yet slept off. One accumulator
+// serves all models: a thread drives one request at a time, and Settle()
+// drains whatever that request accrued.
+thread_local uint64_t t_pending_micros = 0;
+}  // namespace
+
+void LatencyModel::Accrue(uint64_t micros) const {
+  const auto scaled =
+      static_cast<uint64_t>(static_cast<double>(micros) * params_.scale);
+  if (scaled == 0) return;
+  t_pending_micros += scaled;
+  burned_.fetch_add(scaled, std::memory_order_relaxed);
+}
+
+void LatencyModel::Settle() const {
+  if (t_pending_micros == 0) return;
+  const uint64_t pending = t_pending_micros;
+  t_pending_micros = 0;
+  std::this_thread::sleep_for(std::chrono::microseconds(pending));
+}
+
+}  // namespace diffindex

@@ -1,0 +1,47 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace diffindex {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_log_mu;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level); }
+LogLevel GetLogLevel() { return g_level.load(); }
+
+namespace internal_logging {
+
+void LogLine(LogLevel level, const std::string& msg) {
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(now).count();
+  std::lock_guard<std::mutex> lock(g_log_mu);
+  std::fprintf(stderr, "[%lld] %s %s\n", static_cast<long long>(ms),
+               LevelName(level), msg.c_str());
+}
+
+}  // namespace internal_logging
+
+}  // namespace diffindex

@@ -1,0 +1,51 @@
+// Minimal leveled logger. Off by default at DEBUG; the cluster and
+// recovery paths log at INFO/WARN so failure-injection tests can be traced.
+
+#ifndef DIFFINDEX_UTIL_LOGGING_H_
+#define DIFFINDEX_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace diffindex {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Global threshold; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+void LogLine(LogLevel level, const std::string& msg);
+}  // namespace internal_logging
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() {
+    if (level_ >= GetLogLevel()) {
+      internal_logging::LogLine(level_, stream_.str());
+    }
+  }
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (level_ >= GetLogLevel()) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+#define DIFFINDEX_LOG_DEBUG \
+  ::diffindex::LogMessage(::diffindex::LogLevel::kDebug)
+#define DIFFINDEX_LOG_INFO ::diffindex::LogMessage(::diffindex::LogLevel::kInfo)
+#define DIFFINDEX_LOG_WARN ::diffindex::LogMessage(::diffindex::LogLevel::kWarn)
+#define DIFFINDEX_LOG_ERROR \
+  ::diffindex::LogMessage(::diffindex::LogLevel::kError)
+
+}  // namespace diffindex
+
+#endif  // DIFFINDEX_UTIL_LOGGING_H_

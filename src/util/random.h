@@ -1,0 +1,66 @@
+// A small, fast pseudo-random generator (xorshift128+) with convenience
+// helpers. Deterministic given a seed, which the tests rely on.
+
+#ifndef DIFFINDEX_UTIL_RANDOM_H_
+#define DIFFINDEX_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace diffindex {
+
+class Random {
+ public:
+  explicit Random(uint64_t seed) {
+    // SplitMix64 to spread the seed over both words.
+    s_[0] = SplitMix(&seed);
+    s_[1] = SplitMix(&seed);
+    if (s_[0] == 0 && s_[1] == 0) s_[0] = 1;
+  }
+
+  uint64_t Next() {
+    uint64_t x = s_[0];
+    const uint64_t y = s_[1];
+    s_[0] = y;
+    x ^= x << 23;
+    s_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s_[1] + y;
+  }
+
+  // Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  // Uniform in [lo, hi].
+  uint64_t Range(uint64_t lo, uint64_t hi) {
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  // True with probability 1/n.
+  bool OneIn(uint64_t n) { return Uniform(n) == 0; }
+
+  double NextDouble() {  // in [0, 1)
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  std::string RandomBytes(size_t n) {
+    std::string out(n, '\0');
+    for (size_t i = 0; i < n; i++) {
+      out[i] = static_cast<char>('a' + Uniform(26));
+    }
+    return out;
+  }
+
+ private:
+  static uint64_t SplitMix(uint64_t* state) {
+    uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s_[2];
+};
+
+}  // namespace diffindex
+
+#endif  // DIFFINDEX_UTIL_RANDOM_H_

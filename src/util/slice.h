@@ -1,0 +1,85 @@
+// Slice: a non-owning view of a byte range, with byte-wise comparison
+// helpers used by the LSM key encoding. Similar to rocksdb::Slice but we
+// build on std::string_view.
+
+#ifndef DIFFINDEX_UTIL_SLICE_H_
+#define DIFFINDEX_UTIL_SLICE_H_
+
+#include <cassert>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace diffindex {
+
+class Slice {
+ public:
+  Slice() : data_(""), size_(0) {}
+  Slice(const char* d, size_t n) : data_(d), size_(n) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): Slice is a view type and
+  // implicit conversion from the owning types is the whole point.
+  Slice(const std::string& s) : data_(s.data()), size_(s.size()) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Slice(std::string_view s) : data_(s.data()), size_(s.size()) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Slice(const char* s) : data_(s), size_(strlen(s)) {}
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  char operator[](size_t n) const {
+    assert(n < size_);
+    return data_[n];
+  }
+
+  void clear() {
+    data_ = "";
+    size_ = 0;
+  }
+
+  void remove_prefix(size_t n) {
+    assert(n <= size_);
+    data_ += n;
+    size_ -= n;
+  }
+
+  std::string ToString() const { return std::string(data_, size_); }
+  std::string_view view() const { return std::string_view(data_, size_); }
+
+  // <0, ==0, >0 for this <, ==, > b (byte-wise, shorter prefix sorts first).
+  int compare(const Slice& b) const {
+    const size_t min_len = size_ < b.size_ ? size_ : b.size_;
+    int r = (min_len == 0) ? 0 : memcmp(data_, b.data_, min_len);
+    if (r == 0) {
+      if (size_ < b.size_) {
+        r = -1;
+      } else if (size_ > b.size_) {
+        r = +1;
+      }
+    }
+    return r;
+  }
+
+  bool starts_with(const Slice& prefix) const {
+    return size_ >= prefix.size_ &&
+           (prefix.size_ == 0 ||
+            memcmp(data_, prefix.data_, prefix.size_) == 0);
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+};
+
+inline bool operator==(const Slice& a, const Slice& b) {
+  return a.compare(b) == 0;
+}
+inline bool operator!=(const Slice& a, const Slice& b) { return !(a == b); }
+inline bool operator<(const Slice& a, const Slice& b) {
+  return a.compare(b) < 0;
+}
+
+}  // namespace diffindex
+
+#endif  // DIFFINDEX_UTIL_SLICE_H_

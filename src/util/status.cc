@@ -1,0 +1,49 @@
+#include "util/status.h"
+
+namespace diffindex {
+
+namespace {
+
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "OK";
+    case Status::Code::kNotFound:
+      return "NotFound";
+    case Status::Code::kCorruption:
+      return "Corruption";
+    case Status::Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Status::Code::kIOError:
+      return "IOError";
+    case Status::Code::kNotSupported:
+      return "NotSupported";
+    case Status::Code::kBusy:
+      return "Busy";
+    case Status::Code::kUnavailable:
+      return "Unavailable";
+    case Status::Code::kTimedOut:
+      return "TimedOut";
+    case Status::Code::kSessionExpired:
+      return "SessionExpired";
+    case Status::Code::kAborted:
+      return "Aborted";
+    case Status::Code::kWrongRegion:
+      return "WrongRegion";
+  }
+  return "Unknown";
+}
+
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string result = CodeName(code());
+  if (!message().empty()) {
+    result += ": ";
+    result += message();
+  }
+  return result;
+}
+
+}  // namespace diffindex

@@ -1,0 +1,119 @@
+// Status: error-reporting type used throughout Diff-Index in place of
+// exceptions, in the style of RocksDB/Arrow. A Status is cheap to copy
+// when OK (no allocation) and carries a code plus a human-readable
+// message otherwise.
+
+#ifndef DIFFINDEX_UTIL_STATUS_H_
+#define DIFFINDEX_UTIL_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace diffindex {
+
+class Status {
+ public:
+  enum class Code : unsigned char {
+    kOk = 0,
+    kNotFound = 1,
+    kCorruption = 2,
+    kInvalidArgument = 3,
+    kIOError = 4,
+    kNotSupported = 5,
+    kBusy = 6,            // transient contention; retry is reasonable
+    kUnavailable = 7,     // node down / network partition
+    kTimedOut = 8,
+    kSessionExpired = 9,  // session-consistency session idle too long
+    kAborted = 10,
+    kWrongRegion = 11,  // key not hosted here; client must refresh its map
+  };
+
+  Status() = default;  // OK
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string_view msg = "") {
+    return Status(Code::kNotFound, msg);
+  }
+  static Status Corruption(std::string_view msg = "") {
+    return Status(Code::kCorruption, msg);
+  }
+  static Status InvalidArgument(std::string_view msg = "") {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status IOError(std::string_view msg = "") {
+    return Status(Code::kIOError, msg);
+  }
+  static Status NotSupported(std::string_view msg = "") {
+    return Status(Code::kNotSupported, msg);
+  }
+  static Status Busy(std::string_view msg = "") {
+    return Status(Code::kBusy, msg);
+  }
+  static Status Unavailable(std::string_view msg = "") {
+    return Status(Code::kUnavailable, msg);
+  }
+  static Status TimedOut(std::string_view msg = "") {
+    return Status(Code::kTimedOut, msg);
+  }
+  static Status SessionExpired(std::string_view msg = "") {
+    return Status(Code::kSessionExpired, msg);
+  }
+  static Status Aborted(std::string_view msg = "") {
+    return Status(Code::kAborted, msg);
+  }
+  static Status WrongRegion(std::string_view msg = "") {
+    return Status(Code::kWrongRegion, msg);
+  }
+  // Reconstructs a Status from a wire code (RPC response decoding).
+  static Status FromCode(Code code, std::string_view msg) {
+    if (code == Code::kOk) return OK();
+    return Status(code, msg);
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  bool IsNotFound() const { return code() == Code::kNotFound; }
+  bool IsCorruption() const { return code() == Code::kCorruption; }
+  bool IsInvalidArgument() const { return code() == Code::kInvalidArgument; }
+  bool IsIOError() const { return code() == Code::kIOError; }
+  bool IsNotSupported() const { return code() == Code::kNotSupported; }
+  bool IsBusy() const { return code() == Code::kBusy; }
+  bool IsUnavailable() const { return code() == Code::kUnavailable; }
+  bool IsTimedOut() const { return code() == Code::kTimedOut; }
+  bool IsSessionExpired() const { return code() == Code::kSessionExpired; }
+  bool IsAborted() const { return code() == Code::kAborted; }
+  bool IsWrongRegion() const { return code() == Code::kWrongRegion; }
+
+  Code code() const { return rep_ == nullptr ? Code::kOk : rep_->code; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ == nullptr ? kEmpty : rep_->message;
+  }
+
+  // "OK" or e.g. "NotFound: key missing".
+  std::string ToString() const;
+
+ private:
+  struct Rep {
+    Code code;
+    std::string message;
+  };
+
+  Status(Code code, std::string_view msg)
+      : rep_(std::make_shared<Rep>(Rep{code, std::string(msg)})) {}
+
+  std::shared_ptr<const Rep> rep_;  // nullptr means OK
+};
+
+// Evaluates `expr`; if the resulting Status is not OK, returns it from the
+// enclosing function.
+#define DIFFINDEX_RETURN_NOT_OK(expr)        \
+  do {                                       \
+    ::diffindex::Status _s = (expr);         \
+    if (!_s.ok()) return _s;                 \
+  } while (false)
+
+}  // namespace diffindex
+
+#endif  // DIFFINDEX_UTIL_STATUS_H_

@@ -1,0 +1,51 @@
+// Fixed-size thread pool used for background LSM work (flush, compaction)
+// and for the asynchronous processing service (APS) that drains the AUQ.
+
+#ifndef DIFFINDEX_UTIL_THREAD_POOL_H_
+#define DIFFINDEX_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace diffindex {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads, std::string name = "pool");
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task. Returns false if the pool is shutting down.
+  bool Submit(std::function<void()> task);
+
+  // Blocks until the queue is empty and all workers are idle.
+  void Wait();
+
+  // Stops accepting tasks, drains the queue, joins workers. Idempotent.
+  void Shutdown();
+
+  size_t pending() const;
+
+ private:
+  void WorkerLoop();
+
+  const std::string name_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace diffindex
+
+#endif  // DIFFINDEX_UTIL_THREAD_POOL_H_

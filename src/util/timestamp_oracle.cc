@@ -1,0 +1,27 @@
+#include "util/timestamp_oracle.h"
+
+#include <chrono>
+
+namespace diffindex {
+
+Timestamp TimestampOracle::NowMicros() {
+  return static_cast<Timestamp>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+Timestamp TimestampOracle::Next() {
+  const Timestamp now = NowMicros();
+  Timestamp prev = last_.load(std::memory_order_relaxed);
+  for (;;) {
+    const Timestamp candidate = now > prev ? now : prev + 1;
+    if (last_.compare_exchange_weak(prev, candidate,
+                                    std::memory_order_relaxed)) {
+      return candidate;
+    }
+    // prev reloaded by compare_exchange_weak; retry.
+  }
+}
+
+}  // namespace diffindex

@@ -1,0 +1,52 @@
+#include "util/zipfian.h"
+
+#include <cmath>
+
+namespace diffindex {
+
+ZipfianGenerator::ZipfianGenerator(uint64_t num_items, double theta,
+                                   uint64_t seed)
+    : num_items_(num_items), theta_(theta), rng_(seed) {
+  zetan_ = Zeta(num_items_, theta_);
+  zeta2theta_ = Zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(num_items_), 1.0 - theta_)) /
+         (1.0 - zeta2theta_ / zetan_);
+}
+
+double ZipfianGenerator::Zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; i++) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+uint64_t ZipfianGenerator::Next() {
+  const double u = rng_.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  return static_cast<uint64_t>(
+      static_cast<double>(num_items_) *
+      std::pow(eta_ * u - eta_ + 1.0, alpha_));
+}
+
+uint64_t ScrambledZipfianGenerator::FnvHash64(uint64_t v) {
+  constexpr uint64_t kFnvOffset = 0xCBF29CE484222325ull;
+  constexpr uint64_t kFnvPrime = 1099511628211ull;
+  uint64_t hash = kFnvOffset;
+  for (int i = 0; i < 8; i++) {
+    uint64_t octet = v & 0xff;
+    v >>= 8;
+    hash ^= octet;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+uint64_t ScrambledZipfianGenerator::Next() {
+  return FnvHash64(zipf_.Next()) % num_items_;
+}
+
+}  // namespace diffindex

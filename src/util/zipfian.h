@@ -1,0 +1,58 @@
+// Zipfian and scrambled-zipfian key choosers, following the YCSB
+// implementation (Gray et al.'s rejection-free method). Used by the
+// workload generator to produce skewed access patterns.
+
+#ifndef DIFFINDEX_UTIL_ZIPFIAN_H_
+#define DIFFINDEX_UTIL_ZIPFIAN_H_
+
+#include <cstdint>
+
+#include "util/random.h"
+
+namespace diffindex {
+
+class ZipfianGenerator {
+ public:
+  static constexpr double kDefaultTheta = 0.99;
+
+  // Items are drawn from [0, num_items). theta in (0, 1): higher is more
+  // skewed.
+  ZipfianGenerator(uint64_t num_items, double theta, uint64_t seed);
+  ZipfianGenerator(uint64_t num_items, uint64_t seed)
+      : ZipfianGenerator(num_items, kDefaultTheta, seed) {}
+
+  uint64_t Next();
+
+  uint64_t num_items() const { return num_items_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t num_items_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2theta_;
+  Random rng_;
+};
+
+// Zipfian with the popular items scattered across the keyspace rather than
+// clustered at 0 (YCSB "scrambled zipfian").
+class ScrambledZipfianGenerator {
+ public:
+  ScrambledZipfianGenerator(uint64_t num_items, uint64_t seed)
+      : num_items_(num_items), zipf_(num_items, seed) {}
+
+  uint64_t Next();
+
+ private:
+  static uint64_t FnvHash64(uint64_t v);
+
+  uint64_t num_items_;
+  ZipfianGenerator zipf_;
+};
+
+}  // namespace diffindex
+
+#endif  // DIFFINDEX_UTIL_ZIPFIAN_H_

@@ -1,0 +1,39 @@
+#include "workload/generators.h"
+
+namespace diffindex {
+
+namespace {
+
+class UniformChooser final : public KeyChooser {
+ public:
+  UniformChooser(uint64_t num_items, uint64_t seed)
+      : num_items_(num_items), rng_(seed) {}
+  uint64_t Next() override { return rng_.Uniform(num_items_); }
+
+ private:
+  uint64_t num_items_;
+  Random rng_;
+};
+
+class ZipfianChooser final : public KeyChooser {
+ public:
+  ZipfianChooser(uint64_t num_items, uint64_t seed)
+      : zipf_(num_items, seed) {}
+  uint64_t Next() override { return zipf_.Next(); }
+
+ private:
+  ScrambledZipfianGenerator zipf_;
+};
+
+}  // namespace
+
+std::unique_ptr<KeyChooser> KeyChooser::Create(KeyDistribution dist,
+                                               uint64_t num_items,
+                                               uint64_t seed) {
+  if (dist == KeyDistribution::kZipfian) {
+    return std::make_unique<ZipfianChooser>(num_items, seed);
+  }
+  return std::make_unique<UniformChooser>(num_items, seed);
+}
+
+}  // namespace diffindex

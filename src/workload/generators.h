@@ -1,0 +1,29 @@
+// Key choosers for the workload driver (YCSB-style request
+// distributions).
+
+#ifndef DIFFINDEX_WORKLOAD_GENERATORS_H_
+#define DIFFINDEX_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "util/random.h"
+#include "util/zipfian.h"
+
+namespace diffindex {
+
+enum class KeyDistribution { kUniform, kZipfian };
+
+class KeyChooser {
+ public:
+  virtual ~KeyChooser() = default;
+  virtual uint64_t Next() = 0;
+
+  static std::unique_ptr<KeyChooser> Create(KeyDistribution dist,
+                                            uint64_t num_items,
+                                            uint64_t seed);
+};
+
+}  // namespace diffindex
+
+#endif  // DIFFINDEX_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,85 @@
+#include "workload/item_table.h"
+
+#include <cstdio>
+
+#include "core/index_codec.h"
+
+namespace diffindex {
+
+namespace {
+
+uint64_t Mix64(uint64_t x) {
+  // SplitMix64 finalizer: uniform, invertible.
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+Status ItemTable::Create() {
+  DIFFINDEX_RETURN_NOT_OK(cluster_->master()->CreateTable(options_.table));
+  if (options_.create_title_index) {
+    IndexDescriptor title_index;
+    title_index.name = kTitleIndex;
+    title_index.column = kTitleColumn;
+    title_index.scheme = options_.title_scheme;
+    DIFFINDEX_RETURN_NOT_OK(
+        cluster_->master()->CreateIndex(options_.table, title_index));
+  }
+  if (options_.create_price_index) {
+    IndexDescriptor price_index;
+    price_index.name = kPriceIndex;
+    price_index.column = kPriceColumn;
+    price_index.scheme = options_.price_scheme;
+    DIFFINDEX_RETURN_NOT_OK(
+        cluster_->master()->CreateIndex(options_.table, price_index));
+  }
+  return Status::OK();
+}
+
+std::string ItemTable::RowKey(uint64_t id) const {
+  char buf[20];
+  snprintf(buf, sizeof(buf), "%016llx",
+           static_cast<unsigned long long>(Mix64(id + 1)));
+  return buf;
+}
+
+std::string ItemTable::TitleValue(uint64_t id, uint64_t version) const {
+  return "title_" + std::to_string(id) + "_v" + std::to_string(version);
+}
+
+uint64_t ItemTable::PriceNumeric(uint64_t id, uint64_t version) const {
+  return Mix64(id * 2654435761ull + version) % options_.price_domain;
+}
+
+std::string ItemTable::PriceValue(uint64_t id, uint64_t version) const {
+  return EncodeUint64IndexValue(PriceNumeric(id, version));
+}
+
+std::vector<Cell> ItemTable::MakeRow(uint64_t id, uint64_t version,
+                                     Random* rng) const {
+  std::vector<Cell> cells;
+  cells.reserve(2 + options_.filler_columns);
+  cells.push_back(Cell{kTitleColumn, TitleValue(id, version), false});
+  cells.push_back(Cell{kPriceColumn, PriceValue(id, version), false});
+  for (int i = 0; i < options_.filler_columns; i++) {
+    cells.push_back(Cell{"field" + std::to_string(i),
+                         rng->RandomBytes(options_.filler_bytes), false});
+  }
+  return cells;
+}
+
+Status ItemTable::Load(Client* client) {
+  Random rng(42);
+  for (uint64_t id = 0; id < options_.num_items; id++) {
+    DIFFINDEX_RETURN_NOT_OK(
+        client->Put(options_.table, RowKey(id), MakeRow(id, 0, &rng)));
+  }
+  return Status::OK();
+}
+
+}  // namespace diffindex

@@ -1,0 +1,73 @@
+// The extended-YCSB `item` table of Section 8.1: each row has a unique
+// item id as rowkey and 10 columns; `item_title` and `item_price` are
+// indexed, the other 8 columns carry 100-byte random filler. Row keys are
+// hex-hashed so they spread uniformly over the region split points.
+
+#ifndef DIFFINDEX_WORKLOAD_ITEM_TABLE_H_
+#define DIFFINDEX_WORKLOAD_ITEM_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "util/random.h"
+
+namespace diffindex {
+
+struct ItemTableOptions {
+  std::string table = "item";
+  uint64_t num_items = 10000;
+  int filler_columns = 8;
+  size_t filler_bytes = 100;
+  // Price domain [0, price_domain); selectivity s targets a range of
+  // width s * price_domain.
+  uint64_t price_domain = 1000000;
+  IndexScheme title_scheme = IndexScheme::kSyncFull;
+  IndexScheme price_scheme = IndexScheme::kSyncFull;
+  bool create_title_index = true;
+  bool create_price_index = true;
+};
+
+class ItemTable {
+ public:
+  ItemTable(Cluster* cluster, const ItemTableOptions& options)
+      : cluster_(cluster), options_(options) {}
+
+  // Creates the table + indexes.
+  Status Create();
+
+  // Loads num_items rows (single-threaded helper; the runner has a
+  // multi-threaded load).
+  Status Load(Client* client);
+
+  // Row key of item `id`: 16 hex digits of a mixed hash.
+  std::string RowKey(uint64_t id) const;
+
+  // Deterministic title of the item's current version; version 0 is the
+  // loaded value, updates bump the version.
+  std::string TitleValue(uint64_t id, uint64_t version) const;
+
+  // Encoded (order-preserving) price drawn deterministically per item and
+  // version.
+  std::string PriceValue(uint64_t id, uint64_t version) const;
+  uint64_t PriceNumeric(uint64_t id, uint64_t version) const;
+
+  // All 10 columns of one item at a version.
+  std::vector<Cell> MakeRow(uint64_t id, uint64_t version,
+                            Random* rng) const;
+
+  const ItemTableOptions& options() const { return options_; }
+  static constexpr char kTitleColumn[] = "item_title";
+  static constexpr char kPriceColumn[] = "item_price";
+  static constexpr char kTitleIndex[] = "by_item_title";
+  static constexpr char kPriceIndex[] = "by_item_price";
+
+ private:
+  Cluster* const cluster_;
+  const ItemTableOptions options_;
+};
+
+}  // namespace diffindex
+
+#endif  // DIFFINDEX_WORKLOAD_ITEM_TABLE_H_

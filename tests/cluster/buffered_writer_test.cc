@@ -1,0 +1,138 @@
+// Multi-put RPC and client write buffer tests.
+
+#include "cluster/buffered_writer.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+
+namespace diffindex {
+namespace {
+
+class BufferedWriterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClusterOptions options;
+    options.num_servers = 3;
+    options.regions_per_table = 6;
+    ASSERT_TRUE(Cluster::Create(options, &cluster_).ok());
+    ASSERT_TRUE(cluster_->master()->CreateTable("t").ok());
+    client_ = cluster_->NewClient();
+  }
+
+  std::string RowFor(int i) {
+    char row[16];
+    snprintf(row, sizeof(row), "%02x-r%d", (i * 7) % 256, i);
+    return row;
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  std::shared_ptr<Client> client_;
+};
+
+TEST_F(BufferedWriterTest, MultiPutWritesAllRows) {
+  std::vector<Client::RowPut> puts;
+  for (int i = 0; i < 40; i++) {
+    puts.push_back(
+        Client::RowPut{RowFor(i), {Cell{"c", "v" + std::to_string(i),
+                                        false}}});
+  }
+  ASSERT_TRUE(client_->MultiPut("t", std::move(puts)).ok());
+  for (int i = 0; i < 40; i++) {
+    std::string value;
+    ASSERT_TRUE(
+        client_->GetCell("t", RowFor(i), "c", kMaxTimestamp, &value).ok())
+        << RowFor(i);
+    EXPECT_EQ(value, "v" + std::to_string(i));
+  }
+}
+
+TEST_F(BufferedWriterTest, MultiPutUsesOneRpcPerServer) {
+  std::vector<Client::RowPut> puts;
+  for (int i = 0; i < 60; i++) {
+    puts.push_back(Client::RowPut{RowFor(i), {Cell{"c", "v", false}}});
+  }
+  // Prime the layout cache so the count below is pure data-plane calls.
+  ASSERT_TRUE(client_->RefreshLayout().ok());
+  const uint64_t before = cluster_->fabric()->calls_made();
+  ASSERT_TRUE(client_->MultiPut("t", std::move(puts)).ok());
+  const uint64_t calls = cluster_->fabric()->calls_made() - before;
+  // At most one RPC per server (3), vs 60 for unbuffered puts.
+  EXPECT_LE(calls, 3u);
+}
+
+TEST_F(BufferedWriterTest, EmptyMultiPutIsNoop) {
+  EXPECT_TRUE(client_->MultiPut("t", {}).ok());
+}
+
+TEST_F(BufferedWriterTest, BufferAutoFlushesAtBatchSize) {
+  BufferedWriter writer(client_, "t", /*flush_batch_size=*/8);
+  for (int i = 0; i < 7; i++) {
+    ASSERT_TRUE(writer.AddColumn(RowFor(i), "c", "buffered").ok());
+  }
+  EXPECT_EQ(writer.pending(), 7u);
+  // Not yet visible.
+  std::string value;
+  EXPECT_TRUE(client_->GetCell("t", RowFor(0), "c", kMaxTimestamp, &value)
+                  .IsNotFound());
+  // The 8th put trips the auto-flush.
+  ASSERT_TRUE(writer.AddColumn(RowFor(7), "c", "buffered").ok());
+  EXPECT_EQ(writer.pending(), 0u);
+  ASSERT_TRUE(
+      client_->GetCell("t", RowFor(0), "c", kMaxTimestamp, &value).ok());
+  EXPECT_EQ(value, "buffered");
+}
+
+TEST_F(BufferedWriterTest, ExplicitFlushDrains) {
+  BufferedWriter writer(client_, "t", 1000);
+  for (int i = 0; i < 10; i++) {
+    ASSERT_TRUE(writer.AddColumn(RowFor(i), "c", "v").ok());
+  }
+  ASSERT_TRUE(writer.Flush().ok());
+  EXPECT_EQ(writer.pending(), 0u);
+  std::string value;
+  EXPECT_TRUE(
+      client_->GetCell("t", RowFor(9), "c", kMaxTimestamp, &value).ok());
+}
+
+TEST_F(BufferedWriterTest, MultiPutRunsIndexMaintenance) {
+  IndexDescriptor index;
+  index.name = "by_c";
+  index.column = "c";
+  index.scheme = IndexScheme::kSyncFull;
+  ASSERT_TRUE(cluster_->master()->CreateIndex("t", index).ok());
+  ASSERT_TRUE(client_->RefreshLayout().ok());
+
+  std::vector<Client::RowPut> puts;
+  for (int i = 0; i < 20; i++) {
+    puts.push_back(Client::RowPut{RowFor(i), {Cell{"c", "same", false}}});
+  }
+  ASSERT_TRUE(client_->MultiPut("t", std::move(puts)).ok());
+
+  auto dix = cluster_->NewDiffIndexClient();
+  std::vector<IndexHit> hits;
+  ASSERT_TRUE(dix->GetByIndex("t", "by_c", "same", &hits).ok());
+  EXPECT_EQ(hits.size(), 20u);
+}
+
+TEST_F(BufferedWriterTest, MultiPutSurvivesFailover) {
+  std::vector<Client::RowPut> puts;
+  for (int i = 0; i < 30; i++) {
+    puts.push_back(Client::RowPut{RowFor(i), {Cell{"c", "v1", false}}});
+  }
+  ASSERT_TRUE(client_->MultiPut("t", std::move(puts)).ok());
+  ASSERT_TRUE(cluster_->KillServer(2).ok());
+
+  // A batch against the refreshed layout still lands.
+  std::vector<Client::RowPut> more;
+  for (int i = 30; i < 60; i++) {
+    more.push_back(Client::RowPut{RowFor(i), {Cell{"c", "v2", false}}});
+  }
+  ASSERT_TRUE(client_->MultiPut("t", std::move(more)).ok());
+  std::string value;
+  EXPECT_TRUE(
+      client_->GetCell("t", RowFor(45), "c", kMaxTimestamp, &value).ok());
+}
+
+}  // namespace
+}  // namespace diffindex

@@ -1,0 +1,199 @@
+// Region moves (the balancer primitive): data integrity, write fencing,
+// stale-client recovery, index maintenance across the hand-off.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "cluster/cluster.h"
+
+namespace diffindex {
+namespace {
+
+class MoveTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClusterOptions options;
+    options.num_servers = 3;
+    options.regions_per_table = 3;
+    ASSERT_TRUE(Cluster::Create(options, &cluster_).ok());
+    ASSERT_TRUE(cluster_->master()->CreateTable("t").ok());
+    client_ = cluster_->NewClient();
+  }
+
+  RegionInfoWire RegionOf(const std::string& row) {
+    RegionInfoWire info;
+    EXPECT_TRUE(client_->RefreshLayout().ok());
+    EXPECT_TRUE(client_->RouteRow("t", row, &info).ok());
+    return info;
+  }
+
+  NodeId OtherServer(NodeId not_this) {
+    for (NodeId id : cluster_->server_ids()) {
+      if (id != not_this) return id;
+    }
+    return 0;
+  }
+
+  static std::string RowFor(int i) {
+    char row[16];
+    snprintf(row, sizeof(row), "%02x-%03d", (i * 43) % 256, i);
+    return row;
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  std::shared_ptr<Client> client_;
+};
+
+TEST_F(MoveTest, DataServedByNewOwnerAfterMove) {
+  for (int i = 0; i < 60; i++) {
+    ASSERT_TRUE(
+        client_->PutColumn("t", RowFor(i), "c", "v" + std::to_string(i))
+            .ok());
+  }
+  const RegionInfoWire region = RegionOf("20-x");
+  const NodeId target = OtherServer(region.server_id);
+  ASSERT_TRUE(
+      cluster_->master()->MoveRegion("t", region.region_id, target).ok());
+
+  const RegionInfoWire moved = RegionOf("20-x");
+  EXPECT_EQ(moved.server_id, target);
+  for (int i = 0; i < 60; i++) {
+    std::string value;
+    ASSERT_TRUE(
+        client_->GetCell("t", RowFor(i), "c", kMaxTimestamp, &value).ok())
+        << RowFor(i);
+    EXPECT_EQ(value, "v" + std::to_string(i));
+  }
+}
+
+TEST_F(MoveTest, UnflushedDataSurvivesMove) {
+  // Data only in the memtable at move time: the fence + flush must make
+  // it durable before the hand-off.
+  ASSERT_TRUE(client_->PutColumn("t", "30-memonly", "c", "fragile").ok());
+  const RegionInfoWire region = RegionOf("30-memonly");
+  ASSERT_TRUE(cluster_->master()
+                  ->MoveRegion("t", region.region_id,
+                               OtherServer(region.server_id))
+                  .ok());
+  std::string value;
+  ASSERT_TRUE(client_->RefreshLayout().ok());
+  ASSERT_TRUE(
+      client_->GetCell("t", "30-memonly", "c", kMaxTimestamp, &value).ok());
+  EXPECT_EQ(value, "fragile");
+}
+
+TEST_F(MoveTest, StaleClientWritesSelfHeal) {
+  auto stale = cluster_->NewClient();
+  ASSERT_TRUE(stale->PutColumn("t", "40-k", "c", "v1").ok());  // warm cache
+  const RegionInfoWire region = RegionOf("40-k");
+  ASSERT_TRUE(cluster_->master()
+                  ->MoveRegion("t", region.region_id,
+                               OtherServer(region.server_id))
+                  .ok());
+  // The stale client still routes to the old owner; the fence bounces it
+  // into a refresh + retry.
+  ASSERT_TRUE(stale->PutColumn("t", "40-k", "c", "v2").ok());
+  std::string value;
+  ASSERT_TRUE(stale->GetCell("t", "40-k", "c", kMaxTimestamp, &value).ok());
+  EXPECT_EQ(value, "v2");
+}
+
+TEST_F(MoveTest, MoveToSameServerIsNoop) {
+  const RegionInfoWire region = RegionOf("50-x");
+  EXPECT_TRUE(cluster_->master()
+                  ->MoveRegion("t", region.region_id, region.server_id)
+                  .ok());
+}
+
+TEST_F(MoveTest, MoveToUnknownServerRejected) {
+  const RegionInfoWire region = RegionOf("50-x");
+  EXPECT_TRUE(cluster_->master()
+                  ->MoveRegion("t", region.region_id, 999)
+                  .IsNotFound());
+}
+
+TEST_F(MoveTest, IndexedWritesWorkThroughMove) {
+  IndexDescriptor index;
+  index.name = "by_c";
+  index.column = "c";
+  index.scheme = IndexScheme::kAsyncSimple;
+  ASSERT_TRUE(cluster_->master()->CreateIndex("t", index).ok());
+  auto dix = cluster_->NewDiffIndexClient();
+  for (int i = 0; i < 30; i++) {
+    ASSERT_TRUE(dix->PutColumn("t", RowFor(i), "c", "idx").ok());
+  }
+  const RegionInfoWire region = RegionOf("20-x");
+  ASSERT_TRUE(cluster_->master()
+                  ->MoveRegion("t", region.region_id,
+                               OtherServer(region.server_id))
+                  .ok());
+  // The move's flush drained the source AUQ, so the index is complete.
+  std::vector<IndexHit> hits;
+  ASSERT_TRUE(dix->raw_client()->RefreshLayout().ok());
+  ASSERT_TRUE(dix->GetByIndex("t", "by_c", "idx", &hits).ok());
+  EXPECT_EQ(hits.size(), 30u);
+  // And writes keep maintaining it on the new owner.
+  ASSERT_TRUE(dix->PutColumn("t", "20-post", "c", "idx").ok());
+  for (int i = 0; i < 2000; i++) {
+    ASSERT_TRUE(dix->GetByIndex("t", "by_c", "idx", &hits).ok());
+    if (hits.size() == 31u) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(hits.size(), 31u);
+}
+
+TEST_F(MoveTest, TargetCrashAfterMoveRecoversPostMoveWrites) {
+  // The nasty ordering: region moves A -> B, B takes unflushed writes,
+  // B crashes. B's WAL edits must replay even though the region's
+  // persisted checkpoint came from A's sequence space.
+  ASSERT_TRUE(client_->PutColumn("t", "60-k", "c", "pre-move").ok());
+  const RegionInfoWire region = RegionOf("60-k");
+  const NodeId target = OtherServer(region.server_id);
+  ASSERT_TRUE(
+      cluster_->master()->MoveRegion("t", region.region_id, target).ok());
+
+  ASSERT_TRUE(client_->RefreshLayout().ok());
+  ASSERT_TRUE(client_->PutColumn("t", "60-k", "c", "post-move").ok());
+  ASSERT_TRUE(client_->PutColumn("t", "61-new", "c", "fresh").ok());
+  // No flush: the post-move writes live only in the target's WAL.
+  ASSERT_TRUE(cluster_->KillServer(target).ok());
+
+  ASSERT_TRUE(client_->RefreshLayout().ok());
+  std::string value;
+  ASSERT_TRUE(
+      client_->GetCell("t", "60-k", "c", kMaxTimestamp, &value).ok());
+  EXPECT_EQ(value, "post-move");
+  ASSERT_TRUE(
+      client_->GetCell("t", "61-new", "c", kMaxTimestamp, &value).ok());
+  EXPECT_EQ(value, "fresh");
+}
+
+TEST_F(MoveTest, ConcurrentWritersSurviveMove) {
+  std::atomic<bool> stop{false};
+  std::atomic<int> errors{0};
+  std::thread writer([this, &stop, &errors] {
+    auto c = cluster_->NewClient();
+    int i = 0;
+    while (!stop.load()) {
+      Status s = c->PutColumn("t", RowFor(i % 100), "c",
+                              "w" + std::to_string(i));
+      if (!s.ok()) errors++;
+      i++;
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const RegionInfoWire region = RegionOf("40-x");
+  ASSERT_TRUE(cluster_->master()
+                  ->MoveRegion("t", region.region_id,
+                               OtherServer(region.server_id))
+                  .ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  stop = true;
+  writer.join();
+  // The retry loop absorbs the WrongRegion bounces entirely.
+  EXPECT_EQ(errors.load(), 0);
+}
+
+}  // namespace
+}  // namespace diffindex

@@ -1,0 +1,203 @@
+// RegionServer-level tests: WAL edit encoding, WAL rolling and GC,
+// region lookup, flush accounting, and the timestamp oracle contract at
+// the server boundary.
+
+#include "cluster/region_server.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "util/random.h"
+
+namespace diffindex {
+namespace {
+
+TEST(WalEditTest, RoundTrip) {
+  WalEdit edit;
+  edit.table = "items";
+  edit.region_id = 7;
+  edit.seq = 123456789;
+  edit.row = "row-42";
+  edit.cells = {Cell{"title", "widget", false}, Cell{"price", "", true}};
+  edit.ts = 987654321;
+
+  std::string buf;
+  edit.EncodeTo(&buf);
+  Slice in(buf);
+  WalEdit decoded;
+  ASSERT_TRUE(WalEdit::DecodeFrom(&in, &decoded));
+  EXPECT_EQ(decoded.table, "items");
+  EXPECT_EQ(decoded.region_id, 7u);
+  EXPECT_EQ(decoded.seq, 123456789u);
+  EXPECT_EQ(decoded.row, "row-42");
+  ASSERT_EQ(decoded.cells.size(), 2u);
+  EXPECT_TRUE(decoded.cells[1].is_delete);
+  EXPECT_EQ(decoded.ts, 987654321u);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(WalEditTest, TruncatedFails) {
+  WalEdit edit;
+  edit.table = "t";
+  edit.row = "r";
+  edit.cells = {Cell{"c", "v", false}};
+  std::string buf;
+  edit.EncodeTo(&buf);
+  buf.resize(buf.size() / 2);
+  Slice in(buf);
+  WalEdit decoded;
+  EXPECT_FALSE(WalEdit::DecodeFrom(&in, &decoded));
+}
+
+class RegionServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClusterOptions options;
+    options.num_servers = 1;  // single server: direct introspection
+    options.regions_per_table = 2;
+    ASSERT_TRUE(Cluster::Create(options, &cluster_).ok());
+    ASSERT_TRUE(cluster_->master()->CreateTable("t").ok());
+    client_ = cluster_->NewClient();
+    server_ = cluster_->server(1);
+    ASSERT_NE(server_, nullptr);
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  std::shared_ptr<Client> client_;
+  RegionServer* server_;
+};
+
+TEST_F(RegionServerTest, HostedRegionsReflectAssignment) {
+  auto regions = server_->HostedRegions();
+  ASSERT_EQ(regions.size(), 2u);
+  EXPECT_EQ(regions[0].table, "t");
+}
+
+TEST_F(RegionServerTest, LocalGetCellReadsWithoutFabric) {
+  ASSERT_TRUE(client_->PutColumn("t", "aa-r", "c", "v").ok());
+  const uint64_t calls_before = cluster_->fabric()->calls_made();
+  std::string value;
+  Timestamp ts = 0;
+  ASSERT_TRUE(
+      server_->LocalGetCell("t", "aa-r", "c", kMaxTimestamp, &value, &ts)
+          .ok());
+  EXPECT_EQ(value, "v");
+  EXPECT_GT(ts, 0u);
+  EXPECT_EQ(cluster_->fabric()->calls_made(), calls_before);
+}
+
+TEST_F(RegionServerTest, LocalGetCellWrongRegionForForeignRow) {
+  std::string value;
+  EXPECT_TRUE(server_
+                  ->LocalGetCell("missing_table", "aa-r", "c",
+                                 kMaxTimestamp, &value, nullptr)
+                  .IsWrongRegion());
+}
+
+TEST_F(RegionServerTest, WalAppendsCounted) {
+  const uint64_t before = server_->wal_appends();
+  for (int i = 0; i < 10; i++) {
+    ASSERT_TRUE(
+        client_->PutColumn("t", "aa-" + std::to_string(i), "c", "v").ok());
+  }
+  EXPECT_EQ(server_->wal_appends(), before + 10);
+}
+
+TEST_F(RegionServerTest, FlushCountAndStallTracked) {
+  Random rng(1);
+  for (int i = 0; i < 50; i++) {
+    ASSERT_TRUE(client_
+                    ->PutColumn("t", "aa-" + std::to_string(i), "c",
+                                rng.RandomBytes(100))
+                    .ok());
+  }
+  const uint64_t before = server_->flush_count();
+  ASSERT_TRUE(client_->FlushTable("t").ok());
+  EXPECT_GT(server_->flush_count(), before);
+}
+
+TEST_F(RegionServerTest, WalRollsWhenLarge) {
+  // Rewriting with a tiny roll threshold: several WAL files appear, and
+  // flushing makes the old ones GC-able.
+  ClusterOptions options;
+  options.num_servers = 1;
+  options.regions_per_table = 2;
+  options.server.wal_roll_bytes = 8 << 10;
+  options.server.lsm.memtable_flush_bytes = 16 << 10;
+  std::unique_ptr<Cluster> cluster;
+  ASSERT_TRUE(Cluster::Create(options, &cluster).ok());
+  ASSERT_TRUE(cluster->master()->CreateTable("t").ok());
+  auto client = cluster->NewClient();
+  Random rng(2);
+  for (int i = 0; i < 400; i++) {
+    char row[16];
+    snprintf(row, sizeof(row), "%02x-%d", (i * 3) % 256, i);
+    ASSERT_TRUE(client->PutColumn("t", row, "c", rng.RandomBytes(200)).ok());
+  }
+  ASSERT_TRUE(client->FlushTable("t").ok());
+  std::vector<std::string> wal_files;
+  ASSERT_TRUE(Env::Default()
+                  ->GetChildren(cluster->server(1)->wal_dir(), &wal_files)
+                  .ok());
+  // Everything flushed: only the open tail (and maybe one just-rolled
+  // file) remains.
+  EXPECT_LE(wal_files.size(), 2u);
+  // And the data survives a crash+recovery from what remains... there is
+  // only one server, so instead verify reads directly.
+  std::string value;
+  EXPECT_TRUE(client->GetCell("t", "00-0", "c", kMaxTimestamp, &value).ok());
+}
+
+TEST_F(RegionServerTest, ServerAssignedTimestampsIncreasePerRow) {
+  PutResponse r1, r2;
+  ASSERT_TRUE(client_
+                  ->Put("t", "aa-r", {Cell{"c", "v1", false}}, 0, false, &r1)
+                  .ok());
+  ASSERT_TRUE(client_
+                  ->Put("t", "aa-r", {Cell{"c", "v2", false}}, 0, false, &r2)
+                  .ok());
+  EXPECT_GT(r2.assigned_ts, r1.assigned_ts);
+}
+
+TEST_F(RegionServerTest, ExplicitTimestampHonored) {
+  // Index entries reuse the base put's timestamp — the server must apply
+  // an explicit ts verbatim.
+  PutResponse resp;
+  ASSERT_TRUE(client_
+                  ->Put("t", "aa-r", {Cell{"c", "v", false}},
+                        /*ts=*/42424242, false, &resp)
+                  .ok());
+  EXPECT_EQ(resp.assigned_ts, 42424242u);
+  std::string value;
+  Timestamp ts = 0;
+  ASSERT_TRUE(
+      client_->GetCell("t", "aa-r", "c", kMaxTimestamp, &value, &ts).ok());
+  EXPECT_EQ(ts, 42424242u);
+}
+
+TEST_F(RegionServerTest, GracefulStopFlushesEverything) {
+  ASSERT_TRUE(client_->PutColumn("t", "aa-r", "c", "durable").ok());
+  ASSERT_TRUE(server_->Stop().ok());
+  // After a graceful stop the memtable was flushed: the region's data
+  // directory holds at least one SSTable.
+  std::vector<std::string> files;
+  RegionInfoWire region = server_->HostedRegions()[0];
+  // Find the region hosting "aa-r".
+  for (const auto& info : server_->HostedRegions()) {
+    if ((info.start_row.empty() || info.start_row <= "aa-r") &&
+        (info.end_row.empty() || std::string("aa-r") < info.end_row)) {
+      region = info;
+    }
+  }
+  const std::string dir = Region::DataDir(cluster_->data_root(), region.table,
+                                          region.region_id);
+  ASSERT_TRUE(Env::Default()->GetChildren(dir, &files).ok());
+  bool has_sst = false;
+  for (const auto& f : files) {
+    if (f.find(".sst") != std::string::npos) has_sst = true;
+  }
+  EXPECT_TRUE(has_sst);
+}
+
+}  // namespace
+}  // namespace diffindex

@@ -1,0 +1,184 @@
+// Tests of the workload-aware scheme advisor (the paper's future work,
+// Section 3.4) and of live scheme switching through the master.
+
+#include "core/advisor.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "core/backfill.h"
+#include "core/index_codec.h"
+
+namespace diffindex {
+namespace {
+
+IndexWorkloadProfile Profile(uint64_t updates, uint64_t reads,
+                             bool consistency = true,
+                             bool read_your_writes = false) {
+  IndexWorkloadProfile profile;
+  profile.updates = updates;
+  profile.reads = reads;
+  profile.requires_consistency = consistency;
+  profile.requires_read_your_writes = read_your_writes;
+  return profile;
+}
+
+TEST(AdvisorTest, ReadYourWritesPicksAsyncSession) {
+  auto rec = SchemeAdvisor::Recommend(Profile(100, 100, false, true));
+  EXPECT_EQ(rec.scheme, IndexScheme::kAsyncSession);
+  EXPECT_FALSE(rec.reason.empty());
+}
+
+TEST(AdvisorTest, ReadYourWritesBeatsConsistencyFlag) {
+  // Principle 5 dominates: even a "consistency needed" workload that asks
+  // for read-your-writes gets the session scheme.
+  auto rec = SchemeAdvisor::Recommend(Profile(100, 100, true, true));
+  EXPECT_EQ(rec.scheme, IndexScheme::kAsyncSession);
+}
+
+TEST(AdvisorTest, NoConsistencyPicksAsyncSimple) {
+  auto rec = SchemeAdvisor::Recommend(Profile(1000, 10, false));
+  EXPECT_EQ(rec.scheme, IndexScheme::kAsyncSimple);
+}
+
+TEST(AdvisorTest, WriteHeavyPicksSyncInsert) {
+  auto rec = SchemeAdvisor::Recommend(Profile(900, 100));
+  EXPECT_EQ(rec.scheme, IndexScheme::kSyncInsert);
+}
+
+TEST(AdvisorTest, ReadHeavyPicksSyncFull) {
+  auto rec = SchemeAdvisor::Recommend(Profile(100, 900));
+  EXPECT_EQ(rec.scheme, IndexScheme::kSyncFull);
+}
+
+TEST(AdvisorTest, BalancedConsistentWorkloadPicksSyncFull) {
+  auto rec = SchemeAdvisor::Recommend(Profile(500, 500));
+  EXPECT_EQ(rec.scheme, IndexScheme::kSyncFull);
+}
+
+TEST(AdvisorTest, LargeResultSetsVetoSyncInsert) {
+  // Write-heavy, but each read returns 1000 rows: sync-insert would pay
+  // 1000 base double-checks per read (the Figure 9 blow-up).
+  IndexWorkloadProfile profile = Profile(900, 100);
+  profile.avg_rows_per_read = 1000;
+  auto rec = SchemeAdvisor::Recommend(profile);
+  EXPECT_EQ(rec.scheme, IndexScheme::kSyncFull);
+}
+
+TEST(AdvisorTest, ThresholdsAreConfigurable) {
+  AdvisorOptions options;
+  options.update_critical_ratio = 0.5;
+  auto rec = SchemeAdvisor::Recommend(Profile(600, 400), options);
+  EXPECT_EQ(rec.scheme, IndexScheme::kSyncInsert);
+}
+
+TEST(AdvisorTest, ConvenienceOverloadAgrees) {
+  EXPECT_EQ(SchemeAdvisor::RecommendScheme(900, 100, true, false),
+            IndexScheme::kSyncInsert);
+  EXPECT_EQ(SchemeAdvisor::RecommendScheme(0, 0, false, true),
+            IndexScheme::kAsyncSession);
+}
+
+// ---- Live scheme switching ----
+
+class SchemeSwitchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClusterOptions options;
+    options.num_servers = 2;
+    options.regions_per_table = 4;
+    ASSERT_TRUE(Cluster::Create(options, &cluster_).ok());
+    client_ = cluster_->NewDiffIndexClient();
+    ASSERT_TRUE(cluster_->master()->CreateTable("t").ok());
+    IndexDescriptor index;
+    index.name = "by_c";
+    index.column = "c";
+    index.scheme = IndexScheme::kSyncInsert;
+    ASSERT_TRUE(cluster_->master()->CreateIndex("t", index).ok());
+    ASSERT_TRUE(client_->raw_client()->RefreshLayout().ok());
+  }
+
+  size_t PhysicalEntries(const std::string& value) {
+    std::vector<ScannedRow> rows;
+    (void)client_->raw_client()->ScanRows(
+        "__idx_t_by_c", IndexScanStartForValue(value),
+        IndexScanEndForValue(value), kMaxTimestamp, 0, &rows);
+    return rows.size();
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<DiffIndexClient> client_;
+};
+
+TEST_F(SchemeSwitchTest, SwitchTakesEffectOnNextPut) {
+  // Under sync-insert an update leaves the stale entry in place.
+  ASSERT_TRUE(client_->PutColumn("t", "aa-1", "c", "v1").ok());
+  ASSERT_TRUE(client_->PutColumn("t", "aa-1", "c", "v2").ok());
+  EXPECT_EQ(PhysicalEntries("v1"), 1u);  // stale entry lingers
+
+  // Switch to sync-full: the next update cleans up after itself.
+  ASSERT_TRUE(cluster_->master()
+                  ->AlterIndexScheme("t", "by_c", IndexScheme::kSyncFull)
+                  .ok());
+  ASSERT_TRUE(client_->PutColumn("t", "aa-1", "c", "v3").ok());
+  EXPECT_EQ(PhysicalEntries("v2"), 0u);  // SU4 deleted the old entry
+  EXPECT_EQ(PhysicalEntries("v3"), 1u);
+
+  // The pre-switch stale entry is still there (no lazy repair under
+  // sync-full)...
+  EXPECT_EQ(PhysicalEntries("v1"), 1u);
+  // ...which is exactly why the advisor says to cleanse after switching.
+  IndexBackfill backfill(cluster_->NewClient());
+  CleanseReport report;
+  ASSERT_TRUE(backfill.Cleanse("t", "by_c", &report).ok());
+  EXPECT_EQ(report.stale_removed, 1u);
+  EXPECT_EQ(PhysicalEntries("v1"), 0u);
+}
+
+TEST_F(SchemeSwitchTest, SwitchToAsyncDefersWork) {
+  ASSERT_TRUE(cluster_->master()
+                  ->AlterIndexScheme("t", "by_c", IndexScheme::kAsyncSimple)
+                  .ok());
+  ASSERT_TRUE(client_->PutColumn("t", "aa-1", "c", "async-v").ok());
+  // Eventually visible.
+  for (int i = 0; i < 2000; i++) {
+    std::vector<IndexHit> hits;
+    ASSERT_TRUE(client_->GetByIndex("t", "by_c", "async-v", &hits).ok());
+    if (hits.size() == 1) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  FAIL() << "async index never caught up after the switch";
+}
+
+TEST_F(SchemeSwitchTest, UnknownIndexRejected) {
+  EXPECT_TRUE(cluster_->master()
+                  ->AlterIndexScheme("t", "nope", IndexScheme::kSyncFull)
+                  .IsNotFound());
+  EXPECT_TRUE(cluster_->master()
+                  ->AlterIndexScheme("nope", "by_c", IndexScheme::kSyncFull)
+                  .IsNotFound());
+}
+
+TEST_F(SchemeSwitchTest, AdvisorDrivenSwitchEndToEnd) {
+  // Observe a write-heavy phase, ask the advisor, apply its pick.
+  IndexWorkloadProfile profile = {};
+  profile.updates = 5000;
+  profile.reads = 100;
+  profile.requires_consistency = true;
+  auto rec = SchemeAdvisor::Recommend(profile);
+  ASSERT_EQ(rec.scheme, IndexScheme::kSyncInsert);
+  ASSERT_TRUE(
+      cluster_->master()->AlterIndexScheme("t", "by_c", rec.scheme).ok());
+
+  // Now a read-heavy phase flips it back.
+  profile.updates = 100;
+  profile.reads = 5000;
+  rec = SchemeAdvisor::Recommend(profile);
+  ASSERT_EQ(rec.scheme, IndexScheme::kSyncFull);
+  ASSERT_TRUE(
+      cluster_->master()->AlterIndexScheme("t", "by_c", rec.scheme).ok());
+  EXPECT_TRUE(rec.cleanse_after_switch_from_insert);
+}
+
+}  // namespace
+}  // namespace diffindex

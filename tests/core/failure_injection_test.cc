@@ -1,0 +1,237 @@
+// Failure-injection tests beyond plain crashes: network partitions while
+// synchronous index maintenance is in flight (Section 6.2's degrade-to-
+// eventual path), and session-consistent range reads.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "cluster/cluster.h"
+#include "core/index_codec.h"
+
+namespace diffindex {
+namespace {
+
+class FailureInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClusterOptions options;
+    options.num_servers = 3;
+    options.regions_per_table = 6;
+    options.auq.retry_backoff_ms = 1;
+    ASSERT_TRUE(Cluster::Create(options, &cluster_).ok());
+    client_ = cluster_->NewDiffIndexClient();
+  }
+
+  void CreateIndexed(IndexScheme scheme) {
+    ASSERT_TRUE(cluster_->master()->CreateTable("t").ok());
+    IndexDescriptor index;
+    index.name = "by_c";
+    index.column = "c";
+    index.scheme = scheme;
+    ASSERT_TRUE(cluster_->master()->CreateIndex("t", index).ok());
+    ASSERT_TRUE(client_->raw_client()->RefreshLayout().ok());
+  }
+
+  // Owner of the base row and of the index entry for (value, row).
+  NodeId BaseOwner(const std::string& row) {
+    RegionInfoWire info;
+    EXPECT_TRUE(client_->raw_client()->RouteRow("t", row, &info).ok());
+    return info.server_id;
+  }
+  NodeId IndexOwner(const std::string& value, const std::string& row) {
+    RegionInfoWire info;
+    EXPECT_TRUE(client_->raw_client()
+                    ->RouteRow("__idx_t_by_c", EncodeIndexRow(value, row),
+                               &info)
+                    .ok());
+    return info.server_id;
+  }
+
+  // Finds a (row, value) whose base and index entries live on different
+  // servers so a partition between them is meaningful.
+  bool FindCrossServerPair(std::string* row, std::string* value) {
+    for (int i = 0; i < 256; i++) {
+      char candidate[16];
+      snprintf(candidate, sizeof(candidate), "%02x-row", i);
+      const std::string v = "partition-value";
+      if (BaseOwner(candidate) != IndexOwner(v, candidate)) {
+        *row = candidate;
+        *value = v;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void WaitDrained() {
+    for (int i = 0; i < 5000; i++) {
+      bool idle = true;
+      for (NodeId id : cluster_->server_ids()) {
+        if (cluster_->index_manager(id)->QueueDepth() > 0) idle = false;
+      }
+      if (idle) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    FAIL() << "AUQ did not drain";
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<DiffIndexClient> client_;
+};
+
+TEST_F(FailureInjectionTest, SyncFullDegradesToEventualUnderPartition) {
+  CreateIndexed(IndexScheme::kSyncFull);
+  std::string row, value;
+  ASSERT_TRUE(FindCrossServerPair(&row, &value));
+  const NodeId base_server = BaseOwner(row);
+  const NodeId index_server = IndexOwner(value, row);
+
+  // Cut the base server off from the index server: the synchronous index
+  // put (issued server-side by the observer) must fail...
+  cluster_->fabric()->SetPartitioned(base_server, index_server, true);
+  // ...but the base put still succeeds — "in some cases when index cannot
+  // be synchronized, users still want the work to proceed" (Section 3.2):
+  // the failed op lands in the AUQ for retry.
+  ASSERT_TRUE(client_->PutColumn("t", row, "c", value).ok());
+  std::string got;
+  ASSERT_TRUE(client_->Get("t", row, "c", &got).ok());
+  EXPECT_EQ(got, value);
+
+  // Heal the partition: the AUQ retries to completion.
+  cluster_->fabric()->SetPartitioned(base_server, index_server, false);
+  WaitDrained();
+  std::vector<IndexHit> hits;
+  ASSERT_TRUE(client_->GetByIndex("t", "by_c", value, &hits).ok());
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].base_row, row);
+}
+
+TEST_F(FailureInjectionTest, SyncInsertDegradesToEventualUnderPartition) {
+  CreateIndexed(IndexScheme::kSyncInsert);
+  std::string row, value;
+  ASSERT_TRUE(FindCrossServerPair(&row, &value));
+  const NodeId base_server = BaseOwner(row);
+  const NodeId index_server = IndexOwner(value, row);
+
+  cluster_->fabric()->SetPartitioned(base_server, index_server, true);
+  ASSERT_TRUE(client_->PutColumn("t", row, "c", value).ok());
+  cluster_->fabric()->SetPartitioned(base_server, index_server, false);
+  WaitDrained();
+  std::vector<IndexHit> hits;
+  ASSERT_TRUE(client_->GetByIndex("t", "by_c", value, &hits).ok());
+  EXPECT_EQ(hits.size(), 1u);
+}
+
+TEST_F(FailureInjectionTest, ClientPartitionedFromOneServerStillErrors) {
+  CreateIndexed(IndexScheme::kSyncFull);
+  // Partition the CLIENT from a server: its puts to that server fail with
+  // Unavailable after retries (there is no failover — the server is fine,
+  // only this client can't reach it).
+  std::string row = "00-r";
+  const NodeId owner = BaseOwner(row);
+  cluster_->fabric()->SetPartitioned(client_->raw_client()->self_node(),
+                                     owner, true);
+  Status s = client_->PutColumn("t", row, "c", "v");
+  EXPECT_TRUE(s.IsUnavailable());
+  cluster_->fabric()->SetPartitioned(client_->raw_client()->self_node(),
+                                     owner, false);
+  EXPECT_TRUE(client_->PutColumn("t", row, "c", "v").ok());
+}
+
+TEST_F(FailureInjectionTest, AsyncRetriesThroughIndexServerCrash) {
+  CreateIndexed(IndexScheme::kAsyncSimple);
+  std::string row, value;
+  ASSERT_TRUE(FindCrossServerPair(&row, &value));
+  const NodeId index_server = IndexOwner(value, row);
+
+  // Write, then immediately crash the index entry's server. The AUQ task
+  // retries until the master has reassigned the index region.
+  ASSERT_TRUE(client_->PutColumn("t", row, "c", value).ok());
+  ASSERT_TRUE(cluster_->KillServer(index_server).ok());
+  WaitDrained();
+
+  ASSERT_TRUE(client_->raw_client()->RefreshLayout().ok());
+  std::vector<IndexHit> hits;
+  ASSERT_TRUE(client_->GetByIndex("t", "by_c", value, &hits).ok());
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].base_row, row);
+}
+
+// ---- Session-consistent range reads ----
+
+TEST_F(FailureInjectionTest, SessionRangeReadSeesOwnWrites) {
+  ASSERT_TRUE(cluster_->master()->CreateTable("priced").ok());
+  IndexDescriptor index;
+  index.name = "by_p";
+  index.column = "p";
+  index.scheme = IndexScheme::kAsyncSession;
+  ASSERT_TRUE(cluster_->master()->CreateIndex("priced", index).ok());
+  ASSERT_TRUE(client_->raw_client()->RefreshLayout().ok());
+
+  const SessionId s = client_->GetSession();
+  // Session writes three prices; the async index has NOT caught up.
+  for (uint64_t price : {100, 200, 300}) {
+    char row[16];
+    snprintf(row, sizeof(row), "%02x-p%llu", static_cast<unsigned>(price),
+             static_cast<unsigned long long>(price));
+    ASSERT_TRUE(client_
+                    ->SessionPut(s, "priced", row,
+                                 {Cell{"p", EncodeUint64IndexValue(price),
+                                       false}})
+                    .ok());
+  }
+  std::vector<IndexHit> hits;
+  ASSERT_TRUE(client_
+                  ->SessionRangeByIndex(s, "priced", "by_p",
+                                        EncodeUint64IndexValue(150),
+                                        EncodeUint64IndexValue(350), &hits)
+                  .ok());
+  EXPECT_EQ(hits.size(), 2u);  // 200 and 300, straight from the session
+  client_->EndSession(s);
+}
+
+TEST_F(FailureInjectionTest, SessionRangeReadSuppressesOwnSupersededValue) {
+  ASSERT_TRUE(cluster_->master()->CreateTable("priced").ok());
+  IndexDescriptor index;
+  index.name = "by_p";
+  index.column = "p";
+  index.scheme = IndexScheme::kAsyncSession;
+  ASSERT_TRUE(cluster_->master()->CreateIndex("priced", index).ok());
+  ASSERT_TRUE(client_->raw_client()->RefreshLayout().ok());
+
+  // Seed a price and let the index catch up.
+  ASSERT_TRUE(client_
+                  ->PutColumn("priced", "aa-item", "p",
+                              EncodeUint64IndexValue(100))
+                  .ok());
+  WaitDrained();
+
+  // The session moves the price out of the queried range; a session range
+  // read must not return the stale 100 even though the server index still
+  // holds it.
+  const SessionId s = client_->GetSession();
+  ASSERT_TRUE(client_
+                  ->SessionPut(s, "priced", "aa-item",
+                               {Cell{"p", EncodeUint64IndexValue(900),
+                                     false}})
+                  .ok());
+  std::vector<IndexHit> hits;
+  ASSERT_TRUE(client_
+                  ->SessionRangeByIndex(s, "priced", "by_p",
+                                        EncodeUint64IndexValue(50),
+                                        EncodeUint64IndexValue(200), &hits)
+                  .ok());
+  EXPECT_TRUE(hits.empty());
+  ASSERT_TRUE(client_
+                  ->SessionRangeByIndex(s, "priced", "by_p",
+                                        EncodeUint64IndexValue(850),
+                                        EncodeUint64IndexValue(950), &hits)
+                  .ok());
+  EXPECT_EQ(hits.size(), 1u);
+  client_->EndSession(s);
+}
+
+}  // namespace
+}  // namespace diffindex

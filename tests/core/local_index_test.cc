@@ -1,0 +1,177 @@
+// Local (region-co-located) indexes — the Section 3.1 alternative design
+// Diff-Index argues against for selective queries: fast, server-local
+// updates, but reads broadcast to every region.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/cluster.h"
+#include "core/index_codec.h"
+
+namespace diffindex {
+namespace {
+
+class LocalIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClusterOptions options;
+    options.num_servers = 3;
+    options.regions_per_table = 6;
+    ASSERT_TRUE(Cluster::Create(options, &cluster_).ok());
+    client_ = cluster_->NewDiffIndexClient();
+
+    ASSERT_TRUE(cluster_->master()->CreateTable("t").ok());
+    IndexDescriptor index;
+    index.name = "by_c";
+    index.column = "c";
+    index.is_local = true;
+    ASSERT_TRUE(cluster_->master()->CreateIndex("t", index).ok());
+    ASSERT_TRUE(client_->raw_client()->RefreshLayout().ok());
+  }
+
+  std::set<std::string> HitRows(const std::vector<IndexHit>& hits) {
+    std::set<std::string> rows;
+    for (const auto& hit : hits) rows.insert(hit.base_row);
+    return rows;
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<DiffIndexClient> client_;
+};
+
+TEST_F(LocalIndexTest, NoBackingGlobalTableCreated) {
+  auto client = cluster_->NewClient();
+  CatalogSnapshot catalog = client->catalog();
+  const TableDescriptor* base = catalog.GetTable("t");
+  ASSERT_NE(base, nullptr);
+  ASSERT_EQ(base->indexes.size(), 1u);
+  EXPECT_TRUE(base->indexes[0].is_local);
+  EXPECT_TRUE(base->indexes[0].index_table.empty());
+  EXPECT_EQ(catalog.GetTable("__idx_t_by_c"), nullptr);
+}
+
+TEST_F(LocalIndexTest, ExactMatchAcrossRegions) {
+  for (int i = 0; i < 24; i++) {
+    char row[16];
+    snprintf(row, sizeof(row), "%02x-%d", (i * 11) % 256, i);
+    ASSERT_TRUE(client_->PutColumn("t", row, "c", "shared-value").ok());
+  }
+  std::vector<IndexHit> hits;
+  ASSERT_TRUE(client_->GetByIndex("t", "by_c", "shared-value", &hits).ok());
+  EXPECT_EQ(hits.size(), 24u);
+}
+
+TEST_F(LocalIndexTest, UpdateMovesEntrySynchronously) {
+  ASSERT_TRUE(client_->PutColumn("t", "aa-1", "c", "old").ok());
+  ASSERT_TRUE(client_->PutColumn("t", "aa-1", "c", "new").ok());
+  std::vector<IndexHit> hits;
+  ASSERT_TRUE(client_->GetByIndex("t", "by_c", "old", &hits).ok());
+  EXPECT_TRUE(hits.empty());  // no lazy repair needed: removed inline
+  ASSERT_TRUE(client_->GetByIndex("t", "by_c", "new", &hits).ok());
+  EXPECT_EQ(HitRows(hits), std::set<std::string>{"aa-1"});
+}
+
+TEST_F(LocalIndexTest, DeleteRemovesEntry) {
+  ASSERT_TRUE(client_->PutColumn("t", "aa-1", "c", "v").ok());
+  ASSERT_TRUE(client_->DeleteColumns("t", "aa-1", {"c"}).ok());
+  std::vector<IndexHit> hits;
+  ASSERT_TRUE(client_->GetByIndex("t", "by_c", "v", &hits).ok());
+  EXPECT_TRUE(hits.empty());
+}
+
+TEST_F(LocalIndexTest, RangeQueryMergesRegions) {
+  ASSERT_TRUE(cluster_->master()->CreateTable("priced").ok());
+  IndexDescriptor index;
+  index.name = "by_p";
+  index.column = "p";
+  index.is_local = true;
+  ASSERT_TRUE(cluster_->master()->CreateIndex("priced", index).ok());
+  ASSERT_TRUE(client_->raw_client()->RefreshLayout().ok());
+
+  for (uint64_t price = 0; price < 40; price++) {
+    char row[16];
+    snprintf(row, sizeof(row), "%02x-p%llu",
+             static_cast<unsigned>(price * 6),
+             static_cast<unsigned long long>(price));
+    ASSERT_TRUE(client_
+                    ->PutColumn("priced", row, "p",
+                                EncodeUint64IndexValue(price))
+                    .ok());
+  }
+  std::vector<IndexHit> hits;
+  ASSERT_TRUE(client_
+                  ->RangeByIndex("priced", "by_p",
+                                 EncodeUint64IndexValue(10),
+                                 EncodeUint64IndexValue(30), 0, &hits)
+                  .ok());
+  EXPECT_EQ(hits.size(), 20u);
+  // Sorted by encoded value despite arriving from different regions.
+  for (size_t i = 1; i < hits.size(); i++) {
+    EXPECT_LE(hits[i - 1].value_encoded, hits[i].value_encoded);
+  }
+}
+
+TEST_F(LocalIndexTest, UpdateMakesNoRemoteCalls) {
+  // The whole point of a local index: maintenance never leaves the
+  // server. Count fabric calls around an update — exactly one (the
+  // client's put RPC itself).
+  ASSERT_TRUE(client_->PutColumn("t", "aa-1", "c", "v0").ok());
+  const uint64_t before = cluster_->fabric()->calls_made();
+  ASSERT_TRUE(client_->PutColumn("t", "aa-1", "c", "v1").ok());
+  EXPECT_EQ(cluster_->fabric()->calls_made(), before + 1);
+}
+
+TEST_F(LocalIndexTest, ReadBroadcastsToEveryRegion) {
+  ASSERT_TRUE(client_->PutColumn("t", "aa-1", "c", "v").ok());
+  const uint64_t before = cluster_->fabric()->calls_made();
+  std::vector<IndexHit> hits;
+  ASSERT_TRUE(client_->GetByIndex("t", "by_c", "v", &hits).ok());
+  // One RPC per region of the base table (6 regions).
+  EXPECT_EQ(cluster_->fabric()->calls_made(), before + 6);
+}
+
+TEST_F(LocalIndexTest, RebuiltAfterServerCrash) {
+  for (int i = 0; i < 48; i++) {
+    char row[16];
+    snprintf(row, sizeof(row), "%02x-%d", (i * 5) % 256, i);
+    ASSERT_TRUE(client_->PutColumn("t", row, "c", "survive").ok());
+  }
+  ASSERT_TRUE(cluster_->KillServer(2).ok());
+  ASSERT_TRUE(client_->raw_client()->RefreshLayout().ok());
+  std::vector<IndexHit> hits;
+  ASSERT_TRUE(client_->GetByIndex("t", "by_c", "survive", &hits).ok());
+  // The new owners rebuilt the local indexes from recovered base data.
+  EXPECT_EQ(hits.size(), 48u);
+}
+
+TEST_F(LocalIndexTest, SurvivesFlush) {
+  for (int i = 0; i < 20; i++) {
+    char row[16];
+    snprintf(row, sizeof(row), "%02x-%d", (i * 13) % 256, i);
+    ASSERT_TRUE(client_->PutColumn("t", row, "c", "flushed").ok());
+  }
+  ASSERT_TRUE(client_->raw_client()->FlushTable("t").ok());
+  std::vector<IndexHit> hits;
+  ASSERT_TRUE(client_->GetByIndex("t", "by_c", "flushed", &hits).ok());
+  EXPECT_EQ(hits.size(), 20u);
+}
+
+TEST_F(LocalIndexTest, CoexistsWithGlobalIndexOnSameTable) {
+  IndexDescriptor global;
+  global.name = "by_c_global";
+  global.column = "c";
+  global.scheme = IndexScheme::kSyncFull;
+  ASSERT_TRUE(cluster_->master()->CreateIndex("t", global).ok());
+  ASSERT_TRUE(client_->raw_client()->RefreshLayout().ok());
+
+  ASSERT_TRUE(client_->PutColumn("t", "aa-1", "c", "both").ok());
+  std::vector<IndexHit> local_hits, global_hits;
+  ASSERT_TRUE(client_->GetByIndex("t", "by_c", "both", &local_hits).ok());
+  ASSERT_TRUE(
+      client_->GetByIndex("t", "by_c_global", "both", &global_hits).ok());
+  EXPECT_EQ(HitRows(local_hits), HitRows(global_hits));
+}
+
+}  // namespace
+}  // namespace diffindex

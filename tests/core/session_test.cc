@@ -1,0 +1,206 @@
+// Unit tests of the client-side session cache (Section 5.2): private
+// entry/delete-marker tracking, merge semantics, idle expiry, and the
+// out-of-memory degradation.
+
+#include "core/session.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "core/index_codec.h"
+
+namespace diffindex {
+namespace {
+
+IndexHit MakeHit(const std::string& value, const std::string& row,
+                 Timestamp ts) {
+  IndexHit hit;
+  hit.value_encoded = value;
+  hit.base_row = row;
+  hit.ts = ts;
+  return hit;
+}
+
+TEST(SessionTest, CreateAndEnd) {
+  SessionManager manager;
+  const SessionId a = manager.CreateSession();
+  const SessionId b = manager.CreateSession();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(manager.live_sessions(), 2u);
+  manager.EndSession(a);
+  EXPECT_EQ(manager.live_sessions(), 1u);
+  EXPECT_FALSE(manager.IsLive(a));
+  EXPECT_TRUE(manager.IsLive(b));
+}
+
+TEST(SessionTest, UnknownSessionIsExpired) {
+  SessionManager manager;
+  std::vector<IndexHit> hits;
+  EXPECT_TRUE(manager.MergeHits(999, "idx", "", "", &hits, nullptr)
+                  .IsSessionExpired());
+  EXPECT_TRUE(
+      manager.RecordEntry(999, "idx", "row", 1, false).IsSessionExpired());
+}
+
+TEST(SessionTest, PrivateAddSurfacesInMerge) {
+  SessionManager manager;
+  const SessionId s = manager.CreateSession();
+  const std::string index_row = EncodeIndexRow("red", "item1");
+  ASSERT_TRUE(manager.RecordEntry(s, "idx", index_row, 100, false).ok());
+
+  std::vector<IndexHit> hits;  // server returned nothing
+  ASSERT_TRUE(manager.MergeHits(s, "idx", IndexScanStartForValue("red"),
+                                IndexScanEndForValue("red"), &hits, nullptr)
+                  .ok());
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].base_row, "item1");
+  EXPECT_EQ(hits[0].value_encoded, "red");
+}
+
+TEST(SessionTest, PrivateAddOutsideRangeIgnored) {
+  SessionManager manager;
+  const SessionId s = manager.CreateSession();
+  ASSERT_TRUE(manager.RecordEntry(s, "idx", EncodeIndexRow("blue", "item1"),
+                                  100, false)
+                  .ok());
+  std::vector<IndexHit> hits;
+  ASSERT_TRUE(manager.MergeHits(s, "idx", IndexScanStartForValue("red"),
+                                IndexScanEndForValue("red"), &hits, nullptr)
+                  .ok());
+  EXPECT_TRUE(hits.empty());
+}
+
+TEST(SessionTest, DeleteMarkerSuppressesStaleServerHit) {
+  SessionManager manager;
+  const SessionId s = manager.CreateSession();
+  const std::string index_row = EncodeIndexRow("red", "item1");
+  // The session deleted (superseded) this entry at ts=200.
+  ASSERT_TRUE(manager.RecordEntry(s, "idx", index_row, 200, true).ok());
+
+  // Server still returns the stale entry written at ts=100.
+  std::vector<IndexHit> hits = {MakeHit("red", "item1", 100)};
+  ASSERT_TRUE(manager.MergeHits(s, "idx", IndexScanStartForValue("red"),
+                                IndexScanEndForValue("red"), &hits, nullptr)
+                  .ok());
+  EXPECT_TRUE(hits.empty());
+}
+
+TEST(SessionTest, DeleteMarkerDoesNotSuppressNewerServerHit) {
+  SessionManager manager;
+  const SessionId s = manager.CreateSession();
+  const std::string index_row = EncodeIndexRow("red", "item1");
+  ASSERT_TRUE(manager.RecordEntry(s, "idx", index_row, 100, true).ok());
+
+  // Someone re-added the value after this session's delete.
+  std::vector<IndexHit> hits = {MakeHit("red", "item1", 300)};
+  ASSERT_TRUE(manager.MergeHits(s, "idx", IndexScanStartForValue("red"),
+                                IndexScanEndForValue("red"), &hits, nullptr)
+                  .ok());
+  EXPECT_EQ(hits.size(), 1u);
+}
+
+TEST(SessionTest, NoDuplicateWhenServerCaughtUp) {
+  SessionManager manager;
+  const SessionId s = manager.CreateSession();
+  const std::string index_row = EncodeIndexRow("red", "item1");
+  ASSERT_TRUE(manager.RecordEntry(s, "idx", index_row, 100, false).ok());
+
+  // Server already has the entry.
+  std::vector<IndexHit> hits = {MakeHit("red", "item1", 100)};
+  ASSERT_TRUE(manager.MergeHits(s, "idx", IndexScanStartForValue("red"),
+                                IndexScanEndForValue("red"), &hits, nullptr)
+                  .ok());
+  EXPECT_EQ(hits.size(), 1u);
+}
+
+TEST(SessionTest, NewerPrivateEntryWinsOverOlder) {
+  SessionManager manager;
+  const SessionId s = manager.CreateSession();
+  const std::string index_row = EncodeIndexRow("red", "item1");
+  ASSERT_TRUE(manager.RecordEntry(s, "idx", index_row, 100, false).ok());
+  ASSERT_TRUE(manager.RecordEntry(s, "idx", index_row, 200, true).ok());
+  std::vector<IndexHit> hits;
+  ASSERT_TRUE(manager.MergeHits(s, "idx", IndexScanStartForValue("red"),
+                                IndexScanEndForValue("red"), &hits, nullptr)
+                  .ok());
+  EXPECT_TRUE(hits.empty());  // the later delete-marker governs
+}
+
+TEST(SessionTest, IdleSessionExpires) {
+  SessionOptions options;
+  options.idle_limit_micros = 20000;  // 20 ms
+  SessionManager manager(options);
+  const SessionId s = manager.CreateSession();
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  std::vector<IndexHit> hits;
+  EXPECT_TRUE(manager.MergeHits(s, "idx", "", "", &hits, nullptr)
+                  .IsSessionExpired());
+  EXPECT_FALSE(manager.IsLive(s));
+}
+
+TEST(SessionTest, ActivityKeepsSessionAlive) {
+  SessionOptions options;
+  options.idle_limit_micros = 50000;  // 50 ms
+  SessionManager manager(options);
+  const SessionId s = manager.CreateSession();
+  for (int i = 0; i < 5; i++) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ASSERT_TRUE(
+        manager.RecordEntry(s, "idx", "row" + std::to_string(i), i, false)
+            .ok());
+  }
+  EXPECT_TRUE(manager.IsLive(s));
+}
+
+TEST(SessionTest, CollectExpiredSweeps) {
+  SessionOptions options;
+  options.idle_limit_micros = 10000;
+  SessionManager manager(options);
+  (void)manager.CreateSession();
+  (void)manager.CreateSession();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(manager.CollectExpired(), 2u);
+  EXPECT_EQ(manager.live_sessions(), 0u);
+}
+
+TEST(SessionTest, MemoryCapDegradesInsteadOfGrowing) {
+  SessionOptions options;
+  options.max_memory_bytes = 1024;
+  SessionManager manager(options);
+  const SessionId s = manager.CreateSession();
+  // Write private entries until the cap trips.
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(manager
+                    .RecordEntry(s, "idx",
+                                 EncodeIndexRow("v" + std::to_string(i),
+                                                std::string(32, 'r')),
+                                 i, false)
+                    .ok());
+  }
+  EXPECT_LT(manager.MemoryUsage(s), 1024u);  // tables were dropped
+  // The session still works but merging is disabled (degraded).
+  std::vector<IndexHit> hits;
+  bool degraded = false;
+  ASSERT_TRUE(manager.MergeHits(s, "idx", "", "", &hits, &degraded).ok());
+  EXPECT_TRUE(degraded);
+  EXPECT_TRUE(hits.empty());
+}
+
+TEST(SessionTest, SessionsAreIsolated) {
+  SessionManager manager;
+  const SessionId a = manager.CreateSession();
+  const SessionId b = manager.CreateSession();
+  ASSERT_TRUE(manager.RecordEntry(a, "idx", EncodeIndexRow("red", "item1"),
+                                  100, false)
+                  .ok());
+  std::vector<IndexHit> hits;
+  ASSERT_TRUE(manager.MergeHits(b, "idx", IndexScanStartForValue("red"),
+                                IndexScanEndForValue("red"), &hits, nullptr)
+                  .ok());
+  EXPECT_TRUE(hits.empty());  // b does not see a's writes
+}
+
+}  // namespace
+}  // namespace diffindex

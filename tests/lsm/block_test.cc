@@ -1,0 +1,170 @@
+// Unit tests of the prefix-compressed block format (restart points,
+// binary search, corruption handling).
+
+#include "lsm/block.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace diffindex {
+namespace {
+
+std::shared_ptr<const std::string> BuildBlock(
+    const std::vector<std::pair<std::string, std::string>>& entries,
+    int restart_interval = 16) {
+  BlockBuilder builder(restart_interval);
+  for (const auto& [key, value] : entries) {
+    builder.Add(key, value);
+  }
+  return std::make_shared<std::string>(builder.Finish().ToString());
+}
+
+std::vector<std::pair<std::string, std::string>> SortedEntries(int n) {
+  std::vector<std::pair<std::string, std::string>> entries;
+  for (int i = 0; i < n; i++) {
+    char key[24];
+    snprintf(key, sizeof(key), "prefix-shared-%05d", i);
+    entries.emplace_back(MakeInternalKey(key, 1, ValueType::kPut),
+                         "value" + std::to_string(i));
+  }
+  return entries;
+}
+
+TEST(BlockTest, RoundTripAllEntries) {
+  auto entries = SortedEntries(100);
+  auto contents = BuildBlock(entries);
+  Block block{Slice(*contents)};
+  ASSERT_TRUE(block.valid());
+  auto iter = block.NewIterator(contents);
+  size_t i = 0;
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+    ASSERT_LT(i, entries.size());
+    EXPECT_EQ(iter->key().ToString(), entries[i].first);
+    EXPECT_EQ(iter->value().ToString(), entries[i].second);
+    i++;
+  }
+  EXPECT_EQ(i, entries.size());
+  EXPECT_TRUE(iter->status().ok());
+}
+
+TEST(BlockTest, PrefixCompressionShrinksSharedKeys) {
+  auto entries = SortedEntries(200);
+  auto compressed = BuildBlock(entries, 16);
+  auto uncompressed = BuildBlock(entries, 1);  // restart at every entry
+  EXPECT_LT(compressed->size(), uncompressed->size() * 3 / 4);
+}
+
+TEST(BlockTest, SeekFindsExactAndLowerBound) {
+  auto entries = SortedEntries(100);
+  auto contents = BuildBlock(entries);
+  Block block{Slice(*contents)};
+  auto iter = block.NewIterator(contents);
+
+  // Exact hit.
+  iter->Seek(entries[37].first);
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(iter->key().ToString(), entries[37].first);
+
+  // Between two keys: lands on the next one. Keys for i=41 at ts=1; seek
+  // to the same user key at an OLDER timestamp (ts=0 sorts after ts=1).
+  char key41[24];
+  snprintf(key41, sizeof(key41), "prefix-shared-%05d", 41);
+  iter->Seek(MakeInternalKey(key41, 0, ValueType::kTombstone));
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(iter->key().ToString(), entries[42].first);
+
+  // Before everything.
+  iter->Seek(MakeInternalKey("a", kMaxTimestamp, ValueType::kTombstone));
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(iter->key().ToString(), entries[0].first);
+
+  // Past everything.
+  iter->Seek(MakeInternalKey("zzzz", kMaxTimestamp, ValueType::kTombstone));
+  EXPECT_FALSE(iter->Valid());
+}
+
+TEST(BlockTest, SeekWorksAtEveryPosition) {
+  auto entries = SortedEntries(64);
+  for (int restart_interval : {1, 4, 16, 64}) {
+    auto contents = BuildBlock(entries, restart_interval);
+    Block block{Slice(*contents)};
+    auto iter = block.NewIterator(contents);
+    for (const auto& [key, value] : entries) {
+      iter->Seek(key);
+      ASSERT_TRUE(iter->Valid()) << "interval " << restart_interval;
+      EXPECT_EQ(iter->key().ToString(), key);
+      EXPECT_EQ(iter->value().ToString(), value);
+    }
+  }
+}
+
+TEST(BlockTest, HandlesNonSharedKeys) {
+  std::vector<std::pair<std::string, std::string>> entries;
+  Random rng(3);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 50; i++) keys.push_back(rng.RandomBytes(8));
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  for (const auto& k : keys) {
+    entries.emplace_back(MakeInternalKey(k, 1, ValueType::kPut), "v");
+  }
+  auto contents = BuildBlock(entries);
+  Block block{Slice(*contents)};
+  auto iter = block.NewIterator(contents);
+  size_t count = 0;
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) count++;
+  EXPECT_EQ(count, entries.size());
+}
+
+TEST(BlockTest, EmptyValueEntries) {
+  // Index-table entries have empty values.
+  std::vector<std::pair<std::string, std::string>> entries;
+  for (int i = 0; i < 30; i++) {
+    char key[16];
+    snprintf(key, sizeof(key), "idx%04d", i);
+    entries.emplace_back(MakeInternalKey(key, 1, ValueType::kPut), "");
+  }
+  auto contents = BuildBlock(entries);
+  Block block{Slice(*contents)};
+  auto iter = block.NewIterator(contents);
+  iter->Seek(entries[10].first);
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_TRUE(iter->value().empty());
+}
+
+TEST(BlockTest, TruncatedBlockIsInvalid) {
+  Block block{Slice("ab")};
+  EXPECT_FALSE(block.valid());
+}
+
+TEST(BlockTest, GarbageRestartCountIsInvalid) {
+  // num_restarts claims more restarts than the block can hold.
+  std::string garbage = "xxxx";
+  garbage.push_back(static_cast<char>(0xff));
+  garbage.push_back(static_cast<char>(0xff));
+  garbage.push_back(static_cast<char>(0xff));
+  garbage.push_back(static_cast<char>(0x7f));
+  Block block{Slice(garbage)};
+  EXPECT_FALSE(block.valid());
+}
+
+TEST(BlockTest, ResetReusesBuilder) {
+  BlockBuilder builder(4);
+  builder.Add(MakeInternalKey("a", 1, ValueType::kPut), "1");
+  (void)builder.Finish();
+  builder.Reset();
+  builder.Add(MakeInternalKey("b", 1, ValueType::kPut), "2");
+  auto contents = std::make_shared<std::string>(
+      builder.Finish().ToString());
+  Block block{Slice(*contents)};
+  auto iter = block.NewIterator(contents);
+  iter->SeekToFirst();
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(ExtractUserKey(iter->key()).ToString(), "b");
+  iter->Next();
+  EXPECT_FALSE(iter->Valid());
+}
+
+}  // namespace
+}  // namespace diffindex

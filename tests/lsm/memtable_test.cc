@@ -1,0 +1,207 @@
+#include "lsm/memtable.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/random.h"
+
+namespace diffindex {
+namespace {
+
+TEST(MemTableTest, PutThenGetLatest) {
+  MemTable mem;
+  mem.Add("k1", 10, ValueType::kPut, "v1");
+  LookupResult r = mem.Get("k1", kMaxTimestamp);
+  EXPECT_EQ(r.state, LookupState::kFound);
+  EXPECT_EQ(r.value, "v1");
+  EXPECT_EQ(r.ts, 10u);
+}
+
+TEST(MemTableTest, MissingKeyNotPresent) {
+  MemTable mem;
+  mem.Add("k1", 10, ValueType::kPut, "v1");
+  EXPECT_EQ(mem.Get("k2", kMaxTimestamp).state, LookupState::kNotPresent);
+}
+
+TEST(MemTableTest, NewerVersionWins) {
+  MemTable mem;
+  mem.Add("k", 10, ValueType::kPut, "old");
+  mem.Add("k", 20, ValueType::kPut, "new");
+  LookupResult r = mem.Get("k", kMaxTimestamp);
+  EXPECT_EQ(r.value, "new");
+  EXPECT_EQ(r.ts, 20u);
+}
+
+TEST(MemTableTest, HistoricalReadSeesOldVersion) {
+  MemTable mem;
+  mem.Add("k", 10, ValueType::kPut, "old");
+  mem.Add("k", 20, ValueType::kPut, "new");
+  // This is exactly RB(k, t_new - delta) from Algorithm 1.
+  LookupResult r = mem.Get("k", 20 - kDelta);
+  EXPECT_EQ(r.state, LookupState::kFound);
+  EXPECT_EQ(r.value, "old");
+  EXPECT_EQ(r.ts, 10u);
+}
+
+TEST(MemTableTest, ReadBeforeFirstVersionIsNotPresent) {
+  MemTable mem;
+  mem.Add("k", 10, ValueType::kPut, "v");
+  EXPECT_EQ(mem.Get("k", 9).state, LookupState::kNotPresent);
+}
+
+TEST(MemTableTest, TombstoneMasks) {
+  MemTable mem;
+  mem.Add("k", 10, ValueType::kPut, "v");
+  mem.Add("k", 20, ValueType::kTombstone, "");
+  EXPECT_EQ(mem.Get("k", kMaxTimestamp).state, LookupState::kDeleted);
+  // Still visible before the delete.
+  EXPECT_EQ(mem.Get("k", 15).state, LookupState::kFound);
+}
+
+TEST(MemTableTest, TombstoneAtSameTimestampWins) {
+  // A delete at exactly ts T masks a put at T (delete-wins tie break).
+  MemTable mem;
+  mem.Add("k", 10, ValueType::kPut, "v");
+  mem.Add("k", 10, ValueType::kTombstone, "");
+  EXPECT_EQ(mem.Get("k", kMaxTimestamp).state, LookupState::kDeleted);
+}
+
+TEST(MemTableTest, PutAfterTombstoneResurrects) {
+  MemTable mem;
+  mem.Add("k", 10, ValueType::kPut, "v1");
+  mem.Add("k", 20, ValueType::kTombstone, "");
+  mem.Add("k", 30, ValueType::kPut, "v2");
+  LookupResult r = mem.Get("k", kMaxTimestamp);
+  EXPECT_EQ(r.state, LookupState::kFound);
+  EXPECT_EQ(r.value, "v2");
+}
+
+TEST(MemTableTest, IdempotentReAdd) {
+  // The AUQ recovery protocol may replay the same put twice; LSM semantics
+  // make same-(key,ts) adds idempotent (Section 5.3).
+  MemTable mem;
+  mem.Add("k", 10, ValueType::kPut, "v");
+  mem.Add("k", 10, ValueType::kPut, "v");
+  EXPECT_EQ(mem.NumEntries(), 1u);
+  EXPECT_EQ(mem.Get("k", kMaxTimestamp).value, "v");
+}
+
+TEST(MemTableTest, EmptyValueSupported) {
+  // Diff-Index index tables are key-only: the rowkey is
+  // index_value ⊕ base_rowkey with a null value.
+  MemTable mem;
+  const std::string index_rowkey("title_x\0row42", 13);
+  mem.Add(index_rowkey, 5, ValueType::kPut, "");
+  LookupResult r = mem.Get(index_rowkey, kMaxTimestamp);
+  EXPECT_EQ(r.state, LookupState::kFound);
+  EXPECT_TRUE(r.value.empty());
+}
+
+TEST(MemTableTest, MaxTimestampTracksInserts) {
+  MemTable mem;
+  EXPECT_EQ(mem.MaxTimestamp(), 0u);
+  mem.Add("a", 5, ValueType::kPut, "v");
+  mem.Add("b", 3, ValueType::kPut, "v");
+  EXPECT_EQ(mem.MaxTimestamp(), 5u);
+}
+
+TEST(MemTableTest, IteratorYieldsSortedRecords) {
+  MemTable mem;
+  mem.Add("b", 1, ValueType::kPut, "vb");
+  mem.Add("a", 2, ValueType::kPut, "va2");
+  mem.Add("a", 1, ValueType::kPut, "va1");
+  mem.Add("c", 9, ValueType::kTombstone, "");
+
+  auto iter = mem.NewIterator();
+  InternalKeyComparator cmp;
+  std::vector<std::pair<std::string, Timestamp>> seen;
+  std::string prev;
+  bool has_prev = false;
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+    if (has_prev) {
+      EXPECT_LT(cmp.Compare(prev, iter->key()), 0);
+    }
+    prev = iter->key().ToString();
+    has_prev = true;
+    ParsedInternalKey parsed;
+    ASSERT_TRUE(ParseInternalKey(iter->key(), &parsed));
+    seen.emplace_back(parsed.user_key.ToString(), parsed.ts);
+  }
+  ASSERT_EQ(seen.size(), 4u);
+  EXPECT_EQ(seen[0], (std::pair<std::string, Timestamp>{"a", 2}));
+  EXPECT_EQ(seen[1], (std::pair<std::string, Timestamp>{"a", 1}));
+  EXPECT_EQ(seen[2], (std::pair<std::string, Timestamp>{"b", 1}));
+  EXPECT_EQ(seen[3], (std::pair<std::string, Timestamp>{"c", 9}));
+}
+
+TEST(MemTableTest, IteratorSeek) {
+  MemTable mem;
+  mem.Add("a", 1, ValueType::kPut, "va");
+  mem.Add("m", 1, ValueType::kPut, "vm");
+  mem.Add("z", 1, ValueType::kPut, "vz");
+  auto iter = mem.NewIterator();
+  iter->Seek(MakeInternalKey("b", kMaxTimestamp, ValueType::kTombstone));
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(ExtractUserKey(iter->key()).ToString(), "m");
+}
+
+// Property test: random versioned ops against a model map of
+// key -> (ts -> (type, value)).
+TEST(MemTableTest, RandomOpsMatchModel) {
+  MemTable mem;
+  // model[key] = map ts -> optional value (nullopt = tombstone); with
+  // delete-wins at equal ts.
+  std::map<std::string, std::map<Timestamp, std::pair<bool, std::string>>>
+      model;
+  Random rng(1234);
+  Timestamp ts = 1;
+  for (int i = 0; i < 5000; i++) {
+    const std::string key = "key" + std::to_string(rng.Uniform(50));
+    ts += rng.Uniform(3);  // occasionally reuse a timestamp
+    if (rng.OneIn(5)) {
+      mem.Add(key, ts, ValueType::kTombstone, "");
+      model[key][ts] = {true, ""};
+    } else {
+      const std::string value = "v" + std::to_string(i);
+      mem.Add(key, ts, ValueType::kPut, value);
+      auto it = model[key].find(ts);
+      if (it == model[key].end()) {
+        model[key][ts] = {false, value};
+      } else if (!it->second.first) {
+        // Same (key, ts, put) re-add: first write wins; tombstone at the
+        // same ts always wins over a put.
+      }
+    }
+  }
+
+  // Check lookups at random read timestamps.
+  for (int i = 0; i < 2000; i++) {
+    const std::string key = "key" + std::to_string(rng.Uniform(60));
+    const Timestamp read_ts = 1 + rng.Uniform(ts + 10);
+    LookupResult got = mem.Get(key, read_ts);
+
+    auto kit = model.find(key);
+    if (kit == model.end()) {
+      EXPECT_EQ(got.state, LookupState::kNotPresent);
+      continue;
+    }
+    // Newest model version with ts <= read_ts.
+    auto vit = kit->second.upper_bound(read_ts);
+    if (vit == kit->second.begin()) {
+      EXPECT_EQ(got.state, LookupState::kNotPresent);
+      continue;
+    }
+    --vit;
+    if (vit->second.first) {
+      EXPECT_EQ(got.state, LookupState::kDeleted) << key << "@" << read_ts;
+    } else {
+      ASSERT_EQ(got.state, LookupState::kFound) << key << "@" << read_ts;
+      EXPECT_EQ(got.value, vit->second.second);
+      EXPECT_EQ(got.ts, vit->first);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace diffindex

@@ -1,0 +1,106 @@
+#include "lsm/merging_iterator.h"
+
+#include <gtest/gtest.h>
+
+#include "lsm/memtable.h"
+
+namespace diffindex {
+namespace {
+
+std::unique_ptr<RecordIterator> IterOf(const MemTable& mem) {
+  return mem.NewIterator();
+}
+
+TEST(MergingIteratorTest, MergesSortedStreams) {
+  MemTable a, b, c;
+  a.Add("apple", 1, ValueType::kPut, "va");
+  a.Add("mango", 1, ValueType::kPut, "vm");
+  b.Add("banana", 1, ValueType::kPut, "vb");
+  c.Add("cherry", 1, ValueType::kPut, "vc");
+  c.Add("zebra", 1, ValueType::kPut, "vz");
+
+  std::vector<std::unique_ptr<RecordIterator>> children;
+  children.push_back(IterOf(a));
+  children.push_back(IterOf(b));
+  children.push_back(IterOf(c));
+  auto merged = NewMergingIterator(std::move(children));
+
+  std::vector<std::string> keys;
+  for (merged->SeekToFirst(); merged->Valid(); merged->Next()) {
+    keys.push_back(ExtractUserKey(merged->key()).ToString());
+  }
+  EXPECT_EQ(keys, (std::vector<std::string>{"apple", "banana", "cherry",
+                                            "mango", "zebra"}));
+}
+
+TEST(MergingIteratorTest, NewerVersionComesFirstAcrossSources) {
+  MemTable newer, older;
+  newer.Add("k", 20, ValueType::kPut, "new");
+  older.Add("k", 10, ValueType::kPut, "old");
+  std::vector<std::unique_ptr<RecordIterator>> children;
+  children.push_back(IterOf(newer));  // youngest source first
+  children.push_back(IterOf(older));
+  auto merged = NewMergingIterator(std::move(children));
+  merged->SeekToFirst();
+  ASSERT_TRUE(merged->Valid());
+  EXPECT_EQ(merged->value().ToString(), "new");
+  merged->Next();
+  ASSERT_TRUE(merged->Valid());
+  EXPECT_EQ(merged->value().ToString(), "old");
+}
+
+TEST(MergingIteratorTest, DuplicateInternalKeysYieldYoungestFirst) {
+  MemTable young, old;
+  young.Add("k", 10, ValueType::kPut, "young-copy");
+  old.Add("k", 10, ValueType::kPut, "old-copy");
+  std::vector<std::unique_ptr<RecordIterator>> children;
+  children.push_back(IterOf(young));
+  children.push_back(IterOf(old));
+  auto merged = NewMergingIterator(std::move(children));
+  merged->SeekToFirst();
+  ASSERT_TRUE(merged->Valid());
+  EXPECT_EQ(merged->value().ToString(), "young-copy");
+}
+
+TEST(MergingIteratorTest, EmptyChildrenAreHarmless) {
+  MemTable empty, full;
+  full.Add("k", 1, ValueType::kPut, "v");
+  std::vector<std::unique_ptr<RecordIterator>> children;
+  children.push_back(IterOf(empty));
+  children.push_back(IterOf(full));
+  children.push_back(IterOf(empty));
+  auto merged = NewMergingIterator(std::move(children));
+  merged->SeekToFirst();
+  ASSERT_TRUE(merged->Valid());
+  merged->Next();
+  EXPECT_FALSE(merged->Valid());
+}
+
+TEST(MergingIteratorTest, AllEmptyIsInvalid) {
+  MemTable empty;
+  std::vector<std::unique_ptr<RecordIterator>> children;
+  children.push_back(IterOf(empty));
+  auto merged = NewMergingIterator(std::move(children));
+  merged->SeekToFirst();
+  EXPECT_FALSE(merged->Valid());
+}
+
+TEST(MergingIteratorTest, SeekLandsAtLowerBoundAcrossSources) {
+  MemTable a, b;
+  a.Add("d", 1, ValueType::kPut, "vd");
+  b.Add("b", 1, ValueType::kPut, "vb");
+  b.Add("f", 1, ValueType::kPut, "vf");
+  std::vector<std::unique_ptr<RecordIterator>> children;
+  children.push_back(IterOf(a));
+  children.push_back(IterOf(b));
+  auto merged = NewMergingIterator(std::move(children));
+  merged->Seek(MakeInternalKey("c", kMaxTimestamp, ValueType::kTombstone));
+  ASSERT_TRUE(merged->Valid());
+  EXPECT_EQ(ExtractUserKey(merged->key()).ToString(), "d");
+  merged->Next();
+  ASSERT_TRUE(merged->Valid());
+  EXPECT_EQ(ExtractUserKey(merged->key()).ToString(), "f");
+}
+
+}  // namespace
+}  // namespace diffindex

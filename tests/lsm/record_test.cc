@@ -1,0 +1,77 @@
+#include "lsm/record.h"
+
+#include <gtest/gtest.h>
+
+namespace diffindex {
+namespace {
+
+TEST(RecordTest, InternalKeyRoundTrip) {
+  const std::string ikey = MakeInternalKey("user-key", 12345,
+                                           ValueType::kPut);
+  ParsedInternalKey parsed;
+  ASSERT_TRUE(ParseInternalKey(ikey, &parsed));
+  EXPECT_EQ(parsed.user_key.ToString(), "user-key");
+  EXPECT_EQ(parsed.ts, 12345u);
+  EXPECT_EQ(parsed.type, ValueType::kPut);
+  EXPECT_EQ(ExtractUserKey(ikey).ToString(), "user-key");
+}
+
+TEST(RecordTest, TombstoneRoundTrip) {
+  const std::string ikey = MakeInternalKey("k", 7, ValueType::kTombstone);
+  ParsedInternalKey parsed;
+  ASSERT_TRUE(ParseInternalKey(ikey, &parsed));
+  EXPECT_EQ(parsed.type, ValueType::kTombstone);
+}
+
+TEST(RecordTest, ParseRejectsShortKeys) {
+  ParsedInternalKey parsed;
+  EXPECT_FALSE(ParseInternalKey(Slice("short"), &parsed));
+}
+
+TEST(RecordTest, EmptyUserKeySupported) {
+  const std::string ikey = MakeInternalKey("", 1, ValueType::kPut);
+  ParsedInternalKey parsed;
+  ASSERT_TRUE(ParseInternalKey(ikey, &parsed));
+  EXPECT_TRUE(parsed.user_key.empty());
+}
+
+TEST(RecordComparatorTest, OrdersByUserKeyAscending) {
+  InternalKeyComparator cmp;
+  const std::string a = MakeInternalKey("aaa", 5, ValueType::kPut);
+  const std::string b = MakeInternalKey("bbb", 5, ValueType::kPut);
+  EXPECT_LT(cmp.Compare(a, b), 0);
+  EXPECT_GT(cmp.Compare(b, a), 0);
+}
+
+TEST(RecordComparatorTest, NewerTimestampSortsFirst) {
+  InternalKeyComparator cmp;
+  const std::string newer = MakeInternalKey("k", 10, ValueType::kPut);
+  const std::string older = MakeInternalKey("k", 5, ValueType::kPut);
+  EXPECT_LT(cmp.Compare(newer, older), 0);
+}
+
+TEST(RecordComparatorTest, TombstoneBeforePutAtEqualTimestamp) {
+  InternalKeyComparator cmp;
+  const std::string tomb = MakeInternalKey("k", 10, ValueType::kTombstone);
+  const std::string put = MakeInternalKey("k", 10, ValueType::kPut);
+  EXPECT_LT(cmp.Compare(tomb, put), 0);
+}
+
+TEST(RecordComparatorTest, PrefixKeysDoNotInterleave) {
+  // "ab" vs "abc": the shorter user key must sort first regardless of the
+  // timestamp bytes that follow it in the encoding.
+  InternalKeyComparator cmp;
+  const std::string ab_old = MakeInternalKey("ab", 1, ValueType::kPut);
+  const std::string abc_new = MakeInternalKey("abc", UINT64_MAX,
+                                              ValueType::kTombstone);
+  EXPECT_LT(cmp.Compare(ab_old, abc_new), 0);
+}
+
+TEST(RecordComparatorTest, EqualKeysCompareZero) {
+  InternalKeyComparator cmp;
+  const std::string k = MakeInternalKey("k", 3, ValueType::kPut);
+  EXPECT_EQ(cmp.Compare(k, k), 0);
+}
+
+}  // namespace
+}  // namespace diffindex

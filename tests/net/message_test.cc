@@ -1,0 +1,196 @@
+#include "net/message.h"
+
+#include <gtest/gtest.h>
+
+#include "net/fabric.h"
+
+namespace diffindex {
+namespace {
+
+TEST(CellKeyTest, RoundTrip) {
+  const std::string key = EncodeCellKey("row1", "colA");
+  std::string row, column;
+  ASSERT_TRUE(DecodeCellKey(key, &row, &column));
+  EXPECT_EQ(row, "row1");
+  EXPECT_EQ(column, "colA");
+}
+
+TEST(CellKeyTest, EmptyColumn) {
+  const std::string key = EncodeCellKey("row1", "");
+  std::string row, column;
+  ASSERT_TRUE(DecodeCellKey(key, &row, &column));
+  EXPECT_EQ(row, "row1");
+  EXPECT_TRUE(column.empty());
+}
+
+TEST(CellKeyTest, NoSeparatorFails) {
+  std::string row, column;
+  EXPECT_FALSE(DecodeCellKey(Slice("no-separator"), &row, &column));
+}
+
+TEST(CellKeyTest, CellsOfOneRowAreContiguous) {
+  // All cells of row "ab" sort between "ab\x00" and "ab\x01".
+  const std::string a = EncodeCellKey("ab", "z");
+  const std::string b = EncodeCellKey("abc", "a");
+  EXPECT_LT(a, b);  // row "ab" < row "abc" regardless of columns
+}
+
+TEST(MessageTest, PutRequestRoundTrip) {
+  PutRequest req;
+  req.table = "items";
+  req.row = "row42";
+  req.cells = {Cell{"title", "widget", false}, Cell{"price", "", true}};
+  req.ts = 12345;
+  req.return_old_values = true;
+
+  std::string buf;
+  req.EncodeTo(&buf);
+  Slice in(buf);
+  PutRequest decoded;
+  ASSERT_TRUE(PutRequest::DecodeFrom(&in, &decoded));
+  EXPECT_EQ(decoded.table, "items");
+  EXPECT_EQ(decoded.row, "row42");
+  ASSERT_EQ(decoded.cells.size(), 2u);
+  EXPECT_EQ(decoded.cells[0].column, "title");
+  EXPECT_EQ(decoded.cells[0].value, "widget");
+  EXPECT_FALSE(decoded.cells[0].is_delete);
+  EXPECT_TRUE(decoded.cells[1].is_delete);
+  EXPECT_EQ(decoded.ts, 12345u);
+  EXPECT_TRUE(decoded.return_old_values);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(MessageTest, PutResponseRoundTrip) {
+  PutResponse resp;
+  resp.assigned_ts = 777;
+  resp.old_values = {OldCellValue{"title", true, "old-widget", 700},
+                     OldCellValue{"price", false, "", 0}};
+  std::string buf;
+  resp.EncodeTo(&buf);
+  Slice in(buf);
+  PutResponse decoded;
+  ASSERT_TRUE(PutResponse::DecodeFrom(&in, &decoded));
+  EXPECT_EQ(decoded.assigned_ts, 777u);
+  ASSERT_EQ(decoded.old_values.size(), 2u);
+  EXPECT_TRUE(decoded.old_values[0].found);
+  EXPECT_EQ(decoded.old_values[0].value, "old-widget");
+  EXPECT_FALSE(decoded.old_values[1].found);
+}
+
+TEST(MessageTest, ScanRowsRoundTrip) {
+  ScanRowsResponse resp;
+  resp.rows = {ScannedRow{"r1", {RowCell{"c1", "v1", 1}}},
+               ScannedRow{"r2", {RowCell{"c1", "v2", 2},
+                                 RowCell{"c2", "v3", 3}}}};
+  std::string buf;
+  resp.EncodeTo(&buf);
+  Slice in(buf);
+  ScanRowsResponse decoded;
+  ASSERT_TRUE(ScanRowsResponse::DecodeFrom(&in, &decoded));
+  ASSERT_EQ(decoded.rows.size(), 2u);
+  EXPECT_EQ(decoded.rows[1].cells[1].value, "v3");
+}
+
+TEST(MessageTest, LayoutRoundTrip) {
+  FetchLayoutResponse resp;
+  resp.layout_epoch = 42;
+  TableInfoWire table;
+  table.name = "items";
+  IndexInfoWire index;
+  index.name = "by_title";
+  index.column = "title";
+  index.scheme = 2;
+  index.index_table = "__idx_items_by_title";
+  index.extra_columns = {"subtitle"};
+  table.indexes.push_back(index);
+  resp.tables.push_back(table);
+  resp.regions.push_back(RegionInfoWire{"items", 7, "40", "80", 3});
+
+  std::string buf;
+  resp.EncodeTo(&buf);
+  Slice in(buf);
+  FetchLayoutResponse decoded;
+  ASSERT_TRUE(FetchLayoutResponse::DecodeFrom(&in, &decoded));
+  EXPECT_EQ(decoded.layout_epoch, 42u);
+  ASSERT_EQ(decoded.tables.size(), 1u);
+  ASSERT_EQ(decoded.tables[0].indexes.size(), 1u);
+  EXPECT_EQ(decoded.tables[0].indexes[0].extra_columns[0], "subtitle");
+  ASSERT_EQ(decoded.regions.size(), 1u);
+  EXPECT_EQ(decoded.regions[0].server_id, 3u);
+}
+
+TEST(MessageTest, TruncatedDecodeFails) {
+  PutRequest req;
+  req.table = "t";
+  req.row = "r";
+  req.cells = {Cell{"c", "v", false}};
+  std::string buf;
+  req.EncodeTo(&buf);
+  buf.resize(buf.size() - 3);
+  Slice in(buf);
+  PutRequest decoded;
+  EXPECT_FALSE(PutRequest::DecodeFrom(&in, &decoded));
+}
+
+// ---- Fabric ----
+
+TEST(FabricTest, CallReachesHandler) {
+  Fabric fabric(nullptr);
+  fabric.RegisterNode(5, [](MsgType type, Slice body, std::string* resp) {
+    EXPECT_EQ(type, MsgType::kGetCell);
+    *resp = "echo:" + body.ToString();
+    return Status::OK();
+  });
+  std::string resp;
+  ASSERT_TRUE(fabric.Call(1, 5, MsgType::kGetCell, "ping", &resp).ok());
+  EXPECT_EQ(resp, "echo:ping");
+  EXPECT_EQ(fabric.calls_made(), 1u);
+}
+
+TEST(FabricTest, UnregisteredNodeUnavailable) {
+  Fabric fabric(nullptr);
+  std::string resp;
+  EXPECT_TRUE(
+      fabric.Call(1, 99, MsgType::kGetCell, "", &resp).IsUnavailable());
+}
+
+TEST(FabricTest, DownNodeUnavailable) {
+  Fabric fabric(nullptr);
+  fabric.RegisterNode(5, [](MsgType, Slice, std::string*) {
+    return Status::OK();
+  });
+  fabric.SetNodeDown(5, true);
+  std::string resp;
+  EXPECT_TRUE(
+      fabric.Call(1, 5, MsgType::kGetCell, "", &resp).IsUnavailable());
+  fabric.SetNodeDown(5, false);
+  EXPECT_TRUE(fabric.Call(1, 5, MsgType::kGetCell, "", &resp).ok());
+}
+
+TEST(FabricTest, PartitionBlocksBothDirections) {
+  Fabric fabric(nullptr);
+  auto ok_handler = [](MsgType, Slice, std::string*) { return Status::OK(); };
+  fabric.RegisterNode(1, ok_handler);
+  fabric.RegisterNode(2, ok_handler);
+  fabric.SetPartitioned(1, 2, true);
+  std::string resp;
+  EXPECT_TRUE(fabric.Call(1, 2, MsgType::kGetCell, "", &resp).IsUnavailable());
+  EXPECT_TRUE(fabric.Call(2, 1, MsgType::kGetCell, "", &resp).IsUnavailable());
+  // Other pairs unaffected.
+  fabric.RegisterNode(3, ok_handler);
+  EXPECT_TRUE(fabric.Call(1, 3, MsgType::kGetCell, "", &resp).ok());
+  fabric.SetPartitioned(1, 2, false);
+  EXPECT_TRUE(fabric.Call(1, 2, MsgType::kGetCell, "", &resp).ok());
+}
+
+TEST(FabricTest, HandlerStatusPropagates) {
+  Fabric fabric(nullptr);
+  fabric.RegisterNode(5, [](MsgType, Slice, std::string*) {
+    return Status::WrongRegion("moved");
+  });
+  std::string resp;
+  EXPECT_TRUE(fabric.Call(1, 5, MsgType::kPut, "", &resp).IsWrongRegion());
+}
+
+}  // namespace
+}  // namespace diffindex

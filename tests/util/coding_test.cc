@@ -1,0 +1,139 @@
+#include "util/coding.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace diffindex {
+namespace {
+
+TEST(CodingTest, Fixed32RoundTrip) {
+  for (uint32_t v : {0u, 1u, 255u, 256u, 0xdeadbeefu, 0xffffffffu}) {
+    std::string buf;
+    PutFixed32(&buf, v);
+    ASSERT_EQ(buf.size(), 4u);
+    Slice input(buf);
+    uint32_t decoded;
+    ASSERT_TRUE(GetFixed32(&input, &decoded));
+    EXPECT_EQ(decoded, v);
+    EXPECT_TRUE(input.empty());
+  }
+}
+
+TEST(CodingTest, Fixed64RoundTrip) {
+  for (uint64_t v : {uint64_t{0}, uint64_t{1}, uint64_t{1} << 32,
+                     uint64_t{0xdeadbeefcafebabe}, UINT64_MAX}) {
+    std::string buf;
+    PutFixed64(&buf, v);
+    ASSERT_EQ(buf.size(), 8u);
+    Slice input(buf);
+    uint64_t decoded;
+    ASSERT_TRUE(GetFixed64(&input, &decoded));
+    EXPECT_EQ(decoded, v);
+  }
+}
+
+TEST(CodingTest, Fixed64PreservesNumericOrderWhenComparedAsInt) {
+  // DecodeFixed64 inverse of EncodeFixed64 on boundaries.
+  char a[8], b[8];
+  EncodeFixed64(a, 100);
+  EncodeFixed64(b, 200);
+  EXPECT_LT(DecodeFixed64(a), DecodeFixed64(b));
+}
+
+TEST(CodingTest, Varint32RoundTrip) {
+  std::string buf;
+  std::vector<uint32_t> values;
+  for (uint32_t shift = 0; shift < 32; shift++) {
+    values.push_back(1u << shift);
+    values.push_back((1u << shift) - 1);
+  }
+  for (uint32_t v : values) PutVarint32(&buf, v);
+  Slice input(buf);
+  for (uint32_t v : values) {
+    uint32_t decoded;
+    ASSERT_TRUE(GetVarint32(&input, &decoded));
+    EXPECT_EQ(decoded, v);
+  }
+  EXPECT_TRUE(input.empty());
+}
+
+TEST(CodingTest, Varint64RoundTrip) {
+  std::string buf;
+  std::vector<uint64_t> values = {0, 1, 127, 128, 16383, 16384, UINT64_MAX};
+  for (int shift = 0; shift < 64; shift++) values.push_back(1ull << shift);
+  for (uint64_t v : values) PutVarint64(&buf, v);
+  Slice input(buf);
+  for (uint64_t v : values) {
+    uint64_t decoded;
+    ASSERT_TRUE(GetVarint64(&input, &decoded));
+    EXPECT_EQ(decoded, v);
+  }
+  EXPECT_TRUE(input.empty());
+}
+
+TEST(CodingTest, VarintLengthMatchesEncoding) {
+  for (uint64_t v : {uint64_t{0}, uint64_t{127}, uint64_t{128},
+                     uint64_t{1} << 40, UINT64_MAX}) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    EXPECT_EQ(static_cast<int>(buf.size()), VarintLength(v));
+  }
+}
+
+TEST(CodingTest, Varint32Truncated) {
+  std::string buf;
+  PutVarint32(&buf, 1u << 30);
+  buf.resize(buf.size() - 1);  // chop the terminator byte
+  Slice input(buf);
+  uint32_t v;
+  EXPECT_FALSE(GetVarint32(&input, &v));
+}
+
+TEST(CodingTest, LengthPrefixedSliceRoundTrip) {
+  std::string buf;
+  PutLengthPrefixedSlice(&buf, Slice("hello"));
+  PutLengthPrefixedSlice(&buf, Slice(""));
+  PutLengthPrefixedSlice(&buf, Slice(std::string(300, 'x')));
+  Slice input(buf);
+  Slice a, b, c;
+  ASSERT_TRUE(GetLengthPrefixedSlice(&input, &a));
+  ASSERT_TRUE(GetLengthPrefixedSlice(&input, &b));
+  ASSERT_TRUE(GetLengthPrefixedSlice(&input, &c));
+  EXPECT_EQ(a.ToString(), "hello");
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(c.size(), 300u);
+  EXPECT_TRUE(input.empty());
+}
+
+TEST(CodingTest, LengthPrefixedSliceShortBody) {
+  std::string buf;
+  PutVarint32(&buf, 10);
+  buf.append("abc");  // only 3 of 10 promised bytes
+  Slice input(buf);
+  Slice result;
+  EXPECT_FALSE(GetLengthPrefixedSlice(&input, &result));
+}
+
+TEST(CodingTest, RandomizedVarintRoundTrip) {
+  Random rng(42);
+  std::string buf;
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 1000; i++) {
+    // Skew toward small values to exercise all byte lengths.
+    const int bits = static_cast<int>(rng.Uniform(64)) + 1;
+    uint64_t v = rng.Next() & ((bits == 64) ? UINT64_MAX
+                                            : ((1ull << bits) - 1));
+    values.push_back(v);
+    PutVarint64(&buf, v);
+  }
+  Slice input(buf);
+  for (uint64_t v : values) {
+    uint64_t decoded;
+    ASSERT_TRUE(GetVarint64(&input, &decoded));
+    ASSERT_EQ(decoded, v);
+  }
+}
+
+}  // namespace
+}  // namespace diffindex
