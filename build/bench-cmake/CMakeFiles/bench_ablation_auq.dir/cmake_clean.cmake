@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_auq"
+  "../bench/bench_ablation_auq.pdb"
+  "CMakeFiles/bench_ablation_auq.dir/bench_ablation_auq.cc.o"
+  "CMakeFiles/bench_ablation_auq.dir/bench_ablation_auq.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_auq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

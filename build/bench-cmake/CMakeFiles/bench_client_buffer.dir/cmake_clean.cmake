@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_client_buffer"
+  "../bench/bench_client_buffer.pdb"
+  "CMakeFiles/bench_client_buffer.dir/bench_client_buffer.cc.o"
+  "CMakeFiles/bench_client_buffer.dir/bench_client_buffer.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_client_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_eq1_decomposition"
+  "../bench/bench_eq1_decomposition.pdb"
+  "CMakeFiles/bench_eq1_decomposition.dir/bench_eq1_decomposition.cc.o"
+  "CMakeFiles/bench_eq1_decomposition.dir/bench_eq1_decomposition.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eq1_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_scaleout"
+  "../bench/bench_fig10_scaleout.pdb"
+  "CMakeFiles/bench_fig10_scaleout.dir/bench_fig10_scaleout.cc.o"
+  "CMakeFiles/bench_fig10_scaleout.dir/bench_fig10_scaleout.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_scaleout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_staleness"
+  "../bench/bench_fig11_staleness.pdb"
+  "CMakeFiles/bench_fig11_staleness.dir/bench_fig11_staleness.cc.o"
+  "CMakeFiles/bench_fig11_staleness.dir/bench_fig11_staleness.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_staleness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

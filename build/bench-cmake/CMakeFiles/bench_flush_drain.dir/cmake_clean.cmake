@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_flush_drain"
+  "../bench/bench_flush_drain.pdb"
+  "CMakeFiles/bench_flush_drain.dir/bench_flush_drain.cc.o"
+  "CMakeFiles/bench_flush_drain.dir/bench_flush_drain.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_flush_drain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_scan_vs_index"
+  "../bench/bench_scan_vs_index.pdb"
+  "CMakeFiles/bench_scan_vs_index.dir/bench_scan_vs_index.cc.o"
+  "CMakeFiles/bench_scan_vs_index.dir/bench_scan_vs_index.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scan_vs_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

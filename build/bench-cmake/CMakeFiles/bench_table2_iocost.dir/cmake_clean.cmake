@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_iocost"
+  "../bench/bench_table2_iocost.pdb"
+  "CMakeFiles/bench_table2_iocost.dir/bench_table2_iocost.cc.o"
+  "CMakeFiles/bench_table2_iocost.dir/bench_table2_iocost.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_iocost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

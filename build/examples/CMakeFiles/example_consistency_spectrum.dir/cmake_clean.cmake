@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_consistency_spectrum.dir/consistency_spectrum.cpp.o"
+  "CMakeFiles/example_consistency_spectrum.dir/consistency_spectrum.cpp.o.d"
+  "example_consistency_spectrum"
+  "example_consistency_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_consistency_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_failure_recovery.dir/failure_recovery.cpp.o"
+  "CMakeFiles/example_failure_recovery.dir/failure_recovery.cpp.o.d"
+  "example_failure_recovery"
+  "example_failure_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_failure_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_query_planner.dir/query_planner.cpp.o"
+  "CMakeFiles/example_query_planner.dir/query_planner.cpp.o.d"
+  "example_query_planner"
+  "example_query_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_query_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_social_review.dir/social_review.cpp.o"
+  "CMakeFiles/example_social_review.dir/social_review.cpp.o.d"
+  "example_social_review"
+  "example_social_review.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_social_review.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/catalog.cc" "src/CMakeFiles/diffindex.dir/cluster/catalog.cc.o" "gcc" "src/CMakeFiles/diffindex.dir/cluster/catalog.cc.o.d"
+  "/root/repo/src/cluster/client.cc" "src/CMakeFiles/diffindex.dir/cluster/client.cc.o" "gcc" "src/CMakeFiles/diffindex.dir/cluster/client.cc.o.d"
+  "/root/repo/src/cluster/cluster.cc" "src/CMakeFiles/diffindex.dir/cluster/cluster.cc.o" "gcc" "src/CMakeFiles/diffindex.dir/cluster/cluster.cc.o.d"
+  "/root/repo/src/cluster/master.cc" "src/CMakeFiles/diffindex.dir/cluster/master.cc.o" "gcc" "src/CMakeFiles/diffindex.dir/cluster/master.cc.o.d"
+  "/root/repo/src/cluster/region.cc" "src/CMakeFiles/diffindex.dir/cluster/region.cc.o" "gcc" "src/CMakeFiles/diffindex.dir/cluster/region.cc.o.d"
+  "/root/repo/src/cluster/region_server.cc" "src/CMakeFiles/diffindex.dir/cluster/region_server.cc.o" "gcc" "src/CMakeFiles/diffindex.dir/cluster/region_server.cc.o.d"
+  "/root/repo/src/core/advisor.cc" "src/CMakeFiles/diffindex.dir/core/advisor.cc.o" "gcc" "src/CMakeFiles/diffindex.dir/core/advisor.cc.o.d"
+  "/root/repo/src/core/auq.cc" "src/CMakeFiles/diffindex.dir/core/auq.cc.o" "gcc" "src/CMakeFiles/diffindex.dir/core/auq.cc.o.d"
+  "/root/repo/src/core/backfill.cc" "src/CMakeFiles/diffindex.dir/core/backfill.cc.o" "gcc" "src/CMakeFiles/diffindex.dir/core/backfill.cc.o.d"
+  "/root/repo/src/core/dense_column.cc" "src/CMakeFiles/diffindex.dir/core/dense_column.cc.o" "gcc" "src/CMakeFiles/diffindex.dir/core/dense_column.cc.o.d"
+  "/root/repo/src/core/diff_index_client.cc" "src/CMakeFiles/diffindex.dir/core/diff_index_client.cc.o" "gcc" "src/CMakeFiles/diffindex.dir/core/diff_index_client.cc.o.d"
+  "/root/repo/src/core/index_codec.cc" "src/CMakeFiles/diffindex.dir/core/index_codec.cc.o" "gcc" "src/CMakeFiles/diffindex.dir/core/index_codec.cc.o.d"
+  "/root/repo/src/core/index_read.cc" "src/CMakeFiles/diffindex.dir/core/index_read.cc.o" "gcc" "src/CMakeFiles/diffindex.dir/core/index_read.cc.o.d"
+  "/root/repo/src/core/observers.cc" "src/CMakeFiles/diffindex.dir/core/observers.cc.o" "gcc" "src/CMakeFiles/diffindex.dir/core/observers.cc.o.d"
+  "/root/repo/src/core/op_stats.cc" "src/CMakeFiles/diffindex.dir/core/op_stats.cc.o" "gcc" "src/CMakeFiles/diffindex.dir/core/op_stats.cc.o.d"
+  "/root/repo/src/core/query.cc" "src/CMakeFiles/diffindex.dir/core/query.cc.o" "gcc" "src/CMakeFiles/diffindex.dir/core/query.cc.o.d"
+  "/root/repo/src/core/session.cc" "src/CMakeFiles/diffindex.dir/core/session.cc.o" "gcc" "src/CMakeFiles/diffindex.dir/core/session.cc.o.d"
+  "/root/repo/src/lsm/block.cc" "src/CMakeFiles/diffindex.dir/lsm/block.cc.o" "gcc" "src/CMakeFiles/diffindex.dir/lsm/block.cc.o.d"
+  "/root/repo/src/lsm/compaction.cc" "src/CMakeFiles/diffindex.dir/lsm/compaction.cc.o" "gcc" "src/CMakeFiles/diffindex.dir/lsm/compaction.cc.o.d"
+  "/root/repo/src/lsm/lsm_tree.cc" "src/CMakeFiles/diffindex.dir/lsm/lsm_tree.cc.o" "gcc" "src/CMakeFiles/diffindex.dir/lsm/lsm_tree.cc.o.d"
+  "/root/repo/src/lsm/memtable.cc" "src/CMakeFiles/diffindex.dir/lsm/memtable.cc.o" "gcc" "src/CMakeFiles/diffindex.dir/lsm/memtable.cc.o.d"
+  "/root/repo/src/lsm/merging_iterator.cc" "src/CMakeFiles/diffindex.dir/lsm/merging_iterator.cc.o" "gcc" "src/CMakeFiles/diffindex.dir/lsm/merging_iterator.cc.o.d"
+  "/root/repo/src/lsm/record.cc" "src/CMakeFiles/diffindex.dir/lsm/record.cc.o" "gcc" "src/CMakeFiles/diffindex.dir/lsm/record.cc.o.d"
+  "/root/repo/src/lsm/sstable.cc" "src/CMakeFiles/diffindex.dir/lsm/sstable.cc.o" "gcc" "src/CMakeFiles/diffindex.dir/lsm/sstable.cc.o.d"
+  "/root/repo/src/lsm/wal.cc" "src/CMakeFiles/diffindex.dir/lsm/wal.cc.o" "gcc" "src/CMakeFiles/diffindex.dir/lsm/wal.cc.o.d"
+  "/root/repo/src/net/fabric.cc" "src/CMakeFiles/diffindex.dir/net/fabric.cc.o" "gcc" "src/CMakeFiles/diffindex.dir/net/fabric.cc.o.d"
+  "/root/repo/src/net/message.cc" "src/CMakeFiles/diffindex.dir/net/message.cc.o" "gcc" "src/CMakeFiles/diffindex.dir/net/message.cc.o.d"
+  "/root/repo/src/util/bloom.cc" "src/CMakeFiles/diffindex.dir/util/bloom.cc.o" "gcc" "src/CMakeFiles/diffindex.dir/util/bloom.cc.o.d"
+  "/root/repo/src/util/cache.cc" "src/CMakeFiles/diffindex.dir/util/cache.cc.o" "gcc" "src/CMakeFiles/diffindex.dir/util/cache.cc.o.d"
+  "/root/repo/src/util/coding.cc" "src/CMakeFiles/diffindex.dir/util/coding.cc.o" "gcc" "src/CMakeFiles/diffindex.dir/util/coding.cc.o.d"
+  "/root/repo/src/util/crc32c.cc" "src/CMakeFiles/diffindex.dir/util/crc32c.cc.o" "gcc" "src/CMakeFiles/diffindex.dir/util/crc32c.cc.o.d"
+  "/root/repo/src/util/env.cc" "src/CMakeFiles/diffindex.dir/util/env.cc.o" "gcc" "src/CMakeFiles/diffindex.dir/util/env.cc.o.d"
+  "/root/repo/src/util/histogram.cc" "src/CMakeFiles/diffindex.dir/util/histogram.cc.o" "gcc" "src/CMakeFiles/diffindex.dir/util/histogram.cc.o.d"
+  "/root/repo/src/util/latency_model.cc" "src/CMakeFiles/diffindex.dir/util/latency_model.cc.o" "gcc" "src/CMakeFiles/diffindex.dir/util/latency_model.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/diffindex.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/diffindex.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/diffindex.dir/util/status.cc.o" "gcc" "src/CMakeFiles/diffindex.dir/util/status.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/CMakeFiles/diffindex.dir/util/thread_pool.cc.o" "gcc" "src/CMakeFiles/diffindex.dir/util/thread_pool.cc.o.d"
+  "/root/repo/src/util/timestamp_oracle.cc" "src/CMakeFiles/diffindex.dir/util/timestamp_oracle.cc.o" "gcc" "src/CMakeFiles/diffindex.dir/util/timestamp_oracle.cc.o.d"
+  "/root/repo/src/util/zipfian.cc" "src/CMakeFiles/diffindex.dir/util/zipfian.cc.o" "gcc" "src/CMakeFiles/diffindex.dir/util/zipfian.cc.o.d"
+  "/root/repo/src/workload/generators.cc" "src/CMakeFiles/diffindex.dir/workload/generators.cc.o" "gcc" "src/CMakeFiles/diffindex.dir/workload/generators.cc.o.d"
+  "/root/repo/src/workload/item_table.cc" "src/CMakeFiles/diffindex.dir/workload/item_table.cc.o" "gcc" "src/CMakeFiles/diffindex.dir/workload/item_table.cc.o.d"
+  "/root/repo/src/workload/runner.cc" "src/CMakeFiles/diffindex.dir/workload/runner.cc.o" "gcc" "src/CMakeFiles/diffindex.dir/workload/runner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

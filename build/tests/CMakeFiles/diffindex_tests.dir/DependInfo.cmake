@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cluster/buffered_writer_test.cc" "tests/CMakeFiles/diffindex_tests.dir/cluster/buffered_writer_test.cc.o" "gcc" "tests/CMakeFiles/diffindex_tests.dir/cluster/buffered_writer_test.cc.o.d"
+  "/root/repo/tests/cluster/cluster_test.cc" "tests/CMakeFiles/diffindex_tests.dir/cluster/cluster_test.cc.o" "gcc" "tests/CMakeFiles/diffindex_tests.dir/cluster/cluster_test.cc.o.d"
+  "/root/repo/tests/cluster/master_test.cc" "tests/CMakeFiles/diffindex_tests.dir/cluster/master_test.cc.o" "gcc" "tests/CMakeFiles/diffindex_tests.dir/cluster/master_test.cc.o.d"
+  "/root/repo/tests/cluster/move_test.cc" "tests/CMakeFiles/diffindex_tests.dir/cluster/move_test.cc.o" "gcc" "tests/CMakeFiles/diffindex_tests.dir/cluster/move_test.cc.o.d"
+  "/root/repo/tests/cluster/region_server_test.cc" "tests/CMakeFiles/diffindex_tests.dir/cluster/region_server_test.cc.o" "gcc" "tests/CMakeFiles/diffindex_tests.dir/cluster/region_server_test.cc.o.d"
+  "/root/repo/tests/cluster/scanner_test.cc" "tests/CMakeFiles/diffindex_tests.dir/cluster/scanner_test.cc.o" "gcc" "tests/CMakeFiles/diffindex_tests.dir/cluster/scanner_test.cc.o.d"
+  "/root/repo/tests/cluster/split_test.cc" "tests/CMakeFiles/diffindex_tests.dir/cluster/split_test.cc.o" "gcc" "tests/CMakeFiles/diffindex_tests.dir/cluster/split_test.cc.o.d"
+  "/root/repo/tests/core/advisor_test.cc" "tests/CMakeFiles/diffindex_tests.dir/core/advisor_test.cc.o" "gcc" "tests/CMakeFiles/diffindex_tests.dir/core/advisor_test.cc.o.d"
+  "/root/repo/tests/core/auq_test.cc" "tests/CMakeFiles/diffindex_tests.dir/core/auq_test.cc.o" "gcc" "tests/CMakeFiles/diffindex_tests.dir/core/auq_test.cc.o.d"
+  "/root/repo/tests/core/dense_column_test.cc" "tests/CMakeFiles/diffindex_tests.dir/core/dense_column_test.cc.o" "gcc" "tests/CMakeFiles/diffindex_tests.dir/core/dense_column_test.cc.o.d"
+  "/root/repo/tests/core/failure_injection_test.cc" "tests/CMakeFiles/diffindex_tests.dir/core/failure_injection_test.cc.o" "gcc" "tests/CMakeFiles/diffindex_tests.dir/core/failure_injection_test.cc.o.d"
+  "/root/repo/tests/core/index_codec_test.cc" "tests/CMakeFiles/diffindex_tests.dir/core/index_codec_test.cc.o" "gcc" "tests/CMakeFiles/diffindex_tests.dir/core/index_codec_test.cc.o.d"
+  "/root/repo/tests/core/local_index_test.cc" "tests/CMakeFiles/diffindex_tests.dir/core/local_index_test.cc.o" "gcc" "tests/CMakeFiles/diffindex_tests.dir/core/local_index_test.cc.o.d"
+  "/root/repo/tests/core/query_test.cc" "tests/CMakeFiles/diffindex_tests.dir/core/query_test.cc.o" "gcc" "tests/CMakeFiles/diffindex_tests.dir/core/query_test.cc.o.d"
+  "/root/repo/tests/core/schemes_test.cc" "tests/CMakeFiles/diffindex_tests.dir/core/schemes_test.cc.o" "gcc" "tests/CMakeFiles/diffindex_tests.dir/core/schemes_test.cc.o.d"
+  "/root/repo/tests/core/session_test.cc" "tests/CMakeFiles/diffindex_tests.dir/core/session_test.cc.o" "gcc" "tests/CMakeFiles/diffindex_tests.dir/core/session_test.cc.o.d"
+  "/root/repo/tests/core/verify_test.cc" "tests/CMakeFiles/diffindex_tests.dir/core/verify_test.cc.o" "gcc" "tests/CMakeFiles/diffindex_tests.dir/core/verify_test.cc.o.d"
+  "/root/repo/tests/lsm/block_test.cc" "tests/CMakeFiles/diffindex_tests.dir/lsm/block_test.cc.o" "gcc" "tests/CMakeFiles/diffindex_tests.dir/lsm/block_test.cc.o.d"
+  "/root/repo/tests/lsm/compaction_test.cc" "tests/CMakeFiles/diffindex_tests.dir/lsm/compaction_test.cc.o" "gcc" "tests/CMakeFiles/diffindex_tests.dir/lsm/compaction_test.cc.o.d"
+  "/root/repo/tests/lsm/lsm_tree_test.cc" "tests/CMakeFiles/diffindex_tests.dir/lsm/lsm_tree_test.cc.o" "gcc" "tests/CMakeFiles/diffindex_tests.dir/lsm/lsm_tree_test.cc.o.d"
+  "/root/repo/tests/lsm/memtable_test.cc" "tests/CMakeFiles/diffindex_tests.dir/lsm/memtable_test.cc.o" "gcc" "tests/CMakeFiles/diffindex_tests.dir/lsm/memtable_test.cc.o.d"
+  "/root/repo/tests/lsm/merging_iterator_test.cc" "tests/CMakeFiles/diffindex_tests.dir/lsm/merging_iterator_test.cc.o" "gcc" "tests/CMakeFiles/diffindex_tests.dir/lsm/merging_iterator_test.cc.o.d"
+  "/root/repo/tests/lsm/record_test.cc" "tests/CMakeFiles/diffindex_tests.dir/lsm/record_test.cc.o" "gcc" "tests/CMakeFiles/diffindex_tests.dir/lsm/record_test.cc.o.d"
+  "/root/repo/tests/lsm/sstable_test.cc" "tests/CMakeFiles/diffindex_tests.dir/lsm/sstable_test.cc.o" "gcc" "tests/CMakeFiles/diffindex_tests.dir/lsm/sstable_test.cc.o.d"
+  "/root/repo/tests/lsm/wal_test.cc" "tests/CMakeFiles/diffindex_tests.dir/lsm/wal_test.cc.o" "gcc" "tests/CMakeFiles/diffindex_tests.dir/lsm/wal_test.cc.o.d"
+  "/root/repo/tests/net/message_test.cc" "tests/CMakeFiles/diffindex_tests.dir/net/message_test.cc.o" "gcc" "tests/CMakeFiles/diffindex_tests.dir/net/message_test.cc.o.d"
+  "/root/repo/tests/util/coding_test.cc" "tests/CMakeFiles/diffindex_tests.dir/util/coding_test.cc.o" "gcc" "tests/CMakeFiles/diffindex_tests.dir/util/coding_test.cc.o.d"
+  "/root/repo/tests/util/env_test.cc" "tests/CMakeFiles/diffindex_tests.dir/util/env_test.cc.o" "gcc" "tests/CMakeFiles/diffindex_tests.dir/util/env_test.cc.o.d"
+  "/root/repo/tests/util/util_test.cc" "tests/CMakeFiles/diffindex_tests.dir/util/util_test.cc.o" "gcc" "tests/CMakeFiles/diffindex_tests.dir/util/util_test.cc.o.d"
+  "/root/repo/tests/workload/workload_test.cc" "tests/CMakeFiles/diffindex_tests.dir/workload/workload_test.cc.o" "gcc" "tests/CMakeFiles/diffindex_tests.dir/workload/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/diffindex.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
