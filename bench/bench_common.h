@@ -14,8 +14,10 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "cluster/cluster.h"
+#include "obs/metrics.h"
 #include "workload/item_table.h"
 #include "workload/runner.h"
 
@@ -108,6 +110,68 @@ inline void PrintSeriesRow(const char* scheme, int threads,
          static_cast<unsigned long long>(result.latency->Percentile(99)),
          static_cast<unsigned long long>(result.errors));
 }
+
+// Common bench flags. `--metrics-json <path>` (or `--metrics-json=<path>`)
+// dumps a machine-readable registry snapshot per measured point.
+struct BenchArgs {
+  std::string metrics_json;
+};
+
+inline BenchArgs ParseBenchArgs(int argc, char** argv) {
+  BenchArgs args;
+  const std::string flag = "--metrics-json";
+  for (int i = 1; i < argc; i++) {
+    const std::string a = argv[i];
+    if (a == flag && i + 1 < argc) {
+      args.metrics_json = argv[++i];
+    } else if (a.rfind(flag + "=", 0) == 0) {
+      args.metrics_json = a.substr(flag.size() + 1);
+    }
+  }
+  return args;
+}
+
+// Accumulates one labeled registry snapshot per measured point and writes
+// them as {"points":[{"label":...,"metrics":{...}}, ...]}. The benches
+// build a fresh cluster (hence a fresh registry) per point, so each
+// snapshot covers exactly that point's run.
+class MetricsJsonWriter {
+ public:
+  explicit MetricsJsonWriter(std::string path) : path_(std::move(path)) {}
+
+  bool enabled() const { return !path_.empty(); }
+
+  void AddPoint(const std::string& label, Cluster* cluster) {
+    if (!enabled()) return;
+    points_.push_back("{\"label\":\"" + obs::JsonEscape(label) +
+                      "\",\"metrics\":" +
+                      cluster->metrics()->ToJson() + "}");
+  }
+
+  bool Write() const {
+    if (!enabled()) return true;
+    std::string out = "{\"points\":[";
+    for (size_t i = 0; i < points_.size(); i++) {
+      if (i > 0) out += ",";
+      out += points_[i];
+    }
+    out += "]}\n";
+    FILE* f = fopen(path_.c_str(), "w");
+    const bool ok = f != nullptr &&
+                    fwrite(out.data(), 1, out.size(), f) == out.size();
+    if (f != nullptr) fclose(f);
+    if (ok) {
+      printf("metrics: wrote %s\n", path_.c_str());
+    } else {
+      fprintf(stderr, "metrics: FAILED to write %s\n", path_.c_str());
+    }
+    return ok;
+  }
+
+ private:
+  const std::string path_;
+  std::vector<std::string> points_;
+};
 
 // Waits until every server's AUQ is empty.
 inline void WaitQuiescent(Cluster* cluster) {

@@ -13,7 +13,8 @@
 namespace diffindex::bench {
 namespace {
 
-void RunSeries(const char* label, bool with_index, IndexScheme scheme) {
+void RunSeries(const char* label, bool with_index, IndexScheme scheme,
+               MetricsJsonWriter* metrics_out) {
   const int kThreadSweep[] = {1, 2, 4, 8, 16};
   for (int threads : kThreadSweep) {
     EnvOptions env_options;
@@ -44,6 +45,9 @@ void RunSeries(const char* label, bool with_index, IndexScheme scheme) {
     if (scheme == IndexScheme::kAsyncSimple) {
       WaitQuiescent(env.cluster.get());
     }
+    metrics_out->AddPoint(std::string(label) + "/threads=" +
+                              std::to_string(threads),
+                          env.cluster.get());
   }
   printf("\n");
 }
@@ -51,16 +55,19 @@ void RunSeries(const char* label, bool with_index, IndexScheme scheme) {
 }  // namespace
 }  // namespace diffindex::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace diffindex;
   using namespace diffindex::bench;
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  MetricsJsonWriter metrics_out(args.metrics_json);
   PrintHeader("Figure 7: update latency vs throughput per scheme",
               "Tan et al., EDBT 2014, Section 8.2, Figure 7");
-  RunSeries("no-index", /*with_index=*/false, IndexScheme::kSyncFull);
-  RunSeries("sync-insert", true, IndexScheme::kSyncInsert);
-  RunSeries("sync-full", true, IndexScheme::kSyncFull);
-  RunSeries("async-simple", true, IndexScheme::kAsyncSimple);
+  RunSeries("no-index", /*with_index=*/false, IndexScheme::kSyncFull,
+            &metrics_out);
+  RunSeries("sync-insert", true, IndexScheme::kSyncInsert, &metrics_out);
+  RunSeries("sync-full", true, IndexScheme::kSyncFull, &metrics_out);
+  RunSeries("async-simple", true, IndexScheme::kAsyncSimple, &metrics_out);
   printf("Expected shape: insert ~2x no-index latency; full up to ~5x;\n");
   printf("async tracks no-index at low load and rises under saturation.\n");
-  return 0;
+  return metrics_out.Write() ? 0 : 1;
 }

@@ -41,6 +41,9 @@ Status Client::EnsureLayoutLocked() {
             });
   layout_valid_ = true;
   layout_refreshes_++;
+  if (options_.metrics != nullptr) {
+    options_.metrics->GetCounter("client.layout_refreshes")->Add();
+  }
   return Status::OK();
 }
 
@@ -88,6 +91,9 @@ Status Client::CallRegion(const std::string& table, const Slice& row,
   for (int attempt = 0; attempt <= options_.max_retries; attempt++) {
     if (attempt > 0) {
       // Stale map or mid-failover: refresh and retry with backoff.
+      if (options_.metrics != nullptr) {
+        options_.metrics->GetCounter("client.retries")->Add();
+      }
       std::this_thread::sleep_for(
           std::chrono::milliseconds(options_.retry_backoff_ms * attempt));
       Status rs = RefreshLayout();

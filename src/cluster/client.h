@@ -25,6 +25,10 @@ namespace diffindex {
 struct ClientOptions {
   int max_retries = 8;
   int retry_backoff_ms = 2;
+  // Observability sinks (either may be null); also inherited by the
+  // DiffIndexClient / IndexReader built on top of this client.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceCollector* traces = nullptr;
 };
 
 class Client {
@@ -93,6 +97,8 @@ class Client {
 
   NodeId self_node() const { return self_node_; }
   uint64_t layout_refreshes() const { return layout_refreshes_; }
+  obs::MetricsRegistry* metrics() const { return options_.metrics; }
+  obs::TraceCollector* traces() const { return options_.traces; }
 
  private:
   // Sends to the server owning (table, row); refreshes layout and retries

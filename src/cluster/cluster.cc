@@ -48,7 +48,17 @@ Status Cluster::Init() {
   options_.server.lsm.latency = &latency_;
   options_.master.default_regions_per_table = options_.regions_per_table;
 
+  // One registry/collector for the whole deployment: fabric, servers,
+  // LSM trees, AUQ/APS and clients all report here.
+  options_.server.metrics = &metrics_;
+  options_.server.traces = &traces_;
+  options_.server.lsm.metrics = &metrics_;
+  options_.auq.metrics = &metrics_;
+  options_.auq.traces = &traces_;
+  stats_.Bind(&metrics_);
+
   fabric_ = std::make_unique<Fabric>(&latency_);
+  fabric_->SetObservers(&metrics_, &traces_);
   master_ = std::make_unique<Master>(fabric_.get(), options_.data_root,
                                      options_.master);
   DIFFINDEX_RETURN_NOT_OK(master_->Start());
@@ -65,7 +75,11 @@ Status Cluster::StartServer(NodeId id, ServerBundle* bundle) {
   DIFFINDEX_RETURN_NOT_OK(bundle->server->Start());
   // The coprocessors deliver index updates through an internal client
   // whose fabric identity is the server itself.
-  bundle->internal_client = std::make_shared<Client>(fabric_.get(), id);
+  ClientOptions internal_opts;
+  internal_opts.metrics = &metrics_;
+  internal_opts.traces = &traces_;
+  bundle->internal_client =
+      std::make_shared<Client>(fabric_.get(), id, internal_opts);
   bundle->index_manager = std::make_unique<IndexManager>(
       bundle->server.get(), bundle->internal_client, &stats_, options_.auq);
   bundle->server->SetHooks(bundle->index_manager.get());
@@ -125,7 +139,10 @@ std::vector<NodeId> Cluster::server_ids() const {
 
 std::shared_ptr<Client> Cluster::NewClient() {
   const NodeId node = next_client_node_.fetch_add(1);
-  return std::make_shared<Client>(fabric_.get(), node);
+  ClientOptions opts;
+  opts.metrics = &metrics_;
+  opts.traces = &traces_;
+  return std::make_shared<Client>(fabric_.get(), node, opts);
 }
 
 std::unique_ptr<DiffIndexClient> Cluster::NewDiffIndexClient(

@@ -21,6 +21,8 @@
 #include "core/observers.h"
 #include "core/op_stats.h"
 #include "net/fabric.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace diffindex {
 
@@ -59,6 +61,10 @@ class Cluster {
   Fabric* fabric() { return fabric_.get(); }
   LatencyModel* latency() { return &latency_; }
   OpStats* stats() { return &stats_; }
+  // Cluster-wide observability: every node, client and subsystem of this
+  // cluster reports into the same registry/collector.
+  obs::MetricsRegistry* metrics() { return &metrics_; }
+  obs::TraceCollector* traces() { return &traces_; }
   const std::string& data_root() const { return options_.data_root; }
 
   RegionServer* server(NodeId id);
@@ -102,6 +108,8 @@ class Cluster {
   ClusterOptions options_;
   LatencyModel latency_;
   OpStats stats_;
+  obs::MetricsRegistry metrics_;
+  obs::TraceCollector traces_;
   std::unique_ptr<Fabric> fabric_;
   std::unique_ptr<Master> master_;
   std::map<NodeId, ServerBundle> servers_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/trace.h"
 #include "util/coding.h"
 #include "util/logging.h"
 
@@ -94,6 +95,12 @@ RegionServer::RegionServer(NodeId id, std::string data_root, Fabric* fabric,
   if (lsm_options_.block_cache == nullptr && options_.block_cache_bytes > 0) {
     lsm_options_.block_cache =
         std::make_shared<LruCache>(options_.block_cache_bytes);
+  }
+  if (options_.metrics != nullptr) {
+    rs_put_counter_ = options_.metrics->GetCounter("rs.put");
+    rs_flush_counter_ = options_.metrics->GetCounter("rs.flush");
+    flush_stall_hist_ =
+        options_.metrics->GetHistogram("rs.flush_stall_micros");
   }
 }
 
@@ -473,6 +480,8 @@ Status RegionServer::HandleMultiPut(Slice body, std::string* response) {
 }
 
 Status RegionServer::ExecutePut(const PutRequest& put, PutResponse* resp) {
+  obs::SpanTimer span(options_.metrics, options_.traces, "rs.put");
+  if (rs_put_counter_ != nullptr) rs_put_counter_->Add();
   if (!ValidName(put.row)) {
     return Status::InvalidArgument("row contains the cell separator");
   }
@@ -495,6 +504,9 @@ Status RegionServer::ExecutePut(const PutRequest& put, PutResponse* resp) {
   if (stalled > 0) {
     flush_stall_micros_.fetch_add(static_cast<uint64_t>(stalled),
                                   std::memory_order_relaxed);
+    if (flush_stall_hist_ != nullptr) {
+      flush_stall_hist_->Add(static_cast<uint64_t>(stalled));
+    }
   }
 
   if (region->closed()) {
@@ -791,7 +803,14 @@ Status RegionServer::FlushRegionInternal(
   // is enqueued. PreFlush pauses intake and waits for the APS to drain —
   // this is "1. pause & drain / 2. flush / 3. roll forward" of Figure 5.
   std::lock_guard<std::shared_mutex> gate(region->flush_gate());
-  if (hooks_ != nullptr) hooks_->PreFlush(region->info().table);
+  obs::SpanTimer flush_span(options_.metrics, options_.traces, "rs.flush");
+  {
+    // Drain-before-flush cost (Figure 5 step 1): how long this flush
+    // waited for the AUQ to empty while holding the gate exclusively.
+    obs::SpanTimer drain_span(options_.metrics, options_.traces,
+                              "rs.flush_drain");
+    if (hooks_ != nullptr) hooks_->PreFlush(region->info().table);
+  }
   Status s = region->tree()->Flush();
   if (s.ok() && region->local_index_tree() != nullptr) {
     s = region->local_index_tree()->Flush();
@@ -799,6 +818,7 @@ Status RegionServer::FlushRegionInternal(
   if (hooks_ != nullptr) hooks_->PostFlush(region->info().table);
   DIFFINDEX_RETURN_NOT_OK(s);
   flush_count_.fetch_add(1, std::memory_order_relaxed);
+  if (rs_flush_counter_ != nullptr) rs_flush_counter_->Add();
 
   const auto key =
       std::make_pair(region->info().table, region->info().region_id);

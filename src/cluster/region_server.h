@@ -88,6 +88,11 @@ struct RegionServerOptions {
   // Heartbeat interval; 0 disables the background heartbeat thread (tests
   // drive failure detection explicitly).
   int heartbeat_interval_ms = 0;
+  // Observability sinks (either may be null): server-side spans
+  // (`span.rs.put.<scheme>`), put/flush counters, and the drain-before-
+  // flush / flush-stall timing histograms.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceCollector* traces = nullptr;
 };
 
 class RegionServer {
@@ -185,6 +190,8 @@ class RegionServer {
 
   TimestampOracle* oracle() { return &oracle_; }
   Fabric* fabric() { return fabric_; }
+  obs::MetricsRegistry* metrics() const { return options_.metrics; }
+  obs::TraceCollector* traces() const { return options_.traces; }
 
   // Stats for the experiment harness.
   uint64_t wal_appends() const { return wal_appends_.load(); }
@@ -264,6 +271,11 @@ class RegionServer {
   std::atomic<uint64_t> wal_appends_{0};
   std::atomic<uint64_t> flush_count_{0};
   std::atomic<uint64_t> flush_stall_micros_{0};
+
+  // Cached registry instruments (null when options_.metrics is null).
+  obs::Counter* rs_put_counter_ = nullptr;
+  obs::Counter* rs_flush_counter_ = nullptr;
+  Histogram* flush_stall_hist_ = nullptr;
 };
 
 }  // namespace diffindex

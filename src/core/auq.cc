@@ -8,6 +8,14 @@ namespace diffindex {
 AsyncUpdateQueue::AsyncUpdateQueue(const AuqOptions& options,
                                    Processor processor)
     : options_(options), processor_(std::move(processor)) {
+  if (options_.metrics != nullptr) {
+    depth_gauge_ = options_.metrics->GetGauge("auq.depth");
+    enqueued_counter_ = options_.metrics->GetCounter("auq.enqueued");
+    processed_counter_ = options_.metrics->GetCounter("auq.processed");
+    retries_counter_ = options_.metrics->GetCounter("auq.retries");
+    task_micros_hist_ = options_.metrics->GetHistogram("auq.task_micros");
+    staleness_hist_ = options_.metrics->GetHistogram("auq.staleness_micros");
+  }
   workers_.reserve(options_.worker_threads);
   for (int i = 0; i < options_.worker_threads; i++) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -26,6 +34,8 @@ bool AsyncUpdateQueue::Enqueue(IndexTask task) {
   if (shutdown_) return false;
   queue_.push_back(std::move(task));
   work_cv_.notify_one();
+  if (enqueued_counter_ != nullptr) enqueued_counter_->Add();
+  if (depth_gauge_ != nullptr) depth_gauge_->Add(1);
   return true;
 }
 
@@ -91,10 +101,31 @@ void AsyncUpdateQueue::WorkerLoop() {
       in_flight_++;
     }
 
-    const Status s = processor_(task);
+    if (options_.process_delay_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options_.process_delay_ms));
+    }
+
+    Status s;
+    {
+      // The task carries the trace of the base put that spawned it, so
+      // the APS work appears as a child span of the client's request.
+      obs::ScopedTraceContext scope(task.trace.active()
+                                        ? task.trace.Child()
+                                        : obs::TraceContext());
+      obs::SpanTimer span(options_.metrics, options_.traces, "aps.task");
+      const uint64_t start = TimestampOracle::NowMicros();
+      s = processor_(task);
+      if (s.ok() && task_micros_hist_ != nullptr) {
+        const uint64_t end = TimestampOracle::NowMicros();
+        task_micros_hist_->Add(end > start ? end - start : 0);
+      }
+    }
 
     if (s.ok()) {
       processed_.fetch_add(1, std::memory_order_relaxed);
+      if (processed_counter_ != nullptr) processed_counter_->Add();
+      if (depth_gauge_ != nullptr) depth_gauge_->Sub(1);
       const uint64_t count =
           task_counter_.fetch_add(1, std::memory_order_relaxed);
       if (options_.staleness_sample_every > 0 &&
@@ -103,7 +134,10 @@ void AsyncUpdateQueue::WorkerLoop() {
         // T2 - T1: base-entry timestamp vs. moment the index update
         // completed, both in microseconds on the same clock.
         const Timestamp now = TimestampOracle::NowMicros();
-        if (now > task.ts) staleness_.Add(now - task.ts);
+        if (now > task.ts) {
+          staleness_.Add(now - task.ts);
+          if (staleness_hist_ != nullptr) staleness_hist_->Add(now - task.ts);
+        }
       }
       std::lock_guard<std::mutex> lock(mu_);
       in_flight_--;
@@ -115,6 +149,7 @@ void AsyncUpdateQueue::WorkerLoop() {
     // Failure: retry with backoff until eventual success (the queue keeps
     // the task in_flight through the backoff so WaitDrained stays honest).
     retries_.fetch_add(1, std::memory_order_relaxed);
+    if (retries_counter_ != nullptr) retries_counter_->Add();
     task.attempts++;
     const int backoff_ms =
         std::min(task.attempts, 8) * options_.retry_backoff_ms;

@@ -27,6 +27,8 @@
 #include <vector>
 
 #include "cluster/catalog.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/histogram.h"
 #include "util/timestamp_oracle.h"
 
@@ -44,6 +46,9 @@ struct IndexTask {
   Timestamp ts = 0;
   IndexDescriptor index;
   int attempts = 0;
+  // Trace of the base put that spawned this task (inactive if untraced),
+  // so the APS drain span chains to the client's request.
+  obs::TraceContext trace;
 };
 
 struct AuqOptions {
@@ -56,6 +61,16 @@ struct AuqOptions {
   // Queue capacity; Enqueue blocks when full (backpressure under
   // saturation). 0 = unbounded.
   size_t max_depth = 0;
+  // Artificial per-task delay before processing — a test/bench knob that
+  // throttles the APS to magnify index staleness (Figure 11's saturated
+  // regime on demand).
+  int process_delay_ms = 0;
+  // Observability sinks; either may be null. Exports gauge `auq.depth`,
+  // counters `auq.enqueued/processed/retries`, histograms
+  // `auq.task_micros` (per-task processing time), `auq.staleness_micros`,
+  // and `span.aps.task.<scheme>` spans chained to the base put's trace.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceCollector* traces = nullptr;
 };
 
 class AsyncUpdateQueue {
@@ -110,6 +125,15 @@ class AsyncUpdateQueue {
   std::atomic<uint64_t> retries_{0};
   std::atomic<uint64_t> task_counter_{0};
   Histogram staleness_;
+
+  // Cached registry instruments (null when options_.metrics is null) —
+  // resolved once in the constructor to keep the hot path lock-free.
+  obs::Gauge* depth_gauge_ = nullptr;
+  obs::Counter* enqueued_counter_ = nullptr;
+  obs::Counter* processed_counter_ = nullptr;
+  obs::Counter* retries_counter_ = nullptr;
+  Histogram* task_micros_hist_ = nullptr;
+  Histogram* staleness_hist_ = nullptr;
 };
 
 }  // namespace diffindex

@@ -10,10 +10,42 @@ DiffIndexClient::DiffIndexClient(std::shared_ptr<Client> client,
     : client_(std::move(client)),
       stats_(stats),
       reader_(client_, stats),
-      sessions_(session_options) {}
+      sessions_(session_options),
+      metrics_(client_->metrics()),
+      traces_(client_->traces()) {}
+
+std::string DiffIndexClient::SchemeTag(const std::string& table) {
+  {
+    std::lock_guard<std::mutex> lock(scheme_mu_);
+    auto it = scheme_by_table_.find(table);
+    if (it != scheme_by_table_.end()) return it->second;
+  }
+  // One catalog lookup per table outside the lock (it may RPC the master).
+  CatalogSnapshot catalog = client_->catalog();
+  const TableDescriptor* desc = catalog.GetTable(table);
+  if (desc == nullptr) return "";  // not cached: the table may appear later
+  std::string tag;
+  if (!desc->indexes.empty()) tag = IndexSchemeName(desc->indexes[0].scheme);
+  std::lock_guard<std::mutex> lock(scheme_mu_);
+  return scheme_by_table_.emplace(table, std::move(tag)).first->second;
+}
+
+obs::TraceContext DiffIndexClient::OpContext(const char* op,
+                                             const std::string& table) {
+  std::string scheme = SchemeTag(table);
+  const obs::TraceContext& ambient = obs::CurrentTraceContext();
+  if (ambient.active()) {
+    obs::TraceContext child = ambient.Child();
+    if (child.scheme.empty()) child.scheme = std::move(scheme);
+    return child;
+  }
+  return obs::TraceContext::NewRoot(op, std::move(scheme));
+}
 
 Status DiffIndexClient::Put(const std::string& table, const std::string& row,
                             std::vector<Cell> cells) {
+  obs::ScopedTraceContext scope(OpContext("put", table));
+  obs::SpanTimer span(metrics_, traces_, "client.put");
   if (stats_ != nullptr) stats_->AddBasePut();
   return client_->Put(table, row, std::move(cells));
 }
@@ -28,12 +60,16 @@ Status DiffIndexClient::PutColumn(const std::string& table,
 Status DiffIndexClient::DeleteColumns(
     const std::string& table, const std::string& row,
     const std::vector<std::string>& columns) {
+  obs::ScopedTraceContext scope(OpContext("delete_columns", table));
+  obs::SpanTimer span(metrics_, traces_, "client.delete_columns");
   if (stats_ != nullptr) stats_->AddBasePut();
   return client_->DeleteColumns(table, row, columns);
 }
 
 Status DiffIndexClient::Get(const std::string& table, const std::string& row,
                             const std::string& column, std::string* value) {
+  obs::ScopedTraceContext scope(OpContext("get", table));
+  obs::SpanTimer span(metrics_, traces_, "client.get");
   if (stats_ != nullptr) stats_->AddBaseRead();
   return client_->GetCell(table, row, column, kMaxTimestamp, value);
 }
@@ -41,6 +77,8 @@ Status DiffIndexClient::Get(const std::string& table, const std::string& row,
 Status DiffIndexClient::GetRow(const std::string& table,
                                const std::string& row,
                                GetRowResponse* resp) {
+  obs::ScopedTraceContext scope(OpContext("get_row", table));
+  obs::SpanTimer span(metrics_, traces_, "client.get_row");
   if (stats_ != nullptr) stats_->AddBaseRead();
   return client_->GetRow(table, row, kMaxTimestamp, resp);
 }
@@ -49,6 +87,8 @@ Status DiffIndexClient::GetByIndex(const std::string& table,
                                    const std::string& index_name,
                                    const std::string& value_encoded,
                                    std::vector<IndexHit>* hits) {
+  obs::ScopedTraceContext scope(OpContext("get_by_index", table));
+  obs::SpanTimer span(metrics_, traces_, "client.get_by_index");
   return reader_.GetByIndex(table, index_name, value_encoded, hits);
 }
 
@@ -58,6 +98,8 @@ Status DiffIndexClient::RangeByIndex(const std::string& table,
                                      const std::string& value_hi_encoded,
                                      uint32_t limit,
                                      std::vector<IndexHit>* hits) {
+  obs::ScopedTraceContext scope(OpContext("range_by_index", table));
+  obs::SpanTimer span(metrics_, traces_, "client.range_by_index");
   return reader_.RangeByIndex(table, index_name, value_lo_encoded,
                               value_hi_encoded, limit, hits);
 }
@@ -66,6 +108,8 @@ Status DiffIndexClient::QueryByIndex(const std::string& table,
                                      const std::string& index_name,
                                      const std::string& value_encoded,
                                      std::vector<ScannedRow>* rows) {
+  obs::ScopedTraceContext scope(OpContext("query_by_index", table));
+  obs::SpanTimer span(metrics_, traces_, "client.query_by_index");
   rows->clear();
   std::vector<IndexHit> hits;
   DIFFINDEX_RETURN_NOT_OK(
@@ -96,6 +140,8 @@ Status DiffIndexClient::SessionPut(SessionId session, const std::string& table,
   // The server returns the previous value of each written cell plus the
   // assigned timestamp; the client library mirrors the server-side index
   // mutations into the session's private tables (Section 5.2).
+  obs::ScopedTraceContext scope(OpContext("session_put", table));
+  obs::SpanTimer span(metrics_, traces_, "client.session_put");
   if (stats_ != nullptr) stats_->AddBasePut();
   PutResponse resp;
   DIFFINDEX_RETURN_NOT_OK(client_->Put(table, row, cells, /*ts=*/0,
@@ -155,6 +201,8 @@ Status DiffIndexClient::SessionGetByIndex(SessionId session,
                                           const std::string& index_name,
                                           const std::string& value_encoded,
                                           std::vector<IndexHit>* hits) {
+  obs::ScopedTraceContext scope(OpContext("session_get_by_index", table));
+  obs::SpanTimer span(metrics_, traces_, "client.session_get_by_index");
   IndexDescriptor index;
   DIFFINDEX_RETURN_NOT_OK(reader_.FindIndex(table, index_name, &index));
   DIFFINDEX_RETURN_NOT_OK(
@@ -170,6 +218,8 @@ Status DiffIndexClient::SessionRangeByIndex(
     SessionId session, const std::string& table,
     const std::string& index_name, const std::string& value_lo_encoded,
     const std::string& value_hi_encoded, std::vector<IndexHit>* hits) {
+  obs::ScopedTraceContext scope(OpContext("session_range_by_index", table));
+  obs::SpanTimer span(metrics_, traces_, "client.session_range_by_index");
   IndexDescriptor index;
   DIFFINDEX_RETURN_NOT_OK(reader_.FindIndex(table, index_name, &index));
   // No limit: a server-side limit would make the private-entry merge

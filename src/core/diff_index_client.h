@@ -15,13 +15,16 @@
 #ifndef DIFFINDEX_CORE_DIFF_INDEX_CLIENT_H_
 #define DIFFINDEX_CORE_DIFF_INDEX_CLIENT_H_
 
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "cluster/client.h"
 #include "core/index_read.h"
 #include "core/session.h"
+#include "obs/trace.h"
 
 namespace diffindex {
 
@@ -93,10 +96,27 @@ class DiffIndexClient {
   SessionManager* sessions() { return &sessions_; }
 
  private:
+  // Scheme tag for span names ("sync-full", ...), from the table's first
+  // index; cached per table (one catalog lookup, not one per op). Empty
+  // when the table is unknown or unindexed.
+  std::string SchemeTag(const std::string& table);
+
+  // Context for one client-level op: a child of the ambient context when
+  // one is active (e.g. inside a StalenessProbe cycle), else a fresh root.
+  obs::TraceContext OpContext(const char* op, const std::string& table);
+
   std::shared_ptr<Client> client_;
   OpStats* const stats_;
   IndexReader reader_;
   SessionManager sessions_;
+
+  // Observability sinks inherited from the underlying Client (may be
+  // null).
+  obs::MetricsRegistry* const metrics_;
+  obs::TraceCollector* const traces_;
+
+  std::mutex scheme_mu_;
+  std::map<std::string, std::string> scheme_by_table_;
 };
 
 }  // namespace diffindex

@@ -1,6 +1,7 @@
 #include "core/index_read.h"
 
 #include "core/index_codec.h"
+#include "obs/trace.h"
 
 namespace diffindex {
 
@@ -24,6 +25,10 @@ Status IndexReader::ScanIndex(const IndexDescriptor& index,
                               const std::string& start,
                               const std::string& end, uint32_t limit,
                               std::vector<IndexHit>* hits) {
+  obs::SpanTimer span(client_->metrics(), client_->traces(), "index.scan");
+  if (client_->metrics() != nullptr) {
+    client_->metrics()->GetCounter("index.read")->Add();
+  }
   if (stats_ != nullptr) stats_->AddIndexRead();
   std::vector<ScannedRow> rows;
   DIFFINDEX_RETURN_NOT_OK(client_->ScanRows(index.index_table, start, end,
@@ -48,6 +53,11 @@ Status IndexReader::BroadcastLocalScan(const IndexDescriptor& index,
                                        const std::string& end,
                                        uint32_t limit,
                                        std::vector<IndexHit>* hits) {
+  obs::SpanTimer span(client_->metrics(), client_->traces(),
+                      "index.broadcast_scan");
+  if (client_->metrics() != nullptr) {
+    client_->metrics()->GetCounter("index.read")->Add();
+  }
   if (stats_ != nullptr) stats_->AddIndexRead();
   std::vector<RawEntry> entries;
   DIFFINDEX_RETURN_NOT_OK(client_->ScanLocalIndex(
@@ -75,9 +85,17 @@ Status IndexReader::BroadcastLocalScan(const IndexDescriptor& index,
 Status IndexReader::RepairHits(const std::string& base_table,
                                const IndexDescriptor& index,
                                std::vector<IndexHit>* hits) {
+  obs::SpanTimer span(client_->metrics(), client_->traces(), "index.repair");
+  obs::Counter* checked = nullptr;
+  obs::Counter* repaired = nullptr;
+  if (client_->metrics() != nullptr) {
+    checked = client_->metrics()->GetCounter("index.repair.checked");
+    repaired = client_->metrics()->GetCounter("index.repair.deleted");
+  }
   std::vector<IndexHit> verified;
   verified.reserve(hits->size());
   for (IndexHit& hit : *hits) {
+    if (checked != nullptr) checked->Add();
     // SR2: read the base table and get the newest value of k.
     std::vector<std::string> columns;
     columns.push_back(index.column);
@@ -117,6 +135,7 @@ Status IndexReader::RepairHits(const std::string& base_table,
     }
     // Stale: delete <v_index ⊕ k, ts> from the index table. The tombstone
     // at the entry's own ts cannot mask any newer entry.
+    if (repaired != nullptr) repaired->Add();
     if (stats_ != nullptr) stats_->AddIndexPut();
     const std::string index_row =
         EncodeIndexRow(hit.value_encoded, hit.base_row);

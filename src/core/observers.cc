@@ -1,6 +1,7 @@
 #include "core/observers.h"
 
 #include "core/index_codec.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace diffindex {
@@ -50,6 +51,9 @@ Status IndexManager::PostApply(const PutRequest& put, Timestamp ts) {
     task.cells = put.cells;
     task.ts = ts;
     task.index = index;
+    // Hand the put's trace to the task so APS/retry work chains to it.
+    const obs::TraceContext& ambient = obs::CurrentTraceContext();
+    if (ambient.active()) task.trace = ambient.Child();
 
     if (index.is_local) {
       // Local index: synchronous, entirely server-local (no remote call
@@ -62,8 +66,13 @@ Status IndexManager::PostApply(const PutRequest& put, Timestamp ts) {
 
     switch (index.scheme) {
       case IndexScheme::kSyncFull: {
-        Status s = ProcessTask(task, /*insert_only=*/false,
-                               /*foreground=*/true);
+        Status s;
+        {
+          obs::SpanTimer span(server_->metrics(), server_->traces(),
+                              "rs.index_sync");
+          s = ProcessTask(task, /*insert_only=*/false,
+                          /*foreground=*/true);
+        }
         if (!s.ok()) {
           // Degrade to eventual: queue for retry, base put still succeeds.
           DIFFINDEX_LOG_WARN << "sync-full index op failed (" << s.ToString()
@@ -73,8 +82,13 @@ Status IndexManager::PostApply(const PutRequest& put, Timestamp ts) {
         break;
       }
       case IndexScheme::kSyncInsert: {
-        Status s = ProcessTask(task, /*insert_only=*/true,
-                               /*foreground=*/true);
+        Status s;
+        {
+          obs::SpanTimer span(server_->metrics(), server_->traces(),
+                              "rs.index_sync");
+          s = ProcessTask(task, /*insert_only=*/true,
+                          /*foreground=*/true);
+        }
         if (!s.ok()) {
           DIFFINDEX_LOG_WARN << "sync-insert index op failed ("
                              << s.ToString() << "); queued for retry";

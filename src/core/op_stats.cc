@@ -13,6 +13,16 @@ std::string OpStats::Snapshot::ToString() const {
   return out.str();
 }
 
+void OpStats::Bind(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  c_base_put_ = registry->GetCounter("io.base_put");
+  c_base_read_ = registry->GetCounter("io.base_read");
+  c_index_put_ = registry->GetCounter("io.index_put");
+  c_index_read_ = registry->GetCounter("io.index_read");
+  c_async_base_read_ = registry->GetCounter("io.async_base_read");
+  c_async_index_put_ = registry->GetCounter("io.async_index_put");
+}
+
 OpStats::Snapshot OpStats::snapshot() const {
   Snapshot s;
   s.base_put = base_put_.load(std::memory_order_relaxed);

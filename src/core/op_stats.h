@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/metrics.h"
+
 namespace diffindex {
 
 class OpStats {
@@ -26,16 +28,34 @@ class OpStats {
     std::string ToString() const;
   };
 
-  void AddBasePut() { base_put_.fetch_add(1, std::memory_order_relaxed); }
-  void AddBaseRead() { base_read_.fetch_add(1, std::memory_order_relaxed); }
-  void AddIndexPut() { index_put_.fetch_add(1, std::memory_order_relaxed); }
-  void AddIndexRead() { index_read_.fetch_add(1, std::memory_order_relaxed); }
+  void AddBasePut() {
+    base_put_.fetch_add(1, std::memory_order_relaxed);
+    if (c_base_put_ != nullptr) c_base_put_->Add();
+  }
+  void AddBaseRead() {
+    base_read_.fetch_add(1, std::memory_order_relaxed);
+    if (c_base_read_ != nullptr) c_base_read_->Add();
+  }
+  void AddIndexPut() {
+    index_put_.fetch_add(1, std::memory_order_relaxed);
+    if (c_index_put_ != nullptr) c_index_put_->Add();
+  }
+  void AddIndexRead() {
+    index_read_.fetch_add(1, std::memory_order_relaxed);
+    if (c_index_read_ != nullptr) c_index_read_->Add();
+  }
   void AddAsyncBaseRead() {
     async_base_read_.fetch_add(1, std::memory_order_relaxed);
+    if (c_async_base_read_ != nullptr) c_async_base_read_->Add();
   }
   void AddAsyncIndexPut() {
     async_index_put_.fetch_add(1, std::memory_order_relaxed);
+    if (c_async_index_put_ != nullptr) c_async_index_put_->Add();
   }
+
+  // Mirrors every counter into `registry` under `io.*` names (Table 2
+  // exported live). Call before concurrent use; not thread-safe itself.
+  void Bind(obs::MetricsRegistry* registry);
 
   Snapshot snapshot() const;
   void Reset();
@@ -47,6 +67,14 @@ class OpStats {
   std::atomic<uint64_t> index_read_{0};
   std::atomic<uint64_t> async_base_read_{0};
   std::atomic<uint64_t> async_index_put_{0};
+
+  // Optional registry mirrors (null until Bind).
+  obs::Counter* c_base_put_ = nullptr;
+  obs::Counter* c_base_read_ = nullptr;
+  obs::Counter* c_index_put_ = nullptr;
+  obs::Counter* c_index_read_ = nullptr;
+  obs::Counter* c_async_base_read_ = nullptr;
+  obs::Counter* c_async_index_put_ = nullptr;
 };
 
 }  // namespace diffindex

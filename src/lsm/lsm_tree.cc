@@ -1,6 +1,7 @@
 #include "lsm/lsm_tree.h"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
 
 #include "lsm/merging_iterator.h"
@@ -165,6 +166,7 @@ bool LsmTree::NeedsFlush() const {
 }
 
 Status LsmTree::Flush() {
+  const auto flush_start = std::chrono::steady_clock::now();
   std::shared_ptr<MemTable> imm;
   uint64_t seq_at_swap;
   {
@@ -210,6 +212,15 @@ Status LsmTree::Flush() {
   durable_seq_.store(seq_at_swap, std::memory_order_release);
   DIFFINDEX_RETURN_NOT_OK(WriteManifest());
 
+  if (options_.metrics != nullptr) {
+    options_.metrics->GetCounter("lsm.flush")->Add();
+    const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                            std::chrono::steady_clock::now() - flush_start)
+                            .count();
+    options_.metrics->GetHistogram("lsm.flush_micros")
+        ->Add(static_cast<uint64_t>(micros));
+  }
+
   int num_tables;
   {
     std::lock_guard<std::mutex> lock(state_mu_);
@@ -222,6 +233,7 @@ Status LsmTree::Flush() {
 }
 
 Status LsmTree::CompactAll() {
+  const auto compact_start = std::chrono::steady_clock::now();
   std::vector<std::shared_ptr<SstReader>> inputs;
   {
     std::lock_guard<std::mutex> lock(state_mu_);
@@ -261,6 +273,24 @@ Status LsmTree::CompactAll() {
   DIFFINDEX_RETURN_NOT_OK(WriteManifest());
   for (const auto& t : obsolete) {
     (void)options_.env->RemoveFile(SstPath(t->meta().file_number));
+  }
+  if (options_.metrics != nullptr) {
+    options_.metrics->GetCounter("lsm.compaction")->Add();
+    options_.metrics->GetCounter("lsm.compaction.input_records")
+        ->Add(stats.input_records);
+    options_.metrics->GetCounter("lsm.compaction.output_records")
+        ->Add(stats.output_records);
+    options_.metrics->GetCounter("lsm.compaction.dropped_masked")
+        ->Add(stats.dropped_masked);
+    options_.metrics->GetCounter("lsm.compaction.dropped_versions")
+        ->Add(stats.dropped_versions);
+    options_.metrics->GetCounter("lsm.compaction.dropped_tombstones")
+        ->Add(stats.dropped_tombstones);
+    const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                            std::chrono::steady_clock::now() - compact_start)
+                            .count();
+    options_.metrics->GetHistogram("lsm.compaction_micros")
+        ->Add(static_cast<uint64_t>(micros));
   }
   DIFFINDEX_LOG_DEBUG << "lsm: compacted " << inputs.size() << " stores, "
                       << stats.input_records << " -> "

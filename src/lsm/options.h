@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <memory>
 
+#include "obs/metrics.h"
 #include "util/cache.h"
 #include "util/env.h"
 #include "util/latency_model.h"
@@ -17,6 +18,10 @@ struct LsmOptions {
 
   // Injected device costs; nullptr disables injection.
   const LatencyModel* latency = nullptr;
+
+  // Observability sink (may be null): flush/compaction counters,
+  // durations and record counts land here (`lsm.*`).
+  obs::MetricsRegistry* metrics = nullptr;
 
   // Shared across trees of one server so the cache size models the HBase
   // block cache (25% of heap in the paper's setup). May be nullptr.

@@ -63,8 +63,35 @@ Status Fabric::Call(NodeId from, NodeId to, MsgType type,
   }
 
   calls_made_.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter(std::string("rpc.") + MsgTypeName(type) + ".calls")
+        ->Add();
+  }
+
+  // Wire framing: [trace context][body]. The context is round-tripped
+  // through real encode/decode (like every message body on this fabric)
+  // so the serving side works from the decoded bytes, not shared memory.
+  const obs::TraceContext& ambient = obs::CurrentTraceContext();
+  std::string frame;
+  (ambient.active() ? ambient.Child() : obs::TraceContext()).EncodeTo(&frame);
+  frame.append(body);
+
+  Slice on_wire(frame);
+  obs::TraceContext server_ctx;
+  if (!obs::TraceContext::DecodeFrom(&on_wire, &server_ctx)) {
+    return Status::Corruption("malformed rpc trace frame");
+  }
+
   if (latency_ != nullptr) latency_->NetworkHop();  // request on the wire
-  Status s = handler(type, Slice(body), response);
+  Status s;
+  {
+    // Handler runs under the decoded (server-side) context; its spans
+    // parent to the caller's span through the wire-carried ids.
+    obs::ScopedTraceContext scope(std::move(server_ctx));
+    obs::SpanTimer span(metrics_, traces_,
+                        std::string("rpc.") + MsgTypeName(type));
+    s = handler(type, on_wire, response);
+  }
   if (latency_ != nullptr) {
     latency_->NetworkHop();  // response on the wire
     // Materialize this RPC's whole cost (hops + WAL/disk work accrued by

@@ -17,6 +17,8 @@
 #include <unordered_map>
 
 #include "net/message.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/latency_model.h"
 #include "util/status.h"
 
@@ -50,9 +52,22 @@ class Fabric {
 
   // Synchronous RPC. Pays one network hop for the request and one for the
   // response. Returns Unavailable if the target is down, unregistered, or
-  // partitioned from `from`.
+  // partitioned from `from`. The caller's ambient TraceContext (if any) is
+  // carried in-band: a child context is encoded into the wire frame ahead
+  // of the body, decoded on the serving side, and installed thread-locally
+  // for the handler's duration — so spans opened inside the handler chain
+  // to the caller's trace exactly as they would across a real network.
   Status Call(NodeId from, NodeId to, MsgType type, const std::string& body,
               std::string* response);
+
+  // Attaches observability sinks (either may be null): per-RPC durations
+  // land in `metrics` histogram `span.rpc.<type>` and counter
+  // `rpc.<type>.calls`; traced calls also record spans into `traces`.
+  void SetObservers(obs::MetricsRegistry* metrics,
+                    obs::TraceCollector* traces) {
+    metrics_ = metrics;
+    traces_ = traces;
+  }
 
   uint64_t calls_made() const {
     return calls_made_.load(std::memory_order_relaxed);
@@ -60,6 +75,8 @@ class Fabric {
 
  private:
   const LatencyModel* latency_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::TraceCollector* traces_ = nullptr;
   mutable std::mutex mu_;
   std::unordered_map<NodeId, Handler> handlers_;
   std::set<NodeId> down_;

@@ -16,6 +16,36 @@ bool GetString(Slice* in, std::string* s) {
 
 }  // namespace
 
+const char* MsgTypeName(MsgType type) {
+  switch (type) {
+    case MsgType::kPut:
+      return "put";
+    case MsgType::kGetCell:
+      return "get_cell";
+    case MsgType::kGetRow:
+      return "get_row";
+    case MsgType::kScanRows:
+      return "scan_rows";
+    case MsgType::kRawScan:
+      return "raw_scan";
+    case MsgType::kRawDelete:
+      return "raw_delete";
+    case MsgType::kHeartbeat:
+      return "heartbeat";
+    case MsgType::kFetchLayout:
+      return "fetch_layout";
+    case MsgType::kFlushRegion:
+      return "flush_region";
+    case MsgType::kCompactRegion:
+      return "compact_region";
+    case MsgType::kLocalIndexScan:
+      return "local_index_scan";
+    case MsgType::kMultiPut:
+      return "multi_put";
+  }
+  return "unknown";
+}
+
 std::string EncodeCellKey(const Slice& row, const Slice& column) {
   std::string key;
   key.reserve(row.size() + 1 + column.size());

@@ -36,6 +36,9 @@ enum class MsgType : uint8_t {
   kMultiPut = 12,       // batched puts (client write buffer)
 };
 
+// Short lowercase label for metric names ("put", "get_cell", ...).
+const char* MsgTypeName(MsgType type);
+
 // Row keys and column names must not contain '\0' (the cell separator);
 // validated at the client.
 constexpr char kCellSeparator = '\0';

@@ -1,0 +1,176 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace diffindex {
+namespace obs {
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot h;
+    h.count = histogram->Count();
+    h.sum = histogram->Sum();
+    h.min = histogram->Min();
+    h.max = histogram->Max();
+    histogram->GetBucketCounts(&h.buckets);
+    snapshot.histograms[name] = std::move(h);
+  }
+  return snapshot;
+}
+
+MetricsSnapshot MetricsSnapshot::Delta(const MetricsSnapshot& earlier) const {
+  MetricsSnapshot delta;
+  for (const auto& [name, value] : counters) {
+    auto it = earlier.counters.find(name);
+    const uint64_t before = it == earlier.counters.end() ? 0 : it->second;
+    delta.counters[name] = value > before ? value - before : 0;
+  }
+  delta.gauges = gauges;
+  for (const auto& [name, h] : histograms) {
+    auto it = earlier.histograms.find(name);
+    if (it == earlier.histograms.end()) {
+      delta.histograms[name] = h;
+      continue;
+    }
+    const HistogramSnapshot& before = it->second;
+    HistogramSnapshot d;
+    d.count = h.count > before.count ? h.count - before.count : 0;
+    d.sum = h.sum > before.sum ? h.sum - before.sum : 0;
+    d.min = h.min;
+    d.max = h.max;
+    d.buckets.resize(h.buckets.size());
+    for (size_t i = 0; i < h.buckets.size(); i++) {
+      const uint64_t b = i < before.buckets.size() ? before.buckets[i] : 0;
+      d.buckets[i] = h.buckets[i] > b ? h.buckets[i] - b : 0;
+    }
+    delta.histograms[name] = std::move(d);
+  }
+  return delta;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::SnapshotToText(const MetricsSnapshot& snapshot) {
+  std::ostringstream oss;
+  for (const auto& [name, value] : snapshot.counters) {
+    oss << name << " = " << value << "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    oss << name << " = " << value << "\n";
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    oss << name << ": count=" << h.count << " avg=" << h.Average()
+        << " min=" << h.min << " p50=" << h.Percentile(50)
+        << " p95=" << h.Percentile(95) << " p99=" << h.Percentile(99)
+        << " max=" << h.max << "\n";
+  }
+  return oss.str();
+}
+
+std::string MetricsRegistry::SnapshotToJson(const MetricsSnapshot& snapshot) {
+  std::ostringstream oss;
+  oss << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) oss << ",";
+    first = false;
+    oss << "\"" << JsonEscape(name) << "\":" << value;
+  }
+  oss << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!first) oss << ",";
+    first = false;
+    oss << "\"" << JsonEscape(name) << "\":" << value;
+  }
+  oss << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    if (!first) oss << ",";
+    first = false;
+    oss << "\"" << JsonEscape(name) << "\":{"
+        << "\"count\":" << h.count << ",\"sum\":" << h.sum
+        << ",\"avg\":" << h.Average() << ",\"min\":" << h.min
+        << ",\"p50\":" << h.Percentile(50)
+        << ",\"p95\":" << h.Percentile(95)
+        << ",\"p99\":" << h.Percentile(99) << ",\"max\":" << h.max << "}";
+  }
+  oss << "}}";
+  return oss.str();
+}
+
+bool WriteSnapshotJson(const MetricsSnapshot& snapshot,
+                       const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = MetricsRegistry::SnapshotToJson(snapshot);
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = written == json.size() && std::fclose(f) == 0;
+  if (!ok && written != json.size()) std::fclose(f);
+  return ok;
+}
+
+}  // namespace obs
+}  // namespace diffindex

@@ -1,0 +1,122 @@
+// MetricsRegistry: the process-wide observability hub — named counters,
+// gauges and histograms, created on first use and alive for the registry's
+// lifetime (instruments hold stable pointers, so the hot path is one
+// relaxed atomic op with no lock and no lookup).
+//
+// Snapshots capture every instrument at a point in time; Delta() between
+// two snapshots isolates one phase of a run (histogram deltas subtract
+// bucket counts, so percentiles of the delta are exact). Exporters render
+// a snapshot as aligned text (operators) or JSON (machines — the
+// `--metrics-json` dump of the benches).
+//
+// Naming convention (see DESIGN.md "Observability"): dot-separated,
+// lowercase, coarse-to-fine — `subsystem.metric[.tag]`, e.g.
+// `span.client.put.async-simple`, `auq.staleness_micros`, `lsm.flush`.
+
+#ifndef DIFFINDEX_OBS_METRICS_H_
+#define DIFFINDEX_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/histogram.h"
+
+namespace diffindex {
+namespace obs {
+
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Sub(int64_t n) { value_.fetch_sub(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Point-in-time copy of one histogram, carrying the raw bucket counts so
+// deltas between snapshots still yield exact percentiles.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;
+  uint64_t max = 0;
+  std::vector<uint64_t> buckets;  // parallel to Histogram::BucketBounds
+
+  double Average() const {
+    return count == 0 ? 0 : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  uint64_t Percentile(double p) const {
+    return PercentileFromBuckets(buckets, count, min, max, p);
+  }
+};
+
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  // This snapshot minus an earlier one: counters and histogram buckets
+  // subtract (clamped at zero); gauges keep their current value (a gauge
+  // is a level, not a rate). Histogram min/max are only known for the
+  // union, so the delta conservatively reuses them.
+  MetricsSnapshot Delta(const MetricsSnapshot& earlier) const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Find-or-create; the returned pointer stays valid for the registry's
+  // lifetime. Thread-safe.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+
+  // Exporters (convenience: snapshot + render).
+  std::string ToText() const { return SnapshotToText(Snapshot()); }
+  std::string ToJson() const { return SnapshotToJson(Snapshot()); }
+
+  static std::string SnapshotToText(const MetricsSnapshot& snapshot);
+  static std::string SnapshotToJson(const MetricsSnapshot& snapshot);
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// Writes ToJson() of `snapshot` to `path` (the bench `--metrics-json`
+// sink). Returns false on I/O failure.
+bool WriteSnapshotJson(const MetricsSnapshot& snapshot,
+                       const std::string& path);
+
+// Minimal JSON string escaping for metric names (quotes, backslashes,
+// control characters).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace obs
+}  // namespace diffindex
+
+#endif  // DIFFINDEX_OBS_METRICS_H_

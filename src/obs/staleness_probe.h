@@ -1,0 +1,100 @@
+// StalenessProbe: live measurement of the Figure-11 quantity. The probe
+// periodically writes a sentinel row whose indexed column carries a
+// unique value, then polls getByIndex until the new value is visible
+// through the index; the elapsed time is the index staleness an external
+// reader actually observes. Under sync-full the entry is visible as soon
+// as the put returns (~zero staleness); under async-simple/async-session
+// the lag is the AUQ/APS drain delay, which grows with load.
+//
+// Unlike the AUQ-internal staleness histogram (T2 - T1 per task), the
+// probe measures end-to-end through the real read path — index scan,
+// routing, read-repair — so it also catches staleness a queue-local
+// measurement cannot see (e.g. entries delayed inside retries).
+//
+// Results land in the registry:
+//   probe.staleness_micros            aggregate distribution
+//   probe.staleness_micros.<scheme>   tagged by the index's scheme
+//   probe.cycles / probe.timeouts / probe.errors   counters
+//   probe.last_staleness_micros       gauge (most recent sample)
+
+#ifndef DIFFINDEX_OBS_STALENESS_PROBE_H_
+#define DIFFINDEX_OBS_STALENESS_PROBE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "core/diff_index_client.h"
+#include "obs/metrics.h"
+
+namespace diffindex {
+namespace obs {
+
+struct StalenessProbeOptions {
+  // Table + index to probe through. The table should be dedicated to the
+  // probe (sentinel rows are written continuously) and must have an index
+  // named `index_name` over `column`.
+  std::string table;
+  std::string index_name;
+  std::string column;
+
+  // One probe cycle every period; 0 disables the background thread (the
+  // caller drives ProbeOnce explicitly).
+  int period_ms = 100;
+  // Poll spacing while waiting for the index to show the sentinel.
+  int poll_interval_ms = 1;
+  // A cycle that hasn't observed its value after this long is abandoned
+  // and counted in probe.timeouts (the sample would otherwise block the
+  // probe forever on a wedged APS).
+  int timeout_ms = 5000;
+
+  std::string row_key = "__staleness_probe";
+};
+
+class StalenessProbe {
+ public:
+  // `client` must outlive the probe; `metrics` receives the results.
+  StalenessProbe(DiffIndexClient* client, MetricsRegistry* metrics,
+                 StalenessProbeOptions options);
+  ~StalenessProbe();
+
+  StalenessProbe(const StalenessProbe&) = delete;
+  StalenessProbe& operator=(const StalenessProbe&) = delete;
+
+  // Starts the background prober (no-op when period_ms == 0).
+  Status Start();
+  void Stop();
+
+  // One synchronous probe cycle: write sentinel, poll until visible,
+  // record. On success fills *staleness_micros (nullable).
+  Status ProbeOnce(uint64_t* staleness_micros);
+
+  uint64_t cycles() const { return cycles_.load(std::memory_order_relaxed); }
+
+ private:
+  void Loop();
+  // Scheme tag of the probed index, resolved once ("" until resolvable).
+  const std::string& SchemeTag();
+
+  DiffIndexClient* const client_;
+  MetricsRegistry* const metrics_;
+  const StalenessProbeOptions options_;
+
+  std::mutex scheme_mu_;
+  std::string scheme_tag_;
+
+  std::atomic<uint64_t> seq_{0};
+  std::atomic<uint64_t> cycles_{0};
+  std::atomic<bool> stop_{true};
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace diffindex
+
+#endif  // DIFFINDEX_OBS_STALENESS_PROBE_H_

@@ -96,22 +96,47 @@ uint64_t Histogram::Min() const {
 
 uint64_t Histogram::Max() const { return max_.load(std::memory_order_relaxed); }
 
+void Histogram::GetBucketCounts(std::vector<uint64_t>* counts) const {
+  counts->resize(kNumBuckets);
+  for (int i = 0; i < kNumBuckets; i++) {
+    (*counts)[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+}
+
+uint64_t PercentileFromBuckets(const std::vector<uint64_t>& counts,
+                               uint64_t total, uint64_t min_value,
+                               uint64_t max_value, double p) {
+  if (total == 0) return 0;
+  const double threshold = p / 100.0 * static_cast<double>(total);
+  const auto& bounds = Histogram::BucketBounds();
+  double cumulative = 0;
+  const int n = static_cast<int>(
+      std::min<size_t>(counts.size(), Histogram::kNumBuckets));
+  for (int i = 0; i < n; i++) {
+    const double in_bucket = static_cast<double>(counts[i]);
+    if (cumulative + in_bucket >= threshold && in_bucket > 0) {
+      // Interpolate within [bounds[i], bounds[i+1]) assuming a uniform
+      // spread of the bucket's samples.
+      const double fraction = (threshold - cumulative) / in_bucket;
+      const double lo = static_cast<double>(bounds[i]);
+      const double hi = static_cast<double>(bounds[i + 1]);
+      const uint64_t value =
+          static_cast<uint64_t>(lo + fraction * (hi - lo) + 0.5);
+      // Clamp into the observed range so a sparse bucket cannot report a
+      // percentile outside [min, max].
+      return std::max(min_value, std::min(value, max_value));
+    }
+    cumulative += in_bucket;
+  }
+  return max_value;
+}
+
 uint64_t Histogram::Percentile(double p) const {
   uint64_t total = count_.load(std::memory_order_relaxed);
   if (total == 0) return 0;
-  const uint64_t threshold = static_cast<uint64_t>(
-      std::ceil(p / 100.0 * static_cast<double>(total)));
-  uint64_t cumulative = 0;
-  const auto& bounds = BucketBounds();
-  for (int i = 0; i < kNumBuckets; i++) {
-    cumulative += buckets_[i].load(std::memory_order_relaxed);
-    if (cumulative >= threshold) {
-      // The bucket upper bound, clamped so a percentile never exceeds the
-      // observed maximum.
-      return std::min(bounds[i + 1], Max());
-    }
-  }
-  return Max();
+  std::vector<uint64_t> counts;
+  GetBucketCounts(&counts);
+  return PercentileFromBuckets(counts, total, Min(), Max(), p);
 }
 
 std::string Histogram::ToString() const {

@@ -9,6 +9,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace diffindex {
 
@@ -21,20 +22,29 @@ class Histogram {
   void Merge(const Histogram& other);
 
   uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
   double Average() const;
   uint64_t Min() const;
   uint64_t Max() const;
-  // p in (0, 100], e.g. 50.0, 95.0, 99.0. Returns an upper bound of the
-  // bucket containing the percentile.
+  // p in (0, 100], e.g. 50.0, 95.0, 99.0. Linearly interpolates within the
+  // bucket containing the percentile, so the estimate is off by at most
+  // one bucket width (~30% of the value, the geometric growth factor);
+  // without interpolation the result would be a step function jumping
+  // between bucket upper bounds. Clamped to [Min(), Max()].
   uint64_t Percentile(double p) const;
 
   std::string ToString() const;
 
- private:
   // Bucket i covers [BucketLower(i), BucketLower(i+1)). Buckets grow
   // geometrically (~x1.3) from 1us to ~30 minutes; 128 buckets suffice.
   static constexpr int kNumBuckets = 132;
   static const std::array<uint64_t, kNumBuckets + 1>& BucketBounds();
+
+  // Copies the per-bucket counts (size kNumBuckets), for snapshot/delta
+  // consumers (obs::MetricsRegistry) that compute percentiles offline.
+  void GetBucketCounts(std::vector<uint64_t>* counts) const;
+
+ private:
   static int BucketFor(uint64_t value);
 
   std::atomic<uint64_t> count_;
@@ -43,6 +53,15 @@ class Histogram {
   std::atomic<uint64_t> max_;
   std::array<std::atomic<uint64_t>, kNumBuckets> buckets_;
 };
+
+// Percentile over externally-held bucket counts (parallel to
+// Histogram::BucketBounds), with the same within-bucket linear
+// interpolation as Histogram::Percentile. Shared with snapshot/delta
+// consumers so live and snapshotted percentiles agree exactly.
+// `counts` may be shorter than kNumBuckets (missing tail = zeros).
+uint64_t PercentileFromBuckets(const std::vector<uint64_t>& counts,
+                               uint64_t total, uint64_t min_value,
+                               uint64_t max_value, double p);
 
 }  // namespace diffindex
 

@@ -16,6 +16,22 @@ uint64_t MicrosSince(Clock::time_point start) {
                                                             start)
           .count());
 }
+
+const char* WorkloadOpName(WorkloadOp op) {
+  switch (op) {
+    case WorkloadOp::kUpdateTitle:
+      return "update_title";
+    case WorkloadOp::kUpdateFullRow:
+      return "update_full_row";
+    case WorkloadOp::kReadIndexExact:
+      return "read_index_exact";
+    case WorkloadOp::kRangeIndexPrice:
+      return "range_index_price";
+    case WorkloadOp::kBasePutNoIndex:
+      return "base_put_no_index";
+  }
+  return "unknown";
+}
 }  // namespace
 
 Status WorkloadRunner::LoadItems(int load_threads) {
@@ -90,6 +106,12 @@ void WorkloadRunner::WorkerLoop(const RunnerOptions& options,
                                 int worker_id, RunnerResult* result) {
   auto raw_client = cluster_->NewClient();
   DiffIndexClient client(raw_client, cluster_->stats());
+  // Per-op latencies also land in the cluster registry; instruments are
+  // resolved once per worker (the loop body stays lock-free).
+  Histogram* op_hist = cluster_->metrics()->GetHistogram(
+      std::string("workload.") + WorkloadOpName(options.op) + "_micros");
+  obs::Counter* op_errors = cluster_->metrics()->GetCounter(
+      std::string("workload.") + WorkloadOpName(options.op) + ".errors");
   auto chooser =
       KeyChooser::Create(options.distribution,
                          items_->options().num_items,
@@ -179,9 +201,13 @@ void WorkloadRunner::WorkerLoop(const RunnerOptions& options,
                                                              op_start)
                                   .count());
     result->latency->Add(latency_micros);
+    op_hist->Add(latency_micros);
     result->operations++;
     local_ops++;
-    if (!s.ok()) result->errors++;
+    if (!s.ok()) {
+      result->errors++;
+      op_errors->Add();
+    }
   }
 }
 

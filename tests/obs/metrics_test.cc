@@ -1,0 +1,334 @@
+// Unit tests of the MetricsRegistry: find-or-create instrument identity,
+// counter/gauge/histogram semantics, snapshot + delta correctness (exact
+// histogram deltas via bucket subtraction), and the text/JSON exporters —
+// including that the JSON is syntactically valid and carries the stable
+// metric names downstream tooling keys on.
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <thread>
+#include <vector>
+
+namespace diffindex {
+namespace obs {
+namespace {
+
+// ---- A minimal recursive-descent JSON validator (tests only). ----
+// Accepts exactly the RFC 8259 value grammar; no extensions. Enough to
+// prove the exporter's output would load in any real parser.
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& s) : s_(s) {}
+
+  bool Valid() {
+    size_t i = 0;
+    if (!Value(&i)) return false;
+    SkipWs(&i);
+    return i == s_.size();
+  }
+
+ private:
+  void SkipWs(size_t* i) {
+    while (*i < s_.size() && std::isspace(static_cast<unsigned char>(s_[*i]))) {
+      (*i)++;
+    }
+  }
+  bool Literal(size_t* i, const char* lit) {
+    const size_t n = std::string(lit).size();
+    if (s_.compare(*i, n, lit) != 0) return false;
+    *i += n;
+    return true;
+  }
+  bool String(size_t* i) {
+    if (*i >= s_.size() || s_[*i] != '"') return false;
+    (*i)++;
+    while (*i < s_.size() && s_[*i] != '"') {
+      if (s_[*i] == '\\') {
+        (*i)++;
+        if (*i >= s_.size()) return false;
+        const char e = s_[*i];
+        if (e == 'u') {
+          for (int k = 0; k < 4; k++) {
+            (*i)++;
+            if (*i >= s_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(s_[*i]))) {
+              return false;
+            }
+          }
+        } else if (std::string("\"\\/bfnrt").find(e) == std::string::npos) {
+          return false;
+        }
+      }
+      (*i)++;
+    }
+    if (*i >= s_.size()) return false;
+    (*i)++;  // closing quote
+    return true;
+  }
+  bool Number(size_t* i) {
+    const size_t start = *i;
+    if (*i < s_.size() && s_[*i] == '-') (*i)++;
+    size_t digits = 0;
+    while (*i < s_.size() && std::isdigit(static_cast<unsigned char>(s_[*i]))) {
+      (*i)++, digits++;
+    }
+    if (digits == 0) return false;
+    if (*i < s_.size() && s_[*i] == '.') {
+      (*i)++;
+      while (*i < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[*i]))) {
+        (*i)++;
+      }
+    }
+    if (*i < s_.size() && (s_[*i] == 'e' || s_[*i] == 'E')) {
+      (*i)++;
+      if (*i < s_.size() && (s_[*i] == '+' || s_[*i] == '-')) (*i)++;
+      size_t exp_digits = 0;
+      while (*i < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[*i]))) {
+        (*i)++, exp_digits++;
+      }
+      if (exp_digits == 0) return false;
+    }
+    return *i > start;
+  }
+  bool Object(size_t* i) {
+    (*i)++;  // '{'
+    SkipWs(i);
+    if (*i < s_.size() && s_[*i] == '}') return (*i)++, true;
+    for (;;) {
+      SkipWs(i);
+      if (!String(i)) return false;
+      SkipWs(i);
+      if (*i >= s_.size() || s_[*i] != ':') return false;
+      (*i)++;
+      if (!Value(i)) return false;
+      SkipWs(i);
+      if (*i >= s_.size()) return false;
+      if (s_[*i] == '}') return (*i)++, true;
+      if (s_[*i] != ',') return false;
+      (*i)++;
+    }
+  }
+  bool Array(size_t* i) {
+    (*i)++;  // '['
+    SkipWs(i);
+    if (*i < s_.size() && s_[*i] == ']') return (*i)++, true;
+    for (;;) {
+      if (!Value(i)) return false;
+      SkipWs(i);
+      if (*i >= s_.size()) return false;
+      if (s_[*i] == ']') return (*i)++, true;
+      if (s_[*i] != ',') return false;
+      (*i)++;
+    }
+  }
+  bool Value(size_t* i) {
+    SkipWs(i);
+    if (*i >= s_.size()) return false;
+    switch (s_[*i]) {
+      case '{':
+        return Object(i);
+      case '[':
+        return Array(i);
+      case '"':
+        return String(i);
+      case 't':
+        return Literal(i, "true");
+      case 'f':
+        return Literal(i, "false");
+      case 'n':
+        return Literal(i, "null");
+      default:
+        return Number(i);
+    }
+  }
+
+  const std::string& s_;
+};
+
+TEST(MetricsRegistryTest, FindOrCreateReturnsStablePointers) {
+  MetricsRegistry registry;
+  Counter* c1 = registry.GetCounter("x.count");
+  Counter* c2 = registry.GetCounter("x.count");
+  EXPECT_EQ(c1, c2);  // same instrument, not a new one
+  EXPECT_NE(c1, registry.GetCounter("y.count"));
+
+  Gauge* g1 = registry.GetGauge("x.level");
+  EXPECT_EQ(g1, registry.GetGauge("x.level"));
+
+  Histogram* h1 = registry.GetHistogram("x.micros");
+  EXPECT_EQ(h1, registry.GetHistogram("x.micros"));
+
+  // Same name, different kinds: three distinct instruments.
+  Counter* c = registry.GetCounter("same");
+  Gauge* g = registry.GetGauge("same");
+  Histogram* h = registry.GetHistogram("same");
+  EXPECT_NE(static_cast<void*>(c), static_cast<void*>(g));
+  EXPECT_NE(static_cast<void*>(g), static_cast<void*>(h));
+}
+
+TEST(MetricsRegistryTest, CounterAndGaugeSemantics) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("ops");
+  c->Add();
+  c->Add(41);
+  EXPECT_EQ(c->value(), 42u);
+  c->Reset();
+  EXPECT_EQ(c->value(), 0u);
+
+  Gauge* g = registry.GetGauge("depth");
+  g->Set(10);
+  g->Add(5);
+  g->Sub(20);
+  EXPECT_EQ(g->value(), -5);  // gauges are levels and may go negative
+}
+
+TEST(MetricsRegistryTest, ConcurrentFindOrCreateIsSafe) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < kAddsPerThread; i++) {
+        registry.GetCounter("contended")->Add();
+        registry.GetHistogram("contended_micros")->Add(i);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(registry.GetCounter("contended")->value(),
+            static_cast<uint64_t>(kThreads) * kAddsPerThread);
+  EXPECT_EQ(registry.GetHistogram("contended_micros")->Count(),
+            static_cast<uint64_t>(kThreads) * kAddsPerThread);
+}
+
+TEST(MetricsRegistryTest, SnapshotCapturesAllInstruments) {
+  MetricsRegistry registry;
+  registry.GetCounter("a.ops")->Add(3);
+  registry.GetGauge("a.depth")->Set(7);
+  registry.GetHistogram("a.micros")->Add(100);
+  registry.GetHistogram("a.micros")->Add(300);
+
+  MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters.at("a.ops"), 3u);
+  EXPECT_EQ(snapshot.gauges.at("a.depth"), 7);
+  const HistogramSnapshot& h = snapshot.histograms.at("a.micros");
+  EXPECT_EQ(h.count, 2u);
+  EXPECT_EQ(h.sum, 400u);
+  EXPECT_EQ(h.min, 100u);
+  EXPECT_EQ(h.max, 300u);
+  EXPECT_DOUBLE_EQ(h.Average(), 200.0);
+
+  // Snapshots are point-in-time copies: later activity must not leak in.
+  registry.GetCounter("a.ops")->Add(100);
+  EXPECT_EQ(snapshot.counters.at("a.ops"), 3u);
+}
+
+TEST(MetricsRegistryTest, DeltaIsolatesOnePhase) {
+  MetricsRegistry registry;
+  Counter* ops = registry.GetCounter("ops");
+  Histogram* micros = registry.GetHistogram("micros");
+
+  // Phase 1: fast ops.
+  for (int i = 0; i < 100; i++) {
+    ops->Add();
+    micros->Add(100);
+  }
+  MetricsSnapshot before = registry.Snapshot();
+
+  // Phase 2: slow ops — what the delta should isolate.
+  for (int i = 0; i < 50; i++) {
+    ops->Add();
+    micros->Add(10000);
+  }
+  MetricsSnapshot after = registry.Snapshot();
+
+  MetricsSnapshot delta = after.Delta(before);
+  EXPECT_EQ(delta.counters.at("ops"), 50u);
+  const HistogramSnapshot& h = delta.histograms.at("micros");
+  EXPECT_EQ(h.count, 50u);
+  EXPECT_EQ(h.sum, 50u * 10000u);
+  // Bucket counts subtract exactly, so the delta's percentiles reflect
+  // only phase 2: every sample was 10000us, so even p1 must be far above
+  // phase 1's 100us samples (which dominate the combined histogram).
+  EXPECT_GT(h.Percentile(1), 5000u);
+  EXPECT_LE(h.Percentile(99), h.max);
+  // An instrument created after `before` appears whole in the delta.
+  registry.GetCounter("late")->Add(9);
+  MetricsSnapshot delta2 = registry.Snapshot().Delta(before);
+  EXPECT_EQ(delta2.counters.at("late"), 9u);
+}
+
+TEST(MetricsRegistryTest, TextExporterListsEveryInstrument) {
+  MetricsRegistry registry;
+  registry.GetCounter("rpc.put.calls")->Add(5);
+  registry.GetGauge("auq.depth")->Set(2);
+  registry.GetHistogram("span.client.put")->Add(123);
+  const std::string text = registry.ToText();
+  EXPECT_NE(text.find("rpc.put.calls = 5"), std::string::npos);
+  EXPECT_NE(text.find("auq.depth = 2"), std::string::npos);
+  EXPECT_NE(text.find("span.client.put: count=1"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, JsonExporterIsParseableWithStableNames) {
+  MetricsRegistry registry;
+  // The names the benches/tests key on — if these drift, downstream
+  // tooling silently reads zeros, so pin them here.
+  registry.GetCounter("rpc.put.calls")->Add(7);
+  registry.GetCounter("auq.enqueued")->Add(3);
+  registry.GetGauge("auq.depth")->Set(1);
+  registry.GetHistogram("auq.staleness_micros")->Add(1500);
+  registry.GetHistogram("probe.staleness_micros")->Add(2500);
+  registry.GetHistogram("span.client.put.sync-full")->Add(90);
+
+  const std::string json = registry.ToJson();
+  EXPECT_TRUE(JsonValidator(json).Valid()) << json;
+  for (const char* name :
+       {"\"rpc.put.calls\":7", "\"auq.enqueued\":3", "\"auq.depth\":1",
+        "\"auq.staleness_micros\"", "\"probe.staleness_micros\"",
+        "\"span.client.put.sync-full\""}) {
+    EXPECT_NE(json.find(name), std::string::npos) << name << " missing";
+  }
+}
+
+TEST(MetricsRegistryTest, JsonEscapesHostileNames) {
+  MetricsRegistry registry;
+  registry.GetCounter("weird\"name\\with\ncontrol\x01" "chars")->Add(1);
+  const std::string json = registry.ToJson();
+  EXPECT_TRUE(JsonValidator(json).Valid()) << json;
+  EXPECT_NE(json.find("\\\"name\\\\with\\ncontrol\\u0001chars"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, EmptyRegistryExportsValidJson) {
+  MetricsRegistry registry;
+  const std::string json = registry.ToJson();
+  EXPECT_TRUE(JsonValidator(json).Valid()) << json;
+  EXPECT_EQ(json, "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+}
+
+TEST(MetricsRegistryTest, WriteSnapshotJsonRoundTripsThroughDisk) {
+  MetricsRegistry registry;
+  registry.GetCounter("c")->Add(4);
+  const std::string path =
+      ::testing::TempDir() + "/diffindex_metrics_test.json";
+  ASSERT_TRUE(WriteSnapshotJson(registry.Snapshot(), path));
+  FILE* f = fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[4096];
+  const size_t n = fread(buf, 1, sizeof(buf), f);
+  fclose(f);
+  remove(path.c_str());
+  const std::string loaded(buf, n);
+  EXPECT_TRUE(JsonValidator(loaded).Valid()) << loaded;
+  EXPECT_NE(loaded.find("\"c\":4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace diffindex
