@@ -10,7 +10,38 @@
 namespace diffindex {
 
 Client::Client(Fabric* fabric, NodeId self_node, const ClientOptions& options)
-    : fabric_(fabric), self_node_(self_node), options_(options) {}
+    : fabric_(fabric), self_node_(self_node), options_(options),
+      backoff_rng_(options.retry_jitter_seed != 0
+                       ? options.retry_jitter_seed
+                       : 0x9e3779b9u ^ static_cast<uint64_t>(self_node)) {}
+
+void Client::BackoffBeforeRetry(int attempt) {
+  if (options_.metrics != nullptr) {
+    options_.metrics->GetCounter("client.retries")->Add();
+  }
+  // Exponential cap: base * 2^(attempt-1), clamped to retry_backoff_max_ms.
+  const int base = std::max(options_.retry_backoff_ms, 1);
+  const int max_ms = std::max(options_.retry_backoff_max_ms, base);
+  int cap = base;
+  for (int i = 1; i < attempt && cap < max_ms; i++) cap *= 2;
+  cap = std::min(cap, max_ms);
+  // Jitter: uniform in [cap/2, cap] so synchronized failures don't retry
+  // in lockstep.
+  int sleep_ms;
+  {
+    std::lock_guard<std::mutex> lock(backoff_mu_);
+    sleep_ms = static_cast<int>(backoff_rng_.Range(
+        static_cast<uint64_t>(std::max(cap / 2, 1)),
+        static_cast<uint64_t>(cap)));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+}
+
+void Client::CountRetryExhausted() {
+  if (options_.metrics != nullptr) {
+    options_.metrics->GetCounter("client.retry_exhausted")->Add();
+  }
+}
 
 Status Client::RefreshLayout() {
   std::lock_guard<std::mutex> lock(mu_);
@@ -91,11 +122,7 @@ Status Client::CallRegion(const std::string& table, const Slice& row,
   for (int attempt = 0; attempt <= options_.max_retries; attempt++) {
     if (attempt > 0) {
       // Stale map or mid-failover: refresh and retry with backoff.
-      if (options_.metrics != nullptr) {
-        options_.metrics->GetCounter("client.retries")->Add();
-      }
-      std::this_thread::sleep_for(
-          std::chrono::milliseconds(options_.retry_backoff_ms * attempt));
+      BackoffBeforeRetry(attempt);
       Status rs = RefreshLayout();
       if (!rs.ok()) {
         last = rs;
@@ -110,6 +137,7 @@ Status Client::CallRegion(const std::string& table, const Slice& row,
     if (last.ok()) return last;
     if (!last.IsWrongRegion() && !last.IsUnavailable()) return last;
   }
+  CountRetryExhausted();
   return last;
 }
 
@@ -147,8 +175,7 @@ Status Client::MultiPut(const std::string& table,
   Status last;
   for (int attempt = 0; attempt <= options_.max_retries; attempt++) {
     if (attempt > 0) {
-      std::this_thread::sleep_for(
-          std::chrono::milliseconds(options_.retry_backoff_ms * attempt));
+      BackoffBeforeRetry(attempt);
       Status rs = RefreshLayout();
       if (!rs.ok()) {
         last = rs;
@@ -185,6 +212,7 @@ Status Client::MultiPut(const std::string& table,
     if (last.ok()) return Status::OK();
     if (!last.IsWrongRegion() && !last.IsUnavailable()) return last;
   }
+  CountRetryExhausted();
   return last;
 }
 
@@ -288,8 +316,7 @@ Status Client::ScanLocalIndex(const std::string& table,
   Status last = Status::OK();
   for (int attempt = 0; attempt <= options_.max_retries; attempt++) {
     if (attempt > 0) {
-      std::this_thread::sleep_for(
-          std::chrono::milliseconds(options_.retry_backoff_ms * attempt));
+      BackoffBeforeRetry(attempt);
       DIFFINDEX_RETURN_NOT_OK(RefreshLayout());
       entries->clear();
     }
@@ -324,6 +351,7 @@ Status Client::ScanLocalIndex(const std::string& table,
     if (last.ok()) return Status::OK();
     if (!last.IsWrongRegion() && !last.IsUnavailable()) return last;
   }
+  CountRetryExhausted();
   return last;
 }
 

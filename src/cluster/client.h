@@ -19,14 +19,25 @@
 #include "cluster/catalog.h"
 #include "net/fabric.h"
 #include "net/message.h"
+#include "util/random.h"
 
 namespace diffindex {
 
 struct ClientOptions {
   int max_retries = 8;
+  // Retry sleeps grow exponentially from retry_backoff_ms (attempt 1)
+  // doubling up to retry_backoff_max_ms, with seeded jitter drawing each
+  // sleep uniformly from [cap/2, cap] — the standard defense against
+  // retry storms synchronizing against a recovering server.
   int retry_backoff_ms = 2;
+  int retry_backoff_max_ms = 64;
+  // Seed for the jitter PRNG; 0 derives one from the client's node id so
+  // distinct clients desynchronize by default.
+  uint64_t retry_jitter_seed = 0;
   // Observability sinks (either may be null); also inherited by the
-  // DiffIndexClient / IndexReader built on top of this client.
+  // DiffIndexClient / IndexReader built on top of this client. Exports
+  // counters `client.retries` (every retry sleep) and
+  // `client.retry_exhausted` (gave up after max_retries).
   obs::MetricsRegistry* metrics = nullptr;
   obs::TraceCollector* traces = nullptr;
 };
@@ -108,9 +119,18 @@ class Client {
 
   Status EnsureLayoutLocked();
 
+  // Sleeps for the capped-exponential + jittered backoff of `attempt`
+  // (1-based) and counts the retry.
+  void BackoffBeforeRetry(int attempt);
+  // Counts a retry loop that ran out of attempts.
+  void CountRetryExhausted();
+
   Fabric* const fabric_;
   const NodeId self_node_;
   const ClientOptions options_;
+
+  std::mutex backoff_mu_;
+  Random backoff_rng_;
 
   std::mutex mu_;
   bool layout_valid_ = false;

@@ -1,5 +1,6 @@
 #include "cluster/cluster.h"
 
+#include "fault/failpoint.h"
 #include "util/logging.h"
 
 namespace diffindex {
@@ -30,12 +31,17 @@ Cluster::~Cluster() {
   if (master_ != nullptr) master_->Stop();
   servers_.clear();
   graveyard_.clear();
+  // Detach the global failpoint registry from this cluster's metrics (if
+  // Init attached it) before the registry member dies.
+  auto* failpoints = fault::FailpointRegistry::Global();
+  if (failpoints->metrics() == &metrics_) failpoints->SetMetrics(nullptr);
   if (options_.remove_data_on_destroy && !options_.data_root.empty()) {
-    (void)Env::Default()->RemoveDirRecursively(options_.data_root);
+    (void)options_.env->RemoveDirRecursively(options_.data_root);
   }
 }
 
 Status Cluster::Init() {
+  if (options_.env == nullptr) options_.env = Env::Default();
   if (options_.data_root.empty()) {
     options_.data_root =
         "/tmp/diffindex_cluster_" +
@@ -43,8 +49,9 @@ Status Cluster::Init() {
         std::to_string(reinterpret_cast<uintptr_t>(this) & 0xffff);
   }
   DIFFINDEX_RETURN_NOT_OK(
-      Env::Default()->CreateDirIfMissing(options_.data_root));
+      options_.env->CreateDirIfMissing(options_.data_root));
 
+  options_.server.lsm.env = options_.env;
   options_.server.lsm.latency = &latency_;
   options_.master.default_regions_per_table = options_.regions_per_table;
 
@@ -56,6 +63,9 @@ Status Cluster::Init() {
   options_.auq.metrics = &metrics_;
   options_.auq.traces = &traces_;
   stats_.Bind(&metrics_);
+  // Injected faults count into the same deployment-wide registry
+  // (fault.injected.* from failpoints, fault.net.* from the fabric).
+  fault::FailpointRegistry::Global()->SetMetrics(&metrics_);
 
   fabric_ = std::make_unique<Fabric>(&latency_);
   fabric_->SetObservers(&metrics_, &traces_);
@@ -75,7 +85,7 @@ Status Cluster::StartServer(NodeId id, ServerBundle* bundle) {
   DIFFINDEX_RETURN_NOT_OK(bundle->server->Start());
   // The coprocessors deliver index updates through an internal client
   // whose fabric identity is the server itself.
-  ClientOptions internal_opts;
+  ClientOptions internal_opts = options_.client;
   internal_opts.metrics = &metrics_;
   internal_opts.traces = &traces_;
   bundle->internal_client =
@@ -102,10 +112,13 @@ Status Cluster::SilentlyCrashServer(NodeId id) {
   if (it == servers_.end()) return Status::NotFound("no such server");
 
   // The crash: node unreachable, pending AUQ work and memtables lost.
+  // Abandon (not Shutdown) the index manager: a graceful shutdown would
+  // keep delivering the queued index updates — work a real crash loses —
+  // and would leave their count stuck in the shared auq.depth gauge.
   fabric_->SetNodeDown(id, true);
   fabric_->UnregisterNode(id);
   it->second.server->Crash();
-  it->second.index_manager->Shutdown();
+  it->second.index_manager->Abandon();
 
   // Quarantine the object (in-flight RPC handlers may still reference it).
   graveyard_.push_back(std::move(it->second));
@@ -139,7 +152,7 @@ std::vector<NodeId> Cluster::server_ids() const {
 
 std::shared_ptr<Client> Cluster::NewClient() {
   const NodeId node = next_client_node_.fetch_add(1);
-  ClientOptions opts;
+  ClientOptions opts = options_.client;
   opts.metrics = &metrics_;
   opts.traces = &traces_;
   return std::make_shared<Client>(fabric_.get(), node, opts);

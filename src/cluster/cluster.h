@@ -41,11 +41,21 @@ struct ClusterOptions {
   RegionServerOptions server;
   AuqOptions auq;
   MasterOptions master;
+  // Template for every client this cluster hands out (NewClient /
+  // NewDiffIndexClient and the servers' internal index-maintenance
+  // clients); metrics/traces/jitter-seed are filled in per client.
+  ClientOptions client;
 
   // Root directory for WALs and region data (the "HDFS"). Empty: a fresh
   // directory under /tmp. remove_data_on_destroy wipes it in ~Cluster.
   std::string data_root;
   bool remove_data_on_destroy = true;
+
+  // Filesystem used by every server's WAL/SSTs (and for data_root setup /
+  // teardown). Null: Env::Default(). The chaos harness passes a
+  // fault::FaultEnv here so injected I/O errors flow through the real
+  // write path.
+  Env* env = nullptr;
 };
 
 class Cluster {

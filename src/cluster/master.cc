@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <thread>
 
 #include "util/logging.h"
 
@@ -306,15 +307,26 @@ Status Master::OnServerDead(NodeId server_id) {
   // Phase 2: flush the recovered regions so their state is durable under
   // the new owners' WAL regime (drain-before-flush runs the re-enqueued
   // index updates first — every target region is reachable by now).
+  // Replayed edits live only in the new owner's memtable until this flush:
+  // the dead server's WAL files are never consulted again, so a transient
+  // flush failure (full disk, injected I/O fault) must be retried — and a
+  // persistently failing region must not abort the flushes of the others.
+  Status first_failure;
   for (auto& [info, new_owner] : moves) {
-    Status s = new_owner->FlushRegion(info.table, info.region_id);
+    Status s;
+    for (int attempt = 0; attempt < 10; attempt++) {
+      s = new_owner->FlushRegion(info.table, info.region_id);
+      if (s.ok()) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
     if (!s.ok()) {
       DIFFINDEX_LOG_ERROR << "master: post-recovery flush of " << info.table
                           << "/r" << info.region_id
                           << " failed: " << s.ToString();
-      return s;
+      if (first_failure.ok()) first_failure = s;
     }
   }
+  DIFFINDEX_RETURN_NOT_OK(first_failure);
   DIFFINDEX_LOG_INFO << "master: server " << server_id << " dead, "
                      << moves.size() << " regions reassigned";
   return Status::OK();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "fault/failpoint.h"
 #include "obs/trace.h"
 #include "util/coding.h"
 #include "util/logging.h"
@@ -173,6 +174,7 @@ void RegionServer::HeartbeatLoop() {
 }
 
 Status RegionServer::OpenRegionInternal(const RegionInfoWire& info) {
+  DIFFINDEX_FAILPOINT("region.open");
   std::unique_ptr<Region> region;
   DIFFINDEX_RETURN_NOT_OK(
       Region::Open(lsm_options_, data_root_, info, &region));
@@ -428,7 +430,21 @@ Status RegionServer::LogAndApply(const std::shared_ptr<Region>& region,
   {
     std::lock_guard<std::mutex> wal_lock(wal_mu_);
     WalFile& tail = wal_files_.back();
-    DIFFINDEX_RETURN_NOT_OK(tail.writer->AddRecord(payload));
+    Status wal_status = tail.writer->AddRecord(payload);
+    if (!wal_status.ok()) {
+      // A failed append may have torn the tail file: anything written
+      // after the tear would be unreadable at replay even though it was
+      // acknowledged. Roll to a fresh file so the torn file's complete
+      // prefix stays recoverable and later edits land past the tear.
+      DIFFINDEX_LOG_WARN << "wal append failed (" << wal_status.ToString()
+                         << "); rolling " << tail.path;
+      Status roll_status = RollWalLocked();
+      if (!roll_status.ok()) {
+        DIFFINDEX_LOG_WARN << "wal roll after torn append failed: "
+                           << roll_status.ToString();
+      }
+      return wal_status;
+    }
     auto& max_seq =
         tail.region_max_seq[{put.table, region->info().region_id}];
     max_seq = std::max(max_seq, edit.seq);
@@ -856,8 +872,18 @@ Status RegionServer::CompactRegion(const std::string& table,
 
 Status RegionServer::RollWalLocked() {
   if (!wal_files_.empty() && wal_files_.back().writer != nullptr) {
-    DIFFINDEX_RETURN_NOT_OK(wal_files_.back().writer->Sync());
-    DIFFINDEX_RETURN_NOT_OK(wal_files_.back().writer->Close());
+    // Best-effort close of the outgoing tail: a sync/close failure must
+    // not leave us stuck appending to a (possibly torn) file. Complete
+    // records already in it remain replayable either way, and flushed
+    // data does not need the WAL at all.
+    Status s = wal_files_.back().writer->Sync();
+    if (!s.ok()) {
+      DIFFINDEX_LOG_WARN << "wal sync on roll failed: " << s.ToString();
+    }
+    s = wal_files_.back().writer->Close();
+    if (!s.ok()) {
+      DIFFINDEX_LOG_WARN << "wal close on roll failed: " << s.ToString();
+    }
     wal_files_.back().writer.reset();
   }
   WalFile file;

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <chrono>
 
+#include "fault/failpoint.h"
+#include "util/logging.h"
+
 namespace diffindex {
 
 AsyncUpdateQueue::AsyncUpdateQueue(const AuqOptions& options,
@@ -10,6 +13,7 @@ AsyncUpdateQueue::AsyncUpdateQueue(const AuqOptions& options,
     : options_(options), processor_(std::move(processor)) {
   if (options_.metrics != nullptr) {
     depth_gauge_ = options_.metrics->GetGauge("auq.depth");
+    dead_letter_gauge_ = options_.metrics->GetGauge("auq.dead_letters");
     enqueued_counter_ = options_.metrics->GetCounter("auq.enqueued");
     processed_counter_ = options_.metrics->GetCounter("auq.processed");
     retries_counter_ = options_.metrics->GetCounter("auq.retries");
@@ -32,6 +36,10 @@ bool AsyncUpdateQueue::Enqueue(IndexTask task) {
     return options_.max_depth == 0 || queue_.size() < options_.max_depth;
   });
   if (shutdown_) return false;
+  // "auq.enqueue" models task loss between ack and queue insertion: the
+  // caller is told the task is in (true), but it never lands. Only the
+  // chaos harness arms this, to prove its oracle catches lost entries.
+  if (fault::FailpointRegistry::Global()->Fires("auq.enqueue")) return true;
   queue_.push_back(std::move(task));
   work_cv_.notify_one();
   if (enqueued_counter_ != nullptr) enqueued_counter_->Add();
@@ -59,11 +67,22 @@ void AsyncUpdateQueue::WaitDrained() {
   });
 }
 
-void AsyncUpdateQueue::Shutdown() {
+void AsyncUpdateQueue::Shutdown() { ShutdownInternal(/*abandon=*/false); }
+
+void AsyncUpdateQueue::Abandon() { ShutdownInternal(/*abandon=*/true); }
+
+void AsyncUpdateQueue::ShutdownInternal(bool abandon) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutdown_) return;
     shutdown_ = true;
+    abandoned_ = abandon;
+    if (abandon && !queue_.empty()) {
+      if (depth_gauge_ != nullptr) {
+        depth_gauge_->Sub(static_cast<int64_t>(queue_.size()));
+      }
+      queue_.clear();
+    }
   }
   intake_cv_.notify_all();
   work_cv_.notify_all();
@@ -71,6 +90,30 @@ void AsyncUpdateQueue::Shutdown() {
   for (auto& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
+  // On abandon, a worker may have re-queued a failing in-flight task after
+  // the clear above; those ghosts die here too.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (abandoned_ && !queue_.empty()) {
+    if (depth_gauge_ != nullptr) {
+      depth_gauge_->Sub(static_cast<int64_t>(queue_.size()));
+    }
+    queue_.clear();
+  }
+}
+
+std::vector<IndexTask> AsyncUpdateQueue::DrainDeadLetters() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<IndexTask> out = std::move(dead_letters_);
+  dead_letters_.clear();
+  if (dead_letter_gauge_ != nullptr && !out.empty()) {
+    dead_letter_gauge_->Sub(static_cast<int64_t>(out.size()));
+  }
+  return out;
+}
+
+size_t AsyncUpdateQueue::dead_letters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dead_letters_.size();
 }
 
 size_t AsyncUpdateQueue::depth() const {
@@ -106,8 +149,8 @@ void AsyncUpdateQueue::WorkerLoop() {
           std::chrono::milliseconds(options_.process_delay_ms));
     }
 
-    Status s;
-    {
+    Status s = fault::FailpointRegistry::Global()->MaybeFail("auq.process");
+    if (s.ok()) {
       // The task carries the trace of the base put that spawned it, so
       // the APS work appears as a child span of the client's request.
       obs::ScopedTraceContext scope(task.trace.active()
@@ -151,11 +194,33 @@ void AsyncUpdateQueue::WorkerLoop() {
     retries_.fetch_add(1, std::memory_order_relaxed);
     if (retries_counter_ != nullptr) retries_counter_->Add();
     task.attempts++;
+    if (options_.max_attempts > 0 && task.attempts >= options_.max_attempts) {
+      DIFFINDEX_LOG_WARN << "auq: dead-lettering task for index '"
+                         << task.index.name << "' row '" << task.row
+                         << "' after " << task.attempts
+                         << " attempts: " << s.ToString();
+      std::lock_guard<std::mutex> lock(mu_);
+      dead_letters_.push_back(std::move(task));
+      if (dead_letter_gauge_ != nullptr) dead_letter_gauge_->Add(1);
+      if (depth_gauge_ != nullptr) depth_gauge_->Sub(1);
+      in_flight_--;
+      if (queue_.empty() && in_flight_ == 0) drained_cv_.notify_all();
+      intake_cv_.notify_one();
+      continue;
+    }
     const int backoff_ms =
         std::min(task.attempts, 8) * options_.retry_backoff_ms;
     std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (abandoned_) {
+        // The queue was abandoned (crash) while this task was in flight:
+        // it dies undelivered, like the rest of the backlog.
+        if (depth_gauge_ != nullptr) depth_gauge_->Sub(1);
+        in_flight_--;
+        if (queue_.empty() && in_flight_ == 0) drained_cv_.notify_all();
+        continue;
+      }
       // Internal requeue ignores pause: the task is already part of the
       // pending set a drain must wait for.
       queue_.push_back(std::move(task));

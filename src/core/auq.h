@@ -65,6 +65,12 @@ struct AuqOptions {
   // throttles the APS to magnify index staleness (Figure 11's saturated
   // regime on demand).
   int process_delay_ms = 0;
+  // Poison-task escape hatch: after this many failed attempts a task moves
+  // to the dead-letter list (gauge `auq.dead_letters`, accessor
+  // DrainDeadLetters()) instead of retrying again — e.g. a task whose
+  // index descriptor was dropped mid-flight would otherwise spin forever.
+  // 0 = retry forever, preserving the paper's eventual-delivery semantics.
+  int max_attempts = 0;
   // Observability sinks; either may be null. Exports gauge `auq.depth`,
   // counters `auq.enqueued/processed/retries`, histograms
   // `auq.task_micros` (per-task processing time), `auq.staleness_micros`,
@@ -95,7 +101,18 @@ class AsyncUpdateQueue {
   // Waits until the queue is empty and no worker holds a task.
   void WaitDrained();
 
+  // Graceful: workers finish the queued backlog, then exit.
   void Shutdown();
+  // Crash semantics: queued and in-flight tasks are dropped, not delivered
+  // — exactly what a real server crash does to its AUQ. Recovery re-creates
+  // the lost tasks from WAL replay (Section 5.3). Also squares the shared
+  // `auq.depth` gauge so post-crash snapshots don't count ghost tasks.
+  void Abandon();
+
+  // Removes and returns all dead-lettered tasks (see
+  // AuqOptions::max_attempts).
+  std::vector<IndexTask> DrainDeadLetters();
+  size_t dead_letters() const;
 
   size_t depth() const;
   uint64_t processed() const;
@@ -107,6 +124,7 @@ class AsyncUpdateQueue {
 
  private:
   void WorkerLoop();
+  void ShutdownInternal(bool abandon);
 
   const AuqOptions options_;
   const Processor processor_;
@@ -116,9 +134,11 @@ class AsyncUpdateQueue {
   std::condition_variable work_cv_;     // workers waiting for tasks
   std::condition_variable drained_cv_;  // flushers waiting for drain
   std::deque<IndexTask> queue_;
+  std::vector<IndexTask> dead_letters_;
   int paused_ = 0;
   int in_flight_ = 0;
   bool shutdown_ = false;
+  bool abandoned_ = false;
 
   std::vector<std::thread> workers_;
   std::atomic<uint64_t> processed_{0};
@@ -129,6 +149,7 @@ class AsyncUpdateQueue {
   // Cached registry instruments (null when options_.metrics is null) —
   // resolved once in the constructor to keep the hot path lock-free.
   obs::Gauge* depth_gauge_ = nullptr;
+  obs::Gauge* dead_letter_gauge_ = nullptr;
   obs::Counter* enqueued_counter_ = nullptr;
   obs::Counter* processed_counter_ = nullptr;
   obs::Counter* retries_counter_ = nullptr;

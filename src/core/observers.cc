@@ -1,6 +1,7 @@
 #include "core/observers.h"
 
 #include "core/index_codec.h"
+#include "fault/failpoint.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 
@@ -22,6 +23,8 @@ IndexManager::IndexManager(RegionServer* server,
 IndexManager::~IndexManager() { Shutdown(); }
 
 void IndexManager::Shutdown() { auq_->Shutdown(); }
+
+void IndexManager::Abandon() { auq_->Abandon(); }
 
 uint64_t IndexManager::QueueDepth() const { return auq_->depth(); }
 
@@ -117,6 +120,15 @@ void IndexManager::PreFlush(const std::string& table) {
   // so any indexed table gets the pause-and-drain treatment.)
   if (desc == nullptr || desc->indexes.empty()) return;
   auq_->Pause();
+  // "auq.drain" deliberately breaks the Section 5.3 invariant
+  // PR(Flushed) = ∅: the flush proceeds with index work still queued, so a
+  // crash after the WAL roll-forward loses it. Exists solely to prove the
+  // chaos harness catches the resulting lost entries.
+  if (fault::FailpointRegistry::Global()->Fires("auq.drain")) {
+    DIFFINDEX_LOG_WARN
+        << "failpoint auq.drain: skipping drain-before-flush for " << table;
+    return;  // still paused; PostFlush's Resume rebalances
+  }
   auq_->WaitDrained();
 }
 
@@ -151,9 +163,10 @@ void IndexManager::OnWalReplay(const PutRequest& put, Timestamp ts) {
 
 Status IndexManager::ProcessLocalTask(const IndexTask& task) {
   // New entry @ ts from the put's own values.
-  std::optional<std::string> new_value =
-      ResolveIndexValue(task, task.ts, /*use_task_cells=*/true,
-                        /*foreground=*/true);
+  std::optional<std::string> new_value;
+  DIFFINDEX_RETURN_NOT_OK(ResolveIndexValue(
+      task, task.ts, /*use_task_cells=*/true, /*foreground=*/true,
+      &new_value));
   if (new_value.has_value()) {
     if (stats_ != nullptr) stats_->AddIndexPut();
     DIFFINDEX_RETURN_NOT_OK(server_->ApplyLocalIndex(
@@ -163,8 +176,10 @@ Status IndexManager::ProcessLocalTask(const IndexTask& task) {
   }
   // Old entry @ ts - δ: the base read is local (collocation is the whole
   // advantage of a local index), but it is still a base read.
-  std::optional<std::string> old_value = ResolveIndexValue(
-      task, task.ts - kDelta, /*use_task_cells=*/false, /*foreground=*/true);
+  std::optional<std::string> old_value;
+  DIFFINDEX_RETURN_NOT_OK(ResolveIndexValue(task, task.ts - kDelta,
+                                            /*use_task_cells=*/false,
+                                            /*foreground=*/true, &old_value));
   if (!old_value.has_value()) return Status::OK();
   if (stats_ != nullptr) stats_->AddIndexPut();
   return server_->ApplyLocalIndex(task.base_table, task.row,
@@ -200,9 +215,13 @@ void IndexManager::OnRegionOpened(const std::string& table,
         task.cells.push_back(Cell{cell.column, cell.value, false});
         task.ts = std::max(task.ts, cell.ts);
       }
-      std::optional<std::string> value = ResolveIndexValue(
-          task, task.ts, /*use_task_cells=*/true, /*foreground=*/false);
-      if (!value.has_value()) continue;
+      std::optional<std::string> value;
+      if (!ResolveIndexValue(task, task.ts, /*use_task_cells=*/true,
+                             /*foreground=*/false, &value)
+               .ok() ||
+          !value.has_value()) {
+        continue;
+      }
       (void)server_->ApplyLocalIndex(table, row.row, index.name,
                                      EncodeIndexRow(*value, row.row),
                                      task.ts, /*is_delete=*/false);
@@ -210,9 +229,11 @@ void IndexManager::OnRegionOpened(const std::string& table,
   }
 }
 
-std::optional<std::string> IndexManager::ResolveIndexValue(
-    const IndexTask& task, Timestamp read_ts, bool use_task_cells,
-    bool foreground) {
+Status IndexManager::ResolveIndexValue(const IndexTask& task,
+                                       Timestamp read_ts, bool use_task_cells,
+                                       bool foreground,
+                                       std::optional<std::string>* out) {
+  out->reset();
   std::vector<std::string> columns;
   columns.push_back(task.index.column);
   for (const auto& extra : task.index.extra_columns) {
@@ -231,13 +252,13 @@ std::optional<std::string> IndexManager::ResolveIndexValue(
         }
       }
       if (from_put != nullptr) {
-        if (from_put->is_delete) return std::nullopt;  // column removed
+        if (from_put->is_delete) return Status::OK();  // column removed
         std::string component;
         if (column == task.index.column) {
           if (!IndexComponentFromCell(task.index, from_put->value,
                                       &component)
                    .ok()) {
-            return std::nullopt;  // dense cell lacks the indexed field
+            return Status::OK();  // dense cell lacks the indexed field
           }
         } else {
           component = from_put->value;
@@ -248,6 +269,7 @@ std::optional<std::string> IndexManager::ResolveIndexValue(
     }
     // Component not carried by the put (or historical lookup): read the
     // base table — this is the RB of Algorithms 1 and 4.
+    DIFFINDEX_FAILPOINT("index.read_base");
     std::string value;
     Status s = server_->LocalGetCell(task.base_table, task.row, column,
                                      read_ts, &value, nullptr);
@@ -264,11 +286,14 @@ std::optional<std::string> IndexManager::ResolveIndexValue(
       s = internal_client_->GetCell(task.base_table, task.row, column,
                                     read_ts, &value, &ts_out);
     }
-    if (!s.ok()) return std::nullopt;  // no value at read_ts => no entry
+    if (s.IsNotFound()) return Status::OK();  // no value at read_ts => no entry
+    // Any other failure (node down, partition, injected I/O error) means
+    // the value is UNKNOWN, not absent — propagate so the task retries.
+    DIFFINDEX_RETURN_NOT_OK(s);
     std::string component;
     if (column == task.index.column) {
       if (!IndexComponentFromCell(task.index, value, &component).ok()) {
-        return std::nullopt;
+        return Status::OK();
       }
     } else {
       component = std::move(value);
@@ -276,8 +301,12 @@ std::optional<std::string> IndexManager::ResolveIndexValue(
     components.push_back(std::move(component));
   }
 
-  if (components.size() == 1) return components[0];
-  return EncodeCompositeIndexValue(components);
+  if (components.size() == 1) {
+    *out = components[0];
+  } else {
+    *out = EncodeCompositeIndexValue(components);
+  }
+  return Status::OK();
 }
 
 Status IndexManager::PutIndexEntry(const std::string& index_table,
@@ -290,6 +319,8 @@ Status IndexManager::PutIndexEntry(const std::string& index_table,
       stats_->AddAsyncIndexPut();
     }
   }
+  // PI step (SU2/BA4).
+  DIFFINDEX_FAILPOINT("index.put");
   // Key-only entry: concatenated rowkey, null value (Section 4).
   return internal_client_->Put(index_table, index_row,
                                {Cell{"", "", /*is_delete=*/false}}, ts);
@@ -305,6 +336,8 @@ Status IndexManager::DeleteIndexEntry(const std::string& index_table,
       stats_->AddAsyncIndexPut();
     }
   }
+  // DI step (SU4/BA3).
+  DIFFINDEX_FAILPOINT("index.delete");
   return internal_client_->Put(index_table, index_row,
                                {Cell{"", "", /*is_delete=*/true}}, ts);
 }
@@ -314,8 +347,9 @@ Status IndexManager::ProcessTask(const IndexTask& task, bool insert_only,
   // New index entry @ ts: value from the put itself (SU2/BA4). A put of a
   // delete-cell produces no new entry ("deletion can be treated as a put
   // with a null value").
-  std::optional<std::string> new_value =
-      ResolveIndexValue(task, task.ts, /*use_task_cells=*/true, foreground);
+  std::optional<std::string> new_value;
+  DIFFINDEX_RETURN_NOT_OK(ResolveIndexValue(
+      task, task.ts, /*use_task_cells=*/true, foreground, &new_value));
 
   if (new_value.has_value()) {
     const std::string new_row =
@@ -328,8 +362,10 @@ Status IndexManager::ProcessTask(const IndexTask& task, bool insert_only,
 
   // SU3/BA2: the previous value right before this put — RB(k, ts - δ).
   // The δ matters: reading at ts would return the value just written.
-  std::optional<std::string> old_value = ResolveIndexValue(
-      task, task.ts - kDelta, /*use_task_cells=*/false, foreground);
+  std::optional<std::string> old_value;
+  DIFFINDEX_RETURN_NOT_OK(ResolveIndexValue(task, task.ts - kDelta,
+                                            /*use_task_cells=*/false,
+                                            foreground, &old_value));
   if (!old_value.has_value()) return Status::OK();  // fresh insert
 
   // SU4/BA3: delete the old entry @ ts - δ. With vold == vnew the rows

@@ -51,7 +51,10 @@ class IndexManager final : public IndexMaintenanceHooks {
 
   AsyncUpdateQueue* auq() { return auq_.get(); }
 
+  // Graceful: drains the AUQ backlog before stopping.
   void Shutdown();
+  // Crash semantics: drops the AUQ backlog (see AsyncUpdateQueue::Abandon).
+  void Abandon();
 
  private:
   // Applies one task synchronously (shared by sync-full foreground and the
@@ -62,12 +65,14 @@ class IndexManager final : public IndexMaintenanceHooks {
                      bool foreground);
 
   // Resolves the index's component values at `read_ts` (values present in
-  // `task.cells` win — they are the just-written ones at task.ts).
-  // Returns nullopt if any component is absent (=> no index entry).
-  std::optional<std::string> ResolveIndexValue(const IndexTask& task,
-                                               Timestamp read_ts,
-                                               bool use_task_cells,
-                                               bool foreground);
+  // `task.cells` win — they are the just-written ones at task.ts). On OK,
+  // `*out` is nullopt iff some component is definitively absent (=> no
+  // index entry). A failed base read (node down, injected I/O error, ...)
+  // returns its error instead of masquerading as "absent": the caller must
+  // retry, or a missed old-entry delete would leave a phantom forever.
+  Status ResolveIndexValue(const IndexTask& task, Timestamp read_ts,
+                           bool use_task_cells, bool foreground,
+                           std::optional<std::string>* out);
 
   // True if the put touches any component of the index.
   static bool Touches(const IndexDescriptor& index,

@@ -1,0 +1,143 @@
+// Deterministic fault injection: a process-global registry of named
+// failpoints consulted at load-bearing sites (WAL append/sync, memtable
+// flush, SSTable build, AUQ enqueue/drain, sync-scheme PI/RB/DI steps,
+// region open). Modeled after RocksDB's SyncPoint / fail-rs: sites are
+// zero-cost when nothing is armed (one relaxed atomic load), and every
+// probabilistic policy carries its own seed so a failing schedule replays
+// bit-for-bit.
+//
+// Sites call one of:
+//   DIFFINDEX_FAILPOINT("wal.append");            // early-return the error
+//   if (fault::FailpointRegistry::Global()->Fires("auq.drain")) { ...skip... }
+//
+// Policies:
+//   kErrorOnce     - fail the first hit after arming, then disarm itself.
+//   kErrorEveryNth - fail hit N, 2N, 3N, ... (1-based hit count).
+//   kProbability   - fail each hit with probability p, seeded PRNG.
+//   kCrash         - invoke the registered crash handler (the chaos harness
+//                    maps it to Cluster::SilentlyCrashServer) and fail the
+//                    hit. The handler runs on the hitting thread, so it must
+//                    only *request* the crash (enqueue for the harness loop),
+//                    never join the thread it is called from.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace diffindex {
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
+namespace fault {
+
+struct FailpointPolicy {
+  enum class Mode {
+    kOff,
+    kErrorOnce,
+    kErrorEveryNth,
+    kProbability,
+    kCrash,
+  };
+
+  Mode mode = Mode::kOff;
+  // Status returned by MaybeFail() when the point fires. Copied per fire.
+  Status error = Status::IOError("injected fault");
+  // kErrorEveryNth: fire on every nth hit (1 = every hit).
+  uint64_t nth = 1;
+  // kProbability / kCrash: chance in [0,1] that a hit fires.
+  double probability = 1.0;
+  // Seed for the per-point PRNG driving kProbability decisions.
+  uint64_t seed = 0;
+
+  static FailpointPolicy Off() { return {}; }
+  static FailpointPolicy ErrorOnce(Status error = Status::IOError("injected fault"));
+  static FailpointPolicy ErrorEveryNth(uint64_t nth,
+                                       Status error = Status::IOError("injected fault"));
+  static FailpointPolicy WithProbability(double p, uint64_t seed,
+                                         Status error = Status::IOError("injected fault"));
+  static FailpointPolicy Crash(double p = 1.0, uint64_t seed = 0);
+};
+
+class FailpointRegistry {
+ public:
+  // Process-wide instance used by all instrumented sites. Never deleted.
+  static FailpointRegistry* Global();
+
+  FailpointRegistry() = default;
+  FailpointRegistry(const FailpointRegistry&) = delete;
+  FailpointRegistry& operator=(const FailpointRegistry&) = delete;
+
+  void Arm(const std::string& name, FailpointPolicy policy);
+  void Disarm(const std::string& name);
+  void DisarmAll();
+  bool IsArmed(const std::string& name) const;
+
+  // Consults the point: OK when off or when this hit does not fire,
+  // otherwise the policy's error Status. For kCrash points the crash
+  // handler is invoked before returning the error.
+  Status MaybeFail(const std::string& name);
+
+  // Boolean form for sites whose failure reaction is not an early return
+  // (e.g. "skip the drain-before-flush barrier"). Advances the same
+  // per-point state as MaybeFail.
+  bool Fires(const std::string& name);
+
+  // Diagnostics: hits = times an armed point was consulted, fires = times
+  // it actually injected. Both reset when the point is (re)armed.
+  uint64_t hits(const std::string& name) const;
+  uint64_t fires(const std::string& name) const;
+
+  // Every fire bumps counter "fault.injected.<name>" in this registry.
+  // Pass nullptr to detach (e.g. before the registry's owner dies).
+  void SetMetrics(obs::MetricsRegistry* metrics);
+  obs::MetricsRegistry* metrics() const;
+
+  // Invoked (synchronously, on the hitting thread) when a kCrash point
+  // fires, with the point name. See the kCrash caveat above.
+  using CrashHandler = std::function<void(const std::string& point)>;
+  void SetCrashHandler(CrashHandler handler);
+
+ private:
+  struct Point {
+    FailpointPolicy policy;
+    Random rng{1};
+    uint64_t hits = 0;
+    uint64_t fires = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Point> points_;
+  // Fast path: sites skip the lock entirely while nothing is armed.
+  std::atomic<int> armed_count_{0};
+  obs::MetricsRegistry* metrics_ = nullptr;
+  CrashHandler crash_handler_;
+};
+
+// RAII guard for tests: disarms everything (and detaches metrics/handler
+// from the global registry) on scope exit so schedules don't leak into the
+// next test case.
+class ScopedFailpointCleanup {
+ public:
+  ScopedFailpointCleanup() = default;
+  ~ScopedFailpointCleanup();
+};
+
+}  // namespace fault
+}  // namespace diffindex
+
+// Early-return helper for Status-returning functions.
+#define DIFFINDEX_FAILPOINT(name)                                              \
+  do {                                                                         \
+    ::diffindex::Status _fp_status =                                           \
+        ::diffindex::fault::FailpointRegistry::Global()->MaybeFail(name);      \
+    if (!_fp_status.ok()) return _fp_status;                                   \
+  } while (0)

@@ -1,0 +1,109 @@
+// FaultEnv: an Env decorator that injects I/O faults on the real write and
+// read paths, so torn WAL tails and partial flushes come from the code that
+// actually produces the bytes rather than from hand-edited files.
+//
+// Faults are declared as rules matched by path substring. A short-write rule
+// with byte_budget B lets a file absorb B bytes, writes the prefix of the
+// crossing append, and fails it — exactly the shape of a torn record left by
+// a crash mid-write. Disk-full refuses the crossing append without writing.
+// All probabilistic decisions come from one seeded PRNG so a chaos schedule
+// replays deterministically.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/env.h"
+#include "util/random.h"
+
+namespace diffindex {
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
+namespace fault {
+
+class FaultEnv final : public Env {
+ public:
+  struct Rule {
+    enum class Kind {
+      kAppendError,  // fail qualifying appends without writing anything
+      kShortWrite,   // write a prefix of the crossing append, then fail
+      kDiskFull,     // refuse the crossing append entirely
+      kSyncError,    // fail Sync()
+      kReadError,    // fail random-access / sequential reads
+    };
+
+    // Applies to files whose path contains this substring ("" = all files).
+    std::string path_substring;
+    Kind kind = Kind::kAppendError;
+    // kShortWrite / kDiskFull: bytes a matching file may absorb (through
+    // this env, since open) before the rule triggers.
+    uint64_t byte_budget = 0;
+    // Chance in [0,1] a qualifying operation is hit (budget rules always
+    // trigger once crossed; probability gates error rules).
+    double probability = 1.0;
+  };
+
+  // Decorates base (not owned; typically Env::Default()).
+  explicit FaultEnv(Env* base);
+  ~FaultEnv() override = default;
+
+  void AddRule(const Rule& rule);
+  void ClearRules();
+  void SetSeed(uint64_t seed);
+  // Bumps "fault.env.<kind>" counters on every injection. Pass nullptr to
+  // detach before the registry's owner dies.
+  void SetMetrics(obs::MetricsRegistry* metrics);
+  // Total faults injected since construction (not reset by ClearRules).
+  uint64_t injected() const;
+
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override;
+  Status NewRandomAccessFile(const std::string& fname,
+                             std::unique_ptr<RandomAccessFile>* result) override;
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override;
+  bool FileExists(const std::string& fname) override;
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* result) override;
+  Status RemoveFile(const std::string& fname) override;
+  Status CreateDirIfMissing(const std::string& dirname) override;
+  Status RemoveDirRecursively(const std::string& dirname) override;
+  Status GetFileSize(const std::string& fname, uint64_t* size) override;
+  Status RenameFile(const std::string& src, const std::string& target) override;
+
+ private:
+  friend class FaultWritableFile;
+  friend class FaultRandomAccessFile;
+  friend class FaultSequentialFile;
+
+  struct WriteDecision {
+    bool fail = false;
+    // Bytes of the append to pass through before failing (short write);
+    // 0 with fail=true means nothing is written (append error / disk full).
+    uint64_t allowed = 0;
+    Status error;
+  };
+
+  // written = bytes this file already absorbed; size = this append's size.
+  WriteDecision DecideWrite(const std::string& path, uint64_t written,
+                            uint64_t size);
+  Status DecideSync(const std::string& path);
+  Status DecideRead(const std::string& path);
+  void Count(const char* kind);
+
+  Env* const base_;
+  mutable std::mutex mu_;
+  std::vector<Rule> rules_;
+  Random rng_{0};
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::atomic<uint64_t> injected_{0};
+};
+
+}  // namespace fault
+}  // namespace diffindex

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <sstream>
 
+#include "fault/failpoint.h"
 #include "lsm/merging_iterator.h"
 #include "util/logging.h"
 
@@ -183,15 +184,24 @@ Status LsmTree::Flush() {
   const uint64_t file_number = next_file_number_++;
   SstMeta meta;
   auto iter = imm->NewIterator();
-  Status s = BuildSstFromIterator(options_, SstPath(file_number), file_number,
-                                  iter.get(), &meta);
-  if (!s.ok()) {
-    // Put the memtable back so no data is lost; the caller may retry.
+  Status build_status =
+      fault::FailpointRegistry::Global()->MaybeFail("lsm.flush");
+  if (build_status.ok()) {
+    build_status = BuildSstFromIterator(options_, SstPath(file_number),
+                                        file_number, iter.get(), &meta);
+  }
+  if (!build_status.ok()) {
+    // Put the memtable back so no data is lost; the caller may retry. The
+    // caller serializes Flush against Put/Delete, so mem_ is still the empty
+    // table installed at swap time and imm can slot straight back in. If a
+    // write did race in, keep imm_ readable instead of merging.
+    (void)options_.env->RemoveFile(SstPath(file_number));
     std::lock_guard<std::mutex> lock(state_mu_);
-    imm_.reset();
-    // Merge would be complex; instead keep imm as the new mem if mem is
-    // still empty, else leave both (imm stays readable).
-    return s;
+    if (mem_->NumEntries() == 0) {
+      mem_ = imm_;
+      imm_.reset();
+    }
+    return build_status;
   }
   meta.file_number = file_number;
 

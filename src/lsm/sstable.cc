@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "fault/failpoint.h"
 #include "util/bloom.h"
 #include "util/coding.h"
 #include "util/crc32c.h"
@@ -375,6 +376,7 @@ std::unique_ptr<RecordIterator> SstReader::NewIterator() const {
 Status BuildSstFromIterator(const LsmOptions& options, const std::string& path,
                             uint64_t file_number, RecordIterator* iter,
                             SstMeta* meta) {
+  DIFFINDEX_FAILPOINT("lsm.sst_write");
   std::unique_ptr<WritableFile> file;
   DIFFINDEX_RETURN_NOT_OK(options.env->NewWritableFile(path, &file));
   SstBuilder builder(options, std::move(file));

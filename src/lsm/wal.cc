@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "fault/failpoint.h"
 #include "util/coding.h"
 #include "util/crc32c.h"
 
@@ -18,6 +19,7 @@ Status Writer::Open(Env* env, const std::string& path, SyncMode sync_mode,
 }
 
 Status Writer::AddRecord(const Slice& payload) {
+  DIFFINDEX_FAILPOINT("wal.append");
   std::string header;
   PutFixed32(&header,
              crc32c::Mask(crc32c::Value(payload.data(), payload.size())));
@@ -26,12 +28,16 @@ Status Writer::AddRecord(const Slice& payload) {
   DIFFINDEX_RETURN_NOT_OK(file_->Append(payload));
   bytes_written_ += kHeaderSize + payload.size();
   if (sync_mode_ == SyncMode::kEveryRecord) {
+    DIFFINDEX_FAILPOINT("wal.sync");
     DIFFINDEX_RETURN_NOT_OK(file_->Sync());
   }
   return Status::OK();
 }
 
-Status Writer::Sync() { return file_->Sync(); }
+Status Writer::Sync() {
+  DIFFINDEX_FAILPOINT("wal.sync");
+  return file_->Sync();
+}
 
 Status Writer::Close() { return file_->Close(); }
 

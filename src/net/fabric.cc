@@ -1,6 +1,8 @@
 #include "net/fabric.h"
 
 #include <atomic>
+#include <chrono>
+#include <thread>
 
 namespace diffindex {
 
@@ -39,9 +41,38 @@ void Fabric::SetPartitioned(NodeId a, NodeId b, bool partitioned) {
   }
 }
 
+void Fabric::SetEdgeFault(NodeId a, NodeId b, EdgeFault fault) {
+  if (a > b) std::swap(a, b);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fault.active()) {
+    edge_faults_[{a, b}] = fault;
+  } else {
+    edge_faults_.erase({a, b});
+  }
+}
+
+void Fabric::SetDefaultFault(EdgeFault fault) {
+  std::lock_guard<std::mutex> lock(mu_);
+  default_fault_ = fault;
+}
+
+void Fabric::ClearFaults() {
+  std::lock_guard<std::mutex> lock(mu_);
+  edge_faults_.clear();
+  default_fault_ = EdgeFault();
+}
+
+void Fabric::SetFaultSeed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fault_rng_ = Random(seed);
+}
+
 Status Fabric::Call(NodeId from, NodeId to, MsgType type,
                     const std::string& body, std::string* response) {
   Handler handler;
+  bool drop = false;
+  bool duplicate = false;
+  uint32_t extra_latency_us = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (down_.count(to) > 0) {
@@ -60,6 +91,37 @@ Status Fabric::Call(NodeId from, NodeId to, MsgType type,
                                  " not registered");
     }
     handler = it->second;
+
+    auto fault_it = edge_faults_.find(key);
+    const EdgeFault& fault =
+        fault_it != edge_faults_.end() ? fault_it->second : default_fault_;
+    if (fault.active()) {
+      if (fault.drop_probability > 0.0 &&
+          fault_rng_.NextDouble() < fault.drop_probability) {
+        drop = true;
+      } else if (fault.duplicate_probability > 0.0 &&
+                 fault_rng_.NextDouble() < fault.duplicate_probability) {
+        duplicate = true;
+      }
+      extra_latency_us = fault.extra_latency_us;
+    }
+  }
+
+  if (extra_latency_us > 0) {
+    if (metrics_ != nullptr) metrics_->GetCounter("fault.net.delayed")->Add();
+    std::this_thread::sleep_for(std::chrono::microseconds(extra_latency_us));
+  }
+  if (drop) {
+    // The request leaves the caller and vanishes; the caller pays the hop
+    // and sees the same Unavailable a timeout would produce.
+    if (metrics_ != nullptr) metrics_->GetCounter("fault.net.dropped")->Add();
+    if (latency_ != nullptr) {
+      latency_->NetworkHop();
+      latency_->Settle();
+    }
+    return Status::Unavailable("injected message drop between " +
+                               std::to_string(from) + " and " +
+                               std::to_string(to));
   }
 
   calls_made_.fetch_add(1, std::memory_order_relaxed);
@@ -90,6 +152,15 @@ Status Fabric::Call(NodeId from, NodeId to, MsgType type,
     obs::ScopedTraceContext scope(std::move(server_ctx));
     obs::SpanTimer span(metrics_, traces_,
                         std::string("rpc.") + MsgTypeName(type));
+    if (duplicate) {
+      // The "network" delivered the request twice; only the second
+      // response makes it back. Handlers must tolerate the replay.
+      if (metrics_ != nullptr) {
+        metrics_->GetCounter("fault.net.duplicated")->Add();
+      }
+      std::string discarded;
+      (void)handler(type, on_wire, &discarded);
+    }
     s = handler(type, on_wire, response);
   }
   if (latency_ != nullptr) {

@@ -10,6 +10,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -20,6 +21,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/latency_model.h"
+#include "util/random.h"
 #include "util/status.h"
 
 namespace diffindex {
@@ -49,6 +51,28 @@ class Fabric {
 
   // Blocks traffic between a and b (both directions).
   void SetPartitioned(NodeId a, NodeId b, bool partitioned);
+
+  // Message-level faults, softer than down/partition: a request can be
+  // dropped (caller sees Unavailable after paying the request hop, like a
+  // timeout), delivered twice (the duplicate's response is discarded —
+  // exercises handler idempotency), or delayed. Decisions come from one
+  // seeded PRNG so schedules replay deterministically. Per-edge faults are
+  // symmetric (normalized pair) and override the default; the default
+  // applies to every edge without an override.
+  struct EdgeFault {
+    double drop_probability = 0.0;
+    double duplicate_probability = 0.0;
+    uint32_t extra_latency_us = 0;
+
+    bool active() const {
+      return drop_probability > 0.0 || duplicate_probability > 0.0 ||
+             extra_latency_us > 0;
+    }
+  };
+  void SetEdgeFault(NodeId a, NodeId b, EdgeFault fault);
+  void SetDefaultFault(EdgeFault fault);
+  void ClearFaults();
+  void SetFaultSeed(uint64_t seed);
 
   // Synchronous RPC. Pays one network hop for the request and one for the
   // response. Returns Unavailable if the target is down, unregistered, or
@@ -81,6 +105,9 @@ class Fabric {
   std::unordered_map<NodeId, Handler> handlers_;
   std::set<NodeId> down_;
   std::set<std::pair<NodeId, NodeId>> partitions_;  // normalized (min,max)
+  std::map<std::pair<NodeId, NodeId>, EdgeFault> edge_faults_;  // normalized
+  EdgeFault default_fault_;
+  Random fault_rng_{0};
   std::atomic<uint64_t> calls_made_{0};
 };
 

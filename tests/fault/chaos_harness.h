@@ -1,0 +1,84 @@
+// Crash-consistency chaos harness: runs a mixed read/write workload under a
+// seeded fault schedule (server crashes + recoveries, network partitions,
+// message-level faults, injected I/O errors and failpoint windows), then
+// halts all faults, drains the AUQ and verifies the scheme's consistency
+// contract against a shadow oracle:
+//
+//   - no lost or phantom index entries (all schemes, after convergence),
+//   - causal consistency for sync-full (fresh writes immediately visible),
+//   - read-your-writes for async-session (via session reads during chaos),
+//   - convergence for async-simple / sync-insert (the drained final check).
+//
+// Every run prints its seed; re-running with the same ChaosOptions replays
+// the schedule bit-for-bit (all randomness — workload, fault choice, fault
+// parameters, failpoint PRNGs, FaultEnv and fabric PRNGs — derives from
+// ChaosOptions::seed).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/catalog.h"
+
+namespace diffindex {
+namespace chaos {
+
+struct ChaosOptions {
+  // Master seed; every other PRNG in the run is derived from it.
+  uint64_t seed = 1;
+  IndexScheme scheme = IndexScheme::kAsyncSimple;
+
+  int num_servers = 4;
+  int rounds = 10;
+  int ops_per_round = 25;
+  // Distinct base rows the workload writes to.
+  int key_space = 48;
+
+  // Fault classes to draw from (one fault event per round).
+  bool enable_crashes = true;
+  bool enable_partitions = true;
+  bool enable_env_faults = true;
+  bool enable_failpoints = true;
+  bool enable_net_faults = true;
+
+  bool verbose = false;
+};
+
+struct ChaosReport {
+  uint64_t seed = 0;
+  std::string scheme;
+
+  int ops = 0;
+  int ok_ops = 0;
+  int failed_ops = 0;
+  int crashes = 0;
+  int partition_rounds = 0;
+  int env_fault_rounds = 0;
+  int failpoint_rounds = 0;
+  int net_fault_rounds = 0;
+  int flush_rounds = 0;
+
+  // Consistency-contract violations found by the verification epilogue (or
+  // during chaos, for read-your-writes). Empty = the run passed.
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+  std::string Summary() const;
+};
+
+// Runs one full chaos schedule and verifies the consistency contract.
+ChaosReport RunChaosSchedule(const ChaosOptions& options);
+
+// Targeted regression for the Section 5.3 drain-before-flush invariant:
+// queues index tasks behind a slow APS, flushes (with the "auq.drain"
+// failpoint skipping the drain barrier when break_invariant is true),
+// crashes the server and recovers. With the barrier broken, the flush
+// advances the recovery point past WAL edits whose index tasks were never
+// delivered — the verification must report lost index entries. With the
+// barrier intact the same schedule must verify clean.
+ChaosReport RunBrokenDrainScenario(uint64_t seed, bool break_invariant);
+
+}  // namespace chaos
+}  // namespace diffindex
