@@ -31,7 +31,9 @@ class BufferedWriter {
 
   // Destructor flushes best-effort; call Flush() explicitly to observe
   // errors.
-  ~BufferedWriter() { (void)Flush(); }
+  // Destructor flush is best-effort (destructors cannot report); callers
+  // that need the error must call Flush() themselves first.
+  ~BufferedWriter() { Flush().IgnoreError(); }
 
   BufferedWriter(const BufferedWriter&) = delete;
   BufferedWriter& operator=(const BufferedWriter&) = delete;

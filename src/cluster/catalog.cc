@@ -87,7 +87,7 @@ TableDescriptor FromWire(const TableInfoWire& wire) {
 }
 
 Status Catalog::AddTable(const TableDescriptor& table) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& existing : tables_) {
     if (existing.name == table.name) {
       return Status::InvalidArgument("table exists: " + table.name);
@@ -100,7 +100,7 @@ Status Catalog::AddTable(const TableDescriptor& table) {
 
 Status Catalog::AddIndex(const std::string& table,
                          const IndexDescriptor& index) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& existing : tables_) {
     if (existing.name != table) continue;
     for (const auto& idx : existing.indexes) {
@@ -117,7 +117,7 @@ Status Catalog::AddIndex(const std::string& table,
 
 Status Catalog::DropIndex(const std::string& table,
                           const std::string& index_name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& existing : tables_) {
     if (existing.name != table) continue;
     for (auto it = existing.indexes.begin(); it != existing.indexes.end();
@@ -136,7 +136,7 @@ Status Catalog::DropIndex(const std::string& table,
 Status Catalog::SetIndexScheme(const std::string& table,
                                const std::string& index_name,
                                IndexScheme scheme) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& existing : tables_) {
     if (existing.name != table) continue;
     for (auto& index : existing.indexes) {
@@ -153,7 +153,7 @@ Status Catalog::SetIndexScheme(const std::string& table,
 
 std::optional<TableDescriptor> Catalog::GetTable(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& table : tables_) {
     if (table.name == name) return table;
   }
@@ -161,12 +161,12 @@ std::optional<TableDescriptor> Catalog::GetTable(
 }
 
 std::vector<TableDescriptor> Catalog::ListTables() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return tables_;
 }
 
 uint64_t Catalog::epoch() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return epoch_;
 }
 

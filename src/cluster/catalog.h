@@ -6,14 +6,15 @@
 #define DIFFINDEX_CLUSTER_CATALOG_H_
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/dense_column.h"
 #include "net/message.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace diffindex {
 
@@ -87,9 +88,11 @@ class Catalog {
   uint64_t epoch() const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<TableDescriptor> tables_;
-  uint64_t epoch_ = 0;
+  mutable Mutex mu_;
+  // epoch_ bumps on every mutation so servers can cheaply detect a stale
+  // pushed snapshot.
+  std::vector<TableDescriptor> tables_ GUARDED_BY(mu_);
+  uint64_t epoch_ GUARDED_BY(mu_) = 0;
 };
 
 // Client/server-side immutable snapshot with fast lookups.

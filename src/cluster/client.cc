@@ -29,7 +29,7 @@ void Client::BackoffBeforeRetry(int attempt) {
   // in lockstep.
   int sleep_ms;
   {
-    std::lock_guard<std::mutex> lock(backoff_mu_);
+    MutexLock lock(backoff_mu_);
     sleep_ms = static_cast<int>(backoff_rng_.Range(
         static_cast<uint64_t>(std::max(cap / 2, 1)),
         static_cast<uint64_t>(cap)));
@@ -44,7 +44,7 @@ void Client::CountRetryExhausted() {
 }
 
 Status Client::RefreshLayout() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   layout_valid_ = false;
   return EnsureLayoutLocked();
 }
@@ -79,14 +79,16 @@ Status Client::EnsureLayoutLocked() {
 }
 
 CatalogSnapshot Client::catalog() {
-  std::lock_guard<std::mutex> lock(mu_);
-  (void)EnsureLayoutLocked();
+  MutexLock lock(mu_);
+  // Best-effort refresh: on failure the caller gets the cached (possibly
+  // empty) snapshot, the same view a data-plane call would retry from.
+  EnsureLayoutLocked().IgnoreError();
   return catalog_;
 }
 
 Status Client::RouteRow(const std::string& table, const Slice& row,
                         RegionInfoWire* info) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   DIFFINDEX_RETURN_NOT_OK(EnsureLayoutLocked());
   const RegionInfoWire* best = nullptr;
   for (const auto& region : regions_) {
@@ -106,8 +108,9 @@ Status Client::RouteRow(const std::string& table, const Slice& row,
 }
 
 std::vector<RegionInfoWire> Client::TableRegions(const std::string& table) {
-  std::lock_guard<std::mutex> lock(mu_);
-  (void)EnsureLayoutLocked();
+  MutexLock lock(mu_);
+  // Best-effort refresh; an unreachable master yields an empty listing.
+  EnsureLayoutLocked().IgnoreError();
   std::vector<RegionInfoWire> result;
   for (const auto& region : regions_) {
     if (region.table == table) result.push_back(region);

@@ -12,14 +12,15 @@
 #define DIFFINDEX_CLUSTER_CLIENT_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "cluster/catalog.h"
 #include "net/fabric.h"
 #include "net/message.h"
+#include "util/mutex.h"
 #include "util/random.h"
+#include "util/thread_annotations.h"
 
 namespace diffindex {
 
@@ -117,7 +118,7 @@ class Client {
   Status CallRegion(const std::string& table, const Slice& row, MsgType type,
                     const std::string& body, std::string* response);
 
-  Status EnsureLayoutLocked();
+  Status EnsureLayoutLocked() REQUIRES(mu_);
 
   // Sleeps for the capped-exponential + jittered backoff of `attempt`
   // (1-based) and counts the retry.
@@ -129,14 +130,17 @@ class Client {
   const NodeId self_node_;
   const ClientOptions options_;
 
-  std::mutex backoff_mu_;
-  Random backoff_rng_;
+  // Separate lock for the jitter PRNG: backoff sleeps must not hold mu_,
+  // or a retrying call would block concurrent routing lookups.
+  Mutex backoff_mu_;
+  Random backoff_rng_ GUARDED_BY(backoff_mu_);
 
-  std::mutex mu_;
-  bool layout_valid_ = false;
-  CatalogSnapshot catalog_;
-  std::vector<RegionInfoWire> regions_;  // sorted by (table, start_row)
-  uint64_t layout_refreshes_ = 0;
+  Mutex mu_;
+  bool layout_valid_ GUARDED_BY(mu_) = false;
+  CatalogSnapshot catalog_ GUARDED_BY(mu_);
+  std::vector<RegionInfoWire> regions_
+      GUARDED_BY(mu_);  // sorted by (table, start_row)
+  uint64_t layout_refreshes_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace diffindex

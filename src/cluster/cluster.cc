@@ -10,6 +10,7 @@ Cluster::Cluster(const ClusterOptions& options)
 
 Status Cluster::Create(const ClusterOptions& options,
                        std::unique_ptr<Cluster>* cluster) {
+  // NOLINT(diffindex-naked-new): private-ctor factory
   std::unique_ptr<Cluster> c(new Cluster(options));
   DIFFINDEX_RETURN_NOT_OK(c->Init());
   *cluster = std::move(c);
@@ -26,7 +27,8 @@ Cluster::~Cluster() {
     if (bundle.index_manager != nullptr) bundle.index_manager->Shutdown();
   }
   for (auto& [id, bundle] : servers_) {
-    (void)bundle.server->Stop();
+    // Teardown keeps going even if one server's final flush fails.
+    bundle.server->Stop().IgnoreError();
   }
   if (master_ != nullptr) master_->Stop();
   servers_.clear();
@@ -36,7 +38,8 @@ Cluster::~Cluster() {
   auto* failpoints = fault::FailpointRegistry::Global();
   if (failpoints->metrics() == &metrics_) failpoints->SetMetrics(nullptr);
   if (options_.remove_data_on_destroy && !options_.data_root.empty()) {
-    (void)options_.env->RemoveDirRecursively(options_.data_root);
+    // Best-effort cleanup of the test/bench data root.
+    options_.env->RemoveDirRecursively(options_.data_root).IgnoreError();
   }
 }
 

@@ -32,7 +32,7 @@ void Master::Stop() {
 }
 
 Status Master::RegisterServer(RegionServer* server) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   servers_[server->id()] = server;
   last_heartbeat_micros_[server->id()] = TimestampOracle::NowMicros();
   server->UpdateCatalog(CatalogSnapshot(catalog_.ListTables()));
@@ -40,13 +40,13 @@ Status Master::RegisterServer(RegionServer* server) {
 }
 
 void Master::DeregisterServer(NodeId server_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   servers_.erase(server_id);
   last_heartbeat_micros_.erase(server_id);
 }
 
 std::vector<NodeId> Master::live_servers() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<NodeId> ids;
   ids.reserve(servers_.size());
   for (const auto& [id, server] : servers_) ids.push_back(id);
@@ -54,7 +54,7 @@ std::vector<NodeId> Master::live_servers() const {
 }
 
 std::vector<RegionInfoWire> Master::regions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return regions_;
 }
 
@@ -74,7 +74,7 @@ std::vector<std::string> Master::UniformHexSplits(int num_regions) {
 
 Status Master::CreateTable(const std::string& name,
                            std::vector<std::string> split_points) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   DIFFINDEX_RETURN_NOT_OK(CreateTableLocked(name, std::move(split_points)));
   PushCatalogLocked();
   return Status::OK();
@@ -120,7 +120,7 @@ Status Master::CreateTableLocked(const std::string& name,
 
 Status Master::CreateIndex(const std::string& table,
                            const IndexDescriptor& index) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!catalog_.GetTable(table).has_value()) {
     return Status::NotFound("no such table: " + table);
   }
@@ -146,7 +146,7 @@ Status Master::CreateIndex(const std::string& table,
 Status Master::AlterIndexScheme(const std::string& table,
                                 const std::string& index_name,
                                 IndexScheme scheme) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   DIFFINDEX_RETURN_NOT_OK(
       catalog_.SetIndexScheme(table, index_name, scheme));
   layout_epoch_.fetch_add(1);
@@ -158,7 +158,7 @@ Status Master::AlterIndexScheme(const std::string& table,
 
 Status Master::DropIndex(const std::string& table,
                          const std::string& index_name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   DIFFINDEX_RETURN_NOT_OK(catalog_.DropIndex(table, index_name));
   layout_epoch_.fetch_add(1);
   PushCatalogLocked();
@@ -174,7 +174,7 @@ void Master::PushCatalogLocked() {
 
 Status Master::SplitRegion(const std::string& table, uint64_t region_id,
                            const std::string& split_key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (size_t i = 0; i < regions_.size(); i++) {
     const RegionInfoWire& parent = regions_[i];
     if (parent.table != table || parent.region_id != region_id) continue;
@@ -210,7 +210,7 @@ Status Master::MoveRegion(const std::string& table, uint64_t region_id,
   RegionServer* target = nullptr;
   RegionInfoWire info;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto target_it = servers_.find(target_server);
     if (target_it == servers_.end()) {
       return Status::NotFound("no such target server");
@@ -238,7 +238,7 @@ Status Master::MoveRegion(const std::string& table, uint64_t region_id,
   DIFFINDEX_RETURN_NOT_OK(target->OpenRegion(info));
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (RegionInfoWire& region : regions_) {
       if (region.table == table && region.region_id == region_id) {
         region.server_id = target_server;
@@ -259,7 +259,7 @@ Status Master::OnServerDead(NodeId server_id) {
   std::vector<std::pair<RegionInfoWire, RegionServer*>> moves;
   std::vector<std::string> wal_paths;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     servers_.erase(server_id);
     last_heartbeat_micros_.erase(server_id);
     if (servers_.empty()) {
@@ -339,14 +339,14 @@ Status Master::Handle(MsgType type, Slice body, std::string* response) {
       if (!HeartbeatRequest::DecodeFrom(&body, &hb)) {
         return Status::InvalidArgument("malformed heartbeat");
       }
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       last_heartbeat_micros_[hb.server_id] = TimestampOracle::NowMicros();
       return Status::OK();
     }
     case MsgType::kFetchLayout: {
       FetchLayoutResponse resp;
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         resp.layout_epoch = layout_epoch_.load();
         for (const auto& table : catalog_.ListTables()) {
           resp.tables.push_back(ToWire(table));
@@ -367,7 +367,7 @@ void Master::DetectorLoop() {
         std::chrono::milliseconds(options_.failure_detect_ms / 2 + 1));
     std::vector<NodeId> dead;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       const uint64_t now = TimestampOracle::NowMicros();
       const uint64_t limit =
           static_cast<uint64_t>(options_.failure_detect_ms) * 1000;
@@ -379,7 +379,9 @@ void Master::DetectorLoop() {
       DIFFINDEX_LOG_WARN << "master: server " << id
                          << " missed heartbeats, declaring dead";
       fabric_->SetNodeDown(id, true);
-      (void)OnServerDead(id);
+      // The detector loop has nowhere to propagate a recovery error;
+      // OnServerDead logs its own failures and the next sweep retries.
+      OnServerDead(id).IgnoreError();
     }
   }
 }

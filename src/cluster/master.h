@@ -11,7 +11,6 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -19,6 +18,8 @@
 #include "cluster/catalog.h"
 #include "cluster/region_server.h"
 #include "net/fabric.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace diffindex {
 
@@ -103,22 +104,25 @@ class Master {
 
  private:
   Status CreateTableLocked(const std::string& name,
-                           std::vector<std::string> split_points);
-  void PushCatalogLocked();
+                           std::vector<std::string> split_points)
+      REQUIRES(mu_);
+  void PushCatalogLocked() REQUIRES(mu_);
   void DetectorLoop();
 
   Fabric* const fabric_;
   const std::string data_root_;
   const MasterOptions options_;
 
-  Catalog catalog_;
+  Catalog catalog_;  // internally synchronized
 
-  mutable std::mutex mu_;
-  std::map<NodeId, RegionServer*> servers_;
-  std::map<NodeId, uint64_t> last_heartbeat_micros_;
-  std::vector<RegionInfoWire> regions_;
-  uint64_t next_region_id_ = 1;
-  size_t next_assign_ = 0;  // round-robin cursor
+  // mu_ guards membership and the region layout; catalog_ has its own
+  // lock so catalog snapshots never serialize against layout changes.
+  mutable Mutex mu_;
+  std::map<NodeId, RegionServer*> servers_ GUARDED_BY(mu_);
+  std::map<NodeId, uint64_t> last_heartbeat_micros_ GUARDED_BY(mu_);
+  std::vector<RegionInfoWire> regions_ GUARDED_BY(mu_);
+  uint64_t next_region_id_ GUARDED_BY(mu_) = 1;
+  size_t next_assign_ GUARDED_BY(mu_) = 0;  // round-robin cursor
 
   std::atomic<uint64_t> layout_epoch_{1};
   std::atomic<bool> stopped_{false};

@@ -18,13 +18,13 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 
 #include "lsm/lsm_tree.h"
 #include "net/message.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace diffindex {
 
@@ -62,8 +62,12 @@ class Region {
   // REQUIRES: holding write_mu (serialized with other local-index writes).
   Status EnsureLocalIndexTree(const LsmOptions& options);
 
-  std::shared_mutex& flush_gate() { return flush_gate_; }
-  std::mutex& write_mu() { return write_mu_; }
+  // RETURN_CAPABILITY lets clang track locks acquired through these
+  // accessors as `region->flush_gate_` / `region->write_mu_`.
+  SharedMutex& flush_gate() RETURN_CAPABILITY(flush_gate_) {
+    return flush_gate_;
+  }
+  Mutex& write_mu() RETURN_CAPABILITY(write_mu_) { return write_mu_; }
 
   // Fencing for region moves: set (under the exclusive gate) before the
   // final flush; writers re-check after acquiring the shared gate and
@@ -90,8 +94,8 @@ class Region {
   std::unique_ptr<LsmTree> local_index_tree_;
   std::atomic<LsmTree*> local_index_view_{nullptr};
   std::atomic<bool> closed_{false};
-  std::shared_mutex flush_gate_;
-  std::mutex write_mu_;
+  SharedMutex flush_gate_;
+  Mutex write_mu_;
 };
 
 }  // namespace diffindex

@@ -118,7 +118,7 @@ Status RegionServer::Start() {
   next_edit_seq_.store(TimestampOracle::NowMicros());
   DIFFINDEX_RETURN_NOT_OK(lsm_options_.env->CreateDirIfMissing(wal_dir_));
   {
-    std::lock_guard<std::mutex> lock(wal_mu_);
+    MutexLock lock(wal_mu_);
     DIFFINDEX_RETURN_NOT_OK(RollWalLocked());
   }
   fabric_->RegisterNode(
@@ -136,9 +136,11 @@ Status RegionServer::Stop() {
   stopped_.store(true);
   if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
   fabric_->UnregisterNode(id_);
-  std::lock_guard<std::mutex> lock(wal_mu_);
+  MutexLock lock(wal_mu_);
   if (!wal_files_.empty() && wal_files_.back().writer != nullptr) {
-    (void)wal_files_.back().writer->Close();
+    // Graceful stop already flushed every region, so the WAL's contents
+    // are all covered by disk stores; a close error cannot lose edits.
+    wal_files_.back().writer->Close().IgnoreError();
     wal_files_.back().writer.reset();
   }
   return Status::OK();
@@ -150,12 +152,12 @@ void RegionServer::Crash() {
 }
 
 void RegionServer::UpdateCatalog(CatalogSnapshot snapshot) {
-  std::lock_guard<std::mutex> lock(catalog_mu_);
+  MutexLock lock(catalog_mu_);
   catalog_ = std::move(snapshot);
 }
 
 CatalogSnapshot RegionServer::catalog() const {
-  std::lock_guard<std::mutex> lock(catalog_mu_);
+  MutexLock lock(catalog_mu_);
   return catalog_;
 }
 
@@ -166,8 +168,10 @@ void RegionServer::HeartbeatLoop() {
     hb.auq_depth = hooks_ != nullptr ? hooks_->QueueDepth() : 0;
     std::string body, response;
     hb.EncodeTo(&body);
-    (void)fabric_->Call(id_, kMasterNode, MsgType::kHeartbeat, body,
-                        &response);
+    // A failed heartbeat is not an error to handle: missed beats are
+    // exactly the signal the master's failure detector consumes.
+    fabric_->Call(id_, kMasterNode, MsgType::kHeartbeat, body, &response)
+        .IgnoreError();
     std::this_thread::sleep_for(
         std::chrono::milliseconds(options_.heartbeat_interval_ms));
   }
@@ -190,7 +194,7 @@ Status RegionServer::OpenRegionInternal(const RegionInfoWire& info) {
                                                std::memory_order_relaxed)) {
   }
 
-  std::lock_guard<std::shared_mutex> lock(regions_mu_);
+  WriterMutexLock lock(regions_mu_);
   const auto key = std::make_pair(info.table, info.region_id);
   regions_[key] = std::shared_ptr<Region>(region.release());
   flushed_seq_[key] = regions_[key]->tree()->applied_seq();
@@ -235,7 +239,7 @@ Status RegionServer::OpenRegionWithRecovery(
       put.cells = edit.cells;
       put.ts = edit.ts;
       {
-        std::lock_guard<std::mutex> wlock(region->write_mu());
+        MutexLock wlock(region->write_mu());
         for (const Cell& cell : put.cells) {
           const std::string cell_key = EncodeCellKey(put.row, cell.column);
           if (cell.is_delete) {
@@ -284,7 +288,7 @@ Status RegionServer::SplitRegion(const std::string& table,
   DIFFINDEX_RETURN_NOT_OK(FlushRegionInternal(parent));
 
   // Block writes to the parent for the copy + swap.
-  std::lock_guard<std::shared_mutex> gate(parent->flush_gate());
+  WriterMutexLock gate(parent->flush_gate());
 
   std::unique_ptr<Region> left_region, right_region;
   DIFFINDEX_RETURN_NOT_OK(
@@ -305,7 +309,7 @@ Status RegionServer::SplitRegion(const std::string& table,
 
   // Atomic metadata swap: the parent disappears, the daughters take over.
   {
-    std::lock_guard<std::shared_mutex> lock(regions_mu_);
+    WriterMutexLock lock(regions_mu_);
     regions_.erase({table, region_id});
     flushed_seq_.erase({table, region_id});
     regions_[{table, left.region_id}] =
@@ -323,8 +327,10 @@ Status RegionServer::SplitRegion(const std::string& table,
   }
 
   // Retire the parent's storage (its data now lives in the daughters).
-  (void)lsm_options_.env->RemoveDirRecursively(
-      Region::DataDir(data_root_, table, region_id));
+  // Best-effort: a leftover directory wastes disk but affects no reads.
+  lsm_options_.env
+      ->RemoveDirRecursively(Region::DataDir(data_root_, table, region_id))
+      .IgnoreError();
   DIFFINDEX_LOG_INFO << "server " << id_ << ": split " << table << "/r"
                      << region_id << " at '" << split_key << "' into r"
                      << left.region_id << " + r" << right.region_id;
@@ -339,12 +345,12 @@ Status RegionServer::CloseRegionForMove(const std::string& table,
   // Fence first (under the exclusive gate so no put is mid-pipeline),
   // then flush: after this no edit can land in this replica.
   {
-    std::lock_guard<std::shared_mutex> gate(region->flush_gate());
+    WriterMutexLock gate(region->flush_gate());
     region->set_closed();
   }
   DIFFINDEX_RETURN_NOT_OK(FlushRegionInternal(region));
   {
-    std::lock_guard<std::shared_mutex> lock(regions_mu_);
+    WriterMutexLock lock(regions_mu_);
     regions_.erase({table, region_id});
     flushed_seq_.erase({table, region_id});
   }
@@ -355,14 +361,14 @@ Status RegionServer::CloseRegionForMove(const std::string& table,
 
 Status RegionServer::CloseRegion(const std::string& table,
                                  uint64_t region_id) {
-  std::lock_guard<std::shared_mutex> lock(regions_mu_);
+  WriterMutexLock lock(regions_mu_);
   regions_.erase({table, region_id});
   flushed_seq_.erase({table, region_id});
   return Status::OK();
 }
 
 std::vector<RegionInfoWire> RegionServer::HostedRegions() const {
-  std::shared_lock<std::shared_mutex> lock(regions_mu_);
+  ReaderMutexLock lock(regions_mu_);
   std::vector<RegionInfoWire> result;
   result.reserve(regions_.size());
   for (const auto& [key, region] : regions_) {
@@ -373,7 +379,7 @@ std::vector<RegionInfoWire> RegionServer::HostedRegions() const {
 
 std::shared_ptr<Region> RegionServer::FindRegion(const std::string& table,
                                                  const Slice& row) const {
-  std::shared_lock<std::shared_mutex> lock(regions_mu_);
+  ReaderMutexLock lock(regions_mu_);
   for (const auto& [key, region] : regions_) {
     if (key.first == table && region->ContainsRow(row)) return region;
   }
@@ -382,7 +388,7 @@ std::shared_ptr<Region> RegionServer::FindRegion(const std::string& table,
 
 std::shared_ptr<Region> RegionServer::FindRegionById(
     const std::string& table, uint64_t region_id) const {
-  std::shared_lock<std::shared_mutex> lock(regions_mu_);
+  ReaderMutexLock lock(regions_mu_);
   auto it = regions_.find({table, region_id});
   return it == regions_.end() ? nullptr : it->second;
 }
@@ -422,13 +428,13 @@ Status RegionServer::LogAndApply(const std::shared_ptr<Region>& region,
   edit.cells = put.cells;
   edit.ts = ts;
 
-  std::lock_guard<std::mutex> wlock(region->write_mu());
+  MutexLock wlock(region->write_mu());
   edit.seq = next_edit_seq_.fetch_add(1, std::memory_order_relaxed);
 
   std::string payload;
   edit.EncodeTo(&payload);
   {
-    std::lock_guard<std::mutex> wal_lock(wal_mu_);
+    MutexLock wal_lock(wal_mu_);
     WalFile& tail = wal_files_.back();
     Status wal_status = tail.writer->AddRecord(payload);
     if (!wal_status.ok()) {
@@ -512,7 +518,7 @@ Status RegionServer::ExecutePut(const PutRequest& put, PutResponse* resp) {
   }
 
   const auto stall_start = std::chrono::steady_clock::now();
-  std::shared_lock<std::shared_mutex> gate(region->flush_gate());
+  ReaderMutexLock gate(region->flush_gate());
   const auto stall_end = std::chrono::steady_clock::now();
   const auto stalled = std::chrono::duration_cast<std::chrono::microseconds>(
                            stall_end - stall_start)
@@ -564,7 +570,7 @@ Status RegionServer::ExecutePut(const PutRequest& put, PutResponse* resp) {
     index_status = hooks_->PostApply(put, ts);
   }
 
-  gate.unlock();
+  gate.Release();
 
   if (!index_status.ok()) return index_status;
 
@@ -699,9 +705,9 @@ Status RegionServer::HandleRawDelete(Slice body, std::string* response) {
   put.row = row;
   put.cells.push_back(Cell{column, "", /*is_delete=*/true});
   put.ts = req.ts;
-  std::shared_lock<std::shared_mutex> gate(region->flush_gate());
+  ReaderMutexLock gate(region->flush_gate());
   DIFFINDEX_RETURN_NOT_OK(LogAndApply(region, put, req.ts));
-  gate.unlock();
+  gate.Release();
   response->clear();
   return Status::OK();
 }
@@ -727,7 +733,7 @@ Status RegionServer::ApplyLocalIndex(const std::string& table,
                                      Timestamp ts, bool is_delete) {
   auto region = FindRegion(table, base_row);
   if (region == nullptr) return Status::WrongRegion(table);
-  std::lock_guard<std::mutex> wlock(region->write_mu());
+  MutexLock wlock(region->write_mu());
   DIFFINDEX_RETURN_NOT_OK(region->EnsureLocalIndexTree(lsm_options_));
   const std::string key = index_name + '\0' + index_row;
   if (is_delete) {
@@ -818,7 +824,7 @@ Status RegionServer::FlushRegionInternal(
   // Exclusive gate: no put is mid-pipeline; every applied put's AUQ entry
   // is enqueued. PreFlush pauses intake and waits for the APS to drain —
   // this is "1. pause & drain / 2. flush / 3. roll forward" of Figure 5.
-  std::lock_guard<std::shared_mutex> gate(region->flush_gate());
+  WriterMutexLock gate(region->flush_gate());
   obs::SpanTimer flush_span(options_.metrics, options_.traces, "rs.flush");
   {
     // Drain-before-flush cost (Figure 5 step 1): how long this flush
@@ -829,6 +835,11 @@ Status RegionServer::FlushRegionInternal(
   }
   Status s = region->tree()->Flush();
   if (s.ok() && region->local_index_tree() != nullptr) {
+    // Local-index writers serialize on write_mu, NOT the flush gate (the
+    // post-open rebuild in OnRegionOpened writes without the gate), so the
+    // gate alone does not make this flush safe: hold write_mu across it to
+    // honor LsmTree's Put/Flush external-serialization contract.
+    MutexLock wlock(region->write_mu());
     s = region->local_index_tree()->Flush();
   }
   if (hooks_ != nullptr) hooks_->PostFlush(region->info().table);
@@ -839,10 +850,10 @@ Status RegionServer::FlushRegionInternal(
   const auto key =
       std::make_pair(region->info().table, region->info().region_id);
   {
-    std::lock_guard<std::shared_mutex> lock(regions_mu_);
+    WriterMutexLock lock(regions_mu_);
     flushed_seq_[key] = region->tree()->applied_seq();
   }
-  std::lock_guard<std::mutex> wal_lock(wal_mu_);
+  MutexLock wal_lock(wal_mu_);
   MaybeGcWalFilesLocked();
   if (!wal_files_.empty() &&
       wal_files_.back().writer->bytes_written() >= options_.wal_roll_bytes) {
@@ -854,7 +865,7 @@ Status RegionServer::FlushRegionInternal(
 Status RegionServer::FlushAll() {
   std::vector<std::shared_ptr<Region>> regions;
   {
-    std::shared_lock<std::shared_mutex> lock(regions_mu_);
+    ReaderMutexLock lock(regions_mu_);
     for (const auto& [key, region] : regions_) regions.push_back(region);
   }
   for (const auto& region : regions) {
@@ -901,7 +912,7 @@ void RegionServer::MaybeGcWalFilesLocked() {
   // flushed past the file's highest edit for that region ("roll forward").
   std::map<std::pair<std::string, uint64_t>, uint64_t> flushed;
   {
-    std::shared_lock<std::shared_mutex> lock(regions_mu_);
+    ReaderMutexLock lock(regions_mu_);
     flushed = flushed_seq_;
   }
   for (auto it = wal_files_.begin(); it != wal_files_.end();) {
@@ -919,7 +930,9 @@ void RegionServer::MaybeGcWalFilesLocked() {
       }
     }
     if (deletable) {
-      (void)lsm_options_.env->RemoveFile(it->path);
+      // Best-effort GC: an undeletable log is retried next pass, and
+      // replaying fully-flushed edits is idempotent anyway.
+      lsm_options_.env->RemoveFile(it->path).IgnoreError();
       it = wal_files_.erase(it);
     } else {
       ++it;

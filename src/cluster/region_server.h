@@ -22,8 +22,6 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -33,6 +31,8 @@
 #include "lsm/wal.h"
 #include "net/fabric.h"
 #include "net/message.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/timestamp_oracle.h"
 
 namespace diffindex {
@@ -228,8 +228,8 @@ class RegionServer {
   std::shared_ptr<Region> FindRegionById(const std::string& table,
                                          uint64_t region_id) const;
 
-  Status RollWalLocked();
-  void MaybeGcWalFilesLocked();
+  Status RollWalLocked() REQUIRES(wal_mu_);
+  void MaybeGcWalFilesLocked() REQUIRES(wal_mu_);
   Status FlushRegionInternal(const std::shared_ptr<Region>& region);
   Status OpenRegionInternal(const RegionInfoWire& info);
 
@@ -250,19 +250,26 @@ class RegionServer {
   TimestampOracle oracle_;
   IndexMaintenanceHooks* hooks_ = nullptr;
 
-  mutable std::shared_mutex regions_mu_;
+  // Lock order when more than one is held: region flush gate -> region
+  // write_mu -> wal_mu_ -> regions_mu_ (WAL GC reads flushed_seq_ under
+  // wal_mu_). catalog_mu_ is a leaf. FindRegion's regions_mu_ hold is
+  // self-contained: it copies the shared_ptr out and releases before the
+  // caller touches any region lock.
+  mutable SharedMutex regions_mu_;
   // key: (table, region_id)
-  std::map<std::pair<std::string, uint64_t>, std::shared_ptr<Region>>
-      regions_;
+  std::map<std::pair<std::string, uint64_t>, std::shared_ptr<Region>> regions_
+      GUARDED_BY(regions_mu_);
   // Seq covered by each region's last flush (mirrors the persisted value).
-  std::map<std::pair<std::string, uint64_t>, uint64_t> flushed_seq_;
+  std::map<std::pair<std::string, uint64_t>, uint64_t> flushed_seq_
+      GUARDED_BY(regions_mu_);
 
-  mutable std::mutex catalog_mu_;
-  CatalogSnapshot catalog_;
+  mutable Mutex catalog_mu_;
+  CatalogSnapshot catalog_ GUARDED_BY(catalog_mu_);
 
-  std::mutex wal_mu_;
-  std::vector<WalFile> wal_files_;  // open tail is wal_files_.back()
-  uint64_t next_wal_file_seq_ = 1;
+  Mutex wal_mu_;
+  std::vector<WalFile> wal_files_
+      GUARDED_BY(wal_mu_);  // open tail is wal_files_.back()
+  uint64_t next_wal_file_seq_ GUARDED_BY(wal_mu_) = 1;
   std::atomic<uint64_t> next_edit_seq_{1};
 
   std::atomic<bool> stopped_{false};

@@ -29,8 +29,8 @@ AsyncUpdateQueue::AsyncUpdateQueue(const AuqOptions& options,
 AsyncUpdateQueue::~AsyncUpdateQueue() { Shutdown(); }
 
 bool AsyncUpdateQueue::Enqueue(IndexTask task) {
-  std::unique_lock<std::mutex> lock(mu_);
-  intake_cv_.wait(lock, [this] {
+  MutexLock lock(mu_);
+  intake_cv_.Wait(mu_, [this]() REQUIRES(mu_) {
     if (shutdown_) return true;
     if (paused_ > 0) return false;
     return options_.max_depth == 0 || queue_.size() < options_.max_depth;
@@ -41,28 +41,28 @@ bool AsyncUpdateQueue::Enqueue(IndexTask task) {
   // chaos harness arms this, to prove its oracle catches lost entries.
   if (fault::FailpointRegistry::Global()->Fires("auq.enqueue")) return true;
   queue_.push_back(std::move(task));
-  work_cv_.notify_one();
+  work_cv_.Signal();
   if (enqueued_counter_ != nullptr) enqueued_counter_->Add();
   if (depth_gauge_ != nullptr) depth_gauge_->Add(1);
   return true;
 }
 
 void AsyncUpdateQueue::Pause() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   paused_++;
 }
 
 void AsyncUpdateQueue::Resume() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (paused_ > 0) paused_--;
   }
-  intake_cv_.notify_all();
+  intake_cv_.SignalAll();
 }
 
 void AsyncUpdateQueue::WaitDrained() {
-  std::unique_lock<std::mutex> lock(mu_);
-  drained_cv_.wait(lock, [this] {
+  MutexLock lock(mu_);
+  drained_cv_.Wait(mu_, [this]() REQUIRES(mu_) {
     return shutdown_ || (queue_.empty() && in_flight_ == 0);
   });
 }
@@ -73,7 +73,7 @@ void AsyncUpdateQueue::Abandon() { ShutdownInternal(/*abandon=*/true); }
 
 void AsyncUpdateQueue::ShutdownInternal(bool abandon) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (shutdown_) return;
     shutdown_ = true;
     abandoned_ = abandon;
@@ -84,15 +84,15 @@ void AsyncUpdateQueue::ShutdownInternal(bool abandon) {
       queue_.clear();
     }
   }
-  intake_cv_.notify_all();
-  work_cv_.notify_all();
-  drained_cv_.notify_all();
+  intake_cv_.SignalAll();
+  work_cv_.SignalAll();
+  drained_cv_.SignalAll();
   for (auto& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
   // On abandon, a worker may have re-queued a failing in-flight task after
   // the clear above; those ghosts die here too.
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (abandoned_ && !queue_.empty()) {
     if (depth_gauge_ != nullptr) {
       depth_gauge_->Sub(static_cast<int64_t>(queue_.size()));
@@ -102,7 +102,7 @@ void AsyncUpdateQueue::ShutdownInternal(bool abandon) {
 }
 
 std::vector<IndexTask> AsyncUpdateQueue::DrainDeadLetters() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<IndexTask> out = std::move(dead_letters_);
   dead_letters_.clear();
   if (dead_letter_gauge_ != nullptr && !out.empty()) {
@@ -112,12 +112,12 @@ std::vector<IndexTask> AsyncUpdateQueue::DrainDeadLetters() {
 }
 
 size_t AsyncUpdateQueue::dead_letters() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return dead_letters_.size();
 }
 
 size_t AsyncUpdateQueue::depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return queue_.size() + static_cast<size_t>(in_flight_);
 }
 
@@ -133,8 +133,9 @@ void AsyncUpdateQueue::WorkerLoop() {
   for (;;) {
     IndexTask task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      work_cv_.Wait(mu_,
+                    [this]() REQUIRES(mu_) { return shutdown_ || !queue_.empty(); });
       if (queue_.empty()) {
         if (shutdown_) return;
         continue;
@@ -182,10 +183,10 @@ void AsyncUpdateQueue::WorkerLoop() {
           if (staleness_hist_ != nullptr) staleness_hist_->Add(now - task.ts);
         }
       }
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       in_flight_--;
-      if (queue_.empty() && in_flight_ == 0) drained_cv_.notify_all();
-      intake_cv_.notify_one();  // capacity freed
+      if (queue_.empty() && in_flight_ == 0) drained_cv_.SignalAll();
+      intake_cv_.Signal();  // capacity freed
       continue;
     }
 
@@ -199,33 +200,33 @@ void AsyncUpdateQueue::WorkerLoop() {
                          << task.index.name << "' row '" << task.row
                          << "' after " << task.attempts
                          << " attempts: " << s.ToString();
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       dead_letters_.push_back(std::move(task));
       if (dead_letter_gauge_ != nullptr) dead_letter_gauge_->Add(1);
       if (depth_gauge_ != nullptr) depth_gauge_->Sub(1);
       in_flight_--;
-      if (queue_.empty() && in_flight_ == 0) drained_cv_.notify_all();
-      intake_cv_.notify_one();
+      if (queue_.empty() && in_flight_ == 0) drained_cv_.SignalAll();
+      intake_cv_.Signal();
       continue;
     }
     const int backoff_ms =
         std::min(task.attempts, 8) * options_.retry_backoff_ms;
     std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (abandoned_) {
         // The queue was abandoned (crash) while this task was in flight:
         // it dies undelivered, like the rest of the backlog.
         if (depth_gauge_ != nullptr) depth_gauge_->Sub(1);
         in_flight_--;
-        if (queue_.empty() && in_flight_ == 0) drained_cv_.notify_all();
+        if (queue_.empty() && in_flight_ == 0) drained_cv_.SignalAll();
         continue;
       }
       // Internal requeue ignores pause: the task is already part of the
       // pending set a drain must wait for.
       queue_.push_back(std::move(task));
       in_flight_--;
-      work_cv_.notify_one();
+      work_cv_.Signal();
     }
   }
 }

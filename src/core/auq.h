@@ -17,11 +17,9 @@
 #define DIFFINDEX_CORE_AUQ_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -30,6 +28,8 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/histogram.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/timestamp_oracle.h"
 
 namespace diffindex {
@@ -93,13 +93,13 @@ class AsyncUpdateQueue {
 
   // Blocks while the queue is paused (or full). Returns false after
   // Shutdown.
-  bool Enqueue(IndexTask task);
+  bool Enqueue(IndexTask task) EXCLUDES(mu_);
 
   // Flush protocol. Pause/Resume nest (two regions may flush at once).
-  void Pause();
-  void Resume();
+  void Pause() EXCLUDES(mu_);
+  void Resume() EXCLUDES(mu_);
   // Waits until the queue is empty and no worker holds a task.
-  void WaitDrained();
+  void WaitDrained() EXCLUDES(mu_);
 
   // Graceful: workers finish the queued backlog, then exit.
   void Shutdown();
@@ -111,10 +111,10 @@ class AsyncUpdateQueue {
 
   // Removes and returns all dead-lettered tasks (see
   // AuqOptions::max_attempts).
-  std::vector<IndexTask> DrainDeadLetters();
-  size_t dead_letters() const;
+  std::vector<IndexTask> DrainDeadLetters() EXCLUDES(mu_);
+  size_t dead_letters() const EXCLUDES(mu_);
 
-  size_t depth() const;
+  size_t depth() const EXCLUDES(mu_);
   uint64_t processed() const;
   uint64_t retries() const;
 
@@ -129,16 +129,20 @@ class AsyncUpdateQueue {
   const AuqOptions options_;
   const Processor processor_;
 
-  mutable std::mutex mu_;
-  std::condition_variable intake_cv_;   // waiting to enqueue (pause/full)
-  std::condition_variable work_cv_;     // workers waiting for tasks
-  std::condition_variable drained_cv_;  // flushers waiting for drain
-  std::deque<IndexTask> queue_;
-  std::vector<IndexTask> dead_letters_;
-  int paused_ = 0;
-  int in_flight_ = 0;
-  bool shutdown_ = false;
-  bool abandoned_ = false;
+  // mu_ guards the whole queue state machine; the three CondVars wake the
+  // three waiter populations. The drain-barrier invariant (§5.3):
+  // WaitDrained returns only when queue_ is empty AND in_flight_ == 0,
+  // both read under mu_ — a task is never outside both.
+  mutable Mutex mu_;
+  CondVar intake_cv_;   // waiting to enqueue (pause/full)
+  CondVar work_cv_;     // workers waiting for tasks
+  CondVar drained_cv_;  // flushers waiting for drain
+  std::deque<IndexTask> queue_ GUARDED_BY(mu_);
+  std::vector<IndexTask> dead_letters_ GUARDED_BY(mu_);
+  int paused_ GUARDED_BY(mu_) = 0;
+  int in_flight_ GUARDED_BY(mu_) = 0;
+  bool shutdown_ GUARDED_BY(mu_) = false;
+  bool abandoned_ GUARDED_BY(mu_) = false;
 
   std::vector<std::thread> workers_;
   std::atomic<uint64_t> processed_{0};

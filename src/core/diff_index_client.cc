@@ -16,7 +16,7 @@ DiffIndexClient::DiffIndexClient(std::shared_ptr<Client> client,
 
 std::string DiffIndexClient::SchemeTag(const std::string& table) {
   {
-    std::lock_guard<std::mutex> lock(scheme_mu_);
+    MutexLock lock(scheme_mu_);
     auto it = scheme_by_table_.find(table);
     if (it != scheme_by_table_.end()) return it->second;
   }
@@ -26,7 +26,7 @@ std::string DiffIndexClient::SchemeTag(const std::string& table) {
   if (desc == nullptr) return "";  // not cached: the table may appear later
   std::string tag;
   if (!desc->indexes.empty()) tag = IndexSchemeName(desc->indexes[0].scheme);
-  std::lock_guard<std::mutex> lock(scheme_mu_);
+  MutexLock lock(scheme_mu_);
   return scheme_by_table_.emplace(table, std::move(tag)).first->second;
 }
 

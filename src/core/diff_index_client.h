@@ -17,7 +17,6 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -25,6 +24,8 @@
 #include "core/index_read.h"
 #include "core/session.h"
 #include "obs/trace.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace diffindex {
 
@@ -115,8 +116,8 @@ class DiffIndexClient {
   obs::MetricsRegistry* const metrics_;
   obs::TraceCollector* const traces_;
 
-  std::mutex scheme_mu_;
-  std::map<std::string, std::string> scheme_by_table_;
+  Mutex scheme_mu_;
+  std::map<std::string, std::string> scheme_by_table_ GUARDED_BY(scheme_mu_);
 };
 
 }  // namespace diffindex

@@ -222,9 +222,14 @@ void IndexManager::OnRegionOpened(const std::string& table,
           !value.has_value()) {
         continue;
       }
-      (void)server_->ApplyLocalIndex(table, row.row, index.name,
-                                     EncodeIndexRow(*value, row.row),
-                                     task.ts, /*is_delete=*/false);
+      // Best-effort rebuild: a row that fails to index is simply missing
+      // from the local index until the next region (re)open, the same
+      // staleness window the wipe-and-rebuild design already accepts.
+      server_
+          ->ApplyLocalIndex(table, row.row, index.name,
+                            EncodeIndexRow(*value, row.row), task.ts,
+                            /*is_delete=*/false)
+          .IgnoreError();
     }
   }
 }

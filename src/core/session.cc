@@ -7,7 +7,7 @@
 namespace diffindex {
 
 SessionId SessionManager::CreateSession() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const SessionId id = next_id_++;
   Session session;
   session.last_active_micros = TimestampOracle::NowMicros();
@@ -16,7 +16,7 @@ SessionId SessionManager::CreateSession() {
 }
 
 void SessionManager::EndSession(SessionId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   sessions_.erase(id);
 }
 
@@ -41,7 +41,7 @@ Status SessionManager::RecordEntry(SessionId id,
                                    const std::string& index_table,
                                    const std::string& index_row, Timestamp ts,
                                    bool is_delete) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Session* session;
   DIFFINDEX_RETURN_NOT_OK(TouchLocked(id, &session));
   if (session->degraded) return Status::OK();  // merging already disabled
@@ -71,7 +71,7 @@ Status SessionManager::MergeHits(SessionId id, const std::string& index_table,
                                  const std::string& range_end,
                                  std::vector<IndexHit>* hits,
                                  bool* degraded) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Session* session;
   DIFFINDEX_RETURN_NOT_OK(TouchLocked(id, &session));
   if (degraded != nullptr) *degraded = session->degraded;
@@ -128,7 +128,7 @@ Status SessionManager::MergeHits(SessionId id, const std::string& index_table,
 }
 
 size_t SessionManager::CollectExpired() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const uint64_t now = TimestampOracle::NowMicros();
   size_t collected = 0;
   for (auto it = sessions_.begin(); it != sessions_.end();) {
@@ -143,17 +143,17 @@ size_t SessionManager::CollectExpired() {
 }
 
 size_t SessionManager::live_sessions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return sessions_.size();
 }
 
 bool SessionManager::IsLive(SessionId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return sessions_.count(id) > 0;
 }
 
 size_t SessionManager::MemoryUsage(SessionId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = sessions_.find(id);
   return it == sessions_.end() ? 0 : it->second.memory_bytes;
 }

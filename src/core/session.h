@@ -15,12 +15,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/index_read.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "util/timestamp_oracle.h"
 
 namespace diffindex {
@@ -80,12 +81,12 @@ class SessionManager {
     std::map<std::string, std::map<std::string, PrivateEntry>> tables;
   };
 
-  Status TouchLocked(SessionId id, Session** session);
+  Status TouchLocked(SessionId id, Session** session) REQUIRES(mu_);
 
   const SessionOptions options_;
-  mutable std::mutex mu_;
-  std::map<SessionId, Session> sessions_;
-  uint64_t next_id_ = 1;
+  mutable Mutex mu_;
+  std::map<SessionId, Session> sessions_ GUARDED_BY(mu_);
+  uint64_t next_id_ GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace diffindex

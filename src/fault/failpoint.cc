@@ -41,12 +41,13 @@ FailpointPolicy FailpointPolicy::Crash(double prob, uint64_t seed) {
 }
 
 FailpointRegistry* FailpointRegistry::Global() {
+  // NOLINT(diffindex-naked-new): leaked singleton
   static FailpointRegistry* registry = new FailpointRegistry();
   return registry;
 }
 
 void FailpointRegistry::Arm(const std::string& name, FailpointPolicy policy) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = points_.find(name);
   if (it == points_.end()) {
     if (policy.mode == FailpointPolicy::Mode::kOff) return;
@@ -69,21 +70,21 @@ void FailpointRegistry::Arm(const std::string& name, FailpointPolicy policy) {
 }
 
 void FailpointRegistry::Disarm(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (points_.erase(name) > 0) {
     armed_count_.fetch_sub(1, std::memory_order_release);
   }
 }
 
 void FailpointRegistry::DisarmAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   armed_count_.fetch_sub(static_cast<int>(points_.size()),
                          std::memory_order_release);
   points_.clear();
 }
 
 bool FailpointRegistry::IsArmed(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return points_.find(name) != points_.end();
 }
 
@@ -94,7 +95,7 @@ Status FailpointRegistry::MaybeFail(const std::string& name) {
   CrashHandler handler;
   obs::Counter* counter = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = points_.find(name);
     if (it == points_.end()) return Status::OK();
     Point& point = it->second;
@@ -135,29 +136,29 @@ bool FailpointRegistry::Fires(const std::string& name) {
 }
 
 uint64_t FailpointRegistry::hits(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = points_.find(name);
   return it == points_.end() ? 0 : it->second.hits;
 }
 
 uint64_t FailpointRegistry::fires(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = points_.find(name);
   return it == points_.end() ? 0 : it->second.fires;
 }
 
 void FailpointRegistry::SetMetrics(obs::MetricsRegistry* metrics) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   metrics_ = metrics;
 }
 
 obs::MetricsRegistry* FailpointRegistry::metrics() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return metrics_;
 }
 
 void FailpointRegistry::SetCrashHandler(CrashHandler handler) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   crash_handler_ = std::move(handler);
 }
 

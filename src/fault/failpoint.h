@@ -24,13 +24,14 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/random.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace diffindex {
 namespace obs {
@@ -114,12 +115,12 @@ class FailpointRegistry {
     uint64_t fires = 0;
   };
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, Point> points_;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, Point> points_ GUARDED_BY(mu_);
   // Fast path: sites skip the lock entirely while nothing is armed.
   std::atomic<int> armed_count_{0};
-  obs::MetricsRegistry* metrics_ = nullptr;
-  CrashHandler crash_handler_;
+  obs::MetricsRegistry* metrics_ GUARDED_BY(mu_) = nullptr;
+  CrashHandler crash_handler_ GUARDED_BY(mu_);
 };
 
 // RAII guard for tests: disarms everything (and detaches metrics/handler

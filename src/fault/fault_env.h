@@ -13,12 +13,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "util/env.h"
+#include "util/mutex.h"
 #include "util/random.h"
+#include "util/thread_annotations.h"
 
 namespace diffindex {
 namespace obs {
@@ -98,10 +99,10 @@ class FaultEnv final : public Env {
   void Count(const char* kind);
 
   Env* const base_;
-  mutable std::mutex mu_;
-  std::vector<Rule> rules_;
-  Random rng_{0};
-  obs::MetricsRegistry* metrics_ = nullptr;
+  mutable Mutex mu_;
+  std::vector<Rule> rules_ GUARDED_BY(mu_);
+  Random rng_ GUARDED_BY(mu_){0};
+  obs::MetricsRegistry* metrics_ GUARDED_BY(mu_) = nullptr;
   std::atomic<uint64_t> injected_{0};
 };
 

@@ -37,6 +37,7 @@ std::string LsmTree::SstPath(uint64_t file_number) const {
 Status LsmTree::Open(const LsmOptions& options, const std::string& dir,
                      std::unique_ptr<LsmTree>* tree) {
   DIFFINDEX_RETURN_NOT_OK(options.env->CreateDirIfMissing(dir));
+  // NOLINT(diffindex-naked-new): private-ctor factory
   std::unique_ptr<LsmTree> t(new LsmTree(options, dir));
   t->mem_ = std::make_shared<MemTable>();
   DIFFINDEX_RETURN_NOT_OK(t->RecoverManifest());
@@ -107,7 +108,8 @@ Status LsmTree::RecoverManifest() {
     if (std::find(live_files.begin(), live_files.end(), num) ==
         live_files.end()) {
       DIFFINDEX_LOG_INFO << "lsm: removing orphan " << dir_ << "/" << name;
-      (void)env->RemoveFile(dir_ + "/" + name);
+      // Best-effort: an orphan that survives is retried on the next open.
+      env->RemoveFile(dir_ + "/" + name).IgnoreError();
     }
   }
   return Status::OK();
@@ -120,7 +122,7 @@ Status LsmTree::WriteManifest() {
       << "\n";
   out << "next_file " << next_file_number_ << "\n";
   {
-    std::lock_guard<std::mutex> lock(state_mu_);
+    MutexLock lock(state_mu_);
     for (const auto& table : tables_) {
       out << "file " << table->meta().file_number << "\n";
     }
@@ -135,7 +137,7 @@ Status LsmTree::WriteManifest() {
 }
 
 LsmTree::State LsmTree::CopyState() const {
-  std::lock_guard<std::mutex> lock(state_mu_);
+  MutexLock lock(state_mu_);
   return State{mem_, imm_, tables_};
 }
 
@@ -143,7 +145,7 @@ Status LsmTree::Put(const Slice& key, const Slice& value, Timestamp ts) {
   num_puts_.fetch_add(1, std::memory_order_relaxed);
   std::shared_ptr<MemTable> mem;
   {
-    std::lock_guard<std::mutex> lock(state_mu_);
+    MutexLock lock(state_mu_);
     mem = mem_;
   }
   mem->Add(key, ts, ValueType::kPut, value);
@@ -154,7 +156,7 @@ Status LsmTree::Delete(const Slice& key, Timestamp ts) {
   num_puts_.fetch_add(1, std::memory_order_relaxed);
   std::shared_ptr<MemTable> mem;
   {
-    std::lock_guard<std::mutex> lock(state_mu_);
+    MutexLock lock(state_mu_);
     mem = mem_;
   }
   mem->Add(key, ts, ValueType::kTombstone, Slice());
@@ -162,7 +164,7 @@ Status LsmTree::Delete(const Slice& key, Timestamp ts) {
 }
 
 bool LsmTree::NeedsFlush() const {
-  std::lock_guard<std::mutex> lock(state_mu_);
+  MutexLock lock(state_mu_);
   return mem_->DataBytes() >= options_.memtable_flush_bytes;
 }
 
@@ -171,7 +173,7 @@ Status LsmTree::Flush() {
   std::shared_ptr<MemTable> imm;
   uint64_t seq_at_swap;
   {
-    std::lock_guard<std::mutex> lock(state_mu_);
+    MutexLock lock(state_mu_);
     // The caller serializes Flush against Put/Delete, so every edit up to
     // applied_seq_ is in the memtable being swapped out.
     seq_at_swap = applied_seq_.load(std::memory_order_acquire);
@@ -195,8 +197,10 @@ Status LsmTree::Flush() {
     // caller serializes Flush against Put/Delete, so mem_ is still the empty
     // table installed at swap time and imm can slot straight back in. If a
     // write did race in, keep imm_ readable instead of merging.
-    (void)options_.env->RemoveFile(SstPath(file_number));
-    std::lock_guard<std::mutex> lock(state_mu_);
+    // Best-effort: the half-built store is not in the manifest, so a
+    // failed delete just leaves an orphan for the next open to collect.
+    options_.env->RemoveFile(SstPath(file_number)).IgnoreError();
+    MutexLock lock(state_mu_);
     if (mem_->NumEntries() == 0) {
       mem_ = imm_;
       imm_.reset();
@@ -211,7 +215,7 @@ Status LsmTree::Flush() {
 
   Timestamp flushed = imm->MaxTimestamp();
   {
-    std::lock_guard<std::mutex> lock(state_mu_);
+    MutexLock lock(state_mu_);
     tables_.insert(tables_.begin(), std::move(reader));
     imm_.reset();
   }
@@ -233,7 +237,7 @@ Status LsmTree::Flush() {
 
   int num_tables;
   {
-    std::lock_guard<std::mutex> lock(state_mu_);
+    MutexLock lock(state_mu_);
     num_tables = static_cast<int>(tables_.size());
   }
   if (num_tables >= options_.compaction_trigger) {
@@ -246,7 +250,7 @@ Status LsmTree::CompactAll() {
   const auto compact_start = std::chrono::steady_clock::now();
   std::vector<std::shared_ptr<SstReader>> inputs;
   {
-    std::lock_guard<std::mutex> lock(state_mu_);
+    MutexLock lock(state_mu_);
     inputs = tables_;
   }
   if (inputs.size() <= 1) return Status::OK();
@@ -267,7 +271,7 @@ Status LsmTree::CompactAll() {
 
   std::vector<std::shared_ptr<SstReader>> obsolete;
   {
-    std::lock_guard<std::mutex> lock(state_mu_);
+    MutexLock lock(state_mu_);
     // Tables flushed while we compacted stay in front.
     std::vector<std::shared_ptr<SstReader>> remaining;
     for (const auto& t : tables_) {
@@ -282,7 +286,9 @@ Status LsmTree::CompactAll() {
   }
   DIFFINDEX_RETURN_NOT_OK(WriteManifest());
   for (const auto& t : obsolete) {
-    (void)options_.env->RemoveFile(SstPath(t->meta().file_number));
+    // Best-effort: inputs already left the manifest; a failed delete
+    // leaves an orphan for the next open to collect.
+    options_.env->RemoveFile(SstPath(t->meta().file_number)).IgnoreError();
   }
   if (options_.metrics != nullptr) {
     options_.metrics->GetCounter("lsm.compaction")->Add();
@@ -463,17 +469,17 @@ Status LsmTree::GetVersions(const Slice& key, std::vector<Version>* out) {
 }
 
 size_t LsmTree::MemtableBytes() const {
-  std::lock_guard<std::mutex> lock(state_mu_);
+  MutexLock lock(state_mu_);
   return mem_->ApproximateMemoryUsage();
 }
 
 uint64_t LsmTree::MemtableEntries() const {
-  std::lock_guard<std::mutex> lock(state_mu_);
+  MutexLock lock(state_mu_);
   return mem_->NumEntries();
 }
 
 int LsmTree::NumDiskStores() const {
-  std::lock_guard<std::mutex> lock(state_mu_);
+  MutexLock lock(state_mu_);
   return static_cast<int>(tables_.size());
 }
 

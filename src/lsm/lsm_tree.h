@@ -21,7 +21,6 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -30,7 +29,9 @@
 #include "lsm/memtable.h"
 #include "lsm/options.h"
 #include "lsm/sstable.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace diffindex {
 
@@ -137,11 +138,13 @@ class LsmTree {
   const LsmOptions options_;
   const std::string dir_;
 
-  mutable std::mutex state_mu_;  // guards mem_/imm_/tables_ pointer swaps
-  std::shared_ptr<MemTable> mem_;
-  std::shared_ptr<MemTable> imm_;
-  std::vector<std::shared_ptr<SstReader>> tables_;
+  mutable Mutex state_mu_;  // guards mem_/imm_/tables_ pointer swaps
+  std::shared_ptr<MemTable> mem_ GUARDED_BY(state_mu_);
+  std::shared_ptr<MemTable> imm_ GUARDED_BY(state_mu_);
+  std::vector<std::shared_ptr<SstReader>> tables_ GUARDED_BY(state_mu_);
 
+  // Only touched on the externally-serialized write path (Open/Flush/
+  // Compact), so it needs no lock of its own.
   uint64_t next_file_number_ = 1;
   std::atomic<Timestamp> flushed_ts_{0};
   std::atomic<uint64_t> applied_seq_{0};  // volatile, owner-updated per edit

@@ -14,6 +14,7 @@ Status Writer::Open(Env* env, const std::string& path, SyncMode sync_mode,
                     std::unique_ptr<Writer>* writer) {
   std::unique_ptr<WritableFile> file;
   DIFFINDEX_RETURN_NOT_OK(env->NewWritableFile(path, &file));
+  // NOLINT(diffindex-naked-new): private-ctor factory
   writer->reset(new Writer(std::move(file), sync_mode));
   return Status::OK();
 }
@@ -45,7 +46,7 @@ Status Reader::Open(Env* env, const std::string& path,
                     std::unique_ptr<Reader>* reader) {
   std::unique_ptr<SequentialFile> file;
   DIFFINDEX_RETURN_NOT_OK(env->NewSequentialFile(path, &file));
-  reader->reset(new Reader(std::move(file)));
+  reader->reset(new Reader(std::move(file)));  // NOLINT(diffindex-naked-new)
   return Status::OK();
 }
 

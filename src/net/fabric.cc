@@ -7,18 +7,18 @@
 namespace diffindex {
 
 void Fabric::RegisterNode(NodeId node, Handler handler) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   handlers_[node] = std::move(handler);
   down_.erase(node);
 }
 
 void Fabric::UnregisterNode(NodeId node) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   handlers_.erase(node);
 }
 
 void Fabric::SetNodeDown(NodeId node, bool down) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (down) {
     down_.insert(node);
   } else {
@@ -27,13 +27,13 @@ void Fabric::SetNodeDown(NodeId node, bool down) {
 }
 
 bool Fabric::IsNodeDown(NodeId node) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return down_.count(node) > 0;
 }
 
 void Fabric::SetPartitioned(NodeId a, NodeId b, bool partitioned) {
   if (a > b) std::swap(a, b);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (partitioned) {
     partitions_.insert({a, b});
   } else {
@@ -43,7 +43,7 @@ void Fabric::SetPartitioned(NodeId a, NodeId b, bool partitioned) {
 
 void Fabric::SetEdgeFault(NodeId a, NodeId b, EdgeFault fault) {
   if (a > b) std::swap(a, b);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (fault.active()) {
     edge_faults_[{a, b}] = fault;
   } else {
@@ -52,18 +52,18 @@ void Fabric::SetEdgeFault(NodeId a, NodeId b, EdgeFault fault) {
 }
 
 void Fabric::SetDefaultFault(EdgeFault fault) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   default_fault_ = fault;
 }
 
 void Fabric::ClearFaults() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   edge_faults_.clear();
   default_fault_ = EdgeFault();
 }
 
 void Fabric::SetFaultSeed(uint64_t seed) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   fault_rng_ = Random(seed);
 }
 
@@ -74,7 +74,7 @@ Status Fabric::Call(NodeId from, NodeId to, MsgType type,
   bool duplicate = false;
   uint32_t extra_latency_us = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (down_.count(to) > 0) {
       return Status::Unavailable("node " + std::to_string(to) + " is down");
     }
@@ -159,7 +159,9 @@ Status Fabric::Call(NodeId from, NodeId to, MsgType type,
         metrics_->GetCounter("fault.net.duplicated")->Add();
       }
       std::string discarded;
-      (void)handler(type, on_wire, &discarded);
+      // The duplicate's status is discarded by design: only the second
+      // delivery's response makes it back to the caller.
+      handler(type, on_wire, &discarded).IgnoreError();
     }
     s = handler(type, on_wire, response);
   }

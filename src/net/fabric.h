@@ -12,7 +12,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -21,8 +20,10 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/latency_model.h"
+#include "util/mutex.h"
 #include "util/random.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace diffindex {
 
@@ -101,13 +102,18 @@ class Fabric {
   const LatencyModel* latency_;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::TraceCollector* traces_ = nullptr;
-  mutable std::mutex mu_;
-  std::unordered_map<NodeId, Handler> handlers_;
-  std::set<NodeId> down_;
-  std::set<std::pair<NodeId, NodeId>> partitions_;  // normalized (min,max)
-  std::map<std::pair<NodeId, NodeId>, EdgeFault> edge_faults_;  // normalized
-  EdgeFault default_fault_;
-  Random fault_rng_{0};
+  // mu_ guards the routing/fault tables; Call() copies the handler out
+  // under mu_ and invokes it unlocked, so a handler may re-enter the
+  // fabric (server-to-server RPC) without deadlocking.
+  mutable Mutex mu_;
+  std::unordered_map<NodeId, Handler> handlers_ GUARDED_BY(mu_);
+  std::set<NodeId> down_ GUARDED_BY(mu_);
+  std::set<std::pair<NodeId, NodeId>> partitions_
+      GUARDED_BY(mu_);  // normalized (min,max)
+  std::map<std::pair<NodeId, NodeId>, EdgeFault> edge_faults_
+      GUARDED_BY(mu_);  // normalized
+  EdgeFault default_fault_ GUARDED_BY(mu_);
+  Random fault_rng_ GUARDED_BY(mu_){0};
   std::atomic<uint64_t> calls_made_{0};
 };
 

@@ -20,11 +20,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "util/histogram.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace diffindex {
 namespace obs {
@@ -87,11 +88,11 @@ class MetricsRegistry {
 
   // Find-or-create; the returned pointer stays valid for the registry's
   // lifetime. Thread-safe.
-  Counter* GetCounter(const std::string& name);
-  Gauge* GetGauge(const std::string& name);
-  Histogram* GetHistogram(const std::string& name);
+  Counter* GetCounter(const std::string& name) EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name) EXCLUDES(mu_);
+  Histogram* GetHistogram(const std::string& name) EXCLUDES(mu_);
 
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const EXCLUDES(mu_);
 
   // Exporters (convenience: snapshot + render).
   std::string ToText() const { return SnapshotToText(Snapshot()); }
@@ -101,10 +102,13 @@ class MetricsRegistry {
   static std::string SnapshotToJson(const MetricsSnapshot& snapshot);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // mu_ guards only the name->instrument maps; the instruments themselves
+  // are lock-free (atomics) and outlive every cached pointer.
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      GUARDED_BY(mu_);
 };
 
 // Writes ToJson() of `snapshot` to `path` (the bench `--metrics-json`

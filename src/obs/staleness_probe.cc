@@ -27,7 +27,7 @@ StalenessProbe::StalenessProbe(DiffIndexClient* client,
 StalenessProbe::~StalenessProbe() { Stop(); }
 
 const std::string& StalenessProbe::SchemeTag() {
-  std::lock_guard<std::mutex> lock(scheme_mu_);
+  MutexLock lock(scheme_mu_);
   if (scheme_tag_.empty()) {
     IndexDescriptor index;
     if (client_->reader()
@@ -113,19 +113,21 @@ Status StalenessProbe::Start() {
 
 void StalenessProbe::Stop() {
   {
-    std::lock_guard<std::mutex> lock(stop_mu_);
+    MutexLock lock(stop_mu_);
     stop_.store(true);
   }
-  stop_cv_.notify_all();
+  stop_cv_.SignalAll();
   if (thread_.joinable()) thread_.join();
 }
 
 void StalenessProbe::Loop() {
   while (!stop_.load(std::memory_order_relaxed)) {
-    (void)ProbeOnce(nullptr);
-    std::unique_lock<std::mutex> lock(stop_mu_);
-    stop_cv_.wait_for(lock, std::chrono::milliseconds(options_.period_ms),
-                      [this] { return stop_.load(); });
+    // Sample failures are expected mid-chaos (routing errors, timeouts);
+    // they are already counted under probe.errors/probe.timeouts.
+    ProbeOnce(nullptr).IgnoreError();
+    MutexLock lock(stop_mu_);
+    stop_cv_.WaitFor(stop_mu_, std::chrono::milliseconds(options_.period_ms),
+                     [this] { return stop_.load(); });
   }
 }
 

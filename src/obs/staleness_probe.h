@@ -21,14 +21,14 @@
 #define DIFFINDEX_OBS_STALENESS_PROBE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 
 #include "core/diff_index_client.h"
 #include "obs/metrics.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace diffindex {
 namespace obs {
@@ -83,14 +83,17 @@ class StalenessProbe {
   MetricsRegistry* const metrics_;
   const StalenessProbeOptions options_;
 
-  std::mutex scheme_mu_;
-  std::string scheme_tag_;
+  Mutex scheme_mu_;
+  std::string scheme_tag_ GUARDED_BY(scheme_mu_);
 
   std::atomic<uint64_t> seq_{0};
   std::atomic<uint64_t> cycles_{0};
+  // stop_ is atomic (ProbeOnce polls it lock-free mid-cycle); Stop() also
+  // flips it under stop_mu_ so the Loop's timed wait cannot miss the
+  // transition between its predicate check and going to sleep.
   std::atomic<bool> stop_{true};
-  std::mutex stop_mu_;
-  std::condition_variable stop_cv_;
+  Mutex stop_mu_;
+  CondVar stop_cv_;
   std::thread thread_;
 };
 

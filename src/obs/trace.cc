@@ -63,7 +63,7 @@ ScopedTraceContext::ScopedTraceContext(TraceContext ctx)
 ScopedTraceContext::~ScopedTraceContext() { t_current = std::move(saved_); }
 
 void TraceCollector::Record(SpanRecord span) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   spans_.push_back(std::move(span));
   while (spans_.size() > capacity_) spans_.pop_front();
 }
@@ -71,7 +71,7 @@ void TraceCollector::Record(SpanRecord span) {
 std::vector<SpanRecord> TraceCollector::Trace(uint64_t trace_id) const {
   std::vector<SpanRecord> result;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const SpanRecord& span : spans_) {
       if (span.trace_id == trace_id) result.push_back(span);
     }
@@ -84,17 +84,17 @@ std::vector<SpanRecord> TraceCollector::Trace(uint64_t trace_id) const {
 }
 
 std::vector<SpanRecord> TraceCollector::AllSpans() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return std::vector<SpanRecord>(spans_.begin(), spans_.end());
 }
 
 size_t TraceCollector::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return spans_.size();
 }
 
 void TraceCollector::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   spans_.clear();
 }
 

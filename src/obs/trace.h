@@ -17,12 +17,13 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/mutex.h"
 #include "util/slice.h"
+#include "util/thread_annotations.h"
 
 namespace diffindex {
 namespace obs {
@@ -78,20 +79,20 @@ class TraceCollector {
  public:
   explicit TraceCollector(size_t capacity = 4096) : capacity_(capacity) {}
 
-  void Record(SpanRecord span);
+  void Record(SpanRecord span) EXCLUDES(mu_);
   // All retained spans of one trace, in start order.
-  std::vector<SpanRecord> Trace(uint64_t trace_id) const;
-  std::vector<SpanRecord> AllSpans() const;
-  size_t size() const;
-  void Clear();
+  std::vector<SpanRecord> Trace(uint64_t trace_id) const EXCLUDES(mu_);
+  std::vector<SpanRecord> AllSpans() const EXCLUDES(mu_);
+  size_t size() const EXCLUDES(mu_);
+  void Clear() EXCLUDES(mu_);
 
   // Human-readable rendering of one trace (indented by parent/child).
   std::string Dump(uint64_t trace_id) const;
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::deque<SpanRecord> spans_;
+  mutable Mutex mu_;
+  std::deque<SpanRecord> spans_ GUARDED_BY(mu_);
 };
 
 // RAII span: measures from construction to destruction. Records into

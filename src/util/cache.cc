@@ -7,7 +7,7 @@ LruCache::LruCache(size_t capacity_bytes) : capacity_(capacity_bytes) {}
 void LruCache::Insert(const std::string& key,
                       std::shared_ptr<const std::string> value,
                       size_t charge) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = table_.find(key);
   if (it != table_.end()) {
     usage_ -= it->second->charge;
@@ -21,7 +21,7 @@ void LruCache::Insert(const std::string& key,
 }
 
 std::shared_ptr<const std::string> LruCache::Lookup(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = table_.find(key);
   if (it == table_.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -34,7 +34,7 @@ std::shared_ptr<const std::string> LruCache::Lookup(const std::string& key) {
 }
 
 void LruCache::Erase(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = table_.find(key);
   if (it == table_.end()) return;
   usage_ -= it->second->charge;
@@ -43,7 +43,7 @@ void LruCache::Erase(const std::string& key) {
 }
 
 size_t LruCache::usage() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return usage_;
 }
 

@@ -9,9 +9,11 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace diffindex {
 
@@ -41,13 +43,13 @@ class LruCache {
   };
   using LruList = std::list<Entry>;
 
-  void EvictIfNeededLocked();
+  void EvictIfNeededLocked() REQUIRES(mu_);
 
   const size_t capacity_;
-  mutable std::mutex mu_;
-  LruList lru_;  // front = most recent
-  std::unordered_map<std::string, LruList::iterator> table_;
-  size_t usage_ = 0;
+  mutable Mutex mu_;
+  LruList lru_ GUARDED_BY(mu_);  // front = most recent
+  std::unordered_map<std::string, LruList::iterator> table_ GUARDED_BY(mu_);
+  size_t usage_ GUARDED_BY(mu_) = 0;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
 };

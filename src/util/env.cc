@@ -234,7 +234,7 @@ class PosixEnv final : public Env {
 
 Env* Env::Default() {
   // Never destroyed: avoids shutdown-order problems per the style guide.
-  static Env* env = new PosixEnv();
+  static Env* env = new PosixEnv();  // NOLINT(diffindex-naked-new)
   return env;
 }
 

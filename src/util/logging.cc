@@ -3,13 +3,14 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <mutex>
+
+#include "util/mutex.h"
 
 namespace diffindex {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_log_mu;
+Mutex g_log_mu;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -37,7 +38,7 @@ void LogLine(LogLevel level, const std::string& msg) {
   const auto now = std::chrono::system_clock::now().time_since_epoch();
   const auto ms =
       std::chrono::duration_cast<std::chrono::milliseconds>(now).count();
-  std::lock_guard<std::mutex> lock(g_log_mu);
+  MutexLock lock(g_log_mu);
   std::fprintf(stderr, "[%lld] %s %s\n", static_cast<long long>(ms),
                LevelName(level), msg.c_str());
 }

@@ -13,7 +13,12 @@
 
 namespace diffindex {
 
-class Status {
+// [[nodiscard]]: a dropped Status in a flush/recovery/AUQ path is a
+// latent lost-index-entry bug (exactly what the chaos harness hunts
+// dynamically), so discarding one is a compile error
+// (-Werror=unused-result). Intentional drops must say so via
+// IgnoreError() and a comment.
+class [[nodiscard]] Status {
  public:
   enum class Code : unsigned char {
     kOk = 0,
@@ -93,6 +98,13 @@ class Status {
 
   // "OK" or e.g. "NotFound: key missing".
   std::string ToString() const;
+
+  // Explicit sink for a Status that is deliberately dropped. Every call
+  // site must carry a comment saying why ignoring the error is safe —
+  // "best effort", "already failing", "crash path", ... Prefer this over
+  // a (void) cast: it is greppable and survives refactors that change
+  // the expression's type.
+  void IgnoreError() const {}
 
  private:
   struct Rep {

@@ -14,33 +14,35 @@ ThreadPool::~ThreadPool() { Shutdown(); }
 
 bool ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (shutdown_) return false;
     queue_.push_back(std::move(task));
   }
-  work_cv_.notify_one();
+  work_cv_.Signal();
   return true;
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(mu_);
+  idle_cv_.Wait(mu_, [this]() REQUIRES(mu_) {
+    return queue_.empty() && active_ == 0;
+  });
 }
 
 void ThreadPool::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (shutdown_) return;
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.SignalAll();
   for (auto& t : workers_) {
     if (t.joinable()) t.join();
   }
 }
 
 size_t ThreadPool::pending() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return queue_.size();
 }
 
@@ -48,8 +50,9 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      work_cv_.Wait(mu_,
+                    [this]() REQUIRES(mu_) { return shutdown_ || !queue_.empty(); });
       if (queue_.empty()) {
         if (shutdown_) return;
         continue;
@@ -60,9 +63,9 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       active_--;
-      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+      if (queue_.empty() && active_ == 0) idle_cv_.SignalAll();
     }
   }
 }

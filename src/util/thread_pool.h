@@ -4,13 +4,14 @@
 #ifndef DIFFINDEX_UTIL_THREAD_POOL_H_
 #define DIFFINDEX_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace diffindex {
 
@@ -23,27 +24,27 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   // Enqueues a task. Returns false if the pool is shutting down.
-  bool Submit(std::function<void()> task);
+  bool Submit(std::function<void()> task) EXCLUDES(mu_);
 
   // Blocks until the queue is empty and all workers are idle.
-  void Wait();
+  void Wait() EXCLUDES(mu_);
 
   // Stops accepting tasks, drains the queue, joins workers. Idempotent.
-  void Shutdown();
+  void Shutdown() EXCLUDES(mu_);
 
-  size_t pending() const;
+  size_t pending() const EXCLUDES(mu_);
 
  private:
   void WorkerLoop();
 
   const std::string name_;
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable idle_cv_;
-  std::deque<std::function<void()>> queue_;
+  mutable Mutex mu_;
+  CondVar work_cv_;
+  CondVar idle_cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
   std::vector<std::thread> workers_;
-  int active_ = 0;
-  bool shutdown_ = false;
+  int active_ GUARDED_BY(mu_) = 0;
+  bool shutdown_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace diffindex

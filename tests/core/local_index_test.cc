@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
+#include <thread>
 
 #include "cluster/cluster.h"
 #include "core/index_codec.h"
@@ -171,6 +173,45 @@ TEST_F(LocalIndexTest, CoexistsWithGlobalIndexOnSameTable) {
   ASSERT_TRUE(
       client_->GetByIndex("t", "by_c_global", "both", &global_hits).ok());
   EXPECT_EQ(HitRows(local_hits), HitRows(global_hits));
+}
+
+// Regression: local-index writers serialize on the region's write_mu, not
+// the flush gate (the post-open rebuild writes without the gate), so the
+// flush of the local side tree must also take write_mu or a concurrent
+// ApplyLocalIndex races it (LsmTree forbids concurrent Put/Flush). Hammer
+// indexed puts against repeated flushes and require no entry goes missing.
+TEST_F(LocalIndexTest, ConcurrentPutsAndFlushesLoseNothing) {
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 40;
+  std::atomic<bool> stop{false};
+  std::thread flusher([&] {
+    while (!stop.load()) {
+      client_->raw_client()->FlushTable("t").IgnoreError();
+    }
+  });
+  std::vector<std::thread> writers;
+  std::atomic<int> failures{0};
+  for (int w = 0; w < kWriters; w++) {
+    writers.emplace_back([&, w] {
+      auto client = cluster_->NewDiffIndexClient();
+      for (int i = 0; i < kPerWriter; i++) {
+        char row[24];
+        snprintf(row, sizeof(row), "%02x-w%d-%d", (w * 67 + i * 11) % 256, w,
+                 i);
+        if (!client->PutColumn("t", row, "c", "race-value").ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true);
+  flusher.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  std::vector<IndexHit> hits;
+  ASSERT_TRUE(client_->GetByIndex("t", "by_c", "race-value", &hits).ok());
+  EXPECT_EQ(hits.size(), static_cast<size_t>(kWriters * kPerWriter));
 }
 
 }  // namespace

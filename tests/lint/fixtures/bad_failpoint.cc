@@ -1,0 +1,14 @@
+// Lint fixture: consults a failpoint that is not in the DESIGN.md
+// section 7 catalog. Expected: exactly one `failpoint-names` violation.
+// Not compiled; scanned by tests/lint/run_lint_fixtures.py.
+
+#include "fault/failpoint.h"
+
+namespace diffindex {
+
+void FixtureBadFailpoint() {
+  DIFFINDEX_FAILPOINT("wal.append");        // documented: clean
+  DIFFINDEX_FAILPOINT("wal.undocumented");  // violation
+}
+
+}  // namespace diffindex

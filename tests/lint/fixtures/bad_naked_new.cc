@@ -1,0 +1,18 @@
+// Lint fixture: a naked `new` without a NOLINT(diffindex-naked-new)
+// waiver. Expected: exactly one `naked-new` violation. Not compiled.
+
+namespace diffindex {
+
+struct Widget {
+  int x = 0;
+};
+
+Widget* FixtureNakedNew(char* mem) {
+  Widget* waived = new Widget();  // NOLINT(diffindex-naked-new)
+  Widget* placed = new (mem) Widget();  // placement new: clean
+  (void)waived;
+  (void)placed;
+  return new Widget();  // violation
+}
+
+}  // namespace diffindex

@@ -1,0 +1,22 @@
+// Lint fixture: uses a raw std synchronization primitive instead of the
+// annotated wrappers in util/mutex.h. Expected: `raw-mutex` violations
+// only (the member, the lock_guard, and its template argument).
+// Not compiled.
+
+#include <mutex>
+
+namespace diffindex {
+
+class FixtureRawMutex {
+ public:
+  void Touch() {
+    std::lock_guard<std::mutex> lock(mu_);  // violation (lock_guard)
+    ++count_;
+  }
+
+ private:
+  std::mutex mu_;  // violation (mutex)
+  int count_ = 0;
+};
+
+}  // namespace diffindex

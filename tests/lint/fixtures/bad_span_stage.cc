@@ -1,0 +1,14 @@
+// Lint fixture: opens a SpanTimer on a stage missing from the DESIGN.md
+// span-stage list. Expected: exactly one `metric-names` violation.
+// Not compiled.
+
+#include "obs/trace.h"
+
+namespace diffindex {
+
+void FixtureBadSpanStage(obs::MetricsRegistry* m, obs::TraceCollector* t) {
+  obs::SpanTimer ok(m, t, "rs.put");             // documented: clean
+  obs::SpanTimer bad(m, t, "rs.secret_stage");   // violation
+}
+
+}  // namespace diffindex

@@ -1,0 +1,12 @@
+// Lint fixture: an lsm/ file including a cluster/ header. The storage
+// engine must stay below the distribution layer. Expected: exactly one
+// `lsm-layering` violation. Not compiled.
+
+#include "cluster/region.h"
+#include "lsm/lsm_tree.h"
+
+namespace diffindex {
+
+void FixtureLsmLayering() {}
+
+}  // namespace diffindex

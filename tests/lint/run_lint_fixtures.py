@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Proves every diffindex_lint.py rule still fires.
+
+Runs the linter (all rules) over each fixture in tests/lint/fixtures/ and
+checks that the bad fixtures report violations of exactly their one
+intended rule, and that clean.cc reports nothing. Registered as the
+`lint_fixtures` ctest.
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+
+# fixture file -> the one rule it must (and may only) trip.
+EXPECTATIONS = {
+    "bad_failpoint.cc": "failpoint-names",
+    "bad_metric.cc": "metric-names",
+    "bad_span_stage.cc": "metric-names",
+    "bad_raw_mutex.cc": "raw-mutex",
+    "bad_naked_new.cc": "naked-new",
+    "bad_index_ts_put.cc": "index-ts",
+    "bad_index_ts_delete.cc": "index-ts",
+    os.path.join("lsm", "bad_layering.cc"): "lsm-layering",
+    "clean.cc": None,
+}
+
+
+def run_linter(root, fixture_path):
+    linter = os.path.join(root, "tools", "lint", "diffindex_lint.py")
+    proc = subprocess.run(
+        [sys.executable, linter, "--root", root, fixture_path],
+        capture_output=True,
+        text=True,
+    )
+    rules = re.findall(r"\[([a-z-]+)\]", proc.stdout)
+    return proc.returncode, rules, proc.stdout
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--root", required=True, help="repo root")
+    args = parser.parse_args()
+    root = os.path.abspath(args.root)
+    fixture_dir = os.path.join(root, "tests", "lint", "fixtures")
+
+    failures = []
+    for rel, expected_rule in sorted(EXPECTATIONS.items()):
+        path = os.path.join(fixture_dir, rel)
+        if not os.path.exists(path):
+            failures.append("%s: fixture missing" % rel)
+            continue
+        code, rules, out = run_linter(root, path)
+        if expected_rule is None:
+            if code != 0 or rules:
+                failures.append(
+                    "%s: expected clean, got exit %d:\n%s" % (rel, code, out)
+                )
+            continue
+        if code != 1:
+            failures.append(
+                "%s: expected exit 1 (violations), got %d:\n%s"
+                % (rel, code, out)
+            )
+            continue
+        if not rules:
+            failures.append("%s: no violations reported:\n%s" % (rel, out))
+            continue
+        stray = sorted(set(rules) - {expected_rule})
+        if stray:
+            failures.append(
+                "%s: expected only [%s] violations, also got %s:\n%s"
+                % (rel, expected_rule, stray, out)
+            )
+
+    # The unused fixture set would rot silently; fail if a fixture appears
+    # on disk without an expectation.
+    for dirpath, _, filenames in os.walk(fixture_dir):
+        for name in filenames:
+            rel = os.path.relpath(os.path.join(dirpath, name), fixture_dir)
+            if rel not in EXPECTATIONS:
+                failures.append("%s: fixture has no expectation entry" % rel)
+
+    if failures:
+        for f in failures:
+            print("FAIL:", f)
+        return 1
+    print("ok: %d fixtures checked" % len(EXPECTATIONS))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

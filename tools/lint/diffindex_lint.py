@@ -1,0 +1,506 @@
+#!/usr/bin/env python3
+"""Diff-Index invariant linter.
+
+Textual rules over src/ that encode repo invariants neither the compiler
+nor clang's Thread Safety Analysis can see (documented in DESIGN.md
+section 10):
+
+  failpoint-names  every failpoint consulted in src/ is documented in the
+                   DESIGN.md failpoint catalog table.
+  metric-names     every instrument name created in src/ matches a row of
+                   the DESIGN.md metric names table.
+  raw-mutex        no raw std synchronization primitives outside
+                   util/mutex.h (they are invisible to TSA).
+  naked-new        no naked `new` without a NOLINT(diffindex-naked-new)
+                   waiver.
+  index-ts         the Section 4.3 timestamp rule: PutIndexEntry takes the
+                   base edit's `<x>.ts` verbatim, DeleteIndexEntry takes
+                   `<x>.ts - kDelta` verbatim.
+  lsm-layering     src/lsm/ never includes cluster/ or core/ headers.
+
+Exit status: 0 clean, 1 violations found, 2 usage/config error.
+
+Usage:
+  tools/lint/diffindex_lint.py [--root DIR] [--compile-commands PATH]
+                               [--rules r1,r2,...] [files...]
+
+With explicit `files`, only those files are scanned (fixture tests use
+this); otherwise the source list comes from compile_commands.json when
+present, else a walk of <root>/src.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+ALL_RULES = (
+    "failpoint-names",
+    "metric-names",
+    "raw-mutex",
+    "naked-new",
+    "index-ts",
+    "lsm-layering",
+)
+
+SOURCE_EXTS = (".cc", ".h", ".cpp", ".hpp")
+
+
+def strip_comments_and_strings(text, keep_strings=False):
+    """Blanks out comments (and optionally string literals), preserving
+    line structure so reported line numbers stay true."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            if j == -1:
+                j = n
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            chunk = text[i:j]
+            out.append("".join("\n" if ch == "\n" else " " for ch in chunk))
+            i = j
+        elif c == '"':
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == '"':
+                    break
+                j += 1
+            j = min(j + 1, n)
+            if keep_strings:
+                out.append(text[i:j])
+            else:
+                out.append('"' + " " * max(0, j - i - 2) + '"')
+            i = j
+        elif c == "'":
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == "'":
+                    break
+                j += 1
+            j = min(j + 1, n)
+            out.append("'" + " " * max(0, j - i - 2) + "'")
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text, pos):
+    return text.count("\n", 0, pos) + 1
+
+
+def balanced_args(text, open_paren_pos):
+    """Returns the argument text between the parens starting at
+    open_paren_pos, or None if unbalanced."""
+    depth = 0
+    for j in range(open_paren_pos, len(text)):
+        if text[j] == "(":
+            depth += 1
+        elif text[j] == ")":
+            depth -= 1
+            if depth == 0:
+                return text[open_paren_pos + 1 : j]
+    return None
+
+
+def split_top_level_args(argtext):
+    args, depth, start = [], 0, 0
+    for j, c in enumerate(argtext):
+        if c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth -= 1
+        elif c == "," and depth == 0:
+            args.append(argtext[start:j])
+            start = j + 1
+    args.append(argtext[start:])
+    return [a.strip() for a in args]
+
+
+# ---------------------------------------------------------------------------
+# DESIGN.md parsing
+
+
+def parse_design_failpoints(design_text):
+    """Backticked names from the first column of the failpoint catalog
+    table (DESIGN.md section 7)."""
+    names = set()
+    in_section = False
+    for line in design_text.splitlines():
+        if line.startswith("### Failpoint catalog"):
+            in_section = True
+            continue
+        if in_section and line.startswith(("### ", "## ")):
+            break
+        if in_section:
+            m = re.match(r"\|\s*`([^`]+)`\s*\|", line)
+            if m:
+                names.add(m.group(1))
+    return names
+
+
+def parse_design_metrics(design_text):
+    """Rows of the metric names table plus the span-stage list (DESIGN.md
+    section 6). Returns (metric_patterns, span_stage_patterns) as lists of
+    compiled regexes."""
+    names = []
+    in_section = False
+    for line in design_text.splitlines():
+        if line.startswith("**Metric names (authoritative).**"):
+            in_section = True
+            continue
+        if in_section and line.startswith(("## ", "**Tracing.**")):
+            break
+        if in_section:
+            m = re.match(r"\|\s*`([^`]+)`\s*\|", line)
+            if m and m.group(1) != "Name":
+                names.append(m.group(1))
+
+    stage_names = []
+    m = re.search(r"Span stages [^:]*:\s*((?:`[^`]+`[,.\s]*)+)", design_text)
+    if m:
+        stage_names = re.findall(r"`([^`]+)`", m.group(1))
+    return [name_to_regex(n) for n in names], [
+        name_to_regex(n) for n in stage_names
+    ]
+
+
+def name_to_regex(table_name):
+    """Converts a table name like `rpc.<type>.calls` or
+    `span.<stage>[.<scheme>]` into a compiled regex."""
+    out = []
+    i, n = 0, len(table_name)
+    while i < n:
+        c = table_name[i]
+        if table_name.startswith("[.<", i):
+            j = table_name.index("]", i)
+            out.append(r"(\.[A-Za-z0-9_.\-]+)?")
+            i = j + 1
+        elif c == "<":
+            j = table_name.index(">", i)
+            out.append(r"[A-Za-z0-9_.\-]+")
+            i = j + 1
+        else:
+            out.append(re.escape(c))
+            i += 1
+    return re.compile("^" + "".join(out) + "$")
+
+
+# A stand-in for a dynamic (non-literal) name fragment; matches the
+# wildcard character class above and nothing a literal row would.
+DYN = "zzdynzz"
+
+
+# ---------------------------------------------------------------------------
+# Rules
+
+
+def rule_failpoint_names(path, text, ctx, report):
+    clean = strip_comments_and_strings(text, keep_strings=True)
+    for m in re.finditer(
+        r"(?:DIFFINDEX_FAILPOINT|MaybeFail|Fires|IsArmed)\s*\(\s*\"([^\"]+)\"",
+        clean,
+    ):
+        name = m.group(1)
+        if name not in ctx["failpoints"]:
+            report(
+                path,
+                line_of(clean, m.start()),
+                "failpoint-names",
+                "failpoint '%s' is not documented in the DESIGN.md "
+                "failpoint catalog" % name,
+            )
+
+
+def collect_instrument_name(argtext):
+    """Reconstructs the (possibly partially dynamic) instrument name from
+    the first argument of a Get{Counter,Gauge,Histogram} call. Returns
+    None when no literal fragment is present (nothing to check)."""
+    literals = re.findall(r"\"([^\"]*)\"", argtext)
+    if not literals:
+        return None
+    # Fragments are concatenated with '+'; anything non-literal between
+    # them becomes a dynamic segment.
+    pieces = re.split(r"\+", argtext)
+    name = []
+    for piece in pieces:
+        lm = re.search(r"\"([^\"]*)\"", piece)
+        if lm:
+            name.append(lm.group(1))
+        else:
+            name.append(DYN)
+    return "".join(name)
+
+
+def rule_metric_names(path, text, ctx, report):
+    clean = strip_comments_and_strings(text, keep_strings=True)
+    if os.path.normpath(path).endswith(os.path.join("obs", "metrics.h")):
+        return  # the registry's own declarations
+    for m in re.finditer(r"\b(GetCounter|GetGauge|GetHistogram)\s*\(", clean):
+        argtext = balanced_args(clean, m.end() - 1)
+        if argtext is None:
+            continue
+        first = split_top_level_args(argtext)[0]
+        name = collect_instrument_name(first)
+        if name is None:
+            continue  # fully dynamic (e.g. the span recorder)
+        if not any(rx.match(name) for rx in ctx["metrics"]):
+            report(
+                path,
+                line_of(clean, m.start()),
+                "metric-names",
+                "metric '%s' has no row in the DESIGN.md metric names "
+                "table" % name.replace(DYN, "<...>"),
+            )
+    for m in re.finditer(r"\bSpanTimer\s+\w+\s*\(", clean):
+        argtext = balanced_args(clean, m.end() - 1)
+        if argtext is None:
+            continue
+        args = split_top_level_args(argtext)
+        if len(args) < 3:
+            continue
+        stage = collect_instrument_name(args[2])
+        if stage is None:
+            continue
+        if not any(rx.match(stage) for rx in ctx["span_stages"]):
+            report(
+                path,
+                line_of(clean, m.start()),
+                "metric-names",
+                "span stage '%s' is not in the DESIGN.md span-stage list"
+                % stage.replace(DYN, "<...>"),
+            )
+
+
+RAW_SYNC = re.compile(
+    r"std::(mutex|shared_mutex|recursive_mutex|timed_mutex|condition_variable"
+    r"|condition_variable_any|lock_guard|unique_lock|shared_lock|scoped_lock)\b"
+)
+
+
+def rule_raw_mutex(path, text, ctx, report):
+    norm = os.path.normpath(path)
+    if norm.endswith(os.path.join("util", "mutex.h")):
+        return  # the wrapper itself
+    clean = strip_comments_and_strings(text)
+    for m in RAW_SYNC.finditer(clean):
+        report(
+            path,
+            line_of(clean, m.start()),
+            "raw-mutex",
+            "raw std::%s is invisible to thread-safety analysis; use the "
+            "annotated wrappers in util/mutex.h" % m.group(1),
+        )
+
+
+# `new Foo` but not placement new (`new (mem) Foo`), which is how the
+# arena-backed skiplist constructs nodes.
+NAKED_NEW = re.compile(r"\bnew\s+[A-Za-z_]")
+NOLINT_NEW = "NOLINT(diffindex-naked-new)"
+
+
+def rule_naked_new(path, text, ctx, report):
+    lines = text.splitlines()
+    clean_lines = strip_comments_and_strings(text).splitlines()
+    for idx, clean_line in enumerate(clean_lines):
+        if not NAKED_NEW.search(clean_line):
+            continue
+        here = lines[idx] if idx < len(lines) else ""
+        above = lines[idx - 1] if idx > 0 else ""
+        if NOLINT_NEW in here or NOLINT_NEW in above:
+            continue
+        report(
+            path,
+            idx + 1,
+            "naked-new",
+            "naked new; wrap in a smart pointer factory or waive with "
+            "// " + NOLINT_NEW,
+        )
+
+
+TS_ARG_PUT = re.compile(r"^[A-Za-z_]\w*(\.|->)ts$")
+TS_ARG_DELETE = re.compile(r"^[A-Za-z_]\w*(\.|->)ts\s*-\s*kDelta$")
+
+
+def rule_index_ts(path, text, ctx, report):
+    clean = strip_comments_and_strings(text, keep_strings=True)
+    for m in re.finditer(r"\b(PutIndexEntry|DeleteIndexEntry)\s*\(", clean):
+        # Skip declarations/definitions: an identifier or '::' directly
+        # before the name means this is not a plain call... a definition
+        # looks like `Status IndexManager::PutIndexEntry(`.
+        prefix = clean[max(0, m.start() - 2) : m.start()]
+        if prefix.endswith("::"):
+            continue
+        argtext = balanced_args(clean, m.end() - 1)
+        if argtext is None:
+            continue
+        args = split_top_level_args(argtext)
+        if len(args) < 3:
+            continue
+        ts_arg = re.sub(r"\s+", " ", args[2]).strip()
+        # A parameter declaration ("Timestamp ts") rather than a call.
+        if re.match(r"^(const\s+)?[A-Za-z_][\w:<>]*[&*\s]+[A-Za-z_]\w*$",
+                    ts_arg):
+            continue
+        func = m.group(1)
+        if func == "PutIndexEntry":
+            ok = TS_ARG_PUT.match(ts_arg)
+            want = "the base edit's `<x>.ts` verbatim"
+        else:
+            ok = TS_ARG_DELETE.match(ts_arg)
+            want = "`<x>.ts - kDelta` verbatim"
+        if not ok:
+            report(
+                path,
+                line_of(clean, m.start()),
+                "index-ts",
+                "%s timestamp argument is '%s'; Section 4.3 requires %s "
+                "(index entries at the base edit's ts, old-entry deletes "
+                "at ts - delta)" % (func, ts_arg, want),
+            )
+
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"(cluster|core)/', re.M)
+
+
+def rule_lsm_layering(path, text, ctx, report):
+    parts = os.path.normpath(path).split(os.sep)
+    if "lsm" not in parts:
+        return
+    # Only src/lsm/ files (fixtures emulate the path with a 'lsm' dir).
+    clean = strip_comments_and_strings(text, keep_strings=True)
+    for m in INCLUDE_RE.finditer(clean):
+        report(
+            path,
+            line_of(clean, m.start()),
+            "lsm-layering",
+            "src/lsm/ must not include %s/ headers; the storage engine "
+            "stays below the distribution and index layers" % m.group(1),
+        )
+
+
+RULE_FUNCS = {
+    "failpoint-names": rule_failpoint_names,
+    "metric-names": rule_metric_names,
+    "raw-mutex": rule_raw_mutex,
+    "naked-new": rule_naked_new,
+    "index-ts": rule_index_ts,
+    "lsm-layering": rule_lsm_layering,
+}
+
+
+# ---------------------------------------------------------------------------
+
+
+def gather_files(root, compile_commands):
+    src_root = os.path.join(root, "src")
+    files = set()
+    if compile_commands and os.path.exists(compile_commands):
+        with open(compile_commands) as f:
+            for entry in json.load(f):
+                path = os.path.normpath(
+                    os.path.join(entry.get("directory", ""), entry["file"])
+                )
+                if path.startswith(os.path.abspath(src_root) + os.sep):
+                    files.add(path)
+        # compile_commands only lists TUs; headers still need scanning.
+    for dirpath, _, filenames in os.walk(src_root):
+        for name in filenames:
+            if name.endswith(SOURCE_EXTS):
+                files.add(os.path.normpath(os.path.join(dirpath, name)))
+    return sorted(files)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None, help="repo root")
+    parser.add_argument("--compile-commands", default=None)
+    parser.add_argument("--design", default=None, help="path to DESIGN.md")
+    parser.add_argument(
+        "--rules", default=",".join(ALL_RULES), help="comma-separated subset"
+    )
+    parser.add_argument("files", nargs="*")
+    args = parser.parse_args()
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+    design_path = args.design or os.path.join(root, "DESIGN.md")
+    if not os.path.exists(design_path):
+        print("diffindex_lint: DESIGN.md not found at %s" % design_path)
+        return 2
+
+    with open(design_path) as f:
+        design = f.read()
+    metrics, span_stages = parse_design_metrics(design)
+    ctx = {
+        "failpoints": parse_design_failpoints(design),
+        "metrics": metrics,
+        "span_stages": span_stages,
+    }
+    if not ctx["failpoints"]:
+        print("diffindex_lint: no failpoint catalog parsed from DESIGN.md")
+        return 2
+    if not ctx["metrics"]:
+        print("diffindex_lint: no metric names table parsed from DESIGN.md")
+        return 2
+
+    rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+    for r in rules:
+        if r not in RULE_FUNCS:
+            print("diffindex_lint: unknown rule '%s'" % r)
+            return 2
+
+    if args.files:
+        files = [os.path.abspath(f) for f in args.files]
+    else:
+        cc = args.compile_commands or os.path.join(
+            root, "build", "compile_commands.json"
+        )
+        files = gather_files(root, cc)
+    if not files:
+        print("diffindex_lint: no source files found")
+        return 2
+
+    violations = []
+
+    def report(path, line, rule, message):
+        violations.append(
+            "%s:%d: [%s] %s" % (os.path.relpath(path, root), line, rule, message)
+        )
+
+    for path in files:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            text = f.read()
+        for r in rules:
+            RULE_FUNCS[r](path, text, ctx, report)
+
+    for v in violations:
+        print(v)
+    if violations:
+        print(
+            "diffindex_lint: %d violation(s) in %d file(s) scanned"
+            % (len(violations), len(files))
+        )
+        return 1
+    print("diffindex_lint: clean (%d files scanned)" % len(files))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
