@@ -12,12 +12,14 @@ void RunPoint(const char* label, int workers, size_t max_depth) {
   EnvOptions env_options;
   env_options.scheme = IndexScheme::kAsyncSimple;
   env_options.num_items = 10000;
+  ApplySmoke(&env_options);
 
   RunnerOptions runner_options;
   runner_options.op = WorkloadOp::kUpdateTitle;
   runner_options.threads = 16;
   runner_options.total_operations = 8000;
   runner_options.seed = 53;
+  ApplySmoke(&runner_options);
 
   ClusterOptions cluster_options;
   cluster_options.num_servers = 4;
@@ -26,6 +28,7 @@ void RunPoint(const char* label, int workers, size_t max_depth) {
   cluster_options.auq.worker_threads = workers;
   cluster_options.auq.max_depth = max_depth;
   cluster_options.auq.staleness_sample_every = 10;
+  ApplySmoke(&cluster_options);
 
   BenchEnv env;
   {
@@ -65,9 +68,10 @@ void RunPoint(const char* label, int workers, size_t max_depth) {
 }  // namespace
 }  // namespace diffindex::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace diffindex;
   using namespace diffindex::bench;
+  (void)ParseBenchArgs(argc, argv);
   PrintHeader("Ablation: APS worker count and AUQ bound (async-simple)",
               "Tan et al., EDBT 2014, Sections 5.1 and 8.2");
 

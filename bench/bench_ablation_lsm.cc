@@ -17,7 +17,7 @@ namespace {
 double MeasureBaseReadMicros(Cluster* cluster, ItemTable* items,
                              uint64_t num_items, bool warm) {
   auto client = cluster->NewClient();
-  const int kReads = 300;
+  const int kReads = static_cast<int>(SmokeN(300, 50));
   const int passes = warm ? 2 : 1;
   double last_pass_avg = 0;
   for (int pass = 0; pass < passes; pass++) {
@@ -40,7 +40,7 @@ double MeasureBaseReadMicros(Cluster* cluster, ItemTable* items,
 
 void RunPoint(const char* label, int bloom_bits, size_t cache_bytes,
               bool compact, int flushes, bool warm = false) {
-  constexpr uint64_t kItems = 8000;
+  const uint64_t kItems = SmokeN(8000, 400);
   ClusterOptions cluster_options;
   cluster_options.num_servers = 2;
   cluster_options.regions_per_table = 4;
@@ -48,6 +48,7 @@ void RunPoint(const char* label, int bloom_bits, size_t cache_bytes,
   cluster_options.server.block_cache_bytes = cache_bytes;
   cluster_options.server.lsm.bloom_bits_per_key = bloom_bits;
   cluster_options.server.lsm.compaction_trigger = 1000;  // manual control
+  ApplySmoke(&cluster_options);
 
   std::unique_ptr<Cluster> cluster;
   if (!Cluster::Create(cluster_options, &cluster).ok()) return;
@@ -85,9 +86,10 @@ void RunPoint(const char* label, int bloom_bits, size_t cache_bytes,
 }  // namespace
 }  // namespace diffindex::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace diffindex;
   using namespace diffindex::bench;
+  (void)ParseBenchArgs(argc, argv);
   PrintHeader("Ablation: what makes LSM reads slow (and less slow)",
               "Tan et al., EDBT 2014, Section 2.1 premises");
 

@@ -20,13 +20,15 @@ void RunPoint(const char* label, bool with_index, size_t batch) {
   env_options.with_title_index = with_index;
   env_options.scheme = IndexScheme::kAsyncSimple;
   env_options.num_items = 10000;
+  ApplySmoke(&env_options);
 
   RunnerOptions unused;
   BenchEnv env;
   if (!MakeLoadedEnv(env_options, unused, &env).ok()) return;
 
-  constexpr uint64_t kOps = 8000;
-  constexpr int kThreads = 8;
+  const uint64_t kItems = env_options.num_items;
+  const uint64_t kOps = SmokeN(8000, 200);
+  const int kThreads = g_smoke ? 4 : 8;
   std::atomic<uint64_t> next{0};
   std::vector<std::thread> threads;
   const auto start = std::chrono::steady_clock::now();
@@ -38,7 +40,7 @@ void RunPoint(const char* label, bool with_index, size_t batch) {
       for (;;) {
         const uint64_t op = next.fetch_add(1, std::memory_order_relaxed);
         if (op >= kOps) break;
-        const uint64_t id = rng.Uniform(10000);
+        const uint64_t id = rng.Uniform(kItems);
         if (batch == 0) {
           (void)client->PutColumn("item", env.items->RowKey(id),
                                   ItemTable::kTitleColumn,
@@ -66,9 +68,10 @@ void RunPoint(const char* label, bool with_index, size_t batch) {
 }  // namespace
 }  // namespace diffindex::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace diffindex;
   using namespace diffindex::bench;
+  (void)ParseBenchArgs(argc, argv);
   PrintHeader("Client write buffer: update throughput, buffer off vs on",
               "Tan et al., EDBT 2014, Section 8.1 (client buffer remark)");
 

@@ -11,6 +11,7 @@
 #ifndef DIFFINDEX_BENCH_BENCH_COMMON_H_
 #define DIFFINDEX_BENCH_BENCH_COMMON_H_
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -23,12 +24,26 @@
 
 namespace diffindex::bench {
 
+// Smoke mode (--smoke): shrink every bench to a seconds-long sanity pass
+// so the binaries double as ctest cases. Numbers from a smoke run are
+// meaningless; the point is that every code path still executes. Set once
+// in main (via ParseBenchArgs) before building any environment.
+inline bool g_smoke = false;
+
+// Clamp a bench-local constant (iteration/probe counts) in smoke mode.
+inline uint64_t SmokeN(uint64_t full, uint64_t smoke_cap) {
+  return g_smoke ? std::min(full, smoke_cap) : full;
+}
+
 struct EnvOptions {
   int num_servers = 4;
   int regions_per_table = 8;
   uint64_t num_items = 20000;
   double latency_scale = 1.0;
   size_t block_cache_bytes = 256 << 10;  // small: base reads miss (disk-bound)
+  // Write-through base-row cache on the servers (0 disables); serves the
+  // sync-full read-back and sync-insert read-repair base reads.
+  size_t base_row_cache_bytes = 4 << 20;
   bool with_title_index = true;
   bool with_price_index = false;
   IndexScheme scheme = IndexScheme::kSyncFull;
@@ -37,20 +52,54 @@ struct EnvOptions {
   bool settle_to_disk = true;
 };
 
+// The ApplySmoke overloads are no-ops unless --smoke was given, so every
+// option-construction site can call them unconditionally.
+inline void ApplySmoke(EnvOptions* options) {
+  if (!g_smoke) return;
+  options->num_items = std::min<uint64_t>(options->num_items, 400);
+  options->latency_scale = 0;  // injected costs off: wall-clock only
+  options->load_threads = std::min(options->load_threads, 4);
+}
+
+inline void ApplySmoke(ClusterOptions* options) {
+  if (!g_smoke) return;
+  options->latency.scale = 0;
+}
+
+inline void ApplySmoke(RunnerOptions* options) {
+  if (!g_smoke) return;
+  options->threads = std::min(options->threads, 4);
+  if (options->total_operations > 0) {
+    options->total_operations =
+        std::min<uint64_t>(options->total_operations, 120);
+  }
+  if (options->max_duration_ms > 0) {
+    options->max_duration_ms =
+        std::min<uint64_t>(options->max_duration_ms, 500);
+  }
+  options->target_tps = 0;  // pacing would stretch the run, not shrink it
+}
+
 struct BenchEnv {
   std::unique_ptr<Cluster> cluster;
   std::unique_ptr<ItemTable> items;
   std::unique_ptr<WorkloadRunner> runner;  // holds item versions
 };
 
-inline Status MakeLoadedEnv(const EnvOptions& env_options,
-                            const RunnerOptions& runner_options,
+inline Status MakeLoadedEnv(const EnvOptions& base_env_options,
+                            const RunnerOptions& base_runner_options,
                             BenchEnv* env) {
+  EnvOptions env_options = base_env_options;
+  RunnerOptions runner_options = base_runner_options;
+  ApplySmoke(&env_options);
+  ApplySmoke(&runner_options);
   ClusterOptions cluster_options;
   cluster_options.num_servers = env_options.num_servers;
   cluster_options.regions_per_table = env_options.regions_per_table;
   cluster_options.latency.scale = env_options.latency_scale;
   cluster_options.server.block_cache_bytes = env_options.block_cache_bytes;
+  cluster_options.server.base_row_cache_bytes =
+      env_options.base_row_cache_bytes;
   // Dense staleness sampling (Figure 11's probe uses 0.1% at 40M rows;
   // our runs are 1000x smaller).
   cluster_options.auq.staleness_sample_every = 20;
@@ -112,9 +161,11 @@ inline void PrintSeriesRow(const char* scheme, int threads,
 }
 
 // Common bench flags. `--metrics-json <path>` (or `--metrics-json=<path>`)
-// dumps a machine-readable registry snapshot per measured point.
+// dumps a machine-readable registry snapshot per measured point;
+// `--smoke` switches to the tiny ctest configuration.
 struct BenchArgs {
   std::string metrics_json;
+  bool smoke = false;
 };
 
 inline BenchArgs ParseBenchArgs(int argc, char** argv) {
@@ -126,8 +177,12 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
       args.metrics_json = argv[++i];
     } else if (a.rfind(flag + "=", 0) == 0) {
       args.metrics_json = a.substr(flag.size() + 1);
+    } else if (a == "--smoke") {
+      args.smoke = true;
     }
   }
+  g_smoke = args.smoke;
+  if (args.smoke) printf("[smoke configuration: tiny run, numbers invalid]\n");
   return args;
 }
 

@@ -46,9 +46,10 @@ void RunPoint(const char* label, IndexScheme scheme, bool with_index,
 }  // namespace
 }  // namespace diffindex::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace diffindex;
   using namespace diffindex::bench;
+  (void)ParseBenchArgs(argc, argv);
   PrintHeader(
       "Figure 10: update performance at 4x cluster/data scale",
       "Tan et al., EDBT 2014, Section 8.2, Figure 10 (RC2 cloud)");

@@ -15,7 +15,8 @@ namespace {
 
 void RunSeries(const char* label, bool with_index, IndexScheme scheme,
                MetricsJsonWriter* metrics_out) {
-  const int kThreadSweep[] = {1, 2, 4, 8, 16};
+  const std::vector<int> kThreadSweep =
+      g_smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8, 16};
   for (int threads : kThreadSweep) {
     EnvOptions env_options;
     env_options.with_title_index = with_index;

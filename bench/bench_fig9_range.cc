@@ -47,6 +47,7 @@ void RunSeries(const char* label, IndexScheme scheme) {
         point.expected_rows * kPriceDomain / kItems;
     options.total_operations =
         point.expected_rows >= 1000 ? 60 : 400;
+    ApplySmoke(&options);
     RunnerResult result;
     s = env.runner->RunWith(options, &result);
     if (!s.ok()) {
@@ -66,9 +67,10 @@ void RunSeries(const char* label, IndexScheme scheme) {
 }  // namespace
 }  // namespace diffindex::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace diffindex;
   using namespace diffindex::bench;
+  (void)ParseBenchArgs(argc, argv);
   PrintHeader("Figure 9: range-query latency vs selectivity",
               "Tan et al., EDBT 2014, Section 8.2, Figure 9");
   RunSeries("sync-full", IndexScheme::kSyncFull);

@@ -6,25 +6,34 @@
 // This bench drives a heavy async-indexed write load with small memtables
 // (frequent flushes) and reports how much put-side stall the pause &
 // drain protocol induced, compared against a no-index run with identical
-// flush pressure.
+// flush pressure. The indexed run is measured at drain_batch_size=1
+// (task-at-a-time APS) and >1 (coalescing batched drain, Section 11 of
+// DESIGN.md): the batched drain coalesces superseded tasks and ships one
+// multi-put per region server, so both the put stall and the tail-drain
+// time shrink.
+
+#include <chrono>
 
 #include "bench_common.h"
 
 namespace diffindex::bench {
 namespace {
 
-void RunPoint(const char* label, bool with_index) {
+void RunPoint(const char* label, bool with_index, int drain_batch_size,
+              MetricsJsonWriter* metrics_out) {
   EnvOptions env_options;
   env_options.scheme = IndexScheme::kAsyncSimple;
   env_options.with_title_index = with_index;
   env_options.num_items = 4000;
   env_options.settle_to_disk = false;
+  ApplySmoke(&env_options);
 
   RunnerOptions runner_options;
   runner_options.op = WorkloadOp::kUpdateFullRow;
   runner_options.threads = 8;
   runner_options.total_operations = 4000;
   runner_options.seed = 47;
+  ApplySmoke(&runner_options);
 
   ClusterOptions cluster_options;
   cluster_options.num_servers = 4;
@@ -32,6 +41,8 @@ void RunPoint(const char* label, bool with_index) {
   cluster_options.latency.scale = 1.0;
   // Small memtables: flush roughly every few hundred puts per region.
   cluster_options.server.lsm.memtable_flush_bytes = 128 << 10;
+  cluster_options.auq.drain_batch_size = drain_batch_size;
+  ApplySmoke(&cluster_options);
 
   BenchEnv env;
   {
@@ -53,16 +64,28 @@ void RunPoint(const char* label, bool with_index) {
   env.runner = std::make_unique<WorkloadRunner>(env.cluster.get(),
                                                 env.items.get(),
                                                 runner_options);
-  if (!env.runner->LoadItems(8).ok()) return;
+  if (!env.runner->LoadItems(env_options.load_threads).ok()) return;
 
   RunnerResult result;
   if (!env.runner->Run(&result).ok()) return;
+  // Tail drain: how long the AUQ backlog takes to empty once the offered
+  // load stops — the direct beneficiary of the coalescing batched drain.
+  const auto drain_start = std::chrono::steady_clock::now();
   WaitQuiescent(env.cluster.get());
+  const double drain_ms =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - drain_start)
+              .count()) /
+      1000.0;
 
   const uint64_t flushes = env.cluster->TotalFlushes();
   const uint64_t stall = env.cluster->TotalFlushStallMicros();
-  printf("%-10s tps=%7.0f avg=%6.0fus p99=%7lluus  flushes=%4llu  "
-         "put-stall: total=%7llu us (%6.0f us/flush, %4.1f us/op)\n",
+  const uint64_t coalesced =
+      env.cluster->metrics()->GetCounter("auq.coalesced")->value();
+  printf("%-14s tps=%7.0f avg=%6.0fus p99=%7lluus  flushes=%4llu  "
+         "put-stall: total=%7llu us (%6.0f us/flush, %4.1f us/op)  "
+         "tail-drain=%6.1fms  coalesced=%llu\n",
          label, result.tps, result.latency->Average(),
          static_cast<unsigned long long>(result.latency->Percentile(99)),
          static_cast<unsigned long long>(flushes),
@@ -70,22 +93,29 @@ void RunPoint(const char* label, bool with_index) {
          flushes > 0 ? static_cast<double>(stall) / flushes : 0.0,
          result.operations > 0
              ? static_cast<double>(stall) / result.operations
-             : 0.0);
+             : 0.0,
+         drain_ms, static_cast<unsigned long long>(coalesced));
+  metrics_out->AddPoint(label, env.cluster.get());
 }
 
 }  // namespace
 }  // namespace diffindex::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace diffindex;
   using namespace diffindex::bench;
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  MetricsJsonWriter metrics_out(args.metrics_json);
   PrintHeader("Drain-AUQ-before-flush: put stall under heavy write load",
               "Tan et al., EDBT 2014, Section 5.3 (Figure 5 protocol)");
-  RunPoint("no-index", false);
-  RunPoint("async", true);
-  printf("\nExpected shape: the async run adds stall versus no-index (puts\n");
+  RunPoint("no-index", false, 1, &metrics_out);
+  RunPoint("async drain=1", true, 1, &metrics_out);
+  RunPoint("async drain=8", true, 8, &metrics_out);
+  printf("\nExpected shape: the async runs add stall versus no-index (puts\n");
   printf("briefly blocked while the AUQ drains before each flush), but\n");
   printf("the per-op amortized delay stays small — the paper's 'this\n");
-  printf("delay is reasonable'.\n");
-  return 0;
+  printf("delay is reasonable'. The drain=8 run coalesces superseded\n");
+  printf("tasks and ships one RPC per server per batch, so its put TPS\n");
+  printf("is at least that of drain=1 and its stall/tail-drain smaller.\n");
+  return metrics_out.Write() ? 0 : 1;
 }

@@ -24,13 +24,14 @@ struct Point {
 
 Point RunPoint(bool local, int servers) {
   Point result;
-  constexpr uint64_t kItems = 8000;
+  const uint64_t kItems = SmokeN(8000, 400);
 
   ClusterOptions cluster_options;
   cluster_options.num_servers = servers;
   cluster_options.regions_per_table = servers * 2;
   cluster_options.latency.scale = 1.0;
   cluster_options.server.block_cache_bytes = 256 << 10;
+  ApplySmoke(&cluster_options);
   std::unique_ptr<Cluster> cluster;
   if (!Cluster::Create(cluster_options, &cluster).ok()) return result;
 
@@ -58,7 +59,7 @@ Point RunPoint(bool local, int servers) {
 
   // Updates: single-threaded, pure latency comparison.
   auto client = cluster->NewDiffIndexClient();
-  const int kUpdates = 300;
+  const int kUpdates = static_cast<int>(SmokeN(300, 40));
   Random rng(61);
   {
     const auto start = std::chrono::steady_clock::now();
@@ -77,7 +78,7 @@ Point RunPoint(bool local, int servers) {
   }
 
   // Highly selective reads: exact-match queries returning one row.
-  const int kReads = 300;
+  const int kReads = static_cast<int>(SmokeN(300, 40));
   {
     const auto start = std::chrono::steady_clock::now();
     for (int i = 0; i < kReads; i++) {
@@ -99,13 +100,16 @@ Point RunPoint(bool local, int servers) {
 }  // namespace
 }  // namespace diffindex::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace diffindex;
   using namespace diffindex::bench;
+  (void)ParseBenchArgs(argc, argv);
   PrintHeader("Local vs global index: update and selective-read latency",
               "Tan et al., EDBT 2014, Section 3.1");
 
-  for (int servers : {2, 8}) {
+  const std::vector<int> kServerSweep =
+      g_smoke ? std::vector<int>{2} : std::vector<int>{2, 8};
+  for (int servers : kServerSweep) {
     Point global = RunPoint(/*local=*/false, servers);
     Point local = RunPoint(/*local=*/true, servers);
     printf("servers=%d (%d regions)\n", servers, servers * 2);

@@ -26,15 +26,17 @@ uint64_t TimeMicros(const std::function<void()>& fn) {
 }  // namespace
 }  // namespace diffindex::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace diffindex;
   using namespace diffindex::bench;
+  (void)ParseBenchArgs(argc, argv);
   PrintHeader("Query-by-index vs parallel table scan (selective query)",
               "Tan et al., EDBT 2014, Section 8.2 (citing [15])");
 
   EnvOptions env_options;
   env_options.num_items = 20000;
   env_options.scheme = IndexScheme::kSyncFull;
+  ApplySmoke(&env_options);  // keep num_items consistent with the probes
 
   RunnerOptions runner_options;  // unused ops config; load only
   BenchEnv env;
@@ -45,7 +47,7 @@ int main() {
   }
   auto client = env.cluster->NewDiffIndexClient();
 
-  const uint64_t kProbes = 10;
+  const uint64_t kProbes = SmokeN(10, 3);
   uint64_t index_total = 0, scan_total = 0;
   Random rng(4242);
   for (uint64_t probe = 0; probe < kProbes; probe++) {

@@ -18,9 +18,8 @@
 namespace diffindex::bench {
 namespace {
 
-constexpr uint64_t kOps = 400;
-
 void RunScheme(const char* label, bool with_index, IndexScheme scheme) {
+  const uint64_t kOps = SmokeN(400, 120);
   EnvOptions env_options;
   env_options.with_title_index = with_index;
   env_options.scheme = scheme;
@@ -77,9 +76,10 @@ void RunScheme(const char* label, bool with_index, IndexScheme scheme) {
 }  // namespace
 }  // namespace diffindex::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace diffindex;
   using namespace diffindex::bench;
+  (void)ParseBenchArgs(argc, argv);
   PrintHeader("Table 2: I/O cost per scheme (measured ops per request)",
               "Tan et al., EDBT 2014, Section 6.1, Table 2");
   RunScheme("no-index", false, IndexScheme::kSyncFull);

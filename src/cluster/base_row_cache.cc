@@ -1,0 +1,162 @@
+#include "cluster/base_row_cache.h"
+
+#include "util/coding.h"
+
+namespace diffindex {
+
+BaseRowCache::BaseRowCache(size_t capacity_bytes,
+                           obs::MetricsRegistry* metrics)
+    : cache_(capacity_bytes) {
+  if (metrics != nullptr) {
+    hit_counter_ = metrics->GetCounter("base_cache.hit");
+    miss_counter_ = metrics->GetCounter("base_cache.miss");
+  }
+}
+
+std::string BaseRowCache::MakeKey(const std::string& table, const Slice& row,
+                                  const Slice& column) {
+  std::string key;
+  PutLengthPrefixedSlice(&key, table);
+  key += EncodeCellKey(row, column);
+  return key;
+}
+
+std::string BaseRowCache::Encode(const Entry& entry) {
+  std::string out;
+  uint8_t flags = 0;
+  if (entry.latest) flags |= 1;
+  if (entry.prev_valid) flags |= 2;
+  out.push_back(static_cast<char>(flags));
+  PutFixed64(&out, entry.v0.ts);
+  out.push_back(entry.v0.deleted ? 1 : 0);
+  PutLengthPrefixedSlice(&out, entry.v0.value);
+  if (entry.prev_valid) {
+    PutFixed64(&out, entry.v1.ts);
+    out.push_back(entry.v1.deleted ? 1 : 0);
+    PutLengthPrefixedSlice(&out, entry.v1.value);
+  }
+  return out;
+}
+
+bool BaseRowCache::Decode(const std::string& encoded, Entry* entry) {
+  Slice in(encoded);
+  if (in.empty()) return false;
+  const uint8_t flags = static_cast<uint8_t>(in[0]);
+  in.remove_prefix(1);
+  entry->latest = (flags & 1) != 0;
+  entry->prev_valid = (flags & 2) != 0;
+  if (!GetFixed64(&in, &entry->v0.ts) || in.empty()) return false;
+  entry->v0.deleted = in[0] != 0;
+  in.remove_prefix(1);
+  if (!GetLengthPrefixedString(&in, &entry->v0.value)) return false;
+  if (!entry->prev_valid) return true;
+  if (!GetFixed64(&in, &entry->v1.ts) || in.empty()) return false;
+  entry->v1.deleted = in[0] != 0;
+  in.remove_prefix(1);
+  return GetLengthPrefixedString(&in, &entry->v1.value);
+}
+
+void BaseRowCache::Store(const std::string& key, const Entry& entry) {
+  auto value = std::make_shared<const std::string>(Encode(entry));
+  const size_t charge = key.size() + value->size() + 64;  // map overhead
+  cache_.Insert(key, std::move(value), charge);
+}
+
+void BaseRowCache::NoteWrite(
+    const std::string& table, const Slice& row, const Cell& cell,
+    Timestamp ts, const std::function<bool(Timestamp*)>& read_newest) {
+  // Key-only entries (index tables store the whole fact in the row key,
+  // column "") would only pollute the cache — base reads always name a
+  // real column.
+  if (cell.column.empty()) return;
+  const std::string key = MakeKey(table, row, cell.column);
+
+  Entry entry;
+  auto cached = cache_.Lookup(key);
+  if (cached == nullptr || !Decode(*cached, &entry)) {
+    // First sight of the cell. A tombstone is never cached here: the
+    // verify read returns NotFound for ANY newest tombstone, so it cannot
+    // certify that OURS is the newest — a put hidden between two
+    // tombstones would be unreachable but real.
+    if (cell.is_delete) return;
+    Timestamp newest = 0;
+    entry.latest = read_newest(&newest) && newest == ts;
+    entry.prev_valid = false;
+    entry.v0 = Versioned{ts, false, cell.value};
+    Store(key, entry);
+    return;
+  }
+
+  if (ts > entry.v0.ts) {
+    // The common case: a newer version arrives. If v0 was certified
+    // newest, nothing can sit between v0 and this write (writers to the
+    // cell serialize on the region's write_mu), so v0 becomes the new
+    // version's direct predecessor and the new version is now the newest.
+    const bool old_latest = entry.latest;
+    entry.v1 = entry.v0;
+    entry.prev_valid = old_latest;
+    entry.v0 = Versioned{ts, cell.is_delete, cell.is_delete ? "" : cell.value};
+    if (old_latest) {
+      entry.latest = true;
+    } else if (!cell.is_delete) {
+      // v0 was not certified; try to (re)establish with a verify read.
+      Timestamp newest = 0;
+      entry.latest = read_newest(&newest) && newest == ts;
+    } else {
+      entry.latest = false;  // a tombstone cannot be verified (see above)
+    }
+    Store(key, entry);
+    return;
+  }
+
+  if (ts == entry.v0.ts) {
+    // Overwrite at the same timestamp (LSM last-writer-wins per version).
+    entry.v0.deleted = cell.is_delete;
+    entry.v0.value = cell.is_delete ? "" : cell.value;
+    Store(key, entry);
+    return;
+  }
+
+  // Out-of-order write (explicit older timestamp). It can only affect the
+  // v1 window: if it lands inside [v1.ts, v0.ts) it becomes v0's new
+  // direct predecessor; anything older than v1 is invisible to both
+  // windows and is ignored.
+  if (entry.prev_valid && entry.v1.ts <= ts) {
+    entry.v1 = Versioned{ts, cell.is_delete, cell.is_delete ? "" : cell.value};
+    Store(key, entry);
+  }
+}
+
+BaseRowCache::Result BaseRowCache::Lookup(const std::string& table,
+                                          const Slice& row,
+                                          const Slice& column,
+                                          Timestamp read_ts,
+                                          std::string* value,
+                                          Timestamp* version_ts) {
+  auto cached = cache_.Lookup(MakeKey(table, row, column));
+  Entry entry;
+  if (cached == nullptr || !Decode(*cached, &entry)) {
+    if (miss_counter_ != nullptr) miss_counter_->Add();
+    return Result::kMiss;
+  }
+  const Versioned* hit = nullptr;
+  if (entry.latest && read_ts >= entry.v0.ts) {
+    hit = &entry.v0;
+  } else if (entry.prev_valid && entry.v1.ts <= read_ts &&
+             read_ts < entry.v0.ts) {
+    hit = &entry.v1;
+  }
+  if (hit == nullptr) {
+    if (miss_counter_ != nullptr) miss_counter_->Add();
+    return Result::kMiss;
+  }
+  if (hit_counter_ != nullptr) hit_counter_->Add();
+  if (hit->deleted) return Result::kHitDeleted;
+  *value = hit->value;
+  if (version_ts != nullptr) *version_ts = hit->ts;
+  return Result::kHit;
+}
+
+void BaseRowCache::Clear() { cache_.Clear(); }
+
+}  // namespace diffindex

@@ -219,6 +219,49 @@ Status Client::MultiPut(const std::string& table,
   return last;
 }
 
+Status Client::MultiPutBatch(std::vector<PutRequest> puts) {
+  if (puts.empty()) return Status::OK();
+  Status last;
+  for (int attempt = 0; attempt <= options_.max_retries; attempt++) {
+    if (attempt > 0) {
+      BackoffBeforeRetry(attempt);
+      Status rs = RefreshLayout();
+      if (!rs.ok()) {
+        last = rs;
+        continue;
+      }
+    }
+    // Group by owning server under the current layout; unlike MultiPut the
+    // requests may target different tables.
+    std::map<NodeId, MultiPutRequest> batches;
+    last = Status::OK();
+    for (const PutRequest& put : puts) {
+      RegionInfoWire region;
+      last = RouteRow(put.table, put.row, &region);
+      if (!last.ok()) break;
+      batches[region.server_id].puts.push_back(put);
+    }
+    if (!last.ok()) continue;
+
+    for (auto& [server_id, batch] : batches) {
+      std::string body, response;
+      batch.EncodeTo(&body);
+      last = fabric_->Call(self_node_, server_id, MsgType::kMultiPut, body,
+                           &response);
+      if (!last.ok()) break;
+      Slice in(response);
+      MultiPutResponse resp;
+      if (!MultiPutResponse::DecodeFrom(&in, &resp)) {
+        return Status::Corruption("malformed multi-put response");
+      }
+    }
+    if (last.ok()) return Status::OK();
+    if (!last.IsWrongRegion() && !last.IsUnavailable()) return last;
+  }
+  CountRetryExhausted();
+  return last;
+}
+
 Status Client::DeleteColumns(const std::string& table, const std::string& row,
                              const std::vector<std::string>& columns,
                              Timestamp ts) {

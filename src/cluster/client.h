@@ -67,6 +67,15 @@ class Client {
   // Per-row atomicity only.
   Status MultiPut(const std::string& table, std::vector<RowPut> puts);
 
+  // Cross-table batched write: each request carries its own table and
+  // (typically explicit) timestamp; requests are grouped by owning server
+  // and shipped as one multi-put RPC per server. Used by the batched APS
+  // drain to deliver one coalesced batch's PI/DI entries — which span
+  // multiple index tables — in as few round trips as the layout allows.
+  // Per-row atomicity only; callers retry the whole batch on error
+  // (idempotent with explicit timestamps).
+  Status MultiPutBatch(std::vector<PutRequest> puts);
+
   Status DeleteColumns(const std::string& table, const std::string& row,
                        const std::vector<std::string>& columns,
                        Timestamp ts = 0);

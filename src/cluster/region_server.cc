@@ -102,6 +102,11 @@ RegionServer::RegionServer(NodeId id, std::string data_root, Fabric* fabric,
     rs_flush_counter_ = options_.metrics->GetCounter("rs.flush");
     flush_stall_hist_ =
         options_.metrics->GetHistogram("rs.flush_stall_micros");
+    wal_group_size_hist_ = options_.metrics->GetHistogram("wal.group_size");
+  }
+  if (options_.base_row_cache_bytes > 0) {
+    base_row_cache_ = std::make_unique<BaseRowCache>(
+        options_.base_row_cache_bytes, options_.metrics);
   }
 }
 
@@ -179,6 +184,9 @@ void RegionServer::HeartbeatLoop() {
 
 Status RegionServer::OpenRegionInternal(const RegionInfoWire& info) {
   DIFFINDEX_FAILPOINT("region.open");
+  // Adopted region data (and any WAL replay that follows) did not pass
+  // through NoteWrite; drop every cached claim about what is "latest".
+  if (base_row_cache_ != nullptr) base_row_cache_->Clear();
   std::unique_ptr<Region> region;
   DIFFINDEX_RETURN_NOT_OK(
       Region::Open(lsm_options_, data_root_, info, &region));
@@ -319,6 +327,8 @@ Status RegionServer::SplitRegion(const std::string& table,
     flushed_seq_[{table, left.region_id}] = 0;
     flushed_seq_[{table, right.region_id}] = 0;
   }
+  // The daughters' data was written by ExportRecords, not NoteWrite.
+  if (base_row_cache_ != nullptr) base_row_cache_->Clear();
 
   // Rebuild any local indexes over the daughters.
   if (hooks_ != nullptr) {
@@ -354,6 +364,9 @@ Status RegionServer::CloseRegionForMove(const std::string& table,
     regions_.erase({table, region_id});
     flushed_seq_.erase({table, region_id});
   }
+  // The region's rows may come back (move away and return) after another
+  // owner mutated them; cached `latest` claims would then be stale.
+  if (base_row_cache_ != nullptr) base_row_cache_->Clear();
   DIFFINDEX_LOG_INFO << "server " << id_ << ": closed " << table << "/r"
                      << region_id << " for move";
   return Status::OK();
@@ -361,9 +374,12 @@ Status RegionServer::CloseRegionForMove(const std::string& table,
 
 Status RegionServer::CloseRegion(const std::string& table,
                                  uint64_t region_id) {
-  WriterMutexLock lock(regions_mu_);
-  regions_.erase({table, region_id});
-  flushed_seq_.erase({table, region_id});
+  {
+    WriterMutexLock lock(regions_mu_);
+    regions_.erase({table, region_id});
+    flushed_seq_.erase({table, region_id});
+  }
+  if (base_row_cache_ != nullptr) base_row_cache_->Clear();
   return Status::OK();
 }
 
@@ -433,6 +449,7 @@ Status RegionServer::LogAndApply(const std::shared_ptr<Region>& region,
 
   std::string payload;
   edit.EncodeTo(&payload);
+  uint64_t sync_ticket = 0;
   {
     MutexLock wal_lock(wal_mu_);
     WalFile& tail = wal_files_.back();
@@ -454,7 +471,13 @@ Status RegionServer::LogAndApply(const std::shared_ptr<Region>& region,
     auto& max_seq =
         tail.region_max_seq[{put.table, region->info().region_id}];
     max_seq = std::max(max_seq, edit.seq);
-    wal_appends_.fetch_add(1, std::memory_order_relaxed);
+    // Ticket = this append's ordinal; "synced through T" covers it.
+    sync_ticket = wal_appends_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  if (options_.wal_sync == wal::SyncMode::kGroupCommit) {
+    // One shared fsync covers every append up to the leader's window; the
+    // put is not durable (and must not be acked) until it returns.
+    DIFFINDEX_RETURN_NOT_OK(GroupCommitSync(sync_ticket));
   }
   if (lsm_options_.latency != nullptr) lsm_options_.latency->WalAppend();
 
@@ -465,9 +488,83 @@ Status RegionServer::LogAndApply(const std::shared_ptr<Region>& region,
     } else {
       DIFFINDEX_RETURN_NOT_OK(region->tree()->Put(cell_key, cell.value, ts));
     }
+    if (base_row_cache_ != nullptr) {
+      // Write-through, still under write_mu and before the put is acked:
+      // a reader that starts after the ack can never see an older version
+      // from the cache. The verify callback reads the cell's newest
+      // version straight back (memtable-resident — we just wrote it).
+      base_row_cache_->NoteWrite(
+          put.table, put.row, cell, ts, [&](Timestamp* newest_ts) {
+            std::string newest_value;
+            return region->tree()
+                ->Get(cell_key, kMaxTimestamp, &newest_value, newest_ts)
+                .ok();
+          });
+    }
   }
   region->tree()->set_applied_seq(edit.seq);
   return Status::OK();
+}
+
+Status RegionServer::GroupCommitSync(uint64_t ticket) {
+  {
+    MutexLock lock(wal_sync_mu_);
+    wal_sync_cv_.Wait(wal_sync_mu_, [&]() REQUIRES(wal_sync_mu_) {
+      return synced_ticket_ >= ticket || !wal_sync_in_progress_;
+    });
+    if (synced_ticket_ >= ticket) return Status::OK();  // a leader covered us
+    wal_sync_in_progress_ = true;  // become the leader
+  }
+  // Optional window: let more concurrent appends join this sync. Latecomers
+  // also batch naturally — they block above until this sync finishes, and
+  // whoever leads next covers all of them at once.
+  if (options_.wal_group_window_micros > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(options_.wal_group_window_micros));
+  }
+  uint64_t target = 0;
+  Status s;
+  {
+    // Sync under wal_mu_: the Writer is not thread-safe against concurrent
+    // AddRecord. `target` is read under the same lock, so every append it
+    // counts is fully in the file the sync flushes.
+    MutexLock wal_lock(wal_mu_);
+    target = wal_appends_.load(std::memory_order_relaxed);
+    if (!wal_files_.empty() && wal_files_.back().writer != nullptr) {
+      s = wal_files_.back().writer->Sync();
+    }
+  }
+  MutexLock lock(wal_sync_mu_);
+  wal_sync_in_progress_ = false;
+  if (s.ok() && target > synced_ticket_) {
+    if (wal_group_size_hist_ != nullptr) {
+      wal_group_size_hist_->Add(target - synced_ticket_);
+    }
+    synced_ticket_ = target;
+  }
+  // Wake everyone: covered followers return, uncovered ones (after a
+  // failed sync) re-elect a leader and try again with their own error.
+  wal_sync_cv_.SignalAll();
+  return s;
+}
+
+Status RegionServer::CachedGet(const std::shared_ptr<Region>& region,
+                               const std::string& table, const Slice& row,
+                               const Slice& column, Timestamp read_ts,
+                               std::string* value, Timestamp* version_ts) {
+  if (base_row_cache_ != nullptr) {
+    switch (base_row_cache_->Lookup(table, row, column, read_ts, value,
+                                    version_ts)) {
+      case BaseRowCache::Result::kHit:
+        return Status::OK();
+      case BaseRowCache::Result::kHitDeleted:
+        return Status::NotFound(table + " (cached tombstone)");
+      case BaseRowCache::Result::kMiss:
+        break;
+    }
+  }
+  return region->tree()->Get(EncodeCellKey(row, column), read_ts, value,
+                             version_ts);
 }
 
 Status RegionServer::HandlePut(Slice body, std::string* response) {
@@ -591,8 +688,8 @@ Status RegionServer::HandleGetCell(Slice body, std::string* response) {
   GetCellResponse resp;
   std::string value;
   Timestamp ts = 0;
-  Status s = region->tree()->Get(EncodeCellKey(req.row, req.column),
-                                 req.read_ts, &value, &ts);
+  Status s = CachedGet(region, req.table, req.row, req.column, req.read_ts,
+                       &value, &ts);
   if (s.ok()) {
     resp.found = true;
     resp.value = std::move(value);
@@ -808,8 +905,7 @@ Status RegionServer::LocalGetCell(const std::string& table, const Slice& row,
                                   std::string* value, Timestamp* version_ts) {
   auto region = FindRegion(table, row);
   if (region == nullptr) return Status::WrongRegion(table);
-  return region->tree()->Get(EncodeCellKey(row, column), read_ts, value,
-                             version_ts);
+  return CachedGet(region, table, row, column, read_ts, value, version_ts);
 }
 
 Status RegionServer::FlushRegion(const std::string& table,

@@ -26,6 +26,7 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/base_row_cache.h"
 #include "cluster/catalog.h"
 #include "cluster/region.h"
 #include "lsm/wal.h"
@@ -85,6 +86,15 @@ struct RegionServerOptions {
   size_t block_cache_bytes = 64 << 20;
   wal::SyncMode wal_sync = wal::SyncMode::kNone;
   uint64_t wal_roll_bytes = 8 << 20;
+  // Group-commit window (wal_sync == kGroupCommit): the sync leader waits
+  // this long before issuing the shared fsync, letting more concurrent
+  // appends join the batch. 0 = sync immediately (batching still happens
+  // naturally while a sync is in flight). Exports `wal.group_size`.
+  int wal_group_window_micros = 0;
+  // Write-through base-row cache capacity (see cluster/base_row_cache.h):
+  // serves the RB reads of sync-full maintenance and read repair from
+  // memory. 0 disables. Exports `base_cache.hit` / `base_cache.miss`.
+  size_t base_row_cache_bytes = 4 << 20;
   // Heartbeat interval; 0 disables the background heartbeat thread (tests
   // drive failure detection explicitly).
   int heartbeat_interval_ms = 0;
@@ -157,10 +167,13 @@ class RegionServer {
 
   // Local cell read, used by the index maintenance hooks: the coprocessor
   // runs on the server that holds the base region, so RB(k, ts) is a local
-  // LSM read (disk cost applies, no network hop).
+  // LSM read (disk cost applies, no network hop) — unless the base-row
+  // cache answers it.
   Status LocalGetCell(const std::string& table, const Slice& row,
                       const Slice& column, Timestamp read_ts,
                       std::string* value, Timestamp* version_ts);
+
+  BaseRowCache* base_row_cache() { return base_row_cache_.get(); }
 
   // ---- Local (region-co-located) indexes, Section 3.1 ----
 
@@ -233,6 +246,22 @@ class RegionServer {
   Status FlushRegionInternal(const std::shared_ptr<Region>& region);
   Status OpenRegionInternal(const RegionInfoWire& info);
 
+  // WAL group commit (wal_sync == kGroupCommit): returns once a sync has
+  // covered append ticket `ticket`. Concurrent callers elect one leader
+  // that fsyncs for the whole in-flight window; the rest wait on
+  // wal_sync_cv_. Called after LogAndApply's append, while the region's
+  // write_mu is still held (lock order write_mu -> wal_sync_mu_ ->
+  // wal_mu_).
+  Status GroupCommitSync(uint64_t ticket) EXCLUDES(wal_sync_mu_);
+
+  // Cell read answered by the base-row cache when it can certify the
+  // visible version, else by the region's LSM tree (a cached tombstone
+  // yields NotFound without touching the tree).
+  Status CachedGet(const std::shared_ptr<Region>& region,
+                   const std::string& table, const Slice& row,
+                   const Slice& column, Timestamp read_ts, std::string* value,
+                   Timestamp* version_ts);
+
   // Applies one put to a region: assigns seq, appends to the WAL, applies
   // cells to the memtable. Caller holds the region's flush gate (shared).
   Status LogAndApply(const std::shared_ptr<Region>& region,
@@ -251,8 +280,11 @@ class RegionServer {
   IndexMaintenanceHooks* hooks_ = nullptr;
 
   // Lock order when more than one is held: region flush gate -> region
-  // write_mu -> wal_mu_ -> regions_mu_ (WAL GC reads flushed_seq_ under
-  // wal_mu_). catalog_mu_ is a leaf. FindRegion's regions_mu_ hold is
+  // write_mu -> wal_sync_mu_ -> wal_mu_ -> regions_mu_ (WAL GC reads
+  // flushed_seq_ under wal_mu_; the group-commit leader releases
+  // wal_sync_mu_ before taking wal_mu_ for the shared sync, so it never
+  // holds both). catalog_mu_ and the caches' internal mutexes are leaves.
+  // FindRegion's regions_mu_ hold is
   // self-contained: it copies the shared_ptr out and releases before the
   // caller touches any region lock.
   mutable SharedMutex regions_mu_;
@@ -272,6 +304,18 @@ class RegionServer {
   uint64_t next_wal_file_seq_ GUARDED_BY(wal_mu_) = 1;
   std::atomic<uint64_t> next_edit_seq_{1};
 
+  // Group-commit state (kGroupCommit only). Tickets are append ordinals
+  // (the wal_appends_ count after the append), so "synced through ticket
+  // T" means the first T appends are durable. Acquired between a region's
+  // write_mu and wal_mu_ — see the lock-order comment above.
+  Mutex wal_sync_mu_;
+  CondVar wal_sync_cv_;
+  uint64_t synced_ticket_ GUARDED_BY(wal_sync_mu_) = 0;
+  bool wal_sync_in_progress_ GUARDED_BY(wal_sync_mu_) = false;
+
+  // Write-through base-row cache (null when base_row_cache_bytes == 0).
+  std::unique_ptr<BaseRowCache> base_row_cache_;
+
   std::atomic<bool> stopped_{false};
   std::thread heartbeat_thread_;
 
@@ -283,6 +327,7 @@ class RegionServer {
   obs::Counter* rs_put_counter_ = nullptr;
   obs::Counter* rs_flush_counter_ = nullptr;
   Histogram* flush_stall_hist_ = nullptr;
+  Histogram* wal_group_size_hist_ = nullptr;
 };
 
 }  // namespace diffindex

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <map>
+#include <tuple>
 
 #include "fault/failpoint.h"
 #include "util/logging.h"
@@ -9,16 +11,20 @@
 namespace diffindex {
 
 AsyncUpdateQueue::AsyncUpdateQueue(const AuqOptions& options,
-                                   Processor processor)
-    : options_(options), processor_(std::move(processor)) {
+                                   Processor processor,
+                                   BatchProcessor batch_processor)
+    : options_(options), processor_(std::move(processor)),
+      batch_processor_(std::move(batch_processor)) {
   if (options_.metrics != nullptr) {
     depth_gauge_ = options_.metrics->GetGauge("auq.depth");
     dead_letter_gauge_ = options_.metrics->GetGauge("auq.dead_letters");
     enqueued_counter_ = options_.metrics->GetCounter("auq.enqueued");
     processed_counter_ = options_.metrics->GetCounter("auq.processed");
     retries_counter_ = options_.metrics->GetCounter("auq.retries");
+    coalesced_counter_ = options_.metrics->GetCounter("auq.coalesced");
     task_micros_hist_ = options_.metrics->GetHistogram("auq.task_micros");
     staleness_hist_ = options_.metrics->GetHistogram("auq.staleness_micros");
+    batch_size_hist_ = options_.metrics->GetHistogram("auq.batch_size");
   }
   workers_.reserve(options_.worker_threads);
   for (int i = 0; i < options_.worker_threads; i++) {
@@ -79,7 +85,7 @@ void AsyncUpdateQueue::ShutdownInternal(bool abandon) {
     abandoned_ = abandon;
     if (abandon && !queue_.empty()) {
       if (depth_gauge_ != nullptr) {
-        depth_gauge_->Sub(static_cast<int64_t>(queue_.size()));
+        depth_gauge_->Sub(static_cast<int64_t>(QueuedTaskCountLocked()));
       }
       queue_.clear();
     }
@@ -95,10 +101,18 @@ void AsyncUpdateQueue::ShutdownInternal(bool abandon) {
   MutexLock lock(mu_);
   if (abandoned_ && !queue_.empty()) {
     if (depth_gauge_ != nullptr) {
-      depth_gauge_->Sub(static_cast<int64_t>(queue_.size()));
+      depth_gauge_->Sub(static_cast<int64_t>(QueuedTaskCountLocked()));
     }
     queue_.clear();
   }
+}
+
+size_t AsyncUpdateQueue::QueuedTaskCountLocked() const {
+  size_t n = 0;
+  for (const IndexTask& task : queue_) {
+    n += 1 + static_cast<size_t>(task.absorbed);
+  }
+  return n;
 }
 
 std::vector<IndexTask> AsyncUpdateQueue::DrainDeadLetters() {
@@ -118,7 +132,7 @@ size_t AsyncUpdateQueue::dead_letters() const {
 
 size_t AsyncUpdateQueue::depth() const {
   MutexLock lock(mu_);
-  return queue_.size() + static_cast<size_t>(in_flight_);
+  return QueuedTaskCountLocked() + static_cast<size_t>(in_flight_);
 }
 
 uint64_t AsyncUpdateQueue::processed() const {
@@ -130,6 +144,37 @@ uint64_t AsyncUpdateQueue::retries() const {
 }
 
 void AsyncUpdateQueue::WorkerLoop() {
+  if (options_.drain_batch_size > 1) {
+    // Batched drain: pop up to drain_batch_size tasks at once and hand
+    // them to ProcessBatch. Draining proceeds regardless of Pause() —
+    // pause blocks intake only — and every popped task counts as
+    // in-flight (including ones it coalesced away earlier), so
+    // WaitDrained observes whole batches (§5.3).
+    for (;;) {
+      std::vector<IndexTask> batch;
+      {
+        MutexLock lock(mu_);
+        work_cv_.Wait(mu_, [this]() REQUIRES(mu_) {
+          return shutdown_ || !queue_.empty();
+        });
+        if (queue_.empty()) {
+          if (shutdown_) return;
+          continue;
+        }
+        const size_t n =
+            std::min(queue_.size(),
+                     static_cast<size_t>(options_.drain_batch_size));
+        batch.reserve(n);
+        for (size_t i = 0; i < n; i++) {
+          in_flight_ += 1 + queue_.front().absorbed;
+          batch.push_back(std::move(queue_.front()));
+          queue_.pop_front();
+        }
+      }
+      if (batch_size_hist_ != nullptr) batch_size_hist_->Add(batch.size());
+      ProcessBatch(std::move(batch));
+    }
+  }
   for (;;) {
     IndexTask task;
     {
@@ -229,6 +274,172 @@ void AsyncUpdateQueue::WorkerLoop() {
       work_cv_.Signal();
     }
   }
+}
+
+void AsyncUpdateQueue::ProcessBatch(std::vector<IndexTask> batch) {
+  // Coalesce per (index, base table, row): the task with the newest base
+  // timestamp survives and writes the only PI. Every absorbed task's
+  // RB/DI anchor is kept in covered_old_ts — the survivor retracts at
+  // each of them, because an absorbed task's entry may already be in the
+  // index (crash replay, duplicate delivery) and skipping its delete
+  // would leave a phantom entry (see DESIGN.md "Batched maintenance").
+  std::vector<IndexTask> survivors;
+  survivors.reserve(batch.size());
+  {
+    std::map<std::tuple<std::string, std::string, std::string>, size_t>
+        by_key;
+    int64_t absorbed_now = 0;
+    for (IndexTask& task : batch) {
+      if (task.old_ts == 0) task.old_ts = task.ts;
+      auto key =
+          std::make_tuple(task.index.name, task.base_table, task.row);
+      auto it = by_key.find(key);
+      if (it == by_key.end()) {
+        by_key.emplace(std::move(key), survivors.size());
+        survivors.push_back(std::move(task));
+        continue;
+      }
+      IndexTask& kept = survivors[it->second];
+      const int merged_attempts = std::max(kept.attempts, task.attempts);
+      std::vector<Timestamp> covered = std::move(kept.covered_old_ts);
+      covered.insert(covered.end(), task.covered_old_ts.begin(),
+                     task.covered_old_ts.end());
+      if (task.ts > kept.ts) {
+        covered.push_back(kept.old_ts);
+        task.absorbed += kept.absorbed + 1;
+        kept = std::move(task);
+      } else {
+        covered.push_back(task.old_ts);
+        kept.absorbed += task.absorbed + 1;
+      }
+      kept.covered_old_ts = std::move(covered);
+      kept.attempts = merged_attempts;
+      absorbed_now++;
+    }
+    if (coalesced_counter_ != nullptr && absorbed_now > 0) {
+      coalesced_counter_->Add(absorbed_now);
+    }
+  }
+
+  if (options_.process_delay_ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.process_delay_ms));
+  }
+
+  std::vector<Status> statuses(survivors.size(), Status::OK());
+  Status batch_status =
+      fault::FailpointRegistry::Global()->MaybeFail("auq.batch");
+  if (batch_status.ok()) {
+    // The batch is one APS drain unit: chain its span to the first traced
+    // member (a batch mixes many client requests; one parent is picked).
+    const IndexTask* traced = nullptr;
+    for (const IndexTask& task : survivors) {
+      if (task.trace.active()) {
+        traced = &task;
+        break;
+      }
+    }
+    obs::ScopedTraceContext scope(traced != nullptr ? traced->trace.Child()
+                                                    : obs::TraceContext());
+    obs::SpanTimer span(options_.metrics, options_.traces, "aps.task");
+    const uint64_t start = TimestampOracle::NowMicros();
+    if (batch_processor_ != nullptr) {
+      batch_processor_(survivors, &statuses);
+    } else {
+      for (size_t i = 0; i < survivors.size(); i++) {
+        statuses[i] = processor_(survivors[i]);
+      }
+    }
+    bool any_ok = false;
+    for (const Status& s : statuses) {
+      if (s.ok()) any_ok = true;
+    }
+    if (any_ok && task_micros_hist_ != nullptr) {
+      const uint64_t end = TimestampOracle::NowMicros();
+      task_micros_hist_->Add(end > start ? end - start : 0);
+    }
+  } else {
+    for (Status& s : statuses) s = batch_status;
+  }
+
+  // Terminal accounting. A survivor stands for 1 + absorbed accepted
+  // tasks; every counter/gauge moves by that amount so drain barriers and
+  // `processed == accepted` assertions stay exact under coalescing.
+  std::vector<IndexTask> requeue;
+  for (size_t i = 0; i < survivors.size(); i++) {
+    IndexTask& task = survivors[i];
+    const int count = 1 + task.absorbed;
+    if (statuses[i].ok()) {
+      processed_.fetch_add(static_cast<uint64_t>(count),
+                           std::memory_order_relaxed);
+      if (processed_counter_ != nullptr) processed_counter_->Add(count);
+      if (depth_gauge_ != nullptr) depth_gauge_->Sub(count);
+      const uint64_t sampled =
+          task_counter_.fetch_add(1, std::memory_order_relaxed);
+      if (options_.staleness_sample_every > 0 &&
+          sampled %
+                  static_cast<uint64_t>(options_.staleness_sample_every) ==
+              0) {
+        const Timestamp now = TimestampOracle::NowMicros();
+        if (now > task.ts) {
+          staleness_.Add(now - task.ts);
+          if (staleness_hist_ != nullptr) staleness_hist_->Add(now - task.ts);
+        }
+      }
+      MutexLock lock(mu_);
+      in_flight_ -= count;
+      if (queue_.empty() && in_flight_ == 0) drained_cv_.SignalAll();
+      intake_cv_.Signal();
+      continue;
+    }
+
+    retries_.fetch_add(1, std::memory_order_relaxed);
+    if (retries_counter_ != nullptr) retries_counter_->Add();
+    task.attempts++;
+    if (options_.max_attempts > 0 && task.attempts >= options_.max_attempts) {
+      DIFFINDEX_LOG_WARN << "auq: dead-lettering task for index '"
+                         << task.index.name << "' row '" << task.row
+                         << "' after " << task.attempts
+                         << " attempts: " << statuses[i].ToString();
+      MutexLock lock(mu_);
+      dead_letters_.push_back(std::move(task));
+      if (dead_letter_gauge_ != nullptr) dead_letter_gauge_->Add(1);
+      if (depth_gauge_ != nullptr) depth_gauge_->Sub(count);
+      in_flight_ -= count;
+      if (queue_.empty() && in_flight_ == 0) drained_cv_.SignalAll();
+      intake_cv_.Signal();
+      continue;
+    }
+    requeue.push_back(std::move(task));
+  }
+  if (requeue.empty()) return;
+
+  // One backoff per failed batch (the failures share a cause: the index
+  // region is down or the batched RPC bounced). The tasks stay in-flight
+  // through the sleep so WaitDrained stays honest.
+  int worst_attempts = 0;
+  for (const IndexTask& task : requeue) {
+    worst_attempts = std::max(worst_attempts, task.attempts);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(
+      std::min(worst_attempts, 8) * options_.retry_backoff_ms));
+  MutexLock lock(mu_);
+  for (IndexTask& task : requeue) {
+    const int count = 1 + task.absorbed;
+    if (abandoned_) {
+      // Abandoned (crash) mid-batch: the backlog dies undelivered.
+      if (depth_gauge_ != nullptr) depth_gauge_->Sub(count);
+      in_flight_ -= count;
+      continue;
+    }
+    // Internal requeue ignores pause: the tasks are already part of the
+    // pending set a drain must wait for. The survivor keeps its absorbed
+    // count — the retried batched delivery covers the coalesced tasks too.
+    queue_.push_back(std::move(task));
+    in_flight_ -= count;
+    work_cv_.Signal();
+  }
+  if (queue_.empty() && in_flight_ == 0) drained_cv_.SignalAll();
 }
 
 }  // namespace diffindex

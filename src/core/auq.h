@@ -44,8 +44,24 @@ struct IndexTask {
   // resolved by the processor from the base table.
   std::vector<Cell> cells;
   Timestamp ts = 0;
+  // The RB/DI anchor of the base put this task was created for: the old
+  // value is read and its entry deleted at old_ts - δ. Creation sites set
+  // old_ts = ts; 0 means "unset" (a directly constructed task), treated
+  // as ts.
+  Timestamp old_ts = 0;
+  // old_ts of every task coalesced into this one. The processor replays
+  // the RB/DI retraction at EACH covered point in addition to old_ts: an
+  // absorbed task's index entry may already exist (crash replay
+  // re-enqueues already-delivered puts; a lost-response retry may have
+  // applied server-side), so collapsing to a single point would leave
+  // phantom entries behind.
+  std::vector<Timestamp> covered_old_ts;
   IndexDescriptor index;
   int attempts = 0;
+  // Number of tasks coalesced INTO this one (0 for a plain task). The
+  // survivor accounts for 1 + absorbed tasks in processed counts and the
+  // depth gauge, so `processed == accepted` stays exact under batching.
+  int absorbed = 0;
   // Trace of the base put that spawned this task (inactive if untraced),
   // so the APS drain span chains to the client's request.
   obs::TraceContext trace;
@@ -71,6 +87,12 @@ struct AuqOptions {
   // index descriptor was dropped mid-flight would otherwise spin forever.
   // 0 = retry forever, preserving the paper's eventual-delivery semantics.
   int max_attempts = 0;
+  // Batched drain: a worker dequeues up to this many tasks at once,
+  // coalesces same-(index, row) tasks to the newest timestamp, and hands
+  // the survivors to the batch processor in one call. 1 = the classic
+  // one-task-per-dequeue path (default). Exports histogram
+  // `auq.batch_size` and counter `auq.coalesced`.
+  int drain_batch_size = 1;
   // Observability sinks; either may be null. Exports gauge `auq.depth`,
   // counters `auq.enqueued/processed/retries`, histograms
   // `auq.task_micros` (per-task processing time), `auq.staleness_micros`,
@@ -84,8 +106,14 @@ class AsyncUpdateQueue {
   // The processor performs BA2-BA4 for one task; a non-OK return puts the
   // task back for retry.
   using Processor = std::function<Status(const IndexTask& task)>;
+  // Batched form: performs BA2-BA4 for a coalesced batch, filling one
+  // status per task. Optional — without it, a drained batch falls back to
+  // per-task Processor calls.
+  using BatchProcessor = std::function<void(const std::vector<IndexTask>& tasks,
+                                            std::vector<Status>* statuses)>;
 
-  AsyncUpdateQueue(const AuqOptions& options, Processor processor);
+  AsyncUpdateQueue(const AuqOptions& options, Processor processor,
+                   BatchProcessor batch_processor = nullptr);
   ~AsyncUpdateQueue();
 
   AsyncUpdateQueue(const AsyncUpdateQueue&) = delete;
@@ -125,9 +153,16 @@ class AsyncUpdateQueue {
  private:
   void WorkerLoop();
   void ShutdownInternal(bool abandon);
+  // Processes one dequeued batch end to end (coalesce, deliver, account);
+  // the caller already incremented in_flight_ by the batch's task count.
+  void ProcessBatch(std::vector<IndexTask> batch);
+  // Tasks represented by the queued backlog, counting coalesced-away ones
+  // (sum of 1 + absorbed) — the number the depth gauge tracks.
+  size_t QueuedTaskCountLocked() const REQUIRES(mu_);
 
   const AuqOptions options_;
   const Processor processor_;
+  const BatchProcessor batch_processor_;
 
   // mu_ guards the whole queue state machine; the three CondVars wake the
   // three waiter populations. The drain-barrier invariant (§5.3):
@@ -157,8 +192,10 @@ class AsyncUpdateQueue {
   obs::Counter* enqueued_counter_ = nullptr;
   obs::Counter* processed_counter_ = nullptr;
   obs::Counter* retries_counter_ = nullptr;
+  obs::Counter* coalesced_counter_ = nullptr;
   Histogram* task_micros_hist_ = nullptr;
   Histogram* staleness_hist_ = nullptr;
+  Histogram* batch_size_hist_ = nullptr;
 };
 
 }  // namespace diffindex

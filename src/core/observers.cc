@@ -1,11 +1,28 @@
 #include "core/observers.h"
 
+#include <algorithm>
+
 #include "core/index_codec.h"
 #include "fault/failpoint.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 
 namespace diffindex {
+
+namespace {
+
+// Every RB/DI anchor a task carries: its own old_ts plus the old_ts of
+// each task coalesced into it, deduped (crash replay can queue duplicate
+// puts of the same base edit).
+std::vector<Timestamp> RetractionPoints(const IndexTask& task) {
+  std::vector<Timestamp> points = task.covered_old_ts;
+  points.push_back(task.old_ts != 0 ? task.old_ts : task.ts);
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  return points;
+}
+
+}  // namespace
 
 IndexManager::IndexManager(RegionServer* server,
                            std::shared_ptr<Client> internal_client,
@@ -17,6 +34,12 @@ IndexManager::IndexManager(RegionServer* server,
       [this](const IndexTask& task) {
         // APS backend: full processing (BA2-BA4), background stats bucket.
         return ProcessTask(task, /*insert_only=*/false, /*foreground=*/false);
+      },
+      [this](const std::vector<IndexTask>& tasks,
+             std::vector<Status>* statuses) {
+        // Batched APS backend (drain_batch_size > 1): one grouped RPC per
+        // owning server instead of one round trip per task.
+        ProcessTaskBatch(tasks, statuses);
       });
 }
 
@@ -53,6 +76,7 @@ Status IndexManager::PostApply(const PutRequest& put, Timestamp ts) {
     task.row = put.row;
     task.cells = put.cells;
     task.ts = ts;
+    task.old_ts = ts;  // oldest covered put == this put, until coalesced
     task.index = index;
     // Hand the put's trace to the task so APS/retry work chains to it.
     const obs::TraceContext& ambient = obs::CurrentTraceContext();
@@ -153,6 +177,7 @@ void IndexManager::OnWalReplay(const PutRequest& put, Timestamp ts) {
     task.row = put.row;
     task.cells = put.cells;
     task.ts = ts;
+    task.old_ts = ts;
     task.index = index;
     // "Each base put replayed is also put into AUQ again ... regardless of
     // whether or not it has been delivered before the failure." Duplicate
@@ -365,20 +390,119 @@ Status IndexManager::ProcessTask(const IndexTask& task, bool insert_only,
 
   if (insert_only) return Status::OK();  // sync-insert stops at SU2
 
-  // SU3/BA2: the previous value right before this put — RB(k, ts - δ).
-  // The δ matters: reading at ts would return the value just written.
-  std::optional<std::string> old_value;
-  DIFFINDEX_RETURN_NOT_OK(ResolveIndexValue(task, task.ts - kDelta,
-                                            /*use_task_cells=*/false,
-                                            foreground, &old_value));
-  if (!old_value.has_value()) return Status::OK();  // fresh insert
+  // SU3/BA2 + SU4/BA3, once per covered put: read the value current just
+  // before that put — RB(k, old_ts - δ); the δ matters, reading at ts
+  // would return the value just written — and delete its entry at
+  // old_ts - δ. With vold == vnew the rows coincide, but a tombstone at
+  // old_ts - δ cannot mask the new entry at ts (Section 4.3). A plain
+  // task has exactly one point (old_ts == ts); a coalesced survivor
+  // replays every absorbed task's point too.
+  for (const Timestamp old_ts : RetractionPoints(task)) {
+    std::optional<std::string> old_value;
+    DIFFINDEX_RETURN_NOT_OK(ResolveIndexValue(task, old_ts - kDelta,
+                                              /*use_task_cells=*/false,
+                                              foreground, &old_value));
+    if (!old_value.has_value()) continue;  // fresh insert at this point
+    const std::string old_row = EncodeIndexRow(*old_value, task.row);
+    DIFFINDEX_RETURN_NOT_OK(DeleteIndexEntry(
+        task.index.index_table, old_row, old_ts - kDelta, foreground));
+  }
+  return Status::OK();
+}
 
-  // SU4/BA3: delete the old entry @ ts - δ. With vold == vnew the rows
-  // coincide, but the tombstone at ts - δ cannot mask the new entry at ts
-  // — again the δ (Section 4.3).
-  const std::string old_row = EncodeIndexRow(*old_value, task.row);
-  return DeleteIndexEntry(task.index.index_table, old_row, task.ts - kDelta,
-                          foreground);
+Status IndexManager::StagePutIndexEntry(const std::string& index_table,
+                                        const std::string& index_row,
+                                        Timestamp ts,
+                                        std::vector<PutRequest>* ops) {
+  if (stats_ != nullptr) stats_->AddAsyncIndexPut();
+  DIFFINDEX_FAILPOINT("index.put");
+  PutRequest req;
+  req.table = index_table;
+  req.row = index_row;
+  req.cells = {Cell{"", "", /*is_delete=*/false}};
+  req.ts = ts;
+  ops->push_back(std::move(req));
+  return Status::OK();
+}
+
+Status IndexManager::StageDeleteIndexEntry(const std::string& index_table,
+                                           const std::string& index_row,
+                                           Timestamp ts,
+                                           std::vector<PutRequest>* ops) {
+  if (stats_ != nullptr) stats_->AddAsyncIndexPut();
+  DIFFINDEX_FAILPOINT("index.delete");
+  PutRequest req;
+  req.table = index_table;
+  req.row = index_row;
+  req.cells = {Cell{"", "", /*is_delete=*/true}};
+  req.ts = ts;
+  ops->push_back(std::move(req));
+  return Status::OK();
+}
+
+void IndexManager::ProcessTaskBatch(const std::vector<IndexTask>& tasks,
+                                    std::vector<Status>* statuses) {
+  statuses->assign(tasks.size(), Status::OK());
+  std::vector<PutRequest> staged;
+  std::vector<bool> shipped(tasks.size(), false);
+  for (size_t i = 0; i < tasks.size(); i++) {
+    const IndexTask& task = tasks[i];
+    // Resolve BOTH values before staging anything for this task: a
+    // resolution error must stage nothing, or a half-staged task would
+    // ship its PI now and retry its DI later against a changed base.
+    std::optional<std::string> new_value;
+    Status s = ResolveIndexValue(task, task.ts, /*use_task_cells=*/true,
+                                 /*foreground=*/false, &new_value);
+    // (retraction point, old value there) for every covered put.
+    std::vector<std::pair<Timestamp, std::string>> old_entries;
+    if (s.ok()) {
+      for (const Timestamp old_ts : RetractionPoints(task)) {
+        std::optional<std::string> old_value;
+        s = ResolveIndexValue(task, old_ts - kDelta,
+                              /*use_task_cells=*/false,
+                              /*foreground=*/false, &old_value);
+        if (!s.ok()) break;
+        if (old_value.has_value()) {
+          old_entries.emplace_back(old_ts, std::move(*old_value));
+        }
+      }
+    }
+    if (!s.ok()) {
+      (*statuses)[i] = s;
+      continue;
+    }
+    const size_t before = staged.size();
+    if (new_value.has_value()) {
+      s = StagePutIndexEntry(task.index.index_table,
+                             EncodeIndexRow(*new_value, task.row), task.ts,
+                             &staged);
+    }
+    for (const auto& [old_ts, old_value] : old_entries) {
+      if (!s.ok()) break;
+      s = StageDeleteIndexEntry(task.index.index_table,
+                                EncodeIndexRow(old_value, task.row),
+                                old_ts - kDelta, &staged);
+    }
+    if (!s.ok()) {
+      // Injected PI/DI failure: retract the task's half-staged ops so the
+      // shipped batch carries only whole tasks.
+      staged.resize(before);
+      (*statuses)[i] = s;
+      continue;
+    }
+    shipped[i] = staged.size() > before;
+  }
+  if (staged.empty()) return;
+
+  Status ship = internal_client_->MultiPutBatch(std::move(staged));
+  if (!ship.ok()) {
+    // All-or-error: a transport failure fails every task that staged work;
+    // the whole batch retries and re-delivery is idempotent because index
+    // entries reuse the base timestamps.
+    for (size_t i = 0; i < tasks.size(); i++) {
+      if (shipped[i] && (*statuses)[i].ok()) (*statuses)[i] = ship;
+    }
+  }
 }
 
 }  // namespace diffindex

@@ -85,6 +85,23 @@ class IndexManager final : public IndexMaintenanceHooks {
                           const std::string& index_row, Timestamp ts,
                           bool foreground);
 
+  // Batched APS backend: resolves every task's new/old values, stages the
+  // PI/DI operations, and ships them grouped by owning server in one
+  // multi-put RPC per server (Client::MultiPutBatch). One status per task;
+  // a transport failure fails every task that staged work — the retried
+  // delivery is idempotent under the same-timestamp rule.
+  void ProcessTaskBatch(const std::vector<IndexTask>& tasks,
+                        std::vector<Status>* statuses);
+  // Staged (deferred) forms of PutIndexEntry/DeleteIndexEntry: append the
+  // index mutation to `ops` instead of shipping it immediately. Same
+  // failpoints and stats buckets as the direct forms.
+  Status StagePutIndexEntry(const std::string& index_table,
+                            const std::string& index_row, Timestamp ts,
+                            std::vector<PutRequest>* ops);
+  Status StageDeleteIndexEntry(const std::string& index_table,
+                               const std::string& index_row, Timestamp ts,
+                               std::vector<PutRequest>* ops);
+
   // Local-index (Section 3.1) maintenance: all operations stay on this
   // server — the old-value read is local and the entry writes go to the
   // region's co-located side tree. Always synchronous.

@@ -23,6 +23,10 @@ namespace diffindex::wal {
 enum class SyncMode {
   kNone,         // rely on OS buffering (cost modeled by LatencyModel)
   kEveryRecord,  // fdatasync after each append
+  // Group commit: AddRecord itself never syncs (like kNone); the caller
+  // batches concurrent writers into a shared Sync() covering all of their
+  // appends (see RegionServer::GroupCommitSync).
+  kGroupCommit,
 };
 
 class Writer {

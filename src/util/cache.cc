@@ -42,6 +42,13 @@ void LruCache::Erase(const std::string& key) {
   table_.erase(it);
 }
 
+void LruCache::Clear() {
+  MutexLock lock(mu_);
+  lru_.clear();
+  table_.clear();
+  usage_ = 0;
+}
+
 size_t LruCache::usage() const {
   MutexLock lock(mu_);
   return usage_;

@@ -31,6 +31,9 @@ class LruCache {
 
   void Erase(const std::string& key);
 
+  // Drops every entry (capacity and hit/miss counters are untouched).
+  void Clear();
+
   size_t usage() const;
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }

@@ -1,0 +1,298 @@
+// BaseRowCache: the two-version verify-read contract (unit level), then
+// the consistency contract end-to-end — a sync-full update's RB read must
+// be served from the cache and never with a value older than what a
+// writer just committed.
+
+#include "cluster/base_row_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "obs/metrics.h"
+
+namespace diffindex {
+namespace {
+
+Cell PutCell(const std::string& column, const std::string& value) {
+  return Cell{column, value, false};
+}
+
+Cell DeleteCell(const std::string& column) { return Cell{column, "", true}; }
+
+// read_newest stand-ins for the tree read-back.
+std::function<bool(Timestamp*)> NewestIs(Timestamp ts) {
+  return [ts](Timestamp* out) {
+    *out = ts;
+    return true;
+  };
+}
+std::function<bool(Timestamp*)> NeverCalled() {
+  return [](Timestamp*) -> bool {
+    ADD_FAILURE() << "verify read issued when none was needed";
+    return false;
+  };
+}
+
+class BaseRowCacheTest : public ::testing::Test {
+ protected:
+  obs::MetricsRegistry metrics_;
+  BaseRowCache cache_{1 << 20, &metrics_};
+
+  BaseRowCache::Result Lookup(Timestamp read_ts, std::string* value,
+                              Timestamp* version_ts = nullptr) {
+    return cache_.Lookup("t", "row", "c", read_ts, value, version_ts);
+  }
+};
+
+TEST_F(BaseRowCacheTest, VerifiedFirstWriteServesReads) {
+  cache_.NoteWrite("t", "row", PutCell("c", "v1"), 100, NewestIs(100));
+  std::string value;
+  Timestamp ts = 0;
+  EXPECT_EQ(Lookup(150, &value, &ts), BaseRowCache::Result::kHit);
+  EXPECT_EQ(value, "v1");
+  EXPECT_EQ(ts, 100u);
+  // Below the version: nothing is known there.
+  EXPECT_EQ(Lookup(50, &value), BaseRowCache::Result::kMiss);
+  EXPECT_GT(metrics_.GetCounter("base_cache.hit")->value(), 0u);
+  EXPECT_GT(metrics_.GetCounter("base_cache.miss")->value(), 0u);
+}
+
+TEST_F(BaseRowCacheTest, UnverifiedWriteDoesNotServeLatestReads) {
+  // The tree knows a NEWER version (data adopted from elsewhere): v0 must
+  // not answer "latest" reads.
+  cache_.NoteWrite("t", "row", PutCell("c", "stale"), 100, NewestIs(200));
+  std::string value;
+  EXPECT_EQ(Lookup(300, &value), BaseRowCache::Result::kMiss);
+}
+
+TEST_F(BaseRowCacheTest, SecondWriteOpensPredecessorWindow) {
+  cache_.NoteWrite("t", "row", PutCell("c", "v1"), 100, NewestIs(100));
+  // v0 was certified: the successor inherits latest with NO verify read.
+  cache_.NoteWrite("t", "row", PutCell("c", "v2"), 200, NeverCalled());
+
+  std::string value;
+  Timestamp ts = 0;
+  EXPECT_EQ(Lookup(250, &value, &ts), BaseRowCache::Result::kHit);
+  EXPECT_EQ(value, "v2");
+  // The window [100, 200) answers v1 — exactly the sync-full RB read at
+  // t_new - delta.
+  EXPECT_EQ(Lookup(199, &value, &ts), BaseRowCache::Result::kHit);
+  EXPECT_EQ(value, "v1");
+  EXPECT_EQ(ts, 100u);
+  EXPECT_EQ(Lookup(99, &value), BaseRowCache::Result::kMiss);
+}
+
+TEST_F(BaseRowCacheTest, TombstoneWindowAnswersNotFound) {
+  cache_.NoteWrite("t", "row", PutCell("c", "v1"), 100, NewestIs(100));
+  cache_.NoteWrite("t", "row", DeleteCell("c"), 200, NeverCalled());
+  std::string value;
+  EXPECT_EQ(Lookup(250, &value), BaseRowCache::Result::kHitDeleted);
+  // Before the delete the old value is still visible.
+  EXPECT_EQ(Lookup(150, &value), BaseRowCache::Result::kHit);
+  EXPECT_EQ(value, "v1");
+}
+
+TEST_F(BaseRowCacheTest, FirstSightTombstoneIsNeverCached) {
+  // A tree read-back cannot tell WHICH tombstone is newest, so a delete
+  // for an unknown cell must not populate the cache.
+  cache_.NoteWrite("t", "row", DeleteCell("c"), 100, NeverCalled());
+  std::string value;
+  EXPECT_EQ(Lookup(200, &value), BaseRowCache::Result::kMiss);
+}
+
+TEST_F(BaseRowCacheTest, OutOfOrderWriteTightensTheWindow) {
+  cache_.NoteWrite("t", "row", PutCell("c", "v1"), 100, NewestIs(100));
+  cache_.NoteWrite("t", "row", PutCell("c", "v3"), 300, NeverCalled());
+  // An explicit-timestamp write lands INSIDE the window: it becomes v3's
+  // true direct predecessor.
+  cache_.NoteWrite("t", "row", PutCell("c", "v2"), 200, NeverCalled());
+
+  std::string value;
+  EXPECT_EQ(Lookup(250, &value), BaseRowCache::Result::kHit);
+  EXPECT_EQ(value, "v2");
+  // v1 is no longer v3's predecessor; reads below 200 must miss, not get
+  // served a version that may since have been superseded.
+  EXPECT_EQ(Lookup(150, &value), BaseRowCache::Result::kMiss);
+  // Older than the (new) window start: invisible, ignored.
+  cache_.NoteWrite("t", "row", PutCell("c", "v0"), 50, NeverCalled());
+  EXPECT_EQ(Lookup(150, &value), BaseRowCache::Result::kMiss);
+}
+
+TEST_F(BaseRowCacheTest, SameTimestampOverwriteReplacesValue) {
+  cache_.NoteWrite("t", "row", PutCell("c", "first"), 100, NewestIs(100));
+  cache_.NoteWrite("t", "row", PutCell("c", "second"), 100, NeverCalled());
+  std::string value;
+  EXPECT_EQ(Lookup(150, &value), BaseRowCache::Result::kHit);
+  EXPECT_EQ(value, "second");
+}
+
+TEST_F(BaseRowCacheTest, ClearDropsEverything) {
+  cache_.NoteWrite("t", "row", PutCell("c", "v1"), 100, NewestIs(100));
+  cache_.Clear();
+  std::string value;
+  EXPECT_EQ(Lookup(150, &value), BaseRowCache::Result::kMiss);
+}
+
+TEST_F(BaseRowCacheTest, KeysDoNotCollideAcrossTablesRowsColumns) {
+  cache_.NoteWrite("t1", "row", PutCell("c", "a"), 100, NewestIs(100));
+  cache_.NoteWrite("t2", "row", PutCell("c", "b"), 100, NewestIs(100));
+  cache_.NoteWrite("t1", "row", PutCell("d", "c"), 100, NewestIs(100));
+  std::string value;
+  ASSERT_EQ(cache_.Lookup("t1", "row", "c", 150, &value, nullptr),
+            BaseRowCache::Result::kHit);
+  EXPECT_EQ(value, "a");
+  ASSERT_EQ(cache_.Lookup("t2", "row", "c", 150, &value, nullptr),
+            BaseRowCache::Result::kHit);
+  EXPECT_EQ(value, "b");
+  ASSERT_EQ(cache_.Lookup("t1", "row", "d", 150, &value, nullptr),
+            BaseRowCache::Result::kHit);
+  EXPECT_EQ(value, "c");
+}
+
+TEST_F(BaseRowCacheTest, ConcurrentWritersAndReaders) {
+  // Distinct rows written concurrently (per-cell writes serialize under a
+  // region's write_mu in production; across rows they do race) while
+  // readers hammer lookups. TSan-clean plus no wrong value is the bar.
+  constexpr int kRows = 8;
+  constexpr int kWritesPerRow = 200;
+  std::atomic<bool> wrong{false};
+
+  std::vector<std::thread> writers;
+  for (int r = 0; r < kRows; r++) {
+    writers.emplace_back([this, r] {
+      const std::string row = "row" + std::to_string(r);
+      for (int i = 1; i <= kWritesPerRow; i++) {
+        const Timestamp ts = static_cast<Timestamp>(i) * 10;
+        cache_.NoteWrite("t", row, PutCell("c", std::to_string(i)), ts,
+                         NewestIs(ts));
+      }
+    });
+  }
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; r++) {
+    readers.emplace_back([this, &wrong] {
+      for (int i = 0; i < 2000; i++) {
+        const std::string row = "row" + std::to_string(i % kRows);
+        std::string value;
+        Timestamp ts = 0;
+        if (cache_.Lookup("t", row, "c", kMaxTimestamp, &value, &ts) ==
+            BaseRowCache::Result::kHit) {
+          if (value != std::to_string(ts / 10)) wrong.store(true);
+        }
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  for (auto& r : readers) r.join();
+  EXPECT_FALSE(wrong.load());
+}
+
+// ---- End-to-end: the cache serving sync-full RB reads ----
+
+TEST(BaseRowCacheClusterTest, SyncFullUpdateHitsCacheAndStaysCorrect) {
+  ClusterOptions options;
+  options.num_servers = 3;
+  std::unique_ptr<Cluster> cluster;
+  ASSERT_TRUE(Cluster::Create(options, &cluster).ok());
+  auto client = cluster->NewDiffIndexClient();
+
+  ASSERT_TRUE(cluster->master()->CreateTable("items").ok());
+  IndexDescriptor index;
+  index.name = "by_title";
+  index.column = "title";
+  index.scheme = IndexScheme::kSyncFull;
+  ASSERT_TRUE(cluster->master()->CreateIndex("items", index).ok());
+  ASSERT_TRUE(client->raw_client()->RefreshLayout().ok());
+
+  // Update the same rows repeatedly: every update's RB read at ts - delta
+  // lands in the predecessor window the previous put opened.
+  for (int round = 0; round < 4; round++) {
+    for (int i = 0; i < 10; i++) {
+      char row[16];
+      snprintf(row, sizeof(row), "%02x-%d", (i * 23) % 256, i);
+      ASSERT_TRUE(client
+                      ->PutColumn("items", row, "title",
+                                  "v" + std::to_string(round))
+                      .ok());
+    }
+  }
+  EXPECT_GT(cluster->metrics()->GetCounter("base_cache.hit")->value(), 0u);
+
+  // And the cache lied to no one: only the final value is indexed.
+  std::vector<IndexHit> hits;
+  ASSERT_TRUE(client->GetByIndex("items", "by_title", "v3", &hits).ok());
+  EXPECT_EQ(hits.size(), 10u);
+  for (int round = 0; round < 3; round++) {
+    ASSERT_TRUE(client
+                    ->GetByIndex("items", "by_title",
+                                 "v" + std::to_string(round), &hits)
+                    .ok());
+    EXPECT_TRUE(hits.empty()) << "stale round-" << round << " entry";
+  }
+}
+
+TEST(BaseRowCacheClusterTest, ReadAfterAckedWriteIsNeverStale) {
+  // Concurrent writers + a reader that, after each acked write, demands
+  // to see a value at least as new (the §5.3 cache invariant).
+  ClusterOptions options;
+  options.num_servers = 2;
+  std::unique_ptr<Cluster> cluster;
+  ASSERT_TRUE(Cluster::Create(options, &cluster).ok());
+  ASSERT_TRUE(cluster->master()->CreateTable("kv").ok());
+
+  constexpr int kWriters = 4;
+  constexpr int kWritesEach = 60;
+  std::atomic<bool> stale_read{false};
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; w++) {
+    threads.emplace_back([&cluster, w] {
+      auto client = cluster->NewDiffIndexClient();
+      for (int i = 1; i <= kWritesEach; i++) {
+        const int value = w * 1000 + i;
+        ASSERT_TRUE(client
+                        ->PutColumn("kv", "aa-shared", "c",
+                                    std::to_string(value))
+                        .ok());
+      }
+    });
+  }
+  std::thread reader([&cluster, &stale_read] {
+    auto client = cluster->NewDiffIndexClient();
+    // Writers interleave, so reads are not totally ordered across writers;
+    // what must hold is that this single reader never sees any ONE
+    // writer's acked sequence go backwards — that would be the cache
+    // serving a version older than one already observed committed.
+    std::map<int, int> last_seen;  // writer -> highest sequence seen
+    for (int i = 0; i < 300; i++) {
+      std::string got;
+      if (client->Get("kv", "aa-shared", "c", &got).ok()) {
+        const int value = std::stoi(got);
+        const int writer = value / 1000, seq = value % 1000;
+        auto it = last_seen.find(writer);
+        if (it != last_seen.end() && seq < it->second) {
+          stale_read.store(true);
+        }
+        last_seen[writer] = seq;
+      }
+    }
+  });
+  for (auto& t : threads) t.join();
+  reader.join();
+  EXPECT_FALSE(stale_read.load()) << "a writer's acked value went backwards";
+
+  // Final read: the last acked write of some writer, never less.
+  auto client = cluster->NewDiffIndexClient();
+  std::string got;
+  ASSERT_TRUE(client->Get("kv", "aa-shared", "c", &got).ok());
+  EXPECT_EQ(std::stoi(got) % 1000, kWritesEach);
+}
+
+}  // namespace
+}  // namespace diffindex

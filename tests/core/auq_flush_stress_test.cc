@@ -11,6 +11,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
+
 #include <atomic>
 #include <chrono>
 #include <thread>
@@ -125,6 +127,162 @@ TEST(AuqFlushStressTest, DrainSoundUnderRetries) {
   auq.WaitDrained();
   EXPECT_EQ(processed.load(), kTasks);
   EXPECT_EQ(auq.processed(), kTasks);
+}
+
+// ---- Batched drain (coalescing) variants ----
+
+// The batched hot path must uphold the same two invariants: nothing is
+// lost to coalescing (every absorbed task is accounted for in processed
+// counts) and a drain never returns mid-batch.
+TEST(AuqFlushStressTest, BatchedDrainCoalescesWithoutLosingTasks) {
+  obs::MetricsRegistry metrics;
+  AuqOptions options;
+  options.worker_threads = 2;
+  options.drain_batch_size = 8;
+  options.metrics = &metrics;
+
+  std::atomic<uint64_t> delivered{0};  // survivors handed to the batch
+  AsyncUpdateQueue auq(
+      options, [](const IndexTask&) { return Status::OK(); },
+      [&](const std::vector<IndexTask>& tasks, std::vector<Status>* out) {
+        delivered.fetch_add(tasks.size(), std::memory_order_acq_rel);
+        out->assign(tasks.size(), Status::OK());
+      });
+
+  // A tiny key space so batches regularly carry same-(index, row)
+  // duplicates that must coalesce.
+  constexpr int kProducers = 4;
+  constexpr int kTasksPerProducer = 500;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; p++) {
+    producers.emplace_back([&auq, p] {
+      for (int i = 0; i < kTasksPerProducer; i++) {
+        IndexTask task;
+        task.base_table = "t";
+        task.row = "r" + std::to_string((p * 7 + i) % 6);
+        task.index.name = "by_title";
+        task.ts = TimestampOracle::NowMicros();
+        task.old_ts = task.ts;
+        ASSERT_TRUE(auq.Enqueue(std::move(task)));
+      }
+    });
+  }
+  for (auto& producer : producers) producer.join();
+  auq.WaitDrained();
+
+  constexpr uint64_t kAccepted = uint64_t{kProducers} * kTasksPerProducer;
+  // processed() counts coalesced-away tasks too — nothing lost.
+  EXPECT_EQ(auq.processed(), kAccepted);
+  EXPECT_EQ(auq.depth(), 0u);
+  const uint64_t coalesced = metrics.GetCounter("auq.coalesced")->value();
+  EXPECT_GT(coalesced, 0u) << "6 rows x 2000 tasks never coalesced";
+  EXPECT_EQ(delivered.load() + coalesced, kAccepted);
+  EXPECT_GT(metrics.GetHistogram("auq.batch_size")->Count(), 0u);
+}
+
+TEST(AuqFlushStressTest, BatchedConcurrentEnqueueVsPauseDrainCycles) {
+  constexpr int kProducers = 4;
+  constexpr int kTasksPerProducer = 400;
+  constexpr int kFlushCycles = 25;
+
+  std::atomic<uint64_t> accepted{0};
+  std::atomic<int> mid_flight{0};
+  std::atomic<bool> overlap_seen{false};
+
+  AuqOptions options;
+  options.worker_threads = 3;
+  options.drain_batch_size = 4;
+  options.max_depth = 16;
+  AsyncUpdateQueue auq(
+      options, [](const IndexTask&) { return Status::OK(); },
+      [&](const std::vector<IndexTask>& tasks, std::vector<Status>* out) {
+        mid_flight.fetch_add(1, std::memory_order_acq_rel);
+        std::this_thread::sleep_for(std::chrono::microseconds(80));
+        mid_flight.fetch_sub(1, std::memory_order_acq_rel);
+        out->assign(tasks.size(), Status::OK());
+      });
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; p++) {
+    producers.emplace_back([&auq, &accepted, p] {
+      for (int i = 0; i < kTasksPerProducer; i++) {
+        IndexTask task;
+        task.base_table = "t";
+        task.row = "p" + std::to_string(p) + "-" + std::to_string(i % 10);
+        task.ts = TimestampOracle::NowMicros();
+        task.old_ts = task.ts;
+        ASSERT_TRUE(auq.Enqueue(std::move(task)));
+        accepted.fetch_add(1, std::memory_order_acq_rel);
+      }
+    });
+  }
+
+  std::thread flusher([&] {
+    for (int cycle = 0; cycle < kFlushCycles; cycle++) {
+      auq.Pause();
+      auq.WaitDrained();
+      // WaitDrained must observe in-flight BATCHES: a batch popped before
+      // the pause may not be abandoned mid-delivery.
+      if (mid_flight.load(std::memory_order_acquire) != 0) {
+        overlap_seen.store(true);
+      }
+      EXPECT_EQ(auq.depth(), 0u) << "cycle " << cycle;
+      auq.Resume();
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  for (auto& producer : producers) producer.join();
+  flusher.join();
+  EXPECT_FALSE(overlap_seen.load()) << "a batch was mid-flight at drain";
+
+  auq.WaitDrained();
+  EXPECT_EQ(accepted.load(), uint64_t{kProducers} * kTasksPerProducer);
+  EXPECT_EQ(auq.processed(), accepted.load());
+  EXPECT_EQ(auq.depth(), 0u);
+}
+
+TEST(AuqFlushStressTest, BatchedDrainSoundUnderRetries) {
+  // A failed batch re-queues its coalesced survivors; drains must keep
+  // counting them (and their absorbed tasks) as pending until delivered.
+  std::atomic<uint64_t> batches{0};
+  AuqOptions options;
+  options.worker_threads = 2;
+  options.drain_batch_size = 8;
+  options.retry_backoff_ms = 1;
+  AsyncUpdateQueue auq(
+      options, [](const IndexTask&) { return Status::OK(); },
+      [&](const std::vector<IndexTask>& tasks, std::vector<Status>* out) {
+        if (batches.fetch_add(1) % 3 == 0) {
+          out->assign(tasks.size(), Status::Unavailable("transient"));
+          return;
+        }
+        out->assign(tasks.size(), Status::OK());
+      });
+
+  constexpr uint64_t kTasks = 300;
+  std::thread producer([&] {
+    for (uint64_t i = 0; i < kTasks; i++) {
+      IndexTask task;
+      task.base_table = "t";
+      task.row = "r" + std::to_string(i % 12);
+      task.ts = TimestampOracle::NowMicros();
+      task.old_ts = task.ts;
+      ASSERT_TRUE(auq.Enqueue(std::move(task)));
+    }
+  });
+
+  for (int cycle = 0; cycle < 10; cycle++) {
+    auq.Pause();
+    auq.WaitDrained();
+    EXPECT_EQ(auq.depth(), 0u) << "cycle " << cycle;
+    auq.Resume();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  producer.join();
+  auq.WaitDrained();
+  EXPECT_EQ(auq.processed(), kTasks);
+  EXPECT_EQ(auq.depth(), 0u);
 }
 
 }  // namespace

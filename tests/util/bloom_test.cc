@@ -1,0 +1,91 @@
+// BloomFilterPolicy: no false negatives ever, and the false-positive rate
+// stays near the theoretical bound for the configured bits_per_key.
+
+#include "util/bloom.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace diffindex {
+namespace {
+
+std::string Key(int i, const char* prefix) {
+  return std::string(prefix) + std::to_string(i * 2654435761u);
+}
+
+TEST(BloomTest, EmptyFilterMatchesNothing) {
+  BloomFilterPolicy policy(10);
+  std::string filter;
+  policy.CreateFilter({}, &filter);
+  EXPECT_FALSE(policy.KeyMayMatch("anything", filter));
+}
+
+TEST(BloomTest, NoFalseNegatives) {
+  BloomFilterPolicy policy(10);
+  for (int n : {1, 10, 100, 1000, 10000}) {
+    std::vector<std::string> keys;
+    std::vector<Slice> slices;
+    for (int i = 0; i < n; i++) keys.push_back(Key(i, "in-"));
+    for (const auto& key : keys) slices.emplace_back(key);
+    std::string filter;
+    policy.CreateFilter(slices, &filter);
+    for (const auto& key : keys) {
+      EXPECT_TRUE(policy.KeyMayMatch(key, filter))
+          << "false negative for " << key << " at n=" << n;
+    }
+  }
+}
+
+TEST(BloomTest, FalsePositiveRateNearTheoreticalBound) {
+  // 10 bits/key => ~0.82% theoretical FP rate ((1-e^{-k/12.8})^k, k=6).
+  // Allow generous slack for hash quality: < 2.5%.
+  BloomFilterPolicy policy(10);
+  constexpr int kKeys = 10000;
+  std::vector<std::string> keys;
+  std::vector<Slice> slices;
+  for (int i = 0; i < kKeys; i++) keys.push_back(Key(i, "member-"));
+  for (const auto& key : keys) slices.emplace_back(key);
+  std::string filter;
+  policy.CreateFilter(slices, &filter);
+
+  int false_positives = 0;
+  constexpr int kProbes = 20000;
+  for (int i = 0; i < kProbes; i++) {
+    if (policy.KeyMayMatch(Key(i, "absent-"), filter)) false_positives++;
+  }
+  const double rate = static_cast<double>(false_positives) / kProbes;
+  EXPECT_LT(rate, 0.025) << false_positives << "/" << kProbes;
+}
+
+TEST(BloomTest, MoreBitsPerKeyLowersFalsePositives) {
+  constexpr int kKeys = 4000;
+  constexpr int kProbes = 8000;
+  std::vector<std::string> keys;
+  std::vector<Slice> slices;
+  for (int i = 0; i < kKeys; i++) keys.push_back(Key(i, "m-"));
+  for (const auto& key : keys) slices.emplace_back(key);
+
+  auto fp_count = [&](int bits_per_key) {
+    BloomFilterPolicy policy(bits_per_key);
+    std::string filter;
+    policy.CreateFilter(slices, &filter);
+    int fp = 0;
+    for (int i = 0; i < kProbes; i++) {
+      if (policy.KeyMayMatch(Key(i, "a-"), filter)) fp++;
+    }
+    return fp;
+  };
+  // 2 bits/key is sloppy (~40% FP), 12 bits/key is tight (<1%): the gap
+  // must be decisive, not marginal.
+  EXPECT_GT(fp_count(2), fp_count(12) * 4);
+}
+
+TEST(BloomTest, HashDistinguishesCloseKeys) {
+  EXPECT_NE(BloomHash("row-0001"), BloomHash("row-0002"));
+  EXPECT_NE(BloomHash(""), BloomHash(Slice("\0", 1)));
+}
+
+}  // namespace
+}  // namespace diffindex

@@ -333,13 +333,14 @@ def rule_naked_new(path, text, ctx, report):
         )
 
 
-TS_ARG_PUT = re.compile(r"^[A-Za-z_]\w*(\.|->)ts$")
-TS_ARG_DELETE = re.compile(r"^[A-Za-z_]\w*(\.|->)ts\s*-\s*kDelta$")
+TS_ARG_PUT = re.compile(r"^([A-Za-z_]\w*(\.|->))?ts$")
+TS_ARG_DELETE = re.compile(r"^([A-Za-z_]\w*(\.|->))?(ts|old_ts)\s*-\s*kDelta$")
 
 
 def rule_index_ts(path, text, ctx, report):
     clean = strip_comments_and_strings(text, keep_strings=True)
-    for m in re.finditer(r"\b(PutIndexEntry|DeleteIndexEntry)\s*\(", clean):
+    for m in re.finditer(
+            r"\b((?:Stage)?(?:Put|Delete)IndexEntry)\s*\(", clean):
         # Skip declarations/definitions: an identifier or '::' directly
         # before the name means this is not a plain call... a definition
         # looks like `Status IndexManager::PutIndexEntry(`.
@@ -358,12 +359,12 @@ def rule_index_ts(path, text, ctx, report):
                     ts_arg):
             continue
         func = m.group(1)
-        if func == "PutIndexEntry":
+        if func.endswith("PutIndexEntry"):
             ok = TS_ARG_PUT.match(ts_arg)
             want = "the base edit's `<x>.ts` verbatim"
         else:
             ok = TS_ARG_DELETE.match(ts_arg)
-            want = "`<x>.ts - kDelta` verbatim"
+            want = "`<x>.ts - kDelta` (or `old_ts - kDelta`) verbatim"
         if not ok:
             report(
                 path,
