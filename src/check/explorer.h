@@ -1,0 +1,98 @@
+// Schedule explorer: stateless DFS over the scheduler's choice
+// sequences, with sleep-set pruning (DPOR-lite) and an optional
+// preemption bound (DESIGN.md §12).
+//
+// The explorer owns no model knowledge: the caller supplies a RunFn that
+// executes one complete run under a fresh Scheduler with the given
+// replay prefix and returns the recorded decision trace, any violation,
+// and a terminal-state fingerprint. The explorer re-runs with systematically
+// mutated prefixes until the bounded space is exhausted or a cap trips.
+//
+// Branch generation (stateless sleep sets, Godefroid-style): for a run
+// executed from prefix P with decisions D, every depth i >= |P| with
+// more than one enabled thread spawns one branch per unexplored
+// alternative. An alternative is pruned when
+//   * its thread is in the sleep set at that depth (its interleavings
+//     are covered by an already-generated sibling branch), or
+//   * taking it would exceed the preemption bound (alternative != the
+//     thread that held the token while that thread is still enabled).
+// Sleep sets propagate down the chosen path by independence: two ops are
+// independent only when both carry a non-null resource and the resources
+// differ (a null resource is conservatively dependent with everything),
+// and ops of the same thread are always dependent. Pruning with this
+// test is sound: it only drops interleavings whose commuted twin is
+// explored from a sibling branch — tests/check/ verifies the terminal
+// fingerprint set matches a naive DFS on a small model.
+//
+// Every generated prefix differs from its parent run at its final
+// choice, so all runs are pairwise distinct by construction;
+// ExploreResult::schedules_run is an exact distinct-schedule count.
+
+#ifndef DIFFINDEX_CHECK_EXPLORER_H_
+#define DIFFINDEX_CHECK_EXPLORER_H_
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "check/scheduler.h"
+
+namespace diffindex {
+namespace check {
+
+// Everything the explorer needs to know about one completed run.
+struct RunOutcome {
+  std::vector<DecisionRecord> decisions;
+  // "" when the run satisfied every invariant; otherwise a one-line
+  // report (scheduler deadlock/livelock, or an oracle violation).
+  std::string violation;
+  // Hash of the terminal state (model-defined); used by the
+  // pruning-soundness test to compare explored state sets.
+  uint64_t fingerprint = 0;
+  // A replayed choice was not enabled — the model is nondeterministic.
+  bool diverged = false;
+};
+
+// Executes one run forcing the first `prefix.size()` decisions.
+using RunFn = std::function<RunOutcome(const std::vector<int>& prefix)>;
+
+struct ExploreOptions {
+  // Hard cap on runs; hitting it sets ExploreResult::hit_schedule_cap.
+  int max_schedules = 2000;
+  // Max preemptive context switches per schedule; -1 = unbounded.
+  int preemption_bound = -1;
+  // Sleep-set pruning on/off (off = naive DFS, for the soundness test).
+  bool use_sleep_sets = true;
+  // Wall-clock budget in milliseconds; 0 = unbounded.
+  int time_budget_ms = 0;
+  // Stop at the first violating run (default). Off for exhaustive
+  // exploration (the soundness test wants the full state set).
+  bool stop_on_violation = true;
+};
+
+struct ExploreResult {
+  // Distinct schedules executed (exact — see header comment).
+  int schedules_run = 0;
+  bool hit_schedule_cap = false;
+  bool hit_time_cap = false;
+  // First violating run: the report and its full choice sequence (feed
+  // to Scheduler::SetReplay, or print via FormatSchedule for the chaos
+  // harness to replay).
+  std::string first_violation;
+  std::vector<int> violating_choices;
+  int violations = 0;
+  // Distinct terminal-state fingerprints across all runs.
+  std::set<uint64_t> fingerprints;
+  int divergences = 0;
+  // Deepest decision sequence seen (exploration-depth telemetry).
+  int max_depth = 0;
+};
+
+ExploreResult Explore(const ExploreOptions& options, const RunFn& run);
+
+}  // namespace check
+}  // namespace diffindex
+
+#endif  // DIFFINDEX_CHECK_EXPLORER_H_

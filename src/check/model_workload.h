@@ -1,0 +1,76 @@
+// Model workload: one bounded, deterministic run of a real single-server
+// cluster under the cooperative scheduler (DESIGN.md §12). This is the
+// RunFn the explorer drives: same ModelOptions + same replay prefix =
+// the same interleaving, bit for bit.
+//
+// Shape of a run:
+//   1. main registers with a fresh Scheduler and builds a 1-server /
+//      1-region cluster (1 AUQ worker, zero backoff/delay) with the
+//      exploration window OFF — setup is not branched over.
+//   2. `num_writers` driver threads register (ids are deterministic:
+//      main spawns, then AwaitRegistered before handing the token over)
+//      and issue `ops_per_writer` puts each through the public client.
+//   3. main turns the window ON and calls FinishMainAndWait: from here
+//      every CHECK_YIELD with >1 enabled thread is a recorded decision.
+//   4. the run terminates at quiescence (writers exited, AUQ drained and
+//      its worker parked); the scheduler flips to release mode and the
+//      invariant oracle (check/oracle.h) inspects the terminal state.
+//
+// Inline consistency checks made by the writers themselves (only
+// meaningful on disjoint rows, where no other writer can overwrite):
+//   * sync-full:     GetByIndex immediately after the put must contain
+//                    the writer's row (causal read, §4.1).
+//   * async-session: SessionGetByIndex after SessionPut must contain the
+//                    writer's row (read-your-writes, §5.2).
+
+#ifndef DIFFINDEX_CHECK_MODEL_WORKLOAD_H_
+#define DIFFINDEX_CHECK_MODEL_WORKLOAD_H_
+
+#include <vector>
+
+#include "check/explorer.h"
+#include "check/schedule.h"
+#include "cluster/catalog.h"
+
+namespace diffindex {
+namespace check {
+
+struct ModelOptions {
+  IndexScheme scheme = IndexScheme::kAsyncSimple;
+  // AUQ coalescing drain width (PR 4's batched hot path); 1 = classic.
+  int drain_batch_size = 1;
+  int num_writers = 2;
+  int ops_per_writer = 2;
+  // true: all writers hammer one row (maximal retraction/coalescing
+  // interference). false: one row per writer (enables inline checks).
+  bool same_row = true;
+  // The last writer flushes the table after its puts, exercising the
+  // pause-&-drain gate and the drained-depth oracle point.
+  bool flush_after_writes = false;
+  // WAL group-commit ticket path (leader election under wal_sync_mu_).
+  bool group_commit = false;
+  // Decision-count livelock guard per run.
+  int max_decisions = 50000;
+};
+
+// Executes one run with the first `replay.size()` decisions forced.
+RunOutcome RunModel(const ModelOptions& options,
+                    const std::vector<int>& replay);
+
+// Adapter binding `options` so Explore() varies only the prefix.
+RunFn ModelRunner(const ModelOptions& options);
+
+// Schedule-string bridge (check/schedule.h): a "check:" string carries
+// the model configuration plus the decision sequence, so a failing
+// checker run prints a string the chaos harness can replay — exactly in
+// a DIFFINDEX_CHECK build, or as an uncontrolled sanitizer stress
+// re-run of the same model otherwise.
+Schedule ToSchedule(const ModelOptions& options,
+                    const std::vector<int>& choices);
+bool FromSchedule(const Schedule& schedule, ModelOptions* options,
+                  std::vector<int>* choices);
+
+}  // namespace check
+}  // namespace diffindex
+
+#endif  // DIFFINDEX_CHECK_MODEL_WORKLOAD_H_

@@ -1,0 +1,66 @@
+// Invariant oracle: the checks run against the terminal state of every
+// explored schedule (DESIGN.md §12). The oracle reads the REAL cluster —
+// raw index-table scans, base-table point reads at pinned timestamps —
+// after the scheduler has flipped to release mode, so the checks
+// themselves add no scheduling points.
+//
+// Checked invariants (table in DESIGN.md §12.2):
+//   * no-lost     — every live base (row, value) has an index entry
+//                   (all schemes; quiescence means the AUQ is drained).
+//   * no-phantom  — every index entry maps back to the live base value
+//                   (all schemes except sync-insert, whose stale entries
+//                   are by design and cleaned lazily — Algorithm 2).
+//   * timestamp rule (§4.3) — an index entry carrying timestamp T must
+//                   correspond to the base version AT T: a base read
+//                   pinned to T returns that exact version.
+//   * drain-before-flush (§5.3, Figure 5) — every CHECK_POINT_VAL
+//                   "rs.flush.drained_depth" recorded 0: the AUQ was
+//                   empty at the flush drain barrier.
+//
+// Causal (sync-full) and read-your-writes (async-session) are inline
+// checks made by the workload's writer threads mid-run (they are
+// statements about reads *during* the interleaving, not about the
+// terminal state) — see model_workload.cc.
+
+#ifndef DIFFINDEX_CHECK_ORACLE_H_
+#define DIFFINDEX_CHECK_ORACLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/scheduler.h"
+#include "cluster/catalog.h"
+#include "core/diff_index_client.h"
+
+namespace diffindex {
+namespace check {
+
+struct OracleInput {
+  DiffIndexClient* client = nullptr;
+  std::string table;
+  std::string index_name;
+  std::string column;
+  IndexScheme scheme = IndexScheme::kSyncFull;
+  // The workload's row / encoded-value universes (the oracle scans the
+  // index per value instead of assuming an unbounded-scan convention).
+  std::vector<std::string> rows;
+  std::vector<std::string> values;
+  const std::vector<Scheduler::PointEvent>* points = nullptr;
+};
+
+struct OracleReport {
+  // "" when every invariant held; otherwise a one-line violation report
+  // naming the invariant and the offending entry.
+  std::string violation;
+  // FNV-1a hash of the terminal state (sorted index entries with their
+  // timestamps + live base pairs) — the explorer's state fingerprint.
+  uint64_t fingerprint = 0;
+};
+
+OracleReport CheckTerminalState(const OracleInput& input);
+
+}  // namespace check
+}  // namespace diffindex
+
+#endif  // DIFFINDEX_CHECK_ORACLE_H_

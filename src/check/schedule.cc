@@ -1,0 +1,136 @@
+#include "check/schedule.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace diffindex {
+namespace check {
+
+bool Schedule::has(const std::string& key) const {
+  for (const auto& kv : fields) {
+    if (kv.first == key) return true;
+  }
+  return false;
+}
+
+std::string Schedule::get(const std::string& key,
+                          const std::string& fallback) const {
+  for (const auto& kv : fields) {
+    if (kv.first == key) return kv.second;
+  }
+  return fallback;
+}
+
+long long Schedule::get_int(const std::string& key,
+                            long long fallback) const {
+  for (const auto& kv : fields) {
+    if (kv.first == key) {
+      char* end = nullptr;
+      const long long v = std::strtoll(kv.second.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || end == kv.second.c_str()) {
+        return fallback;
+      }
+      return v;
+    }
+  }
+  return fallback;
+}
+
+void Schedule::set(const std::string& key, const std::string& value) {
+  for (auto& kv : fields) {
+    if (kv.first == key) {
+      kv.second = value;
+      return;
+    }
+  }
+  fields.emplace_back(key, value);
+}
+
+void Schedule::set_int(const std::string& key, long long value) {
+  set(key, std::to_string(value));
+}
+
+std::string FormatSchedule(const Schedule& schedule) {
+  std::ostringstream out;
+  out << schedule.kind << ":";
+  bool first = true;
+  for (const auto& kv : schedule.fields) {
+    if (!first) out << ";";
+    first = false;
+    out << kv.first << "=" << kv.second;
+  }
+  if (!schedule.choices.empty()) {
+    if (!first) out << ";";
+    out << "choices=";
+    for (size_t i = 0; i < schedule.choices.size(); ++i) {
+      if (i) out << ",";
+      out << schedule.choices[i];
+    }
+  }
+  return out.str();
+}
+
+namespace {
+
+bool ParseChoices(const std::string& value, std::vector<int>* out,
+                  std::string* error) {
+  out->clear();
+  if (value.empty()) return true;
+  size_t pos = 0;
+  while (pos <= value.size()) {
+    size_t comma = value.find(',', pos);
+    if (comma == std::string::npos) comma = value.size();
+    const std::string tok = value.substr(pos, comma - pos);
+    char* end = nullptr;
+    const long v = std::strtol(tok.c_str(), &end, 10);
+    if (tok.empty() || end == nullptr || *end != '\0' || v < 0) {
+      *error = "bad choice token: '" + tok + "'";
+      return false;
+    }
+    out->push_back(static_cast<int>(v));
+    pos = comma + 1;
+    if (comma == value.size()) break;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ParseSchedule(const std::string& text, Schedule* out,
+                   std::string* error) {
+  std::string err_local;
+  if (error == nullptr) error = &err_local;
+  const size_t colon = text.find(':');
+  if (colon == std::string::npos || colon == 0) {
+    *error = "missing '<kind>:' prefix";
+    return false;
+  }
+  Schedule parsed;
+  parsed.kind = text.substr(0, colon);
+  size_t pos = colon + 1;
+  while (pos < text.size()) {
+    size_t semi = text.find(';', pos);
+    if (semi == std::string::npos) semi = text.size();
+    const std::string field = text.substr(pos, semi - pos);
+    if (!field.empty()) {
+      const size_t eq = field.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        *error = "bad field (want key=value): '" + field + "'";
+        return false;
+      }
+      const std::string key = field.substr(0, eq);
+      const std::string value = field.substr(eq + 1);
+      if (key == "choices") {
+        if (!ParseChoices(value, &parsed.choices, error)) return false;
+      } else {
+        parsed.fields.emplace_back(key, value);
+      }
+    }
+    pos = semi + 1;
+  }
+  *out = std::move(parsed);
+  return true;
+}
+
+}  // namespace check
+}  // namespace diffindex

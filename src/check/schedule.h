@@ -1,0 +1,61 @@
+// Replayable-schedule strings: the one wire format shared by the chaos
+// harness (tests/fault/) and the concurrency model checker (src/check/).
+//
+// A schedule string is
+//
+//   <kind>:k1=v1;k2=v2;...;choices=3,1,0,2
+//
+// where <kind> names the interpreter ("chaos" for a seeded chaos
+// schedule, "check" for a model-checker interleaving), the key=value
+// fields carry the run configuration (seed, scheme, bounds, model name),
+// and the optional `choices` field is the decision sequence a
+// cooperative Scheduler replays verbatim. Keys and values must not
+// contain ';' or '='; choices are non-negative thread ids.
+//
+// The point of one format is the failure workflow: a failing checker run
+// prints a "check:" string, and tests/fault/ can replay it — exactly
+// (same choices) in a DIFFINDEX_CHECK build, or as a sanitizer stress
+// re-run of the same model + scheme in a plain ASan/TSan build. A
+// failing chaos run prints a "chaos:" string replayable bit-for-bit from
+// its seed. Both go through ParseSchedule below.
+
+#ifndef DIFFINDEX_CHECK_SCHEDULE_H_
+#define DIFFINDEX_CHECK_SCHEDULE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace diffindex {
+namespace check {
+
+struct Schedule {
+  std::string kind;  // "chaos" or "check"
+  // Preserves insertion order so Format(Parse(s)) == s.
+  std::vector<std::pair<std::string, std::string>> fields;
+  std::vector<int> choices;
+
+  bool has(const std::string& key) const;
+  // Returns the field value, or `fallback` when absent.
+  std::string get(const std::string& key,
+                  const std::string& fallback = "") const;
+  // Integer accessor; returns `fallback` on absence or parse failure.
+  long long get_int(const std::string& key, long long fallback = 0) const;
+  void set(const std::string& key, const std::string& value);
+  void set_int(const std::string& key, long long value);
+};
+
+// Serializes to the canonical string form shown above. `choices` is
+// emitted last, and only when non-empty.
+std::string FormatSchedule(const Schedule& schedule);
+
+// Parses a schedule string. Returns false (and fills *error) on
+// malformed input: missing kind, bad key=value syntax, or a non-integer
+// choice. On success *out is fully replaced.
+bool ParseSchedule(const std::string& text, Schedule* out,
+                   std::string* error);
+
+}  // namespace check
+}  // namespace diffindex
+
+#endif  // DIFFINDEX_CHECK_SCHEDULE_H_

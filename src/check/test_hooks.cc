@@ -1,0 +1,12 @@
+#include "check/test_hooks.h"
+
+namespace diffindex {
+namespace check {
+namespace test_hooks {
+
+std::atomic<bool> buggy_min_anchor_coalescing{false};
+std::atomic<bool> buggy_ts_outside_write_mu{false};
+
+}  // namespace test_hooks
+}  // namespace check
+}  // namespace diffindex

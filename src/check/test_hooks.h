@@ -1,0 +1,41 @@
+// Mutation hooks for the model checker's regression corpus
+// (tests/check/): each hook re-introduces a previously-fixed concurrency
+// bug behind an atomic flag, so the checker can prove it still *finds*
+// the bug within its exploration bounds. The hooked code paths only
+// consult these flags in DIFFINDEX_CHECK builds; production builds never
+// read them.
+
+#ifndef DIFFINDEX_CHECK_TEST_HOOKS_H_
+#define DIFFINDEX_CHECK_TEST_HOOKS_H_
+
+#include <atomic>
+
+namespace diffindex {
+namespace check {
+namespace test_hooks {
+
+// Re-introduces the PR-4 min-anchor coalescing bug: when the AUQ batched
+// drain coalesces tasks for the same (index, base row), collapse the
+// survivor's retraction anchors (old_ts + covered_old_ts) to the single
+// minimum point instead of replaying every anchor. An absorbed put whose
+// entry was already delivered (or whose anchor is the only one reading
+// the superseded value) then never gets retracted — a phantom index
+// entry the invariant oracle reports.
+extern std::atomic<bool> buggy_min_anchor_coalescing;
+
+// Re-introduces the timestamp-inversion race the model checker found in
+// the sync observer path: draw a put's timestamp BEFORE the region's
+// write-serialized section (the pre-fix ExecutePut behavior) instead of
+// inside LogAndApply's write_mu critical section. Two same-row puts can
+// then apply in the opposite order of their timestamps; the later-ts
+// put's retraction read at ts-δ runs before the earlier-ts apply lands,
+// so that entry is never retracted — a phantom the invariant oracle
+// reports (first seen as sync-full + group-commit, where the WAL ticket
+// wait under write_mu widens the inversion window).
+extern std::atomic<bool> buggy_ts_outside_write_mu;
+
+}  // namespace test_hooks
+}  // namespace check
+}  // namespace diffindex
+
+#endif  // DIFFINDEX_CHECK_TEST_HOOKS_H_

@@ -1,0 +1,119 @@
+// CHECK_YIELD instrumentation: the seam markers the model checker
+// branches on. Safe to include from any layer — every macro compiles to
+// nothing unless the build sets DIFFINDEX_CHECK=ON, so production code
+// pays zero cost and keeps zero dependencies on src/check/.
+//
+// Placement rules (DESIGN.md §12): put a CHECK_YIELD immediately BEFORE
+// an operation whose interleaving against other threads matters — an
+// enqueue becoming visible, a coalesce decision, a flush barrier, a WAL
+// ticket step, a cache populate. Use CHECK_YIELD_RES when the operation
+// is wholly about one shared resource (pass its address): the explorer
+// treats ops on distinct resources as independent and prunes, ops with a
+// null resource as dependent-with-everything (sound but unpruned).
+//
+//   CHECK_YIELD("auq.enqueue");                  // decision point
+//   CHECK_YIELD_RES("auq.coalesce", &mu_);       // resource-scoped
+//   CHECK_POINT_VAL("rs.flush.drained_depth", hooks_->QueueDepth());
+//
+// CHECK_POINT_VAL records a (tag, value) event for the invariant oracle
+// without yielding — e.g. the AUQ depth observed at the flush drain
+// barrier, which must be 0 on every explored schedule (§5.3).
+
+#ifndef DIFFINDEX_CHECK_YIELD_H_
+#define DIFFINDEX_CHECK_YIELD_H_
+
+#ifdef DIFFINDEX_CHECK
+
+#include "check/scheduler.h"
+
+namespace diffindex {
+namespace check {
+
+inline void YieldPoint(const char* tag, const void* resource) {
+  Scheduler* s = Scheduler::CurrentIfControlled();
+  if (s != nullptr) s->Yield(tag, resource, resource != nullptr);
+}
+
+inline void NotePointVal(const char* tag, long long value) {
+  Scheduler* s = Scheduler::CurrentIfControlled();
+  if (s != nullptr) s->NotePoint(tag, value);
+}
+
+// RAII registration for long-lived worker threads (AUQ workers):
+// registers as a daemon on construction when a scheduler is active,
+// unregisters on destruction. Daemons do not block run completion —
+// a run is done when non-daemons exited and daemons are parked.
+class ScopedDaemonRegistration {
+ public:
+  explicit ScopedDaemonRegistration(const char* name) {
+    Scheduler* s = Scheduler::Active();
+    if (s != nullptr) {
+      registered_ = true;
+      s->RegisterCurrentThread(name, /*daemon=*/true);
+      scheduler_ = s;
+    }
+  }
+  ~ScopedDaemonRegistration() {
+    if (registered_) scheduler_->UnregisterCurrentThread();
+  }
+  ScopedDaemonRegistration(const ScopedDaemonRegistration&) = delete;
+  ScopedDaemonRegistration& operator=(const ScopedDaemonRegistration&) =
+      delete;
+
+ private:
+  bool registered_ = false;
+  Scheduler* scheduler_ = nullptr;
+};
+
+// Spawn-side handshake: snapshot the registered count before spawning N
+// threads, then block until all N have registered so thread ids are
+// assigned deterministically. No-ops without an active scheduler.
+inline int RegisteredCountIfActive() {
+  Scheduler* s = Scheduler::Active();
+  return s != nullptr ? s->RegisteredCount() : 0;
+}
+
+inline void AwaitRegisteredIfActive(int count) {
+  Scheduler* s = Scheduler::Active();
+  if (s != nullptr) s->AwaitRegistered(count);
+}
+
+}  // namespace check
+}  // namespace diffindex
+
+#define CHECK_YIELD(tag) ::diffindex::check::YieldPoint((tag), nullptr)
+#define CHECK_YIELD_RES(tag, res) ::diffindex::check::YieldPoint((tag), (res))
+#define CHECK_POINT_VAL(tag, value) \
+  ::diffindex::check::NotePointVal((tag), (long long)(value))
+#define CHECK_REGISTER_DAEMON(name) \
+  ::diffindex::check::ScopedDaemonRegistration diffindex_check_reg_(name)
+#define CHECK_SPAWN_SNAPSHOT() ::diffindex::check::RegisteredCountIfActive()
+#define CHECK_AWAIT_REGISTERED(count) \
+  ::diffindex::check::AwaitRegisteredIfActive(count)
+
+#else  // !DIFFINDEX_CHECK
+
+// No-ops; arguments are NOT evaluated.
+#define CHECK_YIELD(tag) \
+  do {                   \
+  } while (0)
+#define CHECK_YIELD_RES(tag, res) \
+  do {                            \
+  } while (0)
+#define CHECK_POINT_VAL(tag, value) \
+  do {                              \
+  } while (0)
+#define CHECK_REGISTER_DAEMON(name) \
+  do {                              \
+  } while (0)
+#define CHECK_SPAWN_SNAPSHOT() 0
+// `count` is evaluated (it references the snapshot variable, which would
+// otherwise be unused in a non-check build).
+#define CHECK_AWAIT_REGISTERED(count) \
+  do {                                \
+    (void)(count);                    \
+  } while (0)
+
+#endif  // DIFFINDEX_CHECK
+
+#endif  // DIFFINDEX_CHECK_YIELD_H_

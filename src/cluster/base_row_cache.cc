@@ -1,5 +1,6 @@
 #include "cluster/base_row_cache.h"
 
+#include "check/yield.h"
 #include "util/coding.h"
 
 namespace diffindex {
@@ -69,6 +70,10 @@ void BaseRowCache::NoteWrite(
   // column "") would only pollute the cache — base reads always name a
   // real column.
   if (cell.column.empty()) return;
+  // Decision point between the memtable apply and the cache populate:
+  // a concurrent lookup here sees the tree's new version but a stale (or
+  // absent) cache entry — the window the two-version design must absorb.
+  CHECK_YIELD("cache.populate");
   const std::string key = MakeKey(table, row, cell.column);
 
   Entry entry;
@@ -79,6 +84,9 @@ void BaseRowCache::NoteWrite(
     // certify that OURS is the newest — a put hidden between two
     // tombstones would be unreachable but real.
     if (cell.is_delete) return;
+    // The verify read races later writers: certification holds only if
+    // our version is still the newest when the read lands.
+    CHECK_YIELD("cache.verify");
     Timestamp newest = 0;
     entry.latest = read_newest(&newest) && newest == ts;
     entry.prev_valid = false;
@@ -100,6 +108,7 @@ void BaseRowCache::NoteWrite(
       entry.latest = true;
     } else if (!cell.is_delete) {
       // v0 was not certified; try to (re)establish with a verify read.
+      CHECK_YIELD("cache.verify");
       Timestamp newest = 0;
       entry.latest = read_newest(&newest) && newest == ts;
     } else {
@@ -133,6 +142,7 @@ BaseRowCache::Result BaseRowCache::Lookup(const std::string& table,
                                           Timestamp read_ts,
                                           std::string* value,
                                           Timestamp* version_ts) {
+  CHECK_YIELD("cache.lookup");
   auto cached = cache_.Lookup(MakeKey(table, row, column));
   Entry entry;
   if (cached == nullptr || !Decode(*cached, &entry)) {

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <chrono>
 
+#include "check/yield.h"
+#ifdef DIFFINDEX_CHECK
+#include "check/test_hooks.h"
+#endif
 #include "fault/failpoint.h"
 #include "obs/trace.h"
 #include "util/coding.h"
@@ -436,15 +440,44 @@ Status RegionServer::Handle(MsgType type, Slice body, std::string* response) {
 }
 
 Status RegionServer::LogAndApply(const std::shared_ptr<Region>& region,
-                                 const PutRequest& put, Timestamp ts) {
+                                 const PutRequest& put,
+                                 Timestamp requested_ts,
+                                 Timestamp* assigned_ts, PutResponse* resp) {
+  MutexLock wlock(region->write_mu());
+  // Under write_mu, so same-region ts order == apply order (see the
+  // declaration comment — the sync observers' retraction reads rely on
+  // this).
+  const Timestamp ts = requested_ts != 0 ? requested_ts : oracle_.Next();
+  *assigned_ts = ts;
+
+  // Session consistency support: report each cell's previous value so the
+  // client library can generate its private index entries/delete markers
+  // (Section 5.2). Read here, under the same serialization as the ts
+  // draw, so "previous" is exact — no concurrent same-row put can sit
+  // between this snapshot and ts.
+  if (resp != nullptr && put.return_old_values) {
+    for (const Cell& cell : put.cells) {
+      OldCellValue old;
+      old.column = cell.column;
+      std::string value;
+      Timestamp old_ts = 0;
+      Status s = region->tree()->Get(EncodeCellKey(put.row, cell.column),
+                                     ts - kDelta, &value, &old_ts);
+      if (s.ok()) {
+        old.found = true;
+        old.value = std::move(value);
+        old.ts = old_ts;
+      }
+      resp->old_values.push_back(std::move(old));
+    }
+  }
+
   WalEdit edit;
   edit.table = put.table;
   edit.region_id = region->info().region_id;
   edit.row = put.row;
   edit.cells = put.cells;
   edit.ts = ts;
-
-  MutexLock wlock(region->write_mu());
   edit.seq = next_edit_seq_.fetch_add(1, std::memory_order_relaxed);
 
   std::string payload;
@@ -475,6 +508,9 @@ Status RegionServer::LogAndApply(const std::shared_ptr<Region>& region,
     sync_ticket = wal_appends_.fetch_add(1, std::memory_order_relaxed) + 1;
   }
   if (options_.wal_sync == wal::SyncMode::kGroupCommit) {
+    // Appended and ticketed but not yet durable: concurrent appends that
+    // interleave here join this ticket's covering sync.
+    CHECK_YIELD_RES("wal.ticket", &wal_sync_mu_);
     // One shared fsync covers every append up to the leader's window; the
     // put is not durable (and must not be acked) until it returns.
     DIFFINDEX_RETURN_NOT_OK(GroupCommitSync(sync_ticket));
@@ -515,6 +551,9 @@ Status RegionServer::GroupCommitSync(uint64_t ticket) {
     if (synced_ticket_ >= ticket) return Status::OK();  // a leader covered us
     wal_sync_in_progress_ = true;  // become the leader
   }
+  // Leader elected, sync not started: appends landing here are covered
+  // by this sync's target read under wal_mu_ below.
+  CHECK_YIELD_RES("wal.group_commit.lead", &wal_sync_mu_);
   // Optional window: let more concurrent appends join this sync. Latecomers
   // also batch naturally — they block above until this sync finishes, and
   // whoever leads next covers all of them at once.
@@ -614,6 +653,9 @@ Status RegionServer::ExecutePut(const PutRequest& put, PutResponse* resp) {
     return Status::WrongRegion(put.table + "/" + put.row);
   }
 
+  // Decision point before the put enters its pipeline (gate, WAL,
+  // memtable, index hooks): flushes and concurrent puts order here.
+  CHECK_YIELD("rs.put.begin");
   const auto stall_start = std::chrono::steady_clock::now();
   ReaderMutexLock gate(region->flush_gate());
   const auto stall_end = std::chrono::steady_clock::now();
@@ -633,30 +675,24 @@ Status RegionServer::ExecutePut(const PutRequest& put, PutResponse* resp) {
     return Status::WrongRegion(put.table + " (region moving)");
   }
 
-  const Timestamp ts = put.ts != 0 ? put.ts : oracle_.Next();
-  resp->assigned_ts = ts;
-
-  // Session consistency support: report each cell's previous value so the
-  // client library can generate its private index entries/delete markers
-  // (Section 5.2).
-  if (put.return_old_values) {
-    for (const Cell& cell : put.cells) {
-      OldCellValue old;
-      old.column = cell.column;
-      std::string value;
-      Timestamp old_ts = 0;
-      Status s = region->tree()->Get(EncodeCellKey(put.row, cell.column),
-                                     ts - kDelta, &value, &old_ts);
-      if (s.ok()) {
-        old.found = true;
-        old.value = std::move(value);
-        old.ts = old_ts;
-      }
-      resp->old_values.push_back(std::move(old));
-    }
+  Timestamp requested_ts = put.ts;
+#ifdef DIFFINDEX_CHECK
+  // Mutation hook (tests/check/mutation_regression_test.cc): the pre-fix
+  // timestamp assignment, drawn before the region's write-serialized
+  // section. Two same-row puts can then apply in the opposite order of
+  // their timestamps, and a sync observer's retraction read at the later
+  // ts misses the earlier, not-yet-applied version — a phantom entry the
+  // model checker found and the fixed path (ts drawn inside LogAndApply's
+  // write_mu section) prevents.
+  if (requested_ts == 0 &&
+      check::test_hooks::buggy_ts_outside_write_mu.load(
+          std::memory_order_relaxed)) {
+    requested_ts = oracle_.Next();
   }
-
-  DIFFINDEX_RETURN_NOT_OK(LogAndApply(region, put, ts));
+#endif
+  Timestamp ts = 0;
+  DIFFINDEX_RETURN_NOT_OK(LogAndApply(region, put, requested_ts, &ts, resp));
+  resp->assigned_ts = ts;
 
   // Diff-Index coprocessors: sync schemes complete their index operations
   // here (inside the put latency, as the paper measures); async schemes
@@ -803,7 +839,9 @@ Status RegionServer::HandleRawDelete(Slice body, std::string* response) {
   put.cells.push_back(Cell{column, "", /*is_delete=*/true});
   put.ts = req.ts;
   ReaderMutexLock gate(region->flush_gate());
-  DIFFINDEX_RETURN_NOT_OK(LogAndApply(region, put, req.ts));
+  Timestamp applied_ts = 0;
+  DIFFINDEX_RETURN_NOT_OK(
+      LogAndApply(region, put, req.ts, &applied_ts, nullptr));
   gate.Release();
   response->clear();
   return Status::OK();
@@ -917,6 +955,9 @@ Status RegionServer::FlushRegion(const std::string& table,
 
 Status RegionServer::FlushRegionInternal(
     const std::shared_ptr<Region>& region) {
+  // Decision point before the flush claims the exclusive gate: puts
+  // racing the flush order here.
+  CHECK_YIELD("rs.flush.begin");
   // Exclusive gate: no put is mid-pipeline; every applied put's AUQ entry
   // is enqueued. PreFlush pauses intake and waits for the APS to drain —
   // this is "1. pause & drain / 2. flush / 3. roll forward" of Figure 5.
@@ -928,6 +969,12 @@ Status RegionServer::FlushRegionInternal(
     obs::SpanTimer drain_span(options_.metrics, options_.traces,
                               "rs.flush_drain");
     if (hooks_ != nullptr) hooks_->PreFlush(region->info().table);
+  }
+  // §5.3 PR(Flushed) = ∅, checked on every explored schedule: after the
+  // drain barrier the AUQ must be empty (intake is paused until
+  // PostFlush, so it stays empty through the memtable swap).
+  if (hooks_ != nullptr) {
+    CHECK_POINT_VAL("rs.flush.drained_depth", hooks_->QueueDepth());
   }
   Status s = region->tree()->Flush();
   if (s.ok() && region->local_index_tree() != nullptr) {

@@ -262,10 +262,23 @@ class RegionServer {
                    const Slice& column, Timestamp read_ts, std::string* value,
                    Timestamp* version_ts);
 
-  // Applies one put to a region: assigns seq, appends to the WAL, applies
-  // cells to the memtable. Caller holds the region's flush gate (shared).
+  // Applies one put to a region: assigns the put's timestamp (when
+  // `requested_ts` is 0), reads the pre-put old values into *resp when
+  // the request asks for them, assigns seq, appends to the WAL and
+  // applies cells to the memtable — all inside the region's write_mu
+  // critical section. Caller holds the region's flush gate (shared).
+  //
+  // Timestamp assignment MUST happen under write_mu: it makes ts order
+  // equal apply order for same-region puts, which the sync index
+  // observers depend on — a retraction read at ts-δ sees every earlier
+  // version only if any same-row put with a smaller ts has already
+  // applied. Drawing the ts before this section reintroduces a phantom
+  // found by the model checker (tests/check/mutation_regression_test.cc
+  // keeps the pre-fix assignment armed behind a hook and proves the
+  // bounded exploration still catches it).
   Status LogAndApply(const std::shared_ptr<Region>& region,
-                     const PutRequest& put, Timestamp ts);
+                     const PutRequest& put, Timestamp requested_ts,
+                     Timestamp* assigned_ts, PutResponse* resp);
 
   void HeartbeatLoop();
 
@@ -287,7 +300,13 @@ class RegionServer {
   // FindRegion's regions_mu_ hold is
   // self-contained: it copies the shared_ptr out and releases before the
   // caller touches any region lock.
-  mutable SharedMutex regions_mu_;
+  //
+  // The order is machine-checked twice: the ACQUIRED_BEFORE annotations
+  // below feed the `lock-order` lint rule (acquisition-graph cycle
+  // detection), and the LockRank constructor arguments arm the runtime
+  // validator (util/lock_order.h) in debug/TSan/DIFFINDEX_CHECK builds.
+  mutable SharedMutex regions_mu_ ACQUIRED_AFTER(wal_mu_){
+      LockRank::kRegionsMu, "regions_mu_"};
   // key: (table, region_id)
   std::map<std::pair<std::string, uint64_t>, std::shared_ptr<Region>> regions_
       GUARDED_BY(regions_mu_);
@@ -295,10 +314,12 @@ class RegionServer {
   std::map<std::pair<std::string, uint64_t>, uint64_t> flushed_seq_
       GUARDED_BY(regions_mu_);
 
-  mutable Mutex catalog_mu_;
+  // Leaf: never held while acquiring another ranked lock.
+  mutable Mutex catalog_mu_{LockRank::kLeaf, "catalog_mu_"};
   CatalogSnapshot catalog_ GUARDED_BY(catalog_mu_);
 
-  Mutex wal_mu_;
+  Mutex wal_mu_ ACQUIRED_BEFORE(regions_mu_)
+      ACQUIRED_AFTER(wal_sync_mu_){LockRank::kWalMu, "wal_mu_"};
   std::vector<WalFile> wal_files_
       GUARDED_BY(wal_mu_);  // open tail is wal_files_.back()
   uint64_t next_wal_file_seq_ GUARDED_BY(wal_mu_) = 1;
@@ -308,7 +329,8 @@ class RegionServer {
   // (the wal_appends_ count after the append), so "synced through ticket
   // T" means the first T appends are durable. Acquired between a region's
   // write_mu and wal_mu_ — see the lock-order comment above.
-  Mutex wal_sync_mu_;
+  Mutex wal_sync_mu_ ACQUIRED_BEFORE(wal_mu_)
+      ACQUIRED_AFTER(write_mu_){LockRank::kWalSyncMu, "wal_sync_mu_"};
   CondVar wal_sync_cv_;
   uint64_t synced_ticket_ GUARDED_BY(wal_sync_mu_) = 0;
   bool wal_sync_in_progress_ GUARDED_BY(wal_sync_mu_) = false;

@@ -5,8 +5,13 @@
 #include <map>
 #include <tuple>
 
+#include "check/yield.h"
 #include "fault/failpoint.h"
 #include "util/logging.h"
+
+#ifdef DIFFINDEX_CHECK
+#include "check/test_hooks.h"
+#endif
 
 namespace diffindex {
 
@@ -27,14 +32,22 @@ AsyncUpdateQueue::AsyncUpdateQueue(const AuqOptions& options,
     batch_size_hist_ = options_.metrics->GetHistogram("auq.batch_size");
   }
   workers_.reserve(options_.worker_threads);
+  // Model-checker handshake: wait until every spawned worker has
+  // registered with the active scheduler, so thread ids (and therefore
+  // schedule strings) are assigned deterministically.
+  const int check_registered = CHECK_SPAWN_SNAPSHOT();
   for (int i = 0; i < options_.worker_threads; i++) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+  CHECK_AWAIT_REGISTERED(check_registered + options_.worker_threads);
 }
 
 AsyncUpdateQueue::~AsyncUpdateQueue() { Shutdown(); }
 
 bool AsyncUpdateQueue::Enqueue(IndexTask task) {
+  // Decision point before the task becomes visible to workers: the
+  // explorer branches on enqueue-vs-drain orderings here.
+  CHECK_YIELD_RES("auq.enqueue", &mu_);
   MutexLock lock(mu_);
   intake_cv_.Wait(mu_, [this]() REQUIRES(mu_) {
     if (shutdown_) return true;
@@ -144,6 +157,9 @@ uint64_t AsyncUpdateQueue::retries() const {
 }
 
 void AsyncUpdateQueue::WorkerLoop() {
+  // Under the model checker, workers are daemon threads: they park on
+  // the empty queue at quiescence and do not block run completion.
+  CHECK_REGISTER_DAEMON("auq.worker");
   if (options_.drain_batch_size > 1) {
     // Batched drain: pop up to drain_batch_size tasks at once and hand
     // them to ProcessBatch. Draining proceeds regardless of Pause() —
@@ -172,6 +188,9 @@ void AsyncUpdateQueue::WorkerLoop() {
         }
       }
       if (batch_size_hist_ != nullptr) batch_size_hist_->Add(batch.size());
+      // The batch is popped but not yet applied: enqueues landing here
+      // miss this drain unit (they coalesce into the next).
+      CHECK_YIELD_RES("auq.drain.pop", &mu_);
       ProcessBatch(std::move(batch));
     }
   }
@@ -189,6 +208,9 @@ void AsyncUpdateQueue::WorkerLoop() {
       queue_.pop_front();
       in_flight_++;
     }
+    // The task is in flight but not yet applied (the AU2..AU4 window of
+    // Algorithm 4): base reads racing the apply interleave here.
+    CHECK_YIELD_RES("auq.process.begin", &mu_);
 
     if (options_.process_delay_ms > 0) {
       std::this_thread::sleep_for(
@@ -320,6 +342,28 @@ void AsyncUpdateQueue::ProcessBatch(std::vector<IndexTask> batch) {
       coalesced_counter_->Add(absorbed_now);
     }
   }
+
+#ifdef DIFFINDEX_CHECK
+  // Mutation hook (tests/check/mutation_regression_test.cc): the PR-4
+  // min-anchor coalescing bug. Collapsing a survivor's retraction
+  // anchors to the single minimum point drops the anchors that read the
+  // superseded values, leaving their index entries unretracted.
+  if (check::test_hooks::buggy_min_anchor_coalescing.load(
+          std::memory_order_relaxed)) {
+    for (IndexTask& task : survivors) {
+      if (task.covered_old_ts.empty()) continue;
+      Timestamp anchor = task.old_ts;
+      for (const Timestamp t : task.covered_old_ts) {
+        anchor = std::min(anchor, t);
+      }
+      task.old_ts = anchor;
+      task.covered_old_ts.clear();
+    }
+  }
+#endif
+  // Survivors are fixed; the batched apply (resolve + stage + one
+  // shipped RPC) races base writes from here on.
+  CHECK_YIELD_RES("auq.coalesce", &mu_);
 
   if (options_.process_delay_ms > 0) {
     std::this_thread::sleep_for(

@@ -168,7 +168,12 @@ class AsyncUpdateQueue {
   // three waiter populations. The drain-barrier invariant (§5.3):
   // WaitDrained returns only when queue_ is empty AND in_flight_ == 0,
   // both read under mu_ — a task is never outside both.
-  mutable Mutex mu_;
+  // Acquired under a region's flush gate only (PostApply's Enqueue and
+  // PreFlush's Pause/WaitDrained run while the caller holds the gate);
+  // never held across a call that takes another ranked lock. The
+  // ACQUIRED_AFTER + LockRank pair feeds the lock-order lint and the
+  // runtime validator (util/lock_order.h).
+  mutable Mutex mu_ ACQUIRED_AFTER(flush_gate_){LockRank::kAuqMu, "auq.mu_"};
   CondVar intake_cv_;   // waiting to enqueue (pause/full)
   CondVar work_cv_;     // workers waiting for tasks
   CondVar drained_cv_;  // flushers waiting for drain

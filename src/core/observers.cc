@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/yield.h"
 #include "core/index_codec.h"
 #include "fault/failpoint.h"
 #include "obs/trace.h"
@@ -143,6 +144,10 @@ void IndexManager::PreFlush(const std::string& table) {
   // their memtables. (Sync schemes also fall back to the AUQ on failure,
   // so any indexed table gets the pause-and-drain treatment.)
   if (desc == nullptr || desc->indexes.empty()) return;
+  // Drain barrier about to engage (§5.3): enqueues racing the pause
+  // land either before the barrier (drained below) or block until
+  // PostFlush resumes intake.
+  CHECK_YIELD("auq.pause");
   auq_->Pause();
   // "auq.drain" deliberately breaks the Section 5.3 invariant
   // PR(Flushed) = ∅: the flush proceeds with index work still queued, so a
@@ -384,6 +389,9 @@ Status IndexManager::ProcessTask(const IndexTask& task, bool insert_only,
   if (new_value.has_value()) {
     const std::string new_row =
         EncodeIndexRow(*new_value, task.row);
+    // PI about to land: index readers racing the entry's visibility
+    // interleave here (SU2/BA4).
+    CHECK_YIELD("index.stage.put");
     DIFFINDEX_RETURN_NOT_OK(
         PutIndexEntry(task.index.index_table, new_row, task.ts, foreground));
   }
@@ -398,6 +406,10 @@ Status IndexManager::ProcessTask(const IndexTask& task, bool insert_only,
   // task has exactly one point (old_ts == ts); a coalesced survivor
   // replays every absorbed task's point too.
   for (const Timestamp old_ts : RetractionPoints(task)) {
+    // Window between PI and this anchor's DI: a reader here sees both
+    // the new and the not-yet-retracted old entry (Section 4.3 tolerates
+    // it; the terminal oracle must not).
+    CHECK_YIELD("index.retract");
     std::optional<std::string> old_value;
     DIFFINDEX_RETURN_NOT_OK(ResolveIndexValue(task, old_ts - kDelta,
                                               /*use_task_cells=*/false,
@@ -447,6 +459,9 @@ void IndexManager::ProcessTaskBatch(const std::vector<IndexTask>& tasks,
   std::vector<bool> shipped(tasks.size(), false);
   for (size_t i = 0; i < tasks.size(); i++) {
     const IndexTask& task = tasks[i];
+    // Base reads for this task's PI/DI values are about to happen; base
+    // writes racing the batched resolve interleave here (BA2).
+    CHECK_YIELD("index.batch.resolve");
     // Resolve BOTH values before staging anything for this task: a
     // resolution error must stage nothing, or a half-staged task would
     // ship its PI now and retry its DI later against a changed base.
@@ -494,6 +509,9 @@ void IndexManager::ProcessTaskBatch(const std::vector<IndexTask>& tasks,
   }
   if (staged.empty()) return;
 
+  // The whole drain unit ships as one RPC: readers here still see the
+  // pre-batch index state.
+  CHECK_YIELD("index.batch.ship");
   Status ship = internal_client_->MultiPutBatch(std::move(staged));
   if (!ship.ok()) {
     // All-or-error: a transport failure fails every task that staged work;

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "check/yield.h"
 #include "fault/failpoint.h"
 #include "util/coding.h"
 #include "util/crc32c.h"
@@ -20,6 +21,10 @@ Status Writer::Open(Env* env, const std::string& path, SyncMode sync_mode,
 }
 
 Status Writer::AddRecord(const Slice& payload) {
+  // Decision point before the record hits the log: a group-commit leader
+  // can be elected (or a flush can roll the log) between the caller's
+  // ticket grab and the append landing.
+  CHECK_YIELD("wal.append");
   DIFFINDEX_FAILPOINT("wal.append");
   std::string header;
   PutFixed32(&header,
@@ -36,6 +41,9 @@ Status Writer::AddRecord(const Slice& payload) {
 }
 
 Status Writer::Sync() {
+  // The group-commit leader's durability point: followers whose appends
+  // landed before this yield are covered by the sync that follows it.
+  CHECK_YIELD("wal.sync");
   DIFFINDEX_FAILPOINT("wal.sync");
   return file_->Sync();
 }

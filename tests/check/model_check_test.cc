@@ -1,0 +1,193 @@
+// Bounded model-checking sweep (DESIGN.md §12): drives the real scheme
+// implementations through systematically explored interleavings and
+// checks the invariant oracle at every terminal state. These are the
+// ctests behind the CI `model_check` label; each exploration logs its
+// exact distinct-schedule count and bounds.
+//
+// Meaningful only under DIFFINDEX_CHECK (the yield instrumentation and
+// cooperative mutex hooks compile to nothing otherwise); plain builds
+// skip.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "check/explorer.h"
+#include "check/model_workload.h"
+#include "check/schedule.h"
+#include "cluster/catalog.h"
+
+namespace diffindex {
+namespace check {
+namespace {
+
+#ifdef DIFFINDEX_CHECK
+
+struct SweepConfig {
+  const char* label;
+  ModelOptions model;
+  ExploreOptions explore;
+};
+
+ModelOptions BaseModel(IndexScheme scheme) {
+  ModelOptions m;
+  m.scheme = scheme;
+  m.num_writers = 2;
+  m.ops_per_writer = 2;
+  m.same_row = true;
+  m.drain_batch_size = 2;
+  return m;
+}
+
+ExploreOptions BoundedExplore() {
+  ExploreOptions e;
+  e.max_schedules = 1200;
+  e.preemption_bound = 2;
+  e.stop_on_violation = true;
+  return e;
+}
+
+// The CI acceptance sweep: 2 writers x 2 ops (= 4 ops) per run,
+// preemption bound 2, across all four schemes, plus flush / group-commit
+// variants on the schemes whose extra seams they exercise. Aggregate
+// distinct-schedule count must clear 1,000.
+TEST(ModelCheckTest, BoundedSweepAllSchemes) {
+  std::vector<SweepConfig> sweep;
+  for (IndexScheme scheme :
+       {IndexScheme::kSyncFull, IndexScheme::kSyncInsert,
+        IndexScheme::kAsyncSimple, IndexScheme::kAsyncSession}) {
+    SweepConfig base;
+    base.label = IndexSchemeName(scheme);
+    base.model = BaseModel(scheme);
+    base.explore = BoundedExplore();
+    sweep.push_back(base);
+  }
+  {
+    // Flush after the writes: the pause-&-drain gate plus the
+    // drained-depth oracle point.
+    SweepConfig flush;
+    flush.label = "async-simple+flush";
+    flush.model = BaseModel(IndexScheme::kAsyncSimple);
+    flush.model.flush_after_writes = true;
+    flush.explore = BoundedExplore();
+    sweep.push_back(flush);
+  }
+  {
+    // WAL group commit: the ticket / leader-election path under
+    // wal_sync_mu_.
+    SweepConfig gc;
+    gc.label = "sync-full+group-commit";
+    gc.model = BaseModel(IndexScheme::kSyncFull);
+    gc.model.group_commit = true;
+    gc.explore = BoundedExplore();
+    sweep.push_back(gc);
+  }
+
+  long long total = 0;
+  for (const SweepConfig& config : sweep) {
+    ExploreResult result = Explore(config.explore, ModelRunner(config.model));
+    total += result.schedules_run;
+    std::fprintf(stderr,
+                 "[model-check] %-24s schedules=%d (cap %d%s) "
+                 "preemption-bound=%d max-depth=%d states=%zu\n",
+                 config.label, result.schedules_run,
+                 config.explore.max_schedules,
+                 result.hit_schedule_cap ? ", hit" : "",
+                 config.explore.preemption_bound, result.max_depth,
+                 result.fingerprints.size());
+    EXPECT_EQ(result.violations, 0)
+        << config.label << ": " << result.first_violation
+        << "\n  replay with: "
+        << FormatSchedule(
+               ToSchedule(config.model, result.violating_choices));
+    EXPECT_EQ(result.divergences, 0) << config.label;
+    EXPECT_GT(result.schedules_run, 0) << config.label;
+  }
+  std::fprintf(stderr, "[model-check] total distinct schedules: %lld\n",
+               total);
+  EXPECT_GE(total, 1000) << "CI acceptance floor: >=1000 distinct "
+                            "schedules across the sweep";
+}
+
+// Disjoint rows enable the writers' inline consistency checks: causal
+// reads for sync-full, read-your-writes for async-session.
+TEST(ModelCheckTest, InlineConsistencyChecksHold) {
+  for (IndexScheme scheme :
+       {IndexScheme::kSyncFull, IndexScheme::kAsyncSession}) {
+    ModelOptions model = BaseModel(scheme);
+    model.same_row = false;
+    model.ops_per_writer = 1;
+    ExploreOptions explore = BoundedExplore();
+    explore.max_schedules = 300;
+    ExploreResult result = Explore(explore, ModelRunner(model));
+    std::fprintf(stderr, "[model-check] %s disjoint rows: schedules=%d\n",
+                 IndexSchemeName(scheme), result.schedules_run);
+    EXPECT_EQ(result.violations, 0)
+        << IndexSchemeName(scheme) << ": " << result.first_violation;
+    EXPECT_GT(result.schedules_run, 0);
+  }
+}
+
+// Same model + same forced choices = the same interleaving, bit for bit:
+// the property every replayed schedule string depends on.
+TEST(ModelCheckTest, ReplayIsDeterministic) {
+  ModelOptions model = BaseModel(IndexScheme::kAsyncSimple);
+  RunOutcome first = RunModel(model, {});
+  ASSERT_FALSE(first.decisions.empty())
+      << "default run recorded no decisions — is the instrumentation on?";
+
+  std::vector<int> choices;
+  choices.reserve(first.decisions.size());
+  for (const DecisionRecord& d : first.decisions) choices.push_back(d.chosen);
+
+  RunOutcome replay = RunModel(model, choices);
+  EXPECT_FALSE(replay.diverged);
+  EXPECT_EQ(replay.fingerprint, first.fingerprint);
+  ASSERT_EQ(replay.decisions.size(), first.decisions.size());
+  for (size_t i = 0; i < first.decisions.size(); ++i) {
+    EXPECT_EQ(replay.decisions[i].chosen, first.decisions[i].chosen)
+        << "decision " << i;
+  }
+  EXPECT_TRUE(first.violation.empty()) << first.violation;
+  EXPECT_TRUE(replay.violation.empty()) << replay.violation;
+}
+
+// The preemption bound only prunes; it must never manufacture a
+// violation, and bound 0 (pure non-preemptive) explores a strict subset.
+TEST(ModelCheckTest, PreemptionBoundPrunesMonotonically) {
+  ModelOptions model = BaseModel(IndexScheme::kAsyncSimple);
+  model.ops_per_writer = 1;
+
+  ExploreOptions unbounded;
+  unbounded.max_schedules = 2000;
+  unbounded.preemption_bound = -1;
+  unbounded.stop_on_violation = false;
+  ExploreResult full = Explore(unbounded, ModelRunner(model));
+
+  ExploreOptions bounded = unbounded;
+  bounded.preemption_bound = 0;
+  ExploreResult none = Explore(bounded, ModelRunner(model));
+
+  std::fprintf(stderr,
+               "[model-check] preemption bound: unbounded=%d bound0=%d\n",
+               full.schedules_run, none.schedules_run);
+  EXPECT_EQ(full.violations, 0) << full.first_violation;
+  EXPECT_EQ(none.violations, 0) << none.first_violation;
+  EXPECT_LE(none.schedules_run, full.schedules_run);
+  EXPECT_GT(none.schedules_run, 0);
+}
+
+#else  // !DIFFINDEX_CHECK
+
+TEST(ModelCheckTest, RequiresCheckBuild) {
+  GTEST_SKIP() << "model checker needs -DDIFFINDEX_CHECK=ON (yield "
+                  "instrumentation compiled out)";
+}
+
+#endif  // DIFFINDEX_CHECK
+
+}  // namespace
+}  // namespace check
+}  // namespace diffindex

@@ -1,0 +1,165 @@
+// Schedule-string format tests: the parse/format round-trip both the
+// chaos harness and the model checker rely on, plus the ModelOptions and
+// ChaosOptions bridges layered on top of it.
+
+#include "check/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include "../fault/chaos_harness.h"
+#include "check/model_workload.h"
+
+namespace diffindex {
+namespace check {
+namespace {
+
+TEST(ScheduleTest, FormatParseRoundTrip) {
+  Schedule in;
+  in.kind = "check";
+  in.set("scheme", "async-simple");
+  in.set_int("writers", 2);
+  in.set_int("ops", 3);
+  in.choices = {0, 2, 1, 1, 0};
+
+  const std::string text = FormatSchedule(in);
+  EXPECT_EQ(text, "check:scheme=async-simple;writers=2;ops=3;choices=0,2,1,1,0");
+
+  Schedule out;
+  std::string error;
+  ASSERT_TRUE(ParseSchedule(text, &out, &error)) << error;
+  EXPECT_EQ(out.kind, in.kind);
+  EXPECT_EQ(out.fields, in.fields);
+  EXPECT_EQ(out.choices, in.choices);
+  // Canonical: formatting the parse reproduces the input exactly.
+  EXPECT_EQ(FormatSchedule(out), text);
+}
+
+TEST(ScheduleTest, NoChoicesOmitsField) {
+  Schedule in;
+  in.kind = "chaos";
+  in.set("seed", "42");
+  const std::string text = FormatSchedule(in);
+  EXPECT_EQ(text, "chaos:seed=42");
+
+  Schedule out;
+  std::string error;
+  ASSERT_TRUE(ParseSchedule(text, &out, &error)) << error;
+  EXPECT_TRUE(out.choices.empty());
+}
+
+TEST(ScheduleTest, Accessors) {
+  Schedule s;
+  s.kind = "check";
+  s.set_int("writers", 4);
+  s.set("scheme", "sync-full");
+  EXPECT_TRUE(s.has("writers"));
+  EXPECT_FALSE(s.has("absent"));
+  EXPECT_EQ(s.get_int("writers", -1), 4);
+  EXPECT_EQ(s.get_int("absent", -1), -1);
+  EXPECT_EQ(s.get_int("scheme", -1), -1);  // non-integer -> fallback
+  EXPECT_EQ(s.get("scheme"), "sync-full");
+  // set() on an existing key overwrites in place.
+  s.set_int("writers", 8);
+  EXPECT_EQ(s.get_int("writers", -1), 8);
+  ASSERT_EQ(s.fields.size(), 2u);
+}
+
+TEST(ScheduleTest, ParseErrors) {
+  Schedule out;
+  std::string error;
+  EXPECT_FALSE(ParseSchedule("", &out, &error));
+  EXPECT_FALSE(ParseSchedule("no-colon-here", &out, &error));
+  EXPECT_FALSE(ParseSchedule(":seed=1", &out, &error));
+  EXPECT_FALSE(ParseSchedule("check:novalue", &out, &error));
+  EXPECT_FALSE(ParseSchedule("check:choices=1,x,2", &out, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ScheduleTest, ModelOptionsRoundTrip) {
+  ModelOptions in;
+  in.scheme = IndexScheme::kAsyncSession;
+  in.drain_batch_size = 2;
+  in.num_writers = 3;
+  in.ops_per_writer = 1;
+  in.same_row = false;
+  in.flush_after_writes = true;
+  in.group_commit = true;
+  const std::vector<int> choices = {1, 0, 2};
+
+  const std::string text = FormatSchedule(ToSchedule(in, choices));
+
+  Schedule parsed;
+  std::string error;
+  ASSERT_TRUE(ParseSchedule(text, &parsed, &error)) << error;
+  ModelOptions out;
+  std::vector<int> out_choices;
+  ASSERT_TRUE(FromSchedule(parsed, &out, &out_choices));
+  EXPECT_EQ(out.scheme, in.scheme);
+  EXPECT_EQ(out.drain_batch_size, in.drain_batch_size);
+  EXPECT_EQ(out.num_writers, in.num_writers);
+  EXPECT_EQ(out.ops_per_writer, in.ops_per_writer);
+  EXPECT_EQ(out.same_row, in.same_row);
+  EXPECT_EQ(out.flush_after_writes, in.flush_after_writes);
+  EXPECT_EQ(out.group_commit, in.group_commit);
+  EXPECT_EQ(out_choices, choices);
+}
+
+TEST(ScheduleTest, FromScheduleRejectsWrongKindAndScheme) {
+  Schedule chaos_kind;
+  chaos_kind.kind = "chaos";
+  ModelOptions options;
+  std::vector<int> choices;
+  EXPECT_FALSE(FromSchedule(chaos_kind, &options, &choices));
+
+  Schedule bad_scheme;
+  bad_scheme.kind = "check";
+  bad_scheme.set("scheme", "no-such-scheme");
+  EXPECT_FALSE(FromSchedule(bad_scheme, &options, &choices));
+}
+
+TEST(ScheduleTest, ChaosOptionsRoundTrip) {
+  chaos::ChaosOptions in;
+  in.seed = 12345678901ULL;
+  in.scheme = IndexScheme::kSyncInsert;
+  in.num_servers = 3;
+  in.rounds = 7;
+  in.ops_per_round = 11;
+  in.key_space = 24;
+  in.enable_partitions = false;
+  in.enable_net_faults = false;
+
+  const std::string text = chaos::FormatChaosSchedule(in);
+  chaos::ChaosOptions out;
+  std::string error;
+  ASSERT_TRUE(chaos::ParseChaosSchedule(text, &out, &error)) << error;
+  EXPECT_EQ(out.seed, in.seed);
+  EXPECT_EQ(out.scheme, in.scheme);
+  EXPECT_EQ(out.num_servers, in.num_servers);
+  EXPECT_EQ(out.rounds, in.rounds);
+  EXPECT_EQ(out.ops_per_round, in.ops_per_round);
+  EXPECT_EQ(out.key_space, in.key_space);
+  EXPECT_EQ(out.enable_crashes, in.enable_crashes);
+  EXPECT_EQ(out.enable_partitions, in.enable_partitions);
+  EXPECT_EQ(out.enable_env_faults, in.enable_env_faults);
+  EXPECT_EQ(out.enable_failpoints, in.enable_failpoints);
+  EXPECT_EQ(out.enable_net_faults, in.enable_net_faults);
+}
+
+TEST(ScheduleTest, ChaosParseRejectsCheckKind) {
+  chaos::ChaosOptions out;
+  std::string error;
+  EXPECT_FALSE(chaos::ParseChaosSchedule("check:scheme=sync-full", &out,
+                                         &error));
+  EXPECT_NE(error.find("chaos"), std::string::npos);
+}
+
+TEST(ScheduleTest, ReplayRejectsGarbage) {
+  chaos::ChaosReport bad = chaos::ReplaySchedule("not a schedule");
+  EXPECT_FALSE(bad.ok());
+  chaos::ChaosReport unknown = chaos::ReplaySchedule("mystery:seed=1");
+  EXPECT_FALSE(unknown.ok());
+}
+
+}  // namespace
+}  // namespace check
+}  // namespace diffindex

@@ -3,11 +3,14 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <iterator>
 #include <map>
 #include <set>
 #include <thread>
 
+#include "check/model_workload.h"
+#include "check/schedule.h"
 #include "cluster/cluster.h"
 #include "core/index_codec.h"
 #include "fault/failpoint.h"
@@ -156,6 +159,105 @@ Status CreateIndexedTable(Cluster* cluster, IndexScheme scheme) {
 }
 
 }  // namespace
+
+std::string FormatChaosSchedule(const ChaosOptions& options) {
+  check::Schedule schedule;
+  schedule.kind = "chaos";
+  schedule.set("seed", std::to_string(options.seed));
+  schedule.set("scheme", SchemeName(options.scheme));
+  schedule.set_int("servers", options.num_servers);
+  schedule.set_int("rounds", options.rounds);
+  schedule.set_int("ops", options.ops_per_round);
+  schedule.set_int("keys", options.key_space);
+  schedule.set_int("crashes", options.enable_crashes ? 1 : 0);
+  schedule.set_int("partitions", options.enable_partitions ? 1 : 0);
+  schedule.set_int("env", options.enable_env_faults ? 1 : 0);
+  schedule.set_int("failpoints", options.enable_failpoints ? 1 : 0);
+  schedule.set_int("net", options.enable_net_faults ? 1 : 0);
+  return check::FormatSchedule(schedule);
+}
+
+bool ParseChaosSchedule(const std::string& text, ChaosOptions* options,
+                        std::string* error) {
+  check::Schedule schedule;
+  if (!check::ParseSchedule(text, &schedule, error)) return false;
+  if (schedule.kind != "chaos") {
+    *error = "not a chaos schedule (kind \"" + schedule.kind + "\")";
+    return false;
+  }
+  ChaosOptions out;
+  out.seed = strtoull(schedule.get("seed", "1").c_str(), nullptr, 10);
+  const std::string scheme = schedule.get("scheme", "async-simple");
+  bool known = false;
+  for (IndexScheme candidate :
+       {IndexScheme::kSyncFull, IndexScheme::kSyncInsert,
+        IndexScheme::kAsyncSimple, IndexScheme::kAsyncSession}) {
+    if (scheme == SchemeName(candidate)) {
+      out.scheme = candidate;
+      known = true;
+    }
+  }
+  if (!known) {
+    *error = "unknown scheme \"" + scheme + "\"";
+    return false;
+  }
+  out.num_servers =
+      static_cast<int>(schedule.get_int("servers", out.num_servers));
+  out.rounds = static_cast<int>(schedule.get_int("rounds", out.rounds));
+  out.ops_per_round =
+      static_cast<int>(schedule.get_int("ops", out.ops_per_round));
+  out.key_space = static_cast<int>(schedule.get_int("keys", out.key_space));
+  out.enable_crashes = schedule.get_int("crashes", 1) != 0;
+  out.enable_partitions = schedule.get_int("partitions", 1) != 0;
+  out.enable_env_faults = schedule.get_int("env", 1) != 0;
+  out.enable_failpoints = schedule.get_int("failpoints", 1) != 0;
+  out.enable_net_faults = schedule.get_int("net", 1) != 0;
+  *options = out;
+  return true;
+}
+
+ChaosReport ReplaySchedule(const std::string& text) {
+  ChaosReport report;
+  check::Schedule schedule;
+  std::string error;
+  if (!check::ParseSchedule(text, &schedule, &error)) {
+    report.violations.push_back("unparseable schedule: " + error);
+    return report;
+  }
+  if (schedule.kind == "chaos") {
+    ChaosOptions options;
+    if (!ParseChaosSchedule(text, &options, &error)) {
+      report.violations.push_back("bad chaos schedule: " + error);
+      return report;
+    }
+    return RunChaosSchedule(options);
+  }
+  if (schedule.kind == "check") {
+    check::ModelOptions model;
+    std::vector<int> choices;
+    if (!check::FromSchedule(schedule, &model, &choices)) {
+      report.violations.push_back("bad check schedule: " + text);
+      return report;
+    }
+    report.scheme = std::string("check/") + schedule.get("scheme");
+    fprintf(stderr, "[chaos] replaying check schedule: %s\n", text.c_str());
+    check::RunOutcome outcome = check::RunModel(model, choices);
+    report.ops = model.num_writers * model.ops_per_writer;
+    report.ok_ops = report.ops;
+    if (outcome.diverged) {
+      report.violations.push_back(
+          "replay diverged from recorded choices (code changed since the "
+          "schedule was captured?)");
+    }
+    if (!outcome.violation.empty()) {
+      report.violations.push_back(outcome.violation);
+    }
+    return report;
+  }
+  report.violations.push_back("unknown schedule kind \"" + schedule.kind +
+                              "\"");
+  return report;
+}
 
 std::string ChaosReport::Summary() const {
   char head[256];
@@ -591,6 +693,10 @@ ChaosReport RunChaosSchedule(const ChaosOptions& opt) {
   }
 
   fprintf(stderr, "%s\n", report.Summary().c_str());
+  if (!report.ok()) {
+    fprintf(stderr, "[chaos] replay with: %s\n",
+            FormatChaosSchedule(opt).c_str());
+  }
   return report;
 }
 

@@ -71,6 +71,28 @@ struct ChaosReport {
 // Runs one full chaos schedule and verifies the consistency contract.
 ChaosReport RunChaosSchedule(const ChaosOptions& options);
 
+// Replayable-schedule-string bridge (src/check/schedule.h). A chaos run
+// is fully determined by its ChaosOptions, so the "chaos:" string just
+// carries them:
+//
+//   chaos:seed=7;scheme=async-simple;servers=4;rounds=10;ops=25;keys=48;
+//         crashes=1;partitions=1;env=1;failpoints=1;net=1
+std::string FormatChaosSchedule(const ChaosOptions& options);
+bool ParseChaosSchedule(const std::string& text, ChaosOptions* options,
+                        std::string* error);
+
+// Replays a schedule string of either kind:
+//   * "chaos:..." — RunChaosSchedule with the parsed options (bit-for-bit,
+//     all randomness derives from the seed).
+//   * "check:..." — the model-checker workload (check/model_workload.h)
+//     that produced it: decision-for-decision in a DIFFINDEX_CHECK build;
+//     in a plain ASan/TSan build the choices are inert and the same model
+//     re-runs as a sanitizer stress pass (writers serialized through the
+//     scheduler token, AUQ workers genuinely concurrent).
+// The outcome lands in ChaosReport::violations either way, so one ctest
+// wrapper can replay whatever string a failing run printed.
+ChaosReport ReplaySchedule(const std::string& text);
+
 // Targeted regression for the Section 5.3 drain-before-flush invariant:
 // queues index tasks behind a slow APS, flushes (with the "auq.drain"
 // failpoint skipping the drain barrier when break_invariant is true),

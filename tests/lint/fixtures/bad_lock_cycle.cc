@@ -1,0 +1,16 @@
+// Lint fixture: the ACQUIRED_BEFORE annotations declare a cyclic lock
+// order (a before b, b before a) — a declared deadlock. Expected:
+// `lock-order` violation only. Not compiled.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace diffindex {
+
+class FixtureLockCycle {
+ private:
+  Mutex alpha_mu_ ACQUIRED_BEFORE(beta_mu_);
+  Mutex beta_mu_ ACQUIRED_BEFORE(alpha_mu_);
+};
+
+}  // namespace diffindex

@@ -1,0 +1,29 @@
+// Lint fixture: a nested scoped-lock acquisition of two annotated locks
+// that runs AGAINST the declared order (outer_mu_ is declared before
+// inner_mu_, but Backwards() acquires inner first) with no
+// NOLINT(diffindex-lock-order) waiver. Expected: `lock-order` violation
+// only (the conforming Forward() nesting must not fire). Not compiled.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace diffindex {
+
+class FixtureNested {
+ public:
+  void Forward() {
+    MutexLock outer(&outer_mu_);
+    MutexLock inner(&inner_mu_);  // declared order: fine
+  }
+
+  void Backwards() {
+    MutexLock inner(&inner_mu_);
+    MutexLock outer(&outer_mu_);  // violation: inner -> outer undeclared
+  }
+
+ private:
+  Mutex outer_mu_ ACQUIRED_BEFORE(inner_mu_);
+  Mutex inner_mu_;
+};
+
+}  // namespace diffindex

@@ -10,9 +10,17 @@ section 10):
   metric-names     every instrument name created in src/ matches a row of
                    the DESIGN.md metric names table.
   raw-mutex        no raw std synchronization primitives outside
-                   util/mutex.h (they are invisible to TSA).
+                   util/mutex.h (they are invisible to TSA) without a
+                   NOLINT(diffindex-raw-mutex) waiver (the model
+                   checker's own scheduler needs raw primitives: the
+                   instrumented wrappers call back into it).
   naked-new        no naked `new` without a NOLINT(diffindex-naked-new)
                    waiver.
+  lock-order       the ACQUIRED_BEFORE/ACQUIRED_AFTER annotations form a
+                   cycle-free global acquisition order, and every nested
+                   scoped-lock acquisition of two annotated locks follows
+                   a declared path of that order (waive deliberate
+                   exceptions with NOLINT(diffindex-lock-order)).
   index-ts         the Section 4.3 timestamp rule: PutIndexEntry takes the
                    base edit's `<x>.ts` verbatim, DeleteIndexEntry takes
                    `<x>.ts - kDelta` verbatim.
@@ -42,6 +50,7 @@ ALL_RULES = (
     "naked-new",
     "index-ts",
     "lsm-layering",
+    "lock-order",
 )
 
 SOURCE_EXTS = (".cc", ".h", ".cpp", ".hpp")
@@ -293,18 +302,34 @@ RAW_SYNC = re.compile(
 )
 
 
+NOLINT_RAW_MUTEX = "NOLINT(diffindex-raw-mutex)"
+# File-scope waiver for the model checker's scheduler: the annotated
+# wrappers call back into it, so it must be built from raw primitives
+# throughout.
+NOLINTFILE_RAW_MUTEX = "NOLINTFILE(diffindex-raw-mutex)"
+
+
 def rule_raw_mutex(path, text, ctx, report):
     norm = os.path.normpath(path)
     if norm.endswith(os.path.join("util", "mutex.h")):
         return  # the wrapper itself
+    if NOLINTFILE_RAW_MUTEX in text:
+        return
+    lines = text.splitlines()
     clean = strip_comments_and_strings(text)
     for m in RAW_SYNC.finditer(clean):
+        line = line_of(clean, m.start())
+        here = lines[line - 1] if line - 1 < len(lines) else ""
+        above = lines[line - 2] if line >= 2 else ""
+        if NOLINT_RAW_MUTEX in here or NOLINT_RAW_MUTEX in above:
+            continue  # e.g. check/scheduler: the wrappers call back into it
         report(
             path,
-            line_of(clean, m.start()),
+            line,
             "raw-mutex",
             "raw std::%s is invisible to thread-safety analysis; use the "
-            "annotated wrappers in util/mutex.h" % m.group(1),
+            "annotated wrappers in util/mutex.h or waive with // %s"
+            % (m.group(1), NOLINT_RAW_MUTEX),
         )
 
 
@@ -395,6 +420,174 @@ def rule_lsm_layering(path, text, ctx, report):
         )
 
 
+# ---------------------------------------------------------------------------
+# lock-order: static deadlock analysis over the ACQUIRED_BEFORE /
+# ACQUIRED_AFTER annotations (util/thread_annotations.h). Two checks:
+#
+#   1. The declared acquisition graph (edges "A is acquired before B")
+#      must be acyclic — a cycle is a declared deadlock.
+#   2. Every OBSERVED nested acquisition — a scoped lock guard
+#      constructed while another guard is still in scope, both naming
+#      annotated locks — must follow a declared path of the graph.
+#      Nestings where either lock is un-annotated are ignored (they are
+#      invisible to the runtime validator too: util/lock_order.h ranks).
+#      Deliberate exceptions (e.g. two flush gates held SHARED on
+#      distinct regions) carry a NOLINT(diffindex-lock-order) waiver.
+#
+# Lock names are canonicalized the same way everywhere: strip `&`,
+# argument parens, member-access prefixes (`a->`, `a.`) and the trailing
+# `_`, so `&wal_sync_mu_`, `region->flush_gate()` and the annotation
+# token `flush_gate_` all resolve to `wal_sync_mu` / `flush_gate`.
+
+LOCK_DECL_RE = re.compile(
+    r"\b(?:Mutex|SharedMutex)\s+(\w+)\s*"
+    r"((?:ACQUIRED_(?:BEFORE|AFTER)\s*\([^)]*\)\s*)+)"
+)
+LOCK_ANN_RE = re.compile(r"ACQUIRED_(BEFORE|AFTER)\s*\(([^)]*)\)")
+LOCK_GUARD_RE = re.compile(
+    r"\b(?:MutexLock|WriterMutexLock|ReaderMutexLock)\s+\w+\s*\("
+)
+NOLINT_LOCK_ORDER = "NOLINT(diffindex-lock-order)"
+
+
+def canonical_lock_name(expr):
+    e = expr.strip().lstrip("&*")
+    e = re.sub(r"\(\s*\)", "", e)  # accessor call: flush_gate() -> flush_gate
+    for sep in ("->", "."):
+        if sep in e:
+            e = e.rsplit(sep, 1)[-1]
+    return e.strip().rstrip("_")
+
+
+def collect_lock_order_decls(path, text, graph):
+    """Adds this file's declared edges to graph: {before: {after: (path,
+    line)}}."""
+    clean = strip_comments_and_strings(text)
+    for m in LOCK_DECL_RE.finditer(clean):
+        name = canonical_lock_name(m.group(1))
+        for am in LOCK_ANN_RE.finditer(m.group(2)):
+            kind = am.group(1)
+            for arg in am.group(2).split(","):
+                other = canonical_lock_name(arg)
+                if not other:
+                    continue
+                before, after = (
+                    (name, other) if kind == "BEFORE" else (other, name)
+                )
+                line = line_of(clean, m.start())
+                graph.setdefault(before, {}).setdefault(after, (path, line))
+
+
+def lock_order_reachable(graph):
+    """Transitive closure: {node: set(reachable nodes)}."""
+    reach = {}
+
+    def visit(node):
+        if node in reach:
+            return reach[node]
+        reach[node] = set()  # cycle guard; filled below
+        acc = set()
+        for nxt in graph.get(node, {}):
+            acc.add(nxt)
+            acc |= visit(nxt)
+        reach[node] = acc
+        return acc
+
+    for node in list(graph):
+        visit(node)
+    return reach
+
+
+def find_lock_order_cycle(graph):
+    """Returns one declared cycle as a node list, or None."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {}
+    stack = []
+
+    def visit(node):
+        color[node] = GRAY
+        stack.append(node)
+        for nxt in graph.get(node, {}):
+            if color.get(nxt, WHITE) == GRAY:
+                return stack[stack.index(nxt) :] + [nxt]
+            if color.get(nxt, WHITE) == WHITE:
+                cycle = visit(nxt)
+                if cycle:
+                    return cycle
+        stack.pop()
+        color[node] = BLACK
+        return None
+
+    for node in sorted(graph):
+        if color.get(node, WHITE) == WHITE:
+            cycle = visit(node)
+            if cycle:
+                return cycle
+    return None
+
+
+def rule_lock_order(path, text, ctx, report):
+    graph = ctx["lock_graph"]
+    annotated = ctx["lock_annotated"]
+    reach = ctx["lock_reach"]
+
+    # Check 1 (cycles) is reported once, against the file that declared
+    # the closing edge — main() stores it in ctx after the prepass.
+    cycle = ctx.get("lock_cycle")
+    if cycle:
+        closing = graph.get(cycle[-2], {}).get(cycle[-1])
+        if closing and os.path.normpath(closing[0]) == os.path.normpath(path):
+            report(
+                path,
+                closing[1],
+                "lock-order",
+                "declared lock-order cycle: %s" % " -> ".join(cycle),
+            )
+
+    # Check 2: observed nested guard acquisitions in this file.
+    lines = text.splitlines()
+    clean = strip_comments_and_strings(text)
+    guards = []
+    for m in LOCK_GUARD_RE.finditer(clean):
+        argtext = balanced_args(clean, m.end() - 1)
+        if argtext is None:
+            continue
+        name = canonical_lock_name(split_top_level_args(argtext)[0])
+        guards.append((m.start(), name, line_of(clean, m.start())))
+
+    gi, depth = 0, 0
+    held = []  # (depth_at_acquisition, name)
+    for i, ch in enumerate(clean):
+        while gi < len(guards) and guards[gi][0] == i:
+            _, name, line = guards[gi]
+            gi += 1
+            here = lines[line - 1] if line - 1 < len(lines) else ""
+            above = lines[line - 2] if line >= 2 else ""
+            waived = NOLINT_LOCK_ORDER in here or NOLINT_LOCK_ORDER in above
+            for _, held_name in held:
+                if held_name not in annotated or name not in annotated:
+                    continue  # unranked lock: invisible to the validator
+                if name in reach.get(held_name, set()):
+                    continue  # follows a declared path
+                if waived:
+                    continue
+                report(
+                    path,
+                    line,
+                    "lock-order",
+                    "nested acquisition %s -> %s does not follow the "
+                    "declared ACQUIRED_BEFORE order; annotate the edge or "
+                    "waive with // %s" % (held_name, name, NOLINT_LOCK_ORDER),
+                )
+            held.append((depth, name))
+        if ch == "{":
+            depth += 1
+        elif ch == "}":
+            depth -= 1
+            while held and held[-1][0] > depth:
+                held.pop()
+
+
 RULE_FUNCS = {
     "failpoint-names": rule_failpoint_names,
     "metric-names": rule_metric_names,
@@ -402,6 +595,7 @@ RULE_FUNCS = {
     "naked-new": rule_naked_new,
     "index-ts": rule_index_ts,
     "lsm-layering": rule_lsm_layering,
+    "lock-order": rule_lock_order,
 }
 
 
@@ -477,6 +671,21 @@ def main():
     if not files:
         print("diffindex_lint: no source files found")
         return 2
+
+    # lock-order needs a cross-file prepass: the acquisition graph is the
+    # union of every scanned file's ACQUIRED_* annotations.
+    if "lock-order" in rules:
+        graph = {}
+        for path in files:
+            with open(path, encoding="utf-8", errors="replace") as f:
+                collect_lock_order_decls(path, f.read(), graph)
+        annotated = set(graph)
+        for afters in graph.values():
+            annotated |= set(afters)
+        ctx["lock_graph"] = graph
+        ctx["lock_annotated"] = annotated
+        ctx["lock_reach"] = lock_order_reachable(graph)
+        ctx["lock_cycle"] = find_lock_order_cycle(graph)
 
     violations = []
 
