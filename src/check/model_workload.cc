@@ -9,6 +9,7 @@
 #include "check/oracle.h"
 #include "check/scheduler.h"
 #include "cluster/cluster.h"
+#include "query/engine.h"
 
 namespace diffindex {
 namespace check {
@@ -62,8 +63,12 @@ RunOutcome RunModel(const ModelOptions& options,
   std::vector<std::unique_ptr<DiffIndexClient>> clients;
   std::vector<std::string> rows;
   std::vector<std::string> values;
+  // Clients: one per writer, one for the oracle, plus one for the scan
+  // reader when enabled.
+  const int num_clients =
+      num_writers + 1 + (options.scan_reader ? 1 : 0);
   if (s.ok()) {
-    for (int i = 0; i <= num_writers && s.ok(); ++i) {  // last = oracle's
+    for (int i = 0; i < num_clients && s.ok(); ++i) {
       clients.push_back(cluster->NewDiffIndexClient());
       s = clients.back()->raw_client()->RefreshLayout();
     }
@@ -99,9 +104,11 @@ RunOutcome RunModel(const ModelOptions& options,
 
   scheduler->SetReplay(replay);
 
-  // One violation slot per writer: no shared mutable state between the
-  // drivers, so the inline checks add no synchronization of their own.
-  std::vector<std::string> inline_violations(num_writers);
+  // One violation slot per driver thread (writers + optional scan
+  // reader): no shared mutable state between the drivers, so the inline
+  // checks add no synchronization of their own.
+  std::vector<std::string> inline_violations(
+      static_cast<size_t>(num_writers) + (options.scan_reader ? 1 : 0));
   const bool inline_checks =
       !options.same_row && (options.scheme == IndexScheme::kSyncFull ||
                             options.scheme == IndexScheme::kAsyncSession);
@@ -169,7 +176,39 @@ RunOutcome RunModel(const ModelOptions& options,
       sched->UnregisterCurrentThread();
     });
   }
-  scheduler->AwaitRegistered(registered_before + num_writers);
+  if (options.scan_reader) {
+    // Registers after every writer (ids are part of the schedule), then
+    // drives paged scatter-gather scans with batched read-repair over
+    // the whole index range while the writers run. Legs run inline
+    // (max_parallel = 1): pool threads would escape the scheduler.
+    writers.emplace_back([&] {
+      Scheduler* sched = scheduler.get();
+      sched->AwaitRegistered(registered_before + num_writers);
+      sched->RegisterCurrentThread("scanner", /*daemon=*/false);
+      DiffIndexClient* client =
+          clients[static_cast<size_t>(num_writers) + 1].get();
+      ReadEngine engine(client);
+      ScanSpec spec;
+      spec.table = kTable;
+      spec.index_name = kIndexName;
+      ScanOptions scan;
+      scan.page_entries = 2;
+      scan.max_parallel = 1;
+      scan.batched_repair = true;
+      for (int pass = 0; pass < 2; ++pass) {
+        std::vector<ScannedRow> scanned;
+        Status rs = engine.ScanByIndex(spec, scan, &scanned);
+        if (!rs.ok()) {
+          inline_violations[static_cast<size_t>(num_writers)] =
+              "scan reader failed: " + rs.ToString();
+          break;
+        }
+      }
+      sched->UnregisterCurrentThread();
+    });
+  }
+  scheduler->AwaitRegistered(registered_before + num_writers +
+                             (options.scan_reader ? 1 : 0));
   // From the first handover below, every multi-way choice is recorded
   // (and replayed from the forced prefix).
   scheduler->SetExplorationWindow(true);
@@ -242,6 +281,7 @@ Schedule ToSchedule(const ModelOptions& options,
   schedule.set_int("same_row", options.same_row ? 1 : 0);
   schedule.set_int("flush", options.flush_after_writes ? 1 : 0);
   schedule.set_int("group_commit", options.group_commit ? 1 : 0);
+  schedule.set_int("scan", options.scan_reader ? 1 : 0);
   schedule.choices = choices;
   return schedule;
 }
@@ -270,6 +310,7 @@ bool FromSchedule(const Schedule& schedule, ModelOptions* options,
   out.same_row = schedule.get_int("same_row", out.same_row ? 1 : 0) != 0;
   out.flush_after_writes = schedule.get_int("flush", 0) != 0;
   out.group_commit = schedule.get_int("group_commit", 0) != 0;
+  out.scan_reader = schedule.get_int("scan", 0) != 0;
   *options = out;
   *choices = schedule.choices;
   return true;

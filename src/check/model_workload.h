@@ -49,6 +49,10 @@ struct ModelOptions {
   bool flush_after_writes = false;
   // WAL group-commit ticket path (leader election under wal_sync_mu_).
   bool group_commit = false;
+  // Spawn one concurrent reader driving paged scatter-gather scans with
+  // batched read-repair (query/engine.h) against the writers — the
+  // sync-insert verify-then-clean race (CHECK_YIELD "query.repair").
+  bool scan_reader = false;
   // Decision-count livelock guard per run.
   int max_decisions = 50000;
 };

@@ -296,6 +296,88 @@ Status Client::GetCell(const std::string& table, const std::string& row,
   return Status::OK();
 }
 
+Status Client::MultiGet(const std::string& table,
+                        const std::vector<MultiGetKey>& keys,
+                        Timestamp read_ts,
+                        std::vector<MultiGetEntry>* entries) {
+  entries->clear();
+  if (keys.empty()) return Status::OK();
+  Status last;
+  for (int attempt = 0; attempt <= options_.max_retries; attempt++) {
+    if (attempt > 0) {
+      BackoffBeforeRetry(attempt);
+      Status rs = RefreshLayout();
+      if (!rs.ok()) {
+        last = rs;
+        continue;
+      }
+    }
+    // Group by owning server, remembering each key's original position so
+    // the per-server responses reassemble in request order.
+    std::map<NodeId, MultiGetRequest> batches;
+    std::map<NodeId, std::vector<size_t>> positions;
+    last = Status::OK();
+    for (size_t i = 0; i < keys.size(); i++) {
+      RegionInfoWire region;
+      last = RouteRow(table, keys[i].row, &region);
+      if (!last.ok()) break;
+      MultiGetRequest& batch = batches[region.server_id];
+      batch.table = table;
+      batch.read_ts = read_ts;
+      batch.keys.push_back(keys[i]);
+      positions[region.server_id].push_back(i);
+    }
+    if (!last.ok()) continue;
+
+    entries->assign(keys.size(), MultiGetEntry{});
+    for (auto& [server_id, batch] : batches) {
+      std::string body, response;
+      batch.EncodeTo(&body);
+      last = fabric_->Call(self_node_, server_id, MsgType::kMultiGet, body,
+                           &response);
+      if (!last.ok()) break;
+      Slice in(response);
+      MultiGetResponse resp;
+      if (!MultiGetResponse::DecodeFrom(&in, &resp) ||
+          resp.entries.size() != batch.keys.size()) {
+        return Status::Corruption("malformed multi-get response");
+      }
+      const std::vector<size_t>& pos = positions[server_id];
+      for (size_t j = 0; j < resp.entries.size(); j++) {
+        (*entries)[pos[j]] = std::move(resp.entries[j]);
+      }
+    }
+    if (last.ok()) return Status::OK();
+    if (!last.IsWrongRegion() && !last.IsUnavailable()) return last;
+  }
+  CountRetryExhausted();
+  return last;
+}
+
+Status Client::IndexScanRegion(const std::string& index_table,
+                               const RegionInfoWire& region,
+                               const std::string& start_key,
+                               const std::string& end_key, Timestamp read_ts,
+                               uint32_t limit, IndexScanResponse* resp) {
+  IndexScanRequest req;
+  req.table = index_table;
+  req.region_id = region.region_id;
+  req.start_key = start_key;
+  req.end_key = end_key;
+  req.read_ts = read_ts;
+  req.limit = limit;
+  std::string body, response;
+  req.EncodeTo(&body);
+  DIFFINDEX_RETURN_NOT_OK(fabric_->Call(self_node_, region.server_id,
+                                        MsgType::kIndexScan, body,
+                                        &response));
+  Slice in(response);
+  if (!IndexScanResponse::DecodeFrom(&in, resp)) {
+    return Status::Corruption("malformed index scan response");
+  }
+  return Status::OK();
+}
+
 Status Client::GetRow(const std::string& table, const std::string& row,
                       Timestamp read_ts, GetRowResponse* resp) {
   GetRowRequest req;

@@ -84,6 +84,24 @@ class Client {
                  const std::string& column, Timestamp read_ts,
                  std::string* value, Timestamp* version_ts = nullptr);
 
+  // Batched cell reads: groups keys by owning region server and ships one
+  // multi-get RPC per server (the read-repair verification path of the
+  // query engine). `entries` comes back parallel to `keys`; a missing
+  // cell is found=false, not an error. The whole batch is retried on
+  // WrongRegion/Unavailable (reads are idempotent).
+  Status MultiGet(const std::string& table,
+                  const std::vector<MultiGetKey>& keys, Timestamp read_ts,
+                  std::vector<MultiGetEntry>* entries);
+
+  // One scatter-gather leg of a paged index scan: scans a single region
+  // of `index_table`, addressed by region id. No retry loop here — the
+  // query engine retries at page granularity after a layout refresh.
+  Status IndexScanRegion(const std::string& index_table,
+                         const RegionInfoWire& region,
+                         const std::string& start_key,
+                         const std::string& end_key, Timestamp read_ts,
+                         uint32_t limit, IndexScanResponse* resp);
+
   Status GetRow(const std::string& table, const std::string& row,
                 Timestamp read_ts, GetRowResponse* resp);
 

@@ -434,6 +434,10 @@ Status RegionServer::Handle(MsgType type, Slice body, std::string* response) {
       return HandleLocalIndexScan(body, response);
     case MsgType::kMultiPut:
       return HandleMultiPut(body, response);
+    case MsgType::kMultiGet:
+      return HandleMultiGet(body, response);
+    case MsgType::kIndexScan:
+      return HandleIndexScan(body, response);
     default:
       return Status::NotSupported("region server: unexpected message type");
   }
@@ -934,6 +938,83 @@ Status RegionServer::HandleLocalIndexScan(Slice body,
                                          req.index_name, req.start_key,
                                          req.end_key, req.read_ts, req.limit,
                                          &resp.entries));
+  resp.EncodeTo(response);
+  return Status::OK();
+}
+
+Status RegionServer::HandleMultiGet(Slice body, std::string* response) {
+  MultiGetRequest req;
+  if (!MultiGetRequest::DecodeFrom(&body, &req)) {
+    return Status::InvalidArgument("malformed multi-get");
+  }
+  MultiGetResponse resp;
+  resp.entries.resize(req.keys.size());
+  for (size_t i = 0; i < req.keys.size(); i++) {
+    const MultiGetKey& key = req.keys[i];
+    // Every key must route here; a stale client layout fails the whole
+    // batch so the client refreshes and regroups (reads are idempotent).
+    auto region = FindRegion(req.table, key.row);
+    if (region == nullptr) {
+      return Status::WrongRegion(req.table + "/" + key.row);
+    }
+    std::string value;
+    Timestamp ts = 0;
+    Status s = CachedGet(region, req.table, key.row, key.column, req.read_ts,
+                         &value, &ts);
+    if (s.ok()) {
+      resp.entries[i].found = true;
+      resp.entries[i].value = std::move(value);
+      resp.entries[i].ts = ts;
+    } else if (!s.IsNotFound()) {
+      return s;
+    }
+  }
+  resp.EncodeTo(response);
+  return Status::OK();
+}
+
+Status RegionServer::HandleIndexScan(Slice body, std::string* response) {
+  IndexScanRequest req;
+  if (!IndexScanRequest::DecodeFrom(&body, &req)) {
+    return Status::InvalidArgument("malformed index scan");
+  }
+  // Addressed by region id: if the region moved away the leg fails fast
+  // with WrongRegion instead of silently scanning a different key range.
+  auto region = FindRegionById(req.table, req.region_id);
+  if (region == nullptr) return Status::WrongRegion(req.table);
+
+  // Clamp [start_key, end_key) — index-row bounds — to the region's
+  // range. start_key may be a resume cursor (`row + '\0'`), which still
+  // orders correctly because index rows contain no 0x00.
+  std::string start = req.start_key;
+  if (start < region->info().start_row) start = region->info().start_row;
+  std::string end = req.end_key;
+  if (!region->info().end_row.empty() &&
+      (end.empty() || region->info().end_row < end)) {
+    end = region->info().end_row;
+  }
+
+  // Index tables are key-only (one empty-named cell per entry), so cell
+  // entries map 1:1 to index rows; scan one past the limit to learn
+  // whether the leg was truncated.
+  const uint32_t scan_limit = req.limit == 0 ? 0 : req.limit + 1;
+  std::vector<LsmTree::ScanEntry> entries;
+  DIFFINDEX_RETURN_NOT_OK(region->tree()->Scan(
+      RowScanStart(start), end.empty() ? "" : RowScanStart(end), req.read_ts,
+      scan_limit, &entries));
+
+  IndexScanResponse resp;
+  for (auto& entry : entries) {
+    std::string row, column;
+    if (!DecodeCellKey(entry.key, &row, &column)) continue;
+    resp.entries.push_back(
+        RawEntry{std::move(row), std::move(entry.value), entry.ts});
+  }
+  if (req.limit != 0 && resp.entries.size() > req.limit) {
+    resp.entries.resize(req.limit);
+    resp.more = true;
+    resp.resume_key = resp.entries.back().key + '\0';
+  }
   resp.EncodeTo(response);
   return Status::OK();
 }

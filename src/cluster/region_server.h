@@ -234,6 +234,8 @@ class RegionServer {
   Status HandleRawDelete(Slice body, std::string* response);
   Status HandleRegionAdmin(MsgType type, Slice body);
   Status HandleLocalIndexScan(Slice body, std::string* response);
+  Status HandleMultiGet(Slice body, std::string* response);
+  Status HandleIndexScan(Slice body, std::string* response);
 
   // Region owning `row` in `table`, or null.
   std::shared_ptr<Region> FindRegion(const std::string& table,

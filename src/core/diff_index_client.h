@@ -95,6 +95,7 @@ class DiffIndexClient {
   Client* raw_client() { return client_.get(); }
   IndexReader* reader() { return &reader_; }
   SessionManager* sessions() { return &sessions_; }
+  OpStats* stats() { return stats_; }
 
  private:
   // Scheme tag for span names ("sync-full", ...), from the table's first

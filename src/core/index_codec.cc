@@ -153,4 +153,34 @@ std::string EncodeCompositeIndexValue(
   return out;
 }
 
+bool DecodeCompositeIndexValue(const Slice& encoded,
+                               std::vector<std::string>* components) {
+  components->clear();
+  size_t component_start = 0;
+  for (size_t i = 0; i < encoded.size(); i++) {
+    if (encoded[i] != kEsc) continue;
+    if (i + 1 >= encoded.size()) return false;
+    const char next = encoded[i + 1];
+    if (next == kTermByte) {
+      components->emplace_back();
+      if (!UnescapeIndexComponent(
+              Slice(encoded.data() + component_start, i - component_start),
+              &components->back())) {
+        return false;
+      }
+      i++;  // skip the terminator pair
+      component_start = i + 1;
+    } else if (next == kEscZero || next == kEscOne) {
+      i++;  // skip the escape payload byte
+    } else {
+      return false;
+    }
+  }
+  components->emplace_back();
+  return UnescapeIndexComponent(
+      Slice(encoded.data() + component_start,
+            encoded.size() - component_start),
+      &components->back());
+}
+
 }  // namespace diffindex

@@ -72,6 +72,12 @@ inline std::string EncodeStringIndexValue(const Slice& v) {
 std::string EncodeCompositeIndexValue(
     const std::vector<std::string>& components);
 
+// Inverse of EncodeCompositeIndexValue; false on malformed input. Used by
+// covered-index projections to materialize the component columns straight
+// from an index entry.
+bool DecodeCompositeIndexValue(const Slice& encoded,
+                               std::vector<std::string>* components);
+
 }  // namespace diffindex
 
 #endif  // DIFFINDEX_CORE_INDEX_CODEC_H_

@@ -2,7 +2,14 @@
 
 #include <algorithm>
 
+#include "query/engine.h"
+
 namespace diffindex {
+
+QueryEngine::QueryEngine(DiffIndexClient* client)
+    : client_(client), read_engine_(std::make_unique<ReadEngine>(client)) {}
+
+QueryEngine::~QueryEngine() = default;
 
 namespace {
 
@@ -201,11 +208,18 @@ Status QueryEngine::Execute(const Query& query,
       break;
     }
     case PlanKind::kIndexRange: {
-      std::vector<IndexHit> hits;
+      // Scatter-gather scan (query/engine.h): one leg per index region,
+      // rows come back already fetched — straight from the index entries
+      // when the projection is covered. The engine only sees the
+      // projection when no residual predicate needs other columns.
+      ScanSpec spec;
+      spec.table = query.table;
+      spec.index_name = plan.index_name;
+      spec.value_lo_encoded = plan.range_start;
+      spec.value_hi_encoded = plan.range_end;
+      if (plan.residual.empty()) spec.projection = query.projection;
       DIFFINDEX_RETURN_NOT_OK(
-          client_->RangeByIndex(query.table, plan.index_name,
-                                plan.range_start, plan.range_end, 0, &hits));
-      DIFFINDEX_RETURN_NOT_OK(FetchByHits(query, hits, &fetched));
+          read_engine_->ScanByIndex(spec, ScanOptions(), &fetched));
       break;
     }
     case PlanKind::kFullScan: {

@@ -42,6 +42,10 @@ const char* MsgTypeName(MsgType type) {
       return "local_index_scan";
     case MsgType::kMultiPut:
       return "multi_put";
+    case MsgType::kMultiGet:
+      return "multi_get";
+    case MsgType::kIndexScan:
+      return "index_scan";
   }
   return "unknown";
 }
@@ -460,6 +464,100 @@ bool LocalIndexScanRequest::DecodeFrom(Slice* in,
          GetString(in, &req->index_name) && GetString(in, &req->start_key) &&
          GetString(in, &req->end_key) && GetFixed64(in, &req->read_ts) &&
          GetVarint32(in, &req->limit);
+}
+
+void MultiGetRequest::EncodeTo(std::string* out) const {
+  PutString(out, table);
+  PutFixed64(out, read_ts);
+  PutVarint32(out, static_cast<uint32_t>(keys.size()));
+  for (const MultiGetKey& key : keys) {
+    PutString(out, key.row);
+    PutString(out, key.column);
+  }
+}
+
+bool MultiGetRequest::DecodeFrom(Slice* in, MultiGetRequest* req) {
+  uint32_t n;
+  if (!GetString(in, &req->table) || !GetFixed64(in, &req->read_ts) ||
+      !GetVarint32(in, &n)) {
+    return false;
+  }
+  req->keys.resize(n);
+  for (uint32_t i = 0; i < n; i++) {
+    if (!GetString(in, &req->keys[i].row) ||
+        !GetString(in, &req->keys[i].column)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void MultiGetResponse::EncodeTo(std::string* out) const {
+  PutVarint32(out, static_cast<uint32_t>(entries.size()));
+  for (const MultiGetEntry& entry : entries) {
+    out->push_back(entry.found ? 1 : 0);
+    PutString(out, entry.value);
+    PutFixed64(out, entry.ts);
+  }
+}
+
+bool MultiGetResponse::DecodeFrom(Slice* in, MultiGetResponse* resp) {
+  uint32_t n;
+  if (!GetVarint32(in, &n)) return false;
+  resp->entries.resize(n);
+  for (uint32_t i = 0; i < n; i++) {
+    MultiGetEntry& entry = resp->entries[i];
+    if (in->empty()) return false;
+    entry.found = (*in)[0] != 0;
+    in->remove_prefix(1);
+    if (!GetString(in, &entry.value) || !GetFixed64(in, &entry.ts)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void IndexScanRequest::EncodeTo(std::string* out) const {
+  PutString(out, table);
+  PutVarint64(out, region_id);
+  PutString(out, start_key);
+  PutString(out, end_key);
+  PutFixed64(out, read_ts);
+  PutVarint32(out, limit);
+}
+
+bool IndexScanRequest::DecodeFrom(Slice* in, IndexScanRequest* req) {
+  return GetString(in, &req->table) && GetVarint64(in, &req->region_id) &&
+         GetString(in, &req->start_key) && GetString(in, &req->end_key) &&
+         GetFixed64(in, &req->read_ts) && GetVarint32(in, &req->limit);
+}
+
+void IndexScanResponse::EncodeTo(std::string* out) const {
+  PutVarint32(out, static_cast<uint32_t>(entries.size()));
+  for (const RawEntry& entry : entries) {
+    PutLengthPrefixedSlice(out, entry.key);
+    PutLengthPrefixedSlice(out, entry.value);
+    PutFixed64(out, entry.ts);
+  }
+  out->push_back(more ? 1 : 0);
+  PutString(out, resume_key);
+}
+
+bool IndexScanResponse::DecodeFrom(Slice* in, IndexScanResponse* resp) {
+  uint32_t n;
+  if (!GetVarint32(in, &n)) return false;
+  resp->entries.resize(n);
+  for (uint32_t i = 0; i < n; i++) {
+    if (!GetLengthPrefixedString(in, &resp->entries[i].key) ||
+        !GetLengthPrefixedString(in, &resp->entries[i].value) ||
+        !GetFixed64(in, &resp->entries[i].ts)) {
+      return false;
+    }
+  }
+  if (in->empty()) return false;
+  resp->more = (*in)[0] != 0;
+  in->remove_prefix(1);
+  return GetString(in, &resp->resume_key);
 }
 
 }  // namespace diffindex

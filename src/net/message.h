@@ -34,6 +34,8 @@ enum class MsgType : uint8_t {
   kCompactRegion = 10,  // admin: force a major compaction
   kLocalIndexScan = 11, // scan one region's co-located (local) index
   kMultiPut = 12,       // batched puts (client write buffer)
+  kMultiGet = 13,       // batched cell reads (read-repair verification)
+  kIndexScan = 14,      // one scatter-gather leg over an index region
 };
 
 // Short lowercase label for metric names ("put", "get_cell", ...).
@@ -278,6 +280,65 @@ struct LocalIndexScanRequest {
 
   void EncodeTo(std::string* out) const;
   static bool DecodeFrom(Slice* in, LocalIndexScanRequest* req);
+};
+
+// Batched cell reads: the read-repair verification path groups the
+// per-hit base reads of sync-insert's double-check (Algorithm 2) into
+// one round trip per base region. Keys may span rows but must all route
+// to the same region; a key outside the serving region fails the whole
+// batch with WrongRegion (the client refreshes its layout and retries).
+struct MultiGetKey {
+  std::string row;
+  std::string column;
+};
+
+struct MultiGetRequest {
+  std::string table;
+  Timestamp read_ts = kMaxTimestamp;
+  std::vector<MultiGetKey> keys;
+
+  void EncodeTo(std::string* out) const;
+  static bool DecodeFrom(Slice* in, MultiGetRequest* req);
+};
+
+struct MultiGetEntry {
+  bool found = false;
+  std::string value;
+  Timestamp ts = 0;
+};
+
+struct MultiGetResponse {
+  std::vector<MultiGetEntry> entries;  // parallel to the request's keys
+
+  void EncodeTo(std::string* out) const;
+  static bool DecodeFrom(Slice* in, MultiGetResponse* resp);
+};
+
+// One scatter-gather leg of a paged index scan: scans a single index
+// region, addressed by region id so a layout move fails fast with
+// WrongRegion instead of silently reading a different key range. The
+// server clamps [start_key, end_key) to the region's boundaries and
+// reports `more` + `resume_key` when the page limit truncated the leg.
+struct IndexScanRequest {
+  std::string table;  // the index table
+  uint64_t region_id = 0;
+  std::string start_key;  // inclusive
+  std::string end_key;    // exclusive; empty = unbounded
+  Timestamp read_ts = kMaxTimestamp;
+  uint32_t limit = 0;  // 0 = unlimited (within the region)
+
+  void EncodeTo(std::string* out) const;
+  static bool DecodeFrom(Slice* in, IndexScanRequest* req);
+};
+
+struct IndexScanResponse {
+  std::vector<RawEntry> entries;
+  // The leg hit `limit` with rows remaining; resume from `resume_key`.
+  bool more = false;
+  std::string resume_key;
+
+  void EncodeTo(std::string* out) const;
+  static bool DecodeFrom(Slice* in, IndexScanResponse* resp);
 };
 
 }  // namespace diffindex

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "core/index_codec.h"
+#include "query/engine.h"
 
 namespace diffindex {
 
@@ -29,6 +30,10 @@ const char* WorkloadOpName(WorkloadOp op) {
       return "range_index_price";
     case WorkloadOp::kBasePutNoIndex:
       return "base_put_no_index";
+    case WorkloadOp::kScanIndexRange:
+      return "scan_index_range";
+    case WorkloadOp::kScanTableRange:
+      return "scan_table_range";
   }
   return "unknown";
 }
@@ -106,6 +111,9 @@ void WorkloadRunner::WorkerLoop(const RunnerOptions& options,
                                 int worker_id, RunnerResult* result) {
   auto raw_client = cluster_->NewClient();
   DiffIndexClient client(raw_client, cluster_->stats());
+  // Cheap when unused: the engine only spawns its leg pool on the first
+  // parallel scan.
+  ReadEngine engine(&client);
   // Per-op latencies also land in the cluster registry; instruments are
   // resolved once per worker (the loop body stays lock-free).
   Histogram* op_hist = cluster_->metrics()->GetHistogram(
@@ -192,6 +200,35 @@ void WorkloadRunner::WorkerLoop(const RunnerOptions& options,
                                 EncodeUint64IndexValue(lo),
                                 EncodeUint64IndexValue(lo + width), 0,
                                 &hits);
+        break;
+      }
+      case WorkloadOp::kScanIndexRange: {
+        const uint64_t domain = items_->options().price_domain;
+        const uint64_t width =
+            std::min(options.price_range_width, domain);
+        const uint64_t lo = rng.Uniform(domain - width + 1);
+        ScanSpec spec;
+        spec.table = items_->options().table;
+        spec.index_name = ItemTable::kPriceIndex;
+        spec.value_lo_encoded = EncodeUint64IndexValue(lo);
+        spec.value_hi_encoded = EncodeUint64IndexValue(lo + width);
+        if (options.scan_covered) {
+          spec.projection = {ItemTable::kPriceColumn};
+        }
+        ScanOptions scan;
+        scan.page_entries = options.scan_page_entries;
+        scan.max_parallel = options.scan_parallel;
+        scan.allow_covered = options.scan_covered;
+        scan.batched_repair = options.scan_batched_repair;
+        std::vector<ScannedRow> rows;
+        s = engine.ScanByIndex(spec, scan, &rows);
+        break;
+      }
+      case WorkloadOp::kScanTableRange: {
+        std::vector<ScannedRow> rows;
+        s = raw_client->ScanRows(items_->options().table,
+                                 items_->RowKey(id), "", kMaxTimestamp,
+                                 options.scan_rows, &rows);
         break;
       }
     }

@@ -24,6 +24,9 @@ enum class WorkloadOp {
   kReadIndexExact,  // getByIndex(item_title == current title): 1 row
   kRangeIndexPrice, // range query over the item_price index
   kBasePutNoIndex,  // raw base put (the "no-index" baseline of Figure 7)
+  kScanIndexRange,  // paged scatter-gather scan over the item_price index
+                    // through the read engine (query/engine.h)
+  kScanTableRange,  // bounded base-table row scan across region boundaries
 };
 
 struct RunnerOptions {
@@ -37,9 +40,16 @@ struct RunnerOptions {
   // 0 = closed loop at full speed; otherwise pace to ~this many
   // transactions per second across all threads.
   double target_tps = 0;
-  // Price-range width for kRangeIndexPrice (selectivity =
-  // width / price_domain).
+  // Price-range width for kRangeIndexPrice / kScanIndexRange
+  // (selectivity = width / price_domain).
   uint64_t price_range_width = 1000;
+  // kScanIndexRange knobs, mapped onto ScanOptions (query/engine.h).
+  uint32_t scan_page_entries = 128;
+  int scan_parallel = 4;
+  bool scan_covered = false;
+  bool scan_batched_repair = true;
+  // Rows per kScanTableRange scan.
+  uint32_t scan_rows = 64;
   uint64_t seed = 1;
 };
 

@@ -84,6 +84,18 @@ TEST(ModelCheckTest, BoundedSweepAllSchemes) {
     gc.explore = BoundedExplore();
     sweep.push_back(gc);
   }
+  {
+    // Paged scatter-gather scan with batched read-repair racing the
+    // writers: the verify-then-clean window of Algorithm 2 under
+    // concurrent overwrites (CHECK_YIELD "query.repair").
+    SweepConfig scan;
+    scan.label = "sync-insert+scan-reader";
+    scan.model = BaseModel(IndexScheme::kSyncInsert);
+    scan.model.ops_per_writer = 1;
+    scan.model.scan_reader = true;
+    scan.explore = BoundedExplore();
+    sweep.push_back(scan);
+  }
 
   long long total = 0;
   for (const SweepConfig& config : sweep) {

@@ -101,5 +101,31 @@ TEST_F(ScannerTest, SurvivesFailoverMidScan) {
   EXPECT_EQ(total, 100u);  // the cursor resumes against the new layout
 }
 
+// Client::ScanRows with a limit crossing a region boundary: the client
+// keeps walking regions in key order until the limit fills, so the
+// caller gets exactly `limit` globally-sorted rows — not one region's
+// worth. The read engine's table-range workload op depends on this.
+TEST_F(ScannerTest, ScanRowsFillsLimitAcrossRegionBoundary) {
+  // The first region holds only the rows below "40" — fewer than 50.
+  std::vector<ScannedRow> first_region;
+  ASSERT_TRUE(
+      client_->ScanRows("t", "", "40", kMaxTimestamp, 0, &first_region)
+          .ok());
+  ASSERT_LT(first_region.size(), 50u);
+  ASSERT_GT(first_region.size(), 0u);
+
+  std::vector<ScannedRow> all;
+  ASSERT_TRUE(client_->ScanRows("t", "", "", kMaxTimestamp, 0, &all).ok());
+  ASSERT_EQ(all.size(), 100u);
+
+  std::vector<ScannedRow> limited;
+  ASSERT_TRUE(
+      client_->ScanRows("t", "", "", kMaxTimestamp, 50, &limited).ok());
+  ASSERT_EQ(limited.size(), 50u);
+  for (size_t i = 0; i < limited.size(); i++) {
+    EXPECT_EQ(limited[i].row, all[i].row) << i;  // sorted prefix
+  }
+}
+
 }  // namespace
 }  // namespace diffindex
