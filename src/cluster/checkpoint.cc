@@ -1,0 +1,106 @@
+#include "cluster/checkpoint.h"
+
+#include <memory>
+
+#include "cluster/region.h"
+#include "fault/failpoint.h"
+#include "util/coding.h"
+#include "util/crc32c.h"
+#include "util/slice.h"
+
+namespace diffindex {
+
+namespace {
+
+constexpr char kCheckpointName[] = "CHECKPOINT";
+constexpr char kCheckpointTmpName[] = "CHECKPOINT.tmp";
+
+// masked crc32c of the payload (4) + payload length (4).
+constexpr size_t kHeaderSize = 8;
+
+void EncodePayload(const RegionCheckpoint& ckpt, std::string* out) {
+  PutLengthPrefixedSlice(out, ckpt.table);
+  PutVarint64(out, ckpt.region_id);
+  PutVarint64(out, ckpt.wal_seq);
+  PutFixed64(out, ckpt.flushed_ts);
+}
+
+bool DecodePayload(Slice in, RegionCheckpoint* ckpt) {
+  return GetLengthPrefixedString(&in, &ckpt->table) &&
+         GetVarint64(&in, &ckpt->region_id) &&
+         GetVarint64(&in, &ckpt->wal_seq) && GetFixed64(&in, &ckpt->flushed_ts) &&
+         in.empty();
+}
+
+}  // namespace
+
+std::string RegionCheckpointPath(const std::string& data_root,
+                                 const std::string& table,
+                                 uint64_t region_id) {
+  return Region::DataDir(data_root, table, region_id) + "/" + kCheckpointName;
+}
+
+Status WriteRegionCheckpoint(Env* env, const std::string& data_root,
+                             const RegionCheckpoint& ckpt) {
+  DIFFINDEX_FAILPOINT("checkpoint.write");
+  std::string payload;
+  EncodePayload(ckpt, &payload);
+  std::string framed;
+  PutFixed32(&framed,
+             crc32c::Mask(crc32c::Value(payload.data(), payload.size())));
+  PutFixed32(&framed, static_cast<uint32_t>(payload.size()));
+  framed += payload;
+
+  const std::string dir =
+      Region::DataDir(data_root, ckpt.table, ckpt.region_id);
+  const std::string tmp_path = dir + "/" + kCheckpointTmpName;
+  std::unique_ptr<WritableFile> file;
+  DIFFINDEX_RETURN_NOT_OK(env->NewWritableFile(tmp_path, &file));
+  DIFFINDEX_RETURN_NOT_OK(file->Append(framed));
+  DIFFINDEX_RETURN_NOT_OK(file->Sync());
+  DIFFINDEX_RETURN_NOT_OK(file->Close());
+  return env->RenameFile(tmp_path, dir + "/" + kCheckpointName);
+}
+
+Status ReadRegionCheckpoint(Env* env, const std::string& data_root,
+                            const std::string& table, uint64_t region_id,
+                            RegionCheckpoint* out) {
+  const std::string path = RegionCheckpointPath(data_root, table, region_id);
+  if (!env->FileExists(path)) {
+    return Status::NotFound("no checkpoint: " + path);
+  }
+  uint64_t file_size = 0;
+  DIFFINDEX_RETURN_NOT_OK(env->GetFileSize(path, &file_size));
+  std::unique_ptr<SequentialFile> file;
+  DIFFINDEX_RETURN_NOT_OK(env->NewSequentialFile(path, &file));
+  std::string scratch(file_size, '\0');
+  Slice contents;
+  DIFFINDEX_RETURN_NOT_OK(file->Read(file_size, &contents, scratch.data()));
+
+  if (contents.size() < kHeaderSize) {
+    return Status::Corruption("checkpoint truncated: " + path);
+  }
+  const uint32_t expected_crc = crc32c::Unmask(DecodeFixed32(contents.data()));
+  const uint32_t length = DecodeFixed32(contents.data() + 4);
+  if (contents.size() < kHeaderSize + length) {
+    return Status::Corruption("checkpoint truncated: " + path);
+  }
+  Slice payload(contents.data() + kHeaderSize, length);
+  if (crc32c::Value(payload.data(), payload.size()) != expected_crc) {
+    return Status::Corruption("checkpoint crc mismatch: " + path);
+  }
+  RegionCheckpoint ckpt;
+  if (!DecodePayload(payload, &ckpt)) {
+    return Status::Corruption("checkpoint undecodable: " + path);
+  }
+  if (ckpt.table != table || ckpt.region_id != region_id) {
+    // A checkpoint naming another region in this directory can only come
+    // from file-placement corruption; trusting its wal_seq could skip
+    // edits that were never flushed here.
+    return Status::Corruption("checkpoint region mismatch: " + path);
+  }
+  *out = std::move(ckpt);
+  return Status::OK();
+}
+
+}  // namespace diffindex

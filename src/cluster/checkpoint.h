@@ -1,0 +1,64 @@
+// Durable per-region flush checkpoints (recovery roll-forward marks).
+//
+// On every successful flush a region persists a tiny CHECKPOINT file in
+// its data directory recording the highest WAL edit sequence covered by
+// its on-disk SSTables. Recovery reads it first and replays only the WAL
+// suffix past it, so failover cost is proportional to un-flushed data,
+// not to log history (Section 5.3; ROADMAP item 5).
+//
+// The checkpoint is deliberately separate from the LSM TABLES manifest:
+// the manifest describes storage (which SSTables exist) and a corrupt
+// manifest must fail the open, while a corrupt checkpoint merely widens
+// replay — ReadRegionCheckpoint distinguishes NotFound (no checkpoint
+// yet: fall back to the manifest's applied_seq) from Corruption (ignore
+// the file and replay the full log; replay is idempotent under the
+// explicit-timestamp rule, so over-replay can duplicate work but never
+// lose or invent data).
+//
+// Durability protocol: the payload is CRC32C-framed and written via
+// write-temp -> fsync -> rename, the same atomic-publish pattern the LSM
+// manifest uses. A crash between flush and checkpoint publish leaves the
+// previous checkpoint in place, which only under-reports the flushed
+// prefix — again the safe direction.
+
+#ifndef DIFFINDEX_CLUSTER_CHECKPOINT_H_
+#define DIFFINDEX_CLUSTER_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/env.h"
+#include "util/status.h"
+#include "util/timestamp_oracle.h"
+
+namespace diffindex {
+
+struct RegionCheckpoint {
+  std::string table;
+  uint64_t region_id = 0;
+  // Highest WAL edit sequence whose effects are in on-disk SSTables.
+  // Replay skips every edit with seq <= wal_seq.
+  uint64_t wal_seq = 0;
+  // Newest cell timestamp covered by the flush (diagnostics only).
+  Timestamp flushed_ts = 0;
+};
+
+// <region data dir>/CHECKPOINT, next to the LSM TABLES manifest.
+std::string RegionCheckpointPath(const std::string& data_root,
+                                 const std::string& table,
+                                 uint64_t region_id);
+
+// Atomically publishes `ckpt` (failpoint: "checkpoint.write").
+Status WriteRegionCheckpoint(Env* env, const std::string& data_root,
+                             const RegionCheckpoint& ckpt);
+
+// OK: *out filled. NotFound: no checkpoint file exists (pre-checkpoint
+// region). Corruption: the file exists but is truncated, fails its CRC,
+// or names a different region — callers must fall back to full replay.
+Status ReadRegionCheckpoint(Env* env, const std::string& data_root,
+                            const std::string& table, uint64_t region_id,
+                            RegionCheckpoint* out);
+
+}  // namespace diffindex
+
+#endif  // DIFFINDEX_CLUSTER_CHECKPOINT_H_

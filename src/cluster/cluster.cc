@@ -63,6 +63,7 @@ Status Cluster::Init() {
   options_.server.metrics = &metrics_;
   options_.server.traces = &traces_;
   options_.server.lsm.metrics = &metrics_;
+  options_.master.metrics = &metrics_;
   options_.auq.metrics = &metrics_;
   options_.auq.traces = &traces_;
   stats_.Bind(&metrics_);

@@ -10,7 +10,17 @@ namespace diffindex {
 
 Master::Master(Fabric* fabric, std::string data_root,
                const MasterOptions& options)
-    : fabric_(fabric), data_root_(std::move(data_root)), options_(options) {}
+    : fabric_(fabric), data_root_(std::move(data_root)), options_(options) {
+  if (options_.metrics != nullptr) {
+    recovery_regions_counter_ =
+        options_.metrics->GetCounter("recovery.regions");
+    recovery_retries_counter_ =
+        options_.metrics->GetCounter("recovery.retries");
+    recovery_reassigned_counter_ =
+        options_.metrics->GetCounter("recovery.reassigned");
+    recovery_failed_counter_ = options_.metrics->GetCounter("recovery.failed");
+  }
+}
 
 Master::~Master() { Stop(); }
 
@@ -251,36 +261,228 @@ Status Master::MoveRegion(const std::string& table, uint64_t region_id,
   return Status::OK();
 }
 
-Status Master::OnServerDead(NodeId server_id) {
-  // Phase 0 (under the lock): drop the dead server, pick new owners,
-  // publish the new layout. The actual replay and flush happen OUTSIDE
-  // the lock: recovery drains AUQs whose tasks need layout fetches and
-  // index puts against the newly assigned regions.
-  std::vector<std::pair<RegionInfoWire, RegionServer*>> moves;
+RegionInfoWire* Master::FindRegionLocked(const std::string& table,
+                                         uint64_t region_id) {
+  for (auto& info : regions_) {
+    if (info.table == table && info.region_id == region_id) return &info;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Master::ListDeadWalFilesLocked() {
   std::vector<std::string> wal_paths;
+  for (const auto& [id, dir] : dead_wal_dirs_) {
+    std::vector<std::string> children;
+    if (!Env::Default()->GetChildren(dir, &children).ok()) {
+      continue;  // dir missing (never written / already retired): nothing
+                 // to replay from this server
+    }
+    std::sort(children.begin(), children.end(),
+              [](const std::string& a, const std::string& b) {
+                return strtoull(a.c_str(), nullptr, 10) <
+                       strtoull(b.c_str(), nullptr, 10);
+              });
+    for (const auto& child : children) {
+      wal_paths.push_back(dir + "/" + child);
+    }
+  }
+  return wal_paths;
+}
+
+void Master::MaybeRetireDeadWalDirsLocked() {
+  // A dead server's WAL dir stays a replay source until nothing can need
+  // it: no OnServerDead is mid-recovery (a second victim's regions replay
+  // from the WHOLE dead set — its replayed-but-unflushed edits exist
+  // nowhere but the original victim's log) and every opened-with-replay
+  // region has flushed durably. The last recovery to finish cleans up.
+  if (active_recoveries_ > 0 || !unflushed_recoveries_.empty()) return;
+  for (const auto& [id, dir] : dead_wal_dirs_) {
+    Env::Default()->RemoveDirRecursively(dir).IgnoreError();
+    DIFFINDEX_LOG_INFO << "master: retired dead server " << id << " wal dir "
+                       << dir;
+  }
+  dead_wal_dirs_.clear();
+}
+
+Status Master::RecoverRegion(const RegionInfoWire& lost) {
+  // Serialize per region: when two OnServerDead calls race over the same
+  // region (a chained failure moved it from one victim to the next), the
+  // second waits for the first to settle rather than double-opening the
+  // region's LSM directory. Waiting is bounded — the holder's attempt and
+  // flush loops both terminate.
+  const std::pair<std::string, uint64_t> key{lost.table, lost.region_id};
+  for (;;) {
+    {
+      MutexLock lock(mu_);
+      if (recovering_.insert(key).second) break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  Status s = RecoverRegionExclusive(lost);
+  MutexLock lock(mu_);
+  recovering_.erase(key);
+  return s;
+}
+
+Status Master::RecoverRegionExclusive(const RegionInfoWire& lost) {
+  if (recovery_regions_counter_ != nullptr) recovery_regions_counter_->Add();
+  Status last;
+  const int max_attempts = std::max(1, options_.recovery_open_attempts);
+  for (int attempt = 0; attempt < max_attempts; attempt++) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(1 << std::min(attempt, 5)));
+      if (recovery_retries_counter_ != nullptr) {
+        recovery_retries_counter_->Add();
+      }
+    }
+    // Re-read the layout AND the dead-WAL set each attempt: a re-entrant
+    // OnServerDead (second victim mid-recovery) may have reassigned this
+    // region, and its victim's WAL files must be part of any replay that
+    // starts after that death was recorded. A stale snapshot here is a
+    // data-loss bug, not an optimization.
+    RegionServer* owner = nullptr;
+    RegionInfoWire info;
+    std::vector<std::string> wal_paths;
+    {
+      MutexLock lock(mu_);
+      RegionInfoWire* cur = FindRegionLocked(lost.table, lost.region_id);
+      if (cur == nullptr) return Status::OK();  // dropped/split meanwhile
+      auto it = servers_.find(cur->server_id);
+      if (it == servers_.end()) {
+        // The assigned owner itself died: the OnServerDead for that victim
+        // finds the region still published to it and recovers it from the
+        // full dead-WAL set, including our victim's files.
+        return Status::OK();
+      }
+      owner = it->second;
+      info = *cur;
+      wal_paths = ListDeadWalFilesLocked();
+    }
+
+    Status s = owner->OpenRegionWithRecovery(info, wal_paths);
+    if (s.ok()) {
+      // Until the phase-2 flush (FlushRecoveredRegion, after ALL of this
+      // victim's regions have been opened) the replayed edits live only
+      // in the new owner's memtable, backed by the still-pinned dead WAL
+      // files — the unflushed_recoveries_ entry records exactly that.
+      MutexLock lock(mu_);
+      unflushed_recoveries_.insert({info.table, info.region_id});
+      return Status::OK();
+    }
+
+    last = s;
+    DIFFINDEX_LOG_WARN << "master: open-with-recovery of " << info.table
+                       << "/r" << info.region_id << " on server "
+                       << owner->id() << " failed: " << s.ToString();
+    if (s.IsUnavailable()) {
+      // The owner is stopped but its death hasn't been processed yet
+      // (OnServerDead for it is imminent or mid-phase-0). Reassigning now
+      // could strand acked edits: the region may be PUBLISHED on that
+      // owner, with edits in a WAL dir not yet recorded as dead. Back off
+      // and retry; once the death lands, the next attempt sees the owner
+      // gone and defers to its failover (which replays the full set).
+      continue;
+    }
+    // A failed open-with-recovery publishes nothing on `owner`, so
+    // reassigning to a different survivor cannot strand acked edits.
+    {
+      MutexLock lock(mu_);
+      RegionInfoWire* cur = FindRegionLocked(lost.table, lost.region_id);
+      if (cur == nullptr) return Status::OK();
+      if (cur->server_id == owner->id() && !servers_.empty()) {
+        std::vector<RegionServer*> survivors;
+        for (const auto& [id, server] : servers_) survivors.push_back(server);
+        RegionServer* next_owner = survivors[next_assign_++ % survivors.size()];
+        if (next_owner->id() == owner->id() && survivors.size() > 1) {
+          next_owner = survivors[next_assign_++ % survivors.size()];
+        }
+        if (next_owner->id() != cur->server_id) {
+          cur->server_id = next_owner->id();
+          layout_epoch_.fetch_add(1);
+          if (recovery_reassigned_counter_ != nullptr) {
+            recovery_reassigned_counter_->Add();
+          }
+        }
+      }
+      // else: a re-entrant recovery moved it; the next attempt re-reads
+      // the layout and either proceeds there or defers.
+    }
+  }
+  return last;
+}
+
+Status Master::FlushRecoveredRegion(const RegionInfoWire& lost) {
+  RegionServer* owner = nullptr;
+  RegionInfoWire info;
+  {
+    MutexLock lock(mu_);
+    RegionInfoWire* cur = FindRegionLocked(lost.table, lost.region_id);
+    if (cur == nullptr) {
+      // Dropped/split meanwhile: no flush is coming, so the pin must go.
+      unflushed_recoveries_.erase({lost.table, lost.region_id});
+      return Status::OK();
+    }
+    auto it = servers_.find(cur->server_id);
+    if (it == servers_.end()) {
+      // The new owner already died; its own OnServerDead re-recovers the
+      // region from the full dead-WAL set. The unflushed_recoveries_
+      // entry keeps every dead WAL dir pinned until that flush lands.
+      return Status::OK();
+    }
+    owner = it->second;
+    info = *cur;
+  }
+  // Make the replayed state durable under the new owner's WAL regime
+  // (drain-before-flush runs the re-enqueued index updates first).
+  Status flush_status;
+  for (int f = 0; f < 10; f++) {
+    flush_status = owner->FlushRegion(info.table, info.region_id);
+    if (flush_status.ok() || flush_status.IsUnavailable()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  if (flush_status.ok()) {
+    MutexLock lock(mu_);
+    unflushed_recoveries_.erase({info.table, info.region_id});
+    return Status::OK();
+  }
+  if (flush_status.IsUnavailable()) {
+    // The new owner crashed between open and flush: defer, as above.
+    DIFFINDEX_LOG_WARN << "master: new owner of " << info.table << "/r"
+                       << info.region_id
+                       << " stopped before the recovery flush; "
+                          "deferring to its own failover";
+    return Status::OK();
+  }
+  // Persistent flush failure with the region live and serving on
+  // `owner`: keep the assignment — moving it away without its local
+  // WAL would lose edits acked since the open — and keep the dead
+  // WAL dirs pinned. The next successful flush (put-path NeedsFlush,
+  // FlushAll, a later sweep) completes durability.
+  DIFFINDEX_LOG_ERROR << "master: post-recovery flush of " << info.table
+                      << "/r" << info.region_id
+                      << " failed: " << flush_status.ToString();
+  return flush_status;
+}
+
+Status Master::OnServerDead(NodeId server_id) {
+  // Phase 0 (under the lock): drop the dead server, record its WAL dir as
+  // a replay source, pick new owners, publish the new layout. The actual
+  // replay and flush happen OUTSIDE the lock: recovery drains AUQs whose
+  // tasks need layout fetches and index puts against the newly assigned
+  // regions.
+  std::vector<RegionInfoWire> lost;
   {
     MutexLock lock(mu_);
     servers_.erase(server_id);
     last_heartbeat_micros_.erase(server_id);
+    // The dead server's WAL directory on shared storage ("HDFS"). Kept
+    // pinned until every recovery that might replay from it has flushed.
+    dead_wal_dirs_[server_id] =
+        data_root_ + "/wal/s" + std::to_string(server_id);
     if (servers_.empty()) {
       return Status::Unavailable("no survivors to host regions");
     }
-
-    // The dead server's WAL directory on shared storage ("HDFS").
-    const std::string dead_wal_dir =
-        data_root_ + "/wal/s" + std::to_string(server_id);
-    std::vector<std::string> children;
-    if (Env::Default()->GetChildren(dead_wal_dir, &children).ok()) {
-      std::sort(children.begin(), children.end(),
-                [](const std::string& a, const std::string& b) {
-                  return strtoull(a.c_str(), nullptr, 10) <
-                         strtoull(b.c_str(), nullptr, 10);
-                });
-      for (const auto& child : children) {
-        wal_paths.push_back(dead_wal_dir + "/" + child);
-      }
-    }
-
     std::vector<RegionServer*> survivors;
     for (const auto& [id, server] : servers_) survivors.push_back(server);
     for (auto& info : regions_) {
@@ -288,48 +490,52 @@ Status Master::OnServerDead(NodeId server_id) {
       RegionServer* new_owner = survivors[next_assign_ % survivors.size()];
       next_assign_++;
       info.server_id = new_owner->id();
-      moves.emplace_back(info, new_owner);
+      lost.push_back(info);
     }
     layout_epoch_.fetch_add(1);
+    active_recoveries_++;
   }
 
-  // Phase 1: open + WAL split/replay on every new owner. Regions start
-  // serving and the replayed index work is re-enqueued into the AUQs.
-  for (auto& [info, new_owner] : moves) {
-    Status s = new_owner->OpenRegionWithRecovery(info, wal_paths);
-    if (!s.ok()) {
+  // Phase 1, failure-isolated per region: each region's open + bounded
+  // replay runs independently, so one region's persistent failure no
+  // longer leaves its siblings published-but-never-opened.
+  Status first_failure;
+  size_t failed = 0;
+  std::vector<RegionInfoWire> opened;
+  for (const auto& info : lost) {
+    Status s = RecoverRegion(info);
+    if (s.ok()) {
+      opened.push_back(info);
+    } else {
+      failed++;
       DIFFINDEX_LOG_ERROR << "master: recovery of " << info.table << "/r"
                           << info.region_id << " failed: " << s.ToString();
-      return s;
-    }
-  }
-
-  // Phase 2: flush the recovered regions so their state is durable under
-  // the new owners' WAL regime (drain-before-flush runs the re-enqueued
-  // index updates first — every target region is reachable by now).
-  // Replayed edits live only in the new owner's memtable until this flush:
-  // the dead server's WAL files are never consulted again, so a transient
-  // flush failure (full disk, injected I/O fault) must be retried — and a
-  // persistently failing region must not abort the flushes of the others.
-  Status first_failure;
-  for (auto& [info, new_owner] : moves) {
-    Status s;
-    for (int attempt = 0; attempt < 10; attempt++) {
-      s = new_owner->FlushRegion(info.table, info.region_id);
-      if (s.ok()) break;
-      std::this_thread::sleep_for(std::chrono::milliseconds(2));
-    }
-    if (!s.ok()) {
-      DIFFINDEX_LOG_ERROR << "master: post-recovery flush of " << info.table
-                          << "/r" << info.region_id
-                          << " failed: " << s.ToString();
+      if (recovery_failed_counter_ != nullptr) recovery_failed_counter_->Add();
       if (first_failure.ok()) first_failure = s;
     }
   }
-  DIFFINDEX_RETURN_NOT_OK(first_failure);
+  // Phase 2, only after EVERY lost region is opened and serving: the
+  // recovery flush drains the new owner's AUQ, and a queued index task
+  // may target a sibling region from the same dead server — flushing
+  // inside the loop above would deadlock this thread against the open it
+  // hasn't reached yet (the task retries forever, the drain never ends).
+  for (const auto& info : opened) {
+    Status s = FlushRecoveredRegion(info);
+    if (!s.ok()) {
+      failed++;
+      if (recovery_failed_counter_ != nullptr) recovery_failed_counter_->Add();
+      if (first_failure.ok()) first_failure = s;
+    }
+  }
+  {
+    MutexLock lock(mu_);
+    active_recoveries_--;
+    MaybeRetireDeadWalDirsLocked();
+  }
   DIFFINDEX_LOG_INFO << "master: server " << server_id << " dead, "
-                     << moves.size() << " regions reassigned";
-  return Status::OK();
+                     << lost.size() - failed << "/" << lost.size()
+                     << " regions recovered";
+  return first_failure;
 }
 
 Status Master::Handle(MsgType type, Slice body, std::string* response) {

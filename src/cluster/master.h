@@ -11,8 +11,10 @@
 #include <atomic>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "cluster/catalog.h"
@@ -29,6 +31,12 @@ struct MasterOptions {
   // A server missing heartbeats for this long is declared dead; 0
   // disables the background detector (tests call OnServerDead directly).
   int failure_detect_ms = 0;
+  // Per-region open-with-recovery attempts before a region's recovery is
+  // reported failed (each failure reassigns to a different survivor).
+  int recovery_open_attempts = 6;
+  // Recovery counters (`recovery.regions/retries/reassigned/failed`);
+  // may be null.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class Master {
@@ -50,8 +58,17 @@ class Master {
   void DeregisterServer(NodeId server_id);
 
   // Declares a server dead: reassigns all its regions across the
-  // survivors, each new owner replaying the dead server's WAL for its
-  // regions. Called by the failure detector or directly by tests.
+  // survivors, each new owner replaying the dead servers' WALs for its
+  // regions (bounded by the regions' flush checkpoints) and then flushing
+  // durably. Recovery is failure-isolated per region: one region's
+  // persistent failure never abandons its siblings, transient failures
+  // retry with backoff, and a persistent open failure reassigns the
+  // region to a different survivor. Re-entrant: a second server dying
+  // mid-recovery (even a new owner holding half-recovered regions) is
+  // handled by calling this again for the new victim — the full dead-
+  // server WAL set stays a replay source until every recovered region
+  // has flushed. Returns the first per-region failure, after attempting
+  // every region. Called by the failure detector or directly by tests.
   Status OnServerDead(NodeId server_id);
 
   // ---- DDL ----
@@ -109,6 +126,32 @@ class Master {
   void PushCatalogLocked() REQUIRES(mu_);
   void DetectorLoop();
 
+  // Layout entry for (table, region_id), or null. The pointer is valid
+  // only while mu_ stays held.
+  RegionInfoWire* FindRegionLocked(const std::string& table,
+                                   uint64_t region_id) REQUIRES(mu_);
+  // One region's isolated recovery: open + bounded replay + publish on
+  // the currently assigned owner (retrying, reassigning to a different
+  // survivor on persistent open failure). Serialized per region across
+  // concurrent OnServerDead calls (waits for a holder to finish); each
+  // attempt replays from the CURRENT dead-WAL set, so a second victim's
+  // files are never missed. Does NOT flush — see FlushRecoveredRegion.
+  Status RecoverRegion(const RegionInfoWire& lost);
+  Status RecoverRegionExclusive(const RegionInfoWire& lost);
+  // Phase 2 of a recovery: the durable flush on the new owner. Must run
+  // only after EVERY region of the dead server has been opened and
+  // published: the flush's drain-before-flush barrier waits on the
+  // owner's AUQ, whose queued tasks may target sibling regions from the
+  // same dead server — draining before those siblings serve deadlocks
+  // the failover against its own remaining work.
+  Status FlushRecoveredRegion(const RegionInfoWire& lost);
+  // Every surviving WAL file of every dead server, per-server
+  // numerically ordered.
+  std::vector<std::string> ListDeadWalFilesLocked() REQUIRES(mu_);
+  // Deletes the dead servers' WAL dirs once nothing can need them for
+  // replay: no recovery in flight and no recovered-but-unflushed region.
+  void MaybeRetireDeadWalDirsLocked() REQUIRES(mu_);
+
   Fabric* const fabric_;
   const std::string data_root_;
   const MasterOptions options_;
@@ -123,6 +166,26 @@ class Master {
   std::vector<RegionInfoWire> regions_ GUARDED_BY(mu_);
   uint64_t next_region_id_ GUARDED_BY(mu_) = 1;
   size_t next_assign_ GUARDED_BY(mu_) = 0;  // round-robin cursor
+
+  // Recovery bookkeeping: WAL dirs of dead servers (replay sources until
+  // retired), regions opened-with-replay but not yet durably flushed
+  // (they pin the dirs), and the number of OnServerDead calls currently
+  // in their recovery phases (re-entrancy is expected: a second victim's
+  // recovery runs concurrently with the first).
+  std::map<NodeId, std::string> dead_wal_dirs_ GUARDED_BY(mu_);
+  std::set<std::pair<std::string, uint64_t>> unflushed_recoveries_
+      GUARDED_BY(mu_);
+  // Regions with a RecoverRegion in flight: concurrent OnServerDead calls
+  // (chained failures) serialize per region here, so the same region is
+  // never opened-with-replay twice at once.
+  std::set<std::pair<std::string, uint64_t>> recovering_ GUARDED_BY(mu_);
+  int active_recoveries_ GUARDED_BY(mu_) = 0;
+
+  // Cached registry instruments (null when options_.metrics is null).
+  obs::Counter* recovery_regions_counter_ = nullptr;
+  obs::Counter* recovery_retries_counter_ = nullptr;
+  obs::Counter* recovery_reassigned_counter_ = nullptr;
+  obs::Counter* recovery_failed_counter_ = nullptr;
 
   std::atomic<uint64_t> layout_epoch_{1};
   std::atomic<bool> stopped_{false};

@@ -7,6 +7,7 @@
 #ifdef DIFFINDEX_CHECK
 #include "check/test_hooks.h"
 #endif
+#include "cluster/checkpoint.h"
 #include "fault/failpoint.h"
 #include "obs/trace.h"
 #include "util/coding.h"
@@ -107,6 +108,17 @@ RegionServer::RegionServer(NodeId id, std::string data_root, Fabric* fabric,
     flush_stall_hist_ =
         options_.metrics->GetHistogram("rs.flush_stall_micros");
     wal_group_size_hist_ = options_.metrics->GetHistogram("wal.group_size");
+    wal_segments_gauge_ = options_.metrics->GetGauge("wal.segments");
+    wal_gc_deleted_counter_ = options_.metrics->GetCounter("wal.gc_deleted");
+    wal_replay_skipped_counter_ =
+        options_.metrics->GetCounter("wal.replay_skipped");
+    wal_replayed_counter_ = options_.metrics->GetCounter("wal.replayed");
+    checkpoint_writes_counter_ =
+        options_.metrics->GetCounter("checkpoint.writes");
+    checkpoint_write_failed_counter_ =
+        options_.metrics->GetCounter("checkpoint.write_failed");
+    checkpoint_corrupt_counter_ =
+        options_.metrics->GetCounter("checkpoint.corrupt");
   }
   if (options_.base_row_cache_bytes > 0) {
     base_row_cache_ = std::make_unique<BaseRowCache>(
@@ -117,6 +129,7 @@ RegionServer::RegionServer(NodeId id, std::string data_root, Fabric* fabric,
 RegionServer::~RegionServer() {
   stopped_.store(true);
   if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
+  if (wal_gc_thread_.joinable()) wal_gc_thread_.join();
 }
 
 Status RegionServer::Start() {
@@ -137,6 +150,9 @@ Status RegionServer::Start() {
   if (options_.heartbeat_interval_ms > 0) {
     heartbeat_thread_ = std::thread([this] { HeartbeatLoop(); });
   }
+  if (options_.wal_gc_interval_ms > 0) {
+    wal_gc_thread_ = std::thread([this] { WalGcLoop(); });
+  }
   return Status::OK();
 }
 
@@ -144,6 +160,7 @@ Status RegionServer::Stop() {
   DIFFINDEX_RETURN_NOT_OK(FlushAll());
   stopped_.store(true);
   if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
+  if (wal_gc_thread_.joinable()) wal_gc_thread_.join();
   fabric_->UnregisterNode(id_);
   MutexLock lock(wal_mu_);
   if (!wal_files_.empty() && wal_files_.back().writer != nullptr) {
@@ -158,6 +175,17 @@ Status RegionServer::Stop() {
 void RegionServer::Crash() {
   stopped_.store(true);
   if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
+  if (wal_gc_thread_.joinable()) wal_gc_thread_.join();
+}
+
+void RegionServer::WalGcLoop() {
+  while (!stopped_.load()) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.wal_gc_interval_ms));
+    if (stopped_.load()) break;
+    MutexLock lock(wal_mu_);
+    MaybeGcWalFilesLocked();
+  }
 }
 
 void RegionServer::UpdateCatalog(CatalogSnapshot snapshot) {
@@ -186,6 +214,18 @@ void RegionServer::HeartbeatLoop() {
   }
 }
 
+void RegionServer::AdoptAppliedSeq(uint64_t adopted) {
+  // The adopted region's persisted applied_seq comes from its previous
+  // owner's sequence space. Future edits here must sort after it, or a
+  // crash of THIS server would make replay skip them; fast-forward the
+  // edit sequence past the checkpoint.
+  uint64_t current = next_edit_seq_.load(std::memory_order_relaxed);
+  while (current <= adopted &&
+         !next_edit_seq_.compare_exchange_weak(current, adopted + 1,
+                                               std::memory_order_relaxed)) {
+  }
+}
+
 Status RegionServer::OpenRegionInternal(const RegionInfoWire& info) {
   DIFFINDEX_FAILPOINT("region.open");
   // Adopted region data (and any WAL replay that follows) did not pass
@@ -194,17 +234,7 @@ Status RegionServer::OpenRegionInternal(const RegionInfoWire& info) {
   std::unique_ptr<Region> region;
   DIFFINDEX_RETURN_NOT_OK(
       Region::Open(lsm_options_, data_root_, info, &region));
-
-  // The adopted region's persisted applied_seq comes from its previous
-  // owner's sequence space. Future edits here must sort after it, or a
-  // crash of THIS server would make replay skip them; fast-forward the
-  // edit sequence past the checkpoint.
-  const uint64_t adopted = region->tree()->applied_seq();
-  uint64_t current = next_edit_seq_.load(std::memory_order_relaxed);
-  while (current <= adopted &&
-         !next_edit_seq_.compare_exchange_weak(current, adopted + 1,
-                                               std::memory_order_relaxed)) {
-  }
+  AdoptAppliedSeq(region->tree()->applied_seq());
 
   WriterMutexLock lock(regions_mu_);
   const auto key = std::make_pair(info.table, info.region_id);
@@ -214,24 +244,22 @@ Status RegionServer::OpenRegionInternal(const RegionInfoWire& info) {
 }
 
 Status RegionServer::OpenRegion(const RegionInfoWire& info) {
+  if (stopped_.load()) return Status::Unavailable("region server stopped");
   DIFFINDEX_RETURN_NOT_OK(OpenRegionInternal(info));
   // Rebuild region-co-located local indexes from the base data.
   if (hooks_ != nullptr) hooks_->OnRegionOpened(info.table, info.region_id);
   return Status::OK();
 }
 
-Status RegionServer::OpenRegionWithRecovery(
-    const RegionInfoWire& info, const std::vector<std::string>& wal_paths) {
-  // Local index rebuild must wait for the WAL replay below, so open
-  // without the OnRegionOpened hook first.
-  DIFFINDEX_RETURN_NOT_OK(OpenRegionInternal(info));
-  auto region = FindRegionById(info.table, info.region_id);
-  const uint64_t recovered_through = region->tree()->applied_seq();
-
-  // "Split the log": scan the dead server's WAL files, pick out this
-  // region's edits, replay those past the flush point.
-  uint64_t replayed = 0;
+Status RegionServer::ReplayWalForRegion(
+    Region* region, const RegionInfoWire& info,
+    const std::vector<std::string>& wal_paths, uint64_t recovered_through,
+    std::vector<std::pair<PutRequest, Timestamp>>* replayed) {
+  // "Split the log": scan the dead owners' WAL files, pick out this
+  // region's edits, replay those past the roll-forward point.
+  uint64_t skipped = 0;
   for (const auto& path : wal_paths) {
+    DIFFINDEX_FAILPOINT("wal.replay");
     std::unique_ptr<wal::Reader> reader;
     Status s = wal::Reader::Open(lsm_options_.env, path, &reader);
     if (!s.ok()) continue;  // file may be gone (GC'd); fine
@@ -243,7 +271,10 @@ Status RegionServer::OpenRegionWithRecovery(
       if (edit.table != info.table || edit.region_id != info.region_id) {
         continue;
       }
-      if (edit.seq <= recovered_through) continue;  // already flushed
+      if (edit.seq <= recovered_through) {  // already flushed
+        skipped++;
+        continue;
+      }
 
       PutRequest put;
       put.table = edit.table;
@@ -262,19 +293,96 @@ Status RegionServer::OpenRegionWithRecovery(
           }
         }
       }
-      // Requirement (2) of the AUQ recovery protocol: every replayed base
-      // put re-enters the AUQ, "regardless of whether or not it has been
-      // delivered to index tables before the failure". Idempotent by the
-      // same-timestamp rule.
-      if (hooks_ != nullptr) hooks_->OnWalReplay(put, edit.ts);
-      replayed++;
+      replayed->emplace_back(std::move(put), edit.ts);
     }
+  }
+  if (wal_replay_skipped_counter_ != nullptr) {
+    wal_replay_skipped_counter_->Add(skipped);
+  }
+  if (wal_replayed_counter_ != nullptr) {
+    wal_replayed_counter_->Add(replayed->size());
   }
   DIFFINDEX_LOG_INFO << "server " << id_ << ": recovered region "
                      << info.table << "/r" << info.region_id << ", "
-                     << replayed << " edits replayed";
-  // Replay done: local indexes can now be rebuilt over the full state.
-  if (hooks_ != nullptr) hooks_->OnRegionOpened(info.table, info.region_id);
+                     << replayed->size() << " edits replayed, " << skipped
+                     << " skipped (checkpointed)";
+  return Status::OK();
+}
+
+Status RegionServer::OpenRegionWithRecovery(
+    const RegionInfoWire& info, const std::vector<std::string>& wal_paths) {
+  if (stopped_.load()) return Status::Unavailable("region server stopped");
+  {
+    // Already hosting: a chained-failure recovery can route the same
+    // region back to a server that recovered it moments ago. The served
+    // state supersedes any replay; opening the LSM dir a second time
+    // would race the live tree.
+    ReaderMutexLock lock(regions_mu_);
+    if (regions_.count({info.table, info.region_id}) > 0) {
+      return Status::OK();
+    }
+  }
+  DIFFINDEX_FAILPOINT("region.open");
+  if (base_row_cache_ != nullptr) base_row_cache_->Clear();
+
+  // Open, replay, and only then publish: a failure anywhere below leaves
+  // this server exactly as it was (the region never served, so there is
+  // nothing to un-publish and no acked edit to lose), which is what lets
+  // the master retry here or reassign to another survivor.
+  std::unique_ptr<Region> region;
+  DIFFINDEX_RETURN_NOT_OK(
+      Region::Open(lsm_options_, data_root_, info, &region));
+  AdoptAppliedSeq(region->tree()->applied_seq());
+
+  // Roll-forward point: the flush checkpoint when one is readable, the
+  // LSM manifest's applied_seq otherwise (pre-checkpoint regions). A
+  // corrupt checkpoint widens replay to the full log — replay is
+  // idempotent under the explicit-timestamp rule, so over-replay costs
+  // time, never correctness — and is never trusted to narrow it.
+  uint64_t recovered_through = 0;
+  if (options_.recovery_use_checkpoints) {
+    recovered_through = region->tree()->applied_seq();
+    RegionCheckpoint ckpt;
+    Status ckpt_status = ReadRegionCheckpoint(
+        lsm_options_.env, data_root_, info.table, info.region_id, &ckpt);
+    if (ckpt_status.ok()) {
+      recovered_through = std::max(recovered_through, ckpt.wal_seq);
+    } else if (ckpt_status.IsCorruption()) {
+      DIFFINDEX_LOG_WARN << "server " << id_ << ": checkpoint for "
+                         << info.table << "/r" << info.region_id
+                         << " unreadable (" << ckpt_status.ToString()
+                         << "); falling back to full replay";
+      if (checkpoint_corrupt_counter_ != nullptr) {
+        checkpoint_corrupt_counter_->Add();
+      }
+      recovered_through = 0;
+    }
+  }
+
+  std::vector<std::pair<PutRequest, Timestamp>> replayed;
+  DIFFINDEX_RETURN_NOT_OK(ReplayWalForRegion(
+      region.get(), info, wal_paths, recovered_through, &replayed));
+
+  // Publish: the region starts serving its recovered state.
+  {
+    WriterMutexLock lock(regions_mu_);
+    const auto key = std::make_pair(info.table, info.region_id);
+    regions_[key] = std::shared_ptr<Region>(region.release());
+    flushed_seq_[key] = regions_[key]->tree()->applied_seq();
+  }
+
+  // Requirement (2) of the AUQ recovery protocol: every replayed base
+  // put re-enters the AUQ, "regardless of whether or not it has been
+  // delivered to index tables before the failure". Idempotent by the
+  // same-timestamp rule. After publish, so the tasks' base read-backs
+  // can route to this region.
+  if (hooks_ != nullptr) {
+    for (auto& [put, ts] : replayed) {
+      hooks_->OnWalReplay(put, ts);
+    }
+    // Replay done: local indexes can now be rebuilt over the full state.
+    hooks_->OnRegionOpened(info.table, info.region_id);
+  }
   // The master flushes the region (phase 2 of recovery) once every region
   // of the dead server has a reachable new owner — the flush drains the
   // re-enqueued AUQ entries first and those need the other regions up.
@@ -353,6 +461,7 @@ Status RegionServer::SplitRegion(const std::string& table,
 
 Status RegionServer::CloseRegionForMove(const std::string& table,
                                         uint64_t region_id) {
+  if (stopped_.load()) return Status::Unavailable("region server stopped");
   auto region = FindRegionById(table, region_id);
   if (region == nullptr) return Status::WrongRegion(table);
 
@@ -510,6 +619,10 @@ Status RegionServer::LogAndApply(const std::shared_ptr<Region>& region,
     max_seq = std::max(max_seq, edit.seq);
     // Ticket = this append's ordinal; "synced through T" covers it.
     sync_ticket = wal_appends_.fetch_add(1, std::memory_order_relaxed) + 1;
+    // Append-path segment roll: without it a write-heavy region that
+    // rarely flushes would grow one unbounded segment that GC can never
+    // reclaim piecewise.
+    MaybeRollWalLocked();
   }
   if (options_.wal_sync == wal::SyncMode::kGroupCommit) {
     // Appended and ticketed but not yet durable: concurrent appends that
@@ -1029,6 +1142,9 @@ Status RegionServer::LocalGetCell(const std::string& table, const Slice& row,
 
 Status RegionServer::FlushRegion(const std::string& table,
                                  uint64_t region_id) {
+  // Control-plane fence: a crashed server must not touch the shared
+  // region directory (its region may already be open on a survivor).
+  if (stopped_.load()) return Status::Unavailable("region server stopped");
   auto region = FindRegionById(table, region_id);
   if (region == nullptr) return Status::WrongRegion(table);
   return FlushRegionInternal(region);
@@ -1073,16 +1189,37 @@ Status RegionServer::FlushRegionInternal(
 
   const auto key =
       std::make_pair(region->info().table, region->info().region_id);
+  // applied_seq() reads the durable (manifest-persisted) sequence, which
+  // the flush just advanced; the gate is held exclusively, so no put can
+  // move it concurrently.
+  const uint64_t covered_seq = region->tree()->applied_seq();
   {
     WriterMutexLock lock(regions_mu_);
-    flushed_seq_[key] = region->tree()->applied_seq();
+    flushed_seq_[key] = covered_seq;
+  }
+  // Durable roll-forward mark for recovery. A write failure is tolerated:
+  // the SSTables and the LSM manifest are already durable, and a stale
+  // checkpoint only widens the next recovery's replay (the safe
+  // direction). The next successful flush re-publishes it.
+  RegionCheckpoint ckpt;
+  ckpt.table = key.first;
+  ckpt.region_id = key.second;
+  ckpt.wal_seq = covered_seq;
+  ckpt.flushed_ts = region->tree()->flushed_ts();
+  Status ckpt_status = WriteRegionCheckpoint(lsm_options_.env, data_root_, ckpt);
+  if (ckpt_status.ok()) {
+    if (checkpoint_writes_counter_ != nullptr) checkpoint_writes_counter_->Add();
+  } else {
+    DIFFINDEX_LOG_WARN << "server " << id_ << ": checkpoint write for "
+                       << key.first << "/r" << key.second
+                       << " failed: " << ckpt_status.ToString();
+    if (checkpoint_write_failed_counter_ != nullptr) {
+      checkpoint_write_failed_counter_->Add();
+    }
   }
   MutexLock wal_lock(wal_mu_);
   MaybeGcWalFilesLocked();
-  if (!wal_files_.empty() &&
-      wal_files_.back().writer->bytes_written() >= options_.wal_roll_bytes) {
-    DIFFINDEX_RETURN_NOT_OK(RollWalLocked());
-  }
+  MaybeRollWalLocked();
   return Status::OK();
 }
 
@@ -1128,12 +1265,42 @@ Status RegionServer::RollWalLocked() {
                                             options_.wal_sync,
                                             &file.writer));
   wal_files_.push_back(std::move(file));
+  if (wal_segments_gauge_ != nullptr) {
+    wal_segments_gauge_->Set(static_cast<int64_t>(wal_files_.size()));
+  }
   return Status::OK();
 }
 
+void RegionServer::MaybeRollWalLocked() {
+  if (wal_files_.empty() || wal_files_.back().writer == nullptr) return;
+  if (wal_files_.back().writer->bytes_written() < options_.wal_segment_bytes) {
+    return;
+  }
+  // Sync before retiring the tail: once it stops being the sync target, a
+  // group-commit ack could otherwise cover an edit that never reached
+  // disk. A sync failure just defers the roll to a later attempt.
+  Status s = wal_files_.back().writer->Sync();
+  if (!s.ok()) {
+    DIFFINDEX_LOG_WARN << "wal sync before segment roll failed: "
+                       << s.ToString();
+    return;
+  }
+  s = RollWalLocked();
+  if (!s.ok()) {
+    DIFFINDEX_LOG_WARN << "wal segment roll failed: " << s.ToString();
+  }
+}
+
 void RegionServer::MaybeGcWalFilesLocked() {
+  // Fault seam: an armed "wal.gc" point skips this whole pass, modeling a
+  // stalled collector. Nothing depends on GC timeliness — a skipped pass
+  // is retried on the next flush or background sweep.
+  if (fault::FailpointRegistry::Global()->Fires("wal.gc")) return;
   // A closed WAL file is deletable once every region mentioned in it has
-  // flushed past the file's highest edit for that region ("roll forward").
+  // flushed past the file's highest edit for that region ("roll
+  // forward") — a per-region refinement of the min-checkpoint rule: the
+  // file's max seq per region is compared against that region's own
+  // checkpoint instead of the min across all hosted regions.
   std::map<std::pair<std::string, uint64_t>, uint64_t> flushed;
   {
     ReaderMutexLock lock(regions_mu_);
@@ -1157,10 +1324,14 @@ void RegionServer::MaybeGcWalFilesLocked() {
       // Best-effort GC: an undeletable log is retried next pass, and
       // replaying fully-flushed edits is idempotent anyway.
       lsm_options_.env->RemoveFile(it->path).IgnoreError();
+      if (wal_gc_deleted_counter_ != nullptr) wal_gc_deleted_counter_->Add();
       it = wal_files_.erase(it);
     } else {
       ++it;
     }
+  }
+  if (wal_segments_gauge_ != nullptr) {
+    wal_segments_gauge_->Set(static_cast<int64_t>(wal_files_.size()));
   }
 }
 

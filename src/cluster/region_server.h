@@ -85,7 +85,22 @@ struct RegionServerOptions {
   LsmOptions lsm;  // template; block_cache is created per server if null
   size_t block_cache_bytes = 64 << 20;
   wal::SyncMode wal_sync = wal::SyncMode::kNone;
-  uint64_t wal_roll_bytes = 8 << 20;
+  // Roll the active WAL segment once it reaches this size. Checked on the
+  // append path (the segment is synced before it is retired, so group-
+  // commit acks never depend on a file the roll already closed) and again
+  // after each flush. Smaller segments tighten the GC granularity at the
+  // cost of more files. Exports `wal.segments`.
+  uint64_t wal_segment_bytes = 8 << 20;
+  // Background WAL GC sweep interval: deletes closed segments whose edits
+  // are all covered by region flush checkpoints (never the active tail).
+  // 0 disables the thread; GC still runs opportunistically after every
+  // flush. Exports `wal.gc_deleted`.
+  int wal_gc_interval_ms = 0;
+  // When false, recovery ignores flush checkpoints and replays the dead
+  // server's full WAL history for the region (the pre-checkpoint
+  // behavior; bench_recovery's baseline). Replay is idempotent, so this
+  // only costs time.
+  bool recovery_use_checkpoints = true;
   // Group-commit window (wal_sync == kGroupCommit): the sync leader waits
   // this long before issuing the shared fsync, letting more concurrent
   // appends join the batch. 0 = sync immediately (batching still happens
@@ -245,8 +260,25 @@ class RegionServer {
 
   Status RollWalLocked() REQUIRES(wal_mu_);
   void MaybeGcWalFilesLocked() REQUIRES(wal_mu_);
+  // Syncs the tail and rolls it when it crossed wal_segment_bytes. A sync
+  // failure skips the roll (the tail must be durable before it stops
+  // being the sync target, or a group-commit ack could cover an edit that
+  // never reached disk).
+  void MaybeRollWalLocked() REQUIRES(wal_mu_);
   Status FlushRegionInternal(const std::shared_ptr<Region>& region);
   Status OpenRegionInternal(const RegionInfoWire& info);
+  // Future edit sequences must sort after everything a previous owner
+  // persisted for an adopted region.
+  void AdoptAppliedSeq(uint64_t adopted);
+  // Replays this region's edits (seq > recovered_through) from the dead
+  // owners' WAL files into the still-unpublished region; replayed puts
+  // are appended to *replayed for post-publish AUQ re-enqueue.
+  Status ReplayWalForRegion(Region* region, const RegionInfoWire& info,
+                            const std::vector<std::string>& wal_paths,
+                            uint64_t recovered_through,
+                            std::vector<std::pair<PutRequest, Timestamp>>*
+                                replayed);
+  void WalGcLoop();
 
   // WAL group commit (wal_sync == kGroupCommit): returns once a sync has
   // covered append ticket `ticket`. Concurrent callers elect one leader
@@ -342,6 +374,7 @@ class RegionServer {
 
   std::atomic<bool> stopped_{false};
   std::thread heartbeat_thread_;
+  std::thread wal_gc_thread_;
 
   std::atomic<uint64_t> wal_appends_{0};
   std::atomic<uint64_t> flush_count_{0};
@@ -352,6 +385,13 @@ class RegionServer {
   obs::Counter* rs_flush_counter_ = nullptr;
   Histogram* flush_stall_hist_ = nullptr;
   Histogram* wal_group_size_hist_ = nullptr;
+  obs::Gauge* wal_segments_gauge_ = nullptr;
+  obs::Counter* wal_gc_deleted_counter_ = nullptr;
+  obs::Counter* wal_replay_skipped_counter_ = nullptr;
+  obs::Counter* wal_replayed_counter_ = nullptr;
+  obs::Counter* checkpoint_writes_counter_ = nullptr;
+  obs::Counter* checkpoint_write_failed_counter_ = nullptr;
+  obs::Counter* checkpoint_corrupt_counter_ = nullptr;
 };
 
 }  // namespace diffindex

@@ -23,6 +23,8 @@ AsyncUpdateQueue::AsyncUpdateQueue(const AuqOptions& options,
   if (options_.metrics != nullptr) {
     depth_gauge_ = options_.metrics->GetGauge("auq.depth");
     dead_letter_gauge_ = options_.metrics->GetGauge("auq.dead_letters");
+    dead_letters_lost_counter_ =
+        options_.metrics->GetCounter("recovery.dead_letters_lost");
     enqueued_counter_ = options_.metrics->GetCounter("auq.enqueued");
     processed_counter_ = options_.metrics->GetCounter("auq.processed");
     retries_counter_ = options_.metrics->GetCounter("auq.retries");
@@ -101,6 +103,28 @@ void AsyncUpdateQueue::ShutdownInternal(bool abandon) {
         depth_gauge_->Sub(static_cast<int64_t>(QueuedTaskCountLocked()));
       }
       queue_.clear();
+    }
+    if (abandon && !dead_letters_.empty()) {
+      // The dead-letter list was this server's last in-memory record of
+      // index updates that exhausted their retries; a crash takes it with
+      // the process. Make the loss observable (the recovery counter) and
+      // attributable (one line per task, full key context), mirroring the
+      // escape-time log in case that one rotated away.
+      for (const IndexTask& task : dead_letters_) {
+        DIFFINDEX_LOG_WARN << "auq: dead-letter lost at crash: index '"
+                           << task.index.name << "' base table '"
+                           << task.base_table << "' row '" << task.row
+                           << "' ts " << task.ts << " (" << task.attempts
+                           << " attempts)";
+      }
+      if (dead_letters_lost_counter_ != nullptr) {
+        dead_letters_lost_counter_->Add(
+            static_cast<uint64_t>(dead_letters_.size()));
+      }
+      if (dead_letter_gauge_ != nullptr) {
+        dead_letter_gauge_->Sub(static_cast<int64_t>(dead_letters_.size()));
+      }
+      dead_letters_.clear();
     }
   }
   intake_cv_.SignalAll();
@@ -263,9 +287,14 @@ void AsyncUpdateQueue::WorkerLoop() {
     if (retries_counter_ != nullptr) retries_counter_->Add();
     task.attempts++;
     if (options_.max_attempts > 0 && task.attempts >= options_.max_attempts) {
+      // Full key context at escape time: the dead-letter list is
+      // in-memory only, so if this server later crashes this line is the
+      // only durable record an operator (or a Cleanse run) can repair
+      // from.
       DIFFINDEX_LOG_WARN << "auq: dead-lettering task for index '"
-                         << task.index.name << "' row '" << task.row
-                         << "' after " << task.attempts
+                         << task.index.name << "' base table '"
+                         << task.base_table << "' row '" << task.row
+                         << "' ts " << task.ts << " after " << task.attempts
                          << " attempts: " << s.ToString();
       MutexLock lock(mu_);
       dead_letters_.push_back(std::move(task));
@@ -441,9 +470,13 @@ void AsyncUpdateQueue::ProcessBatch(std::vector<IndexTask> batch) {
     if (retries_counter_ != nullptr) retries_counter_->Add();
     task.attempts++;
     if (options_.max_attempts > 0 && task.attempts >= options_.max_attempts) {
+      // Same escape-time contract as the unbatched path: log the full
+      // key so the task is reconstructible after a crash loses the
+      // in-memory dead-letter list.
       DIFFINDEX_LOG_WARN << "auq: dead-lettering task for index '"
-                         << task.index.name << "' row '" << task.row
-                         << "' after " << task.attempts
+                         << task.index.name << "' base table '"
+                         << task.base_table << "' row '" << task.row
+                         << "' ts " << task.ts << " after " << task.attempts
                          << " attempts: " << statuses[i].ToString();
       MutexLock lock(mu_);
       dead_letters_.push_back(std::move(task));

@@ -194,6 +194,7 @@ class AsyncUpdateQueue {
   // resolved once in the constructor to keep the hot path lock-free.
   obs::Gauge* depth_gauge_ = nullptr;
   obs::Gauge* dead_letter_gauge_ = nullptr;
+  obs::Counter* dead_letters_lost_counter_ = nullptr;
   obs::Counter* enqueued_counter_ = nullptr;
   obs::Counter* processed_counter_ = nullptr;
   obs::Counter* retries_counter_ = nullptr;

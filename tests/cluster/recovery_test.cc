@@ -1,0 +1,419 @@
+// Checkpointed-recovery tests: bounded WAL replay below the flush
+// checkpoint, checkpoint corruption falling back to full replay (never
+// data loss), WAL rotation + GC keeping disk bounded, failure-isolated
+// per-region failover, and chained double failures.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "cluster/checkpoint.h"
+#include "cluster/cluster.h"
+#include "fault/fault_env.h"
+#include "util/random.h"
+
+namespace diffindex {
+namespace {
+
+std::string SpreadRow(int i, const char* tag) {
+  char row[32];
+  snprintf(row, sizeof(row), "%02x-%s%d", (i * 7) % 256, tag, i);
+  return row;
+}
+
+uint64_t CounterValue(Cluster* cluster, const char* name) {
+  return cluster->metrics()->GetCounter(name)->value();
+}
+
+// Two servers, one region each: every put routes deterministically, so
+// the replay/skip counters can be checked exactly.
+class BoundedReplayTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClusterOptions options;
+    options.num_servers = 2;
+    options.regions_per_table = 2;
+    ASSERT_TRUE(Cluster::Create(options, &cluster_).ok());
+    ASSERT_TRUE(cluster_->master()->CreateTable("t").ok());
+    client_ = cluster_->NewClient();
+    ASSERT_TRUE(client_->RefreshLayout().ok());
+  }
+
+  // Puts `n` spread rows and returns how many routed to server 1.
+  int PutSpread(int n, const char* tag, const std::string& value) {
+    int on_victim = 0;
+    for (int i = 0; i < n; i++) {
+      const std::string row = SpreadRow(i, tag);
+      EXPECT_TRUE(client_->PutColumn("t", row, "c", value).ok());
+      RegionInfoWire info;
+      EXPECT_TRUE(client_->RouteRow("t", row, &info).ok());
+      if (info.server_id == 1) on_victim++;
+    }
+    return on_victim;
+  }
+
+  void ExpectAllReadable(int n, const char* tag, const std::string& value) {
+    for (int i = 0; i < n; i++) {
+      const std::string row = SpreadRow(i, tag);
+      std::string got;
+      ASSERT_TRUE(
+          client_->GetCell("t", row, "c", kMaxTimestamp, &got).ok())
+          << row;
+      EXPECT_EQ(got, value) << row;
+    }
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  std::shared_ptr<Client> client_;
+};
+
+TEST_F(BoundedReplayTest, ReplaysOnlyEditsPastTheCheckpoint) {
+  // Write N, flush (writes the checkpoints), write M, kill: recovery must
+  // replay exactly the victim's M post-flush edits and skip exactly its N
+  // checkpointed ones.
+  const int pre_on_victim = PutSpread(40, "pre", "v1");
+  ASSERT_TRUE(client_->FlushTable("t").ok());
+  const int post_on_victim = PutSpread(25, "post", "v2");
+  ASSERT_GT(pre_on_victim, 0);
+  ASSERT_GT(post_on_victim, 0);
+
+  const uint64_t replayed_before = CounterValue(cluster_.get(), "wal.replayed");
+  const uint64_t skipped_before =
+      CounterValue(cluster_.get(), "wal.replay_skipped");
+  const uint64_t ckpt_writes = CounterValue(cluster_.get(), "checkpoint.writes");
+  EXPECT_GE(ckpt_writes, 2u);  // one per region at the table flush
+
+  ASSERT_TRUE(cluster_->KillServer(1).ok());
+
+  EXPECT_EQ(CounterValue(cluster_.get(), "wal.replayed") - replayed_before,
+            static_cast<uint64_t>(post_on_victim));
+  EXPECT_EQ(
+      CounterValue(cluster_.get(), "wal.replay_skipped") - skipped_before,
+      static_cast<uint64_t>(pre_on_victim));
+
+  ASSERT_TRUE(client_->RefreshLayout().ok());
+  ExpectAllReadable(40, "pre", "v1");
+  ExpectAllReadable(25, "post", "v2");
+}
+
+TEST_F(BoundedReplayTest, CheckpointsDisabledReplaysEverything) {
+  // The bench baseline: with recovery_use_checkpoints off, the same
+  // schedule replays the full log (nothing skipped).
+  ClusterOptions options;
+  options.num_servers = 2;
+  options.regions_per_table = 2;
+  options.server.recovery_use_checkpoints = false;
+  std::unique_ptr<Cluster> cluster;
+  ASSERT_TRUE(Cluster::Create(options, &cluster).ok());
+  ASSERT_TRUE(cluster->master()->CreateTable("t").ok());
+  auto client = cluster->NewClient();
+  ASSERT_TRUE(client->RefreshLayout().ok());
+
+  int on_victim = 0;
+  for (int i = 0; i < 30; i++) {
+    const std::string row = SpreadRow(i, "r");
+    ASSERT_TRUE(client->PutColumn("t", row, "c", "v").ok());
+    RegionInfoWire info;
+    ASSERT_TRUE(client->RouteRow("t", row, &info).ok());
+    if (info.server_id == 1) on_victim++;
+  }
+  ASSERT_TRUE(client->FlushTable("t").ok());
+  ASSERT_GT(on_victim, 0);
+
+  const uint64_t replayed_before = CounterValue(cluster.get(), "wal.replayed");
+  ASSERT_TRUE(cluster->KillServer(1).ok());
+  // Everything the victim logged is replayed despite the flush.
+  EXPECT_EQ(CounterValue(cluster.get(), "wal.replayed") - replayed_before,
+            static_cast<uint64_t>(on_victim));
+  EXPECT_EQ(CounterValue(cluster.get(), "wal.replay_skipped"), 0u);
+
+  ASSERT_TRUE(client->RefreshLayout().ok());
+  for (int i = 0; i < 30; i++) {
+    std::string got;
+    ASSERT_TRUE(
+        client->GetCell("t", SpreadRow(i, "r"), "c", kMaxTimestamp, &got)
+            .ok());
+    EXPECT_EQ(got, "v");
+  }
+}
+
+TEST_F(BoundedReplayTest, CorruptCheckpointForcesFullReplayNoDataLoss) {
+  const int pre_on_victim = PutSpread(30, "pre", "v1");
+  ASSERT_TRUE(client_->FlushTable("t").ok());
+  const int post_on_victim = PutSpread(20, "post", "v2");
+  ASSERT_GT(pre_on_victim, 0);
+
+  // Scribble over the victim's region checkpoint. A corrupt checkpoint
+  // must widen replay to the full log, never narrow it.
+  uint64_t victim_region = 0;
+  for (const auto& info : cluster_->master()->regions()) {
+    if (info.server_id == 1) victim_region = info.region_id;
+  }
+  const std::string ckpt_path =
+      RegionCheckpointPath(cluster_->data_root(), "t", victim_region);
+  ASSERT_TRUE(Env::Default()->FileExists(ckpt_path));
+  {
+    std::unique_ptr<WritableFile> file;
+    ASSERT_TRUE(Env::Default()->NewWritableFile(ckpt_path, &file).ok());
+    ASSERT_TRUE(file->Append("garbage, not a checkpoint").ok());
+    ASSERT_TRUE(file->Close().ok());
+  }
+
+  const uint64_t corrupt_before =
+      CounterValue(cluster_.get(), "checkpoint.corrupt");
+  const uint64_t replayed_before = CounterValue(cluster_.get(), "wal.replayed");
+  const uint64_t skipped_before =
+      CounterValue(cluster_.get(), "wal.replay_skipped");
+  ASSERT_TRUE(cluster_->KillServer(1).ok());
+
+  EXPECT_EQ(CounterValue(cluster_.get(), "checkpoint.corrupt") - corrupt_before,
+            1u);
+  // Full replay: pre-flush edits come back too (idempotent under the
+  // explicit-timestamp rule), nothing is skipped for that region.
+  EXPECT_EQ(CounterValue(cluster_.get(), "wal.replayed") - replayed_before,
+            static_cast<uint64_t>(pre_on_victim + post_on_victim));
+  EXPECT_EQ(
+      CounterValue(cluster_.get(), "wal.replay_skipped") - skipped_before, 0u);
+
+  ASSERT_TRUE(client_->RefreshLayout().ok());
+  ExpectAllReadable(30, "pre", "v1");
+  ExpectAllReadable(20, "post", "v2");
+}
+
+TEST_F(BoundedReplayTest, TruncatedCheckpointForcesFullReplayNoDataLoss) {
+  const int pre_on_victim = PutSpread(24, "pre", "v1");
+  ASSERT_TRUE(client_->FlushTable("t").ok());
+  PutSpread(16, "post", "v2");
+  ASSERT_GT(pre_on_victim, 0);
+
+  uint64_t victim_region = 0;
+  for (const auto& info : cluster_->master()->regions()) {
+    if (info.server_id == 1) victim_region = info.region_id;
+  }
+  const std::string ckpt_path =
+      RegionCheckpointPath(cluster_->data_root(), "t", victim_region);
+  {
+    // Truncate mid-header: shorter than the CRC frame.
+    std::unique_ptr<WritableFile> file;
+    ASSERT_TRUE(Env::Default()->NewWritableFile(ckpt_path, &file).ok());
+    ASSERT_TRUE(file->Append("abc").ok());
+    ASSERT_TRUE(file->Close().ok());
+  }
+
+  const uint64_t corrupt_before =
+      CounterValue(cluster_.get(), "checkpoint.corrupt");
+  ASSERT_TRUE(cluster_->KillServer(1).ok());
+  EXPECT_EQ(CounterValue(cluster_.get(), "checkpoint.corrupt") - corrupt_before,
+            1u);
+
+  ASSERT_TRUE(client_->RefreshLayout().ok());
+  ExpectAllReadable(24, "pre", "v1");
+  ExpectAllReadable(16, "post", "v2");
+}
+
+TEST(RecoveryTest, MissingWalDirStillRecovers) {
+  // A server that never logged anything (or whose dir was already
+  // retired) must not wedge failover: replay just finds no files.
+  ClusterOptions options;
+  options.num_servers = 2;
+  options.regions_per_table = 4;
+  std::unique_ptr<Cluster> cluster;
+  ASSERT_TRUE(Cluster::Create(options, &cluster).ok());
+  ASSERT_TRUE(cluster->master()->CreateTable("t").ok());
+  auto client = cluster->NewClient();
+  for (int i = 0; i < 32; i++) {
+    ASSERT_TRUE(client->PutColumn("t", SpreadRow(i, "r"), "c", "v").ok());
+  }
+  // Everything durable in SSTables; then make the WAL dir vanish.
+  ASSERT_TRUE(client->FlushTable("t").ok());
+  ASSERT_TRUE(
+      Env::Default()
+          ->RemoveDirRecursively(cluster->server(1)->wal_dir())
+          .ok());
+
+  ASSERT_TRUE(cluster->KillServer(1).ok());
+  ASSERT_TRUE(client->RefreshLayout().ok());
+  for (int i = 0; i < 32; i++) {
+    std::string got;
+    ASSERT_TRUE(
+        client->GetCell("t", SpreadRow(i, "r"), "c", kMaxTimestamp, &got)
+            .ok());
+    EXPECT_EQ(got, "v");
+  }
+}
+
+TEST(RecoveryTest, WalDiskBoundedUnderSustainedLoad) {
+  // Small segments + small memtables: sustained writes roll the WAL on
+  // the append path and flush-triggered GC deletes covered segments, so
+  // the directory never grows without bound.
+  ClusterOptions options;
+  options.num_servers = 1;
+  options.regions_per_table = 2;
+  options.server.wal_segment_bytes = 4 << 10;
+  options.server.lsm.memtable_flush_bytes = 16 << 10;
+  std::unique_ptr<Cluster> cluster;
+  ASSERT_TRUE(Cluster::Create(options, &cluster).ok());
+  ASSERT_TRUE(cluster->master()->CreateTable("t").ok());
+  auto client = cluster->NewClient();
+  Random rng(11);
+  for (int i = 0; i < 600; i++) {
+    ASSERT_TRUE(
+        client->PutColumn("t", SpreadRow(i, "w"), "c", rng.RandomBytes(200))
+            .ok());
+  }
+  ASSERT_TRUE(client->FlushTable("t").ok());
+
+  EXPECT_GT(CounterValue(cluster.get(), "wal.gc_deleted"), 0u);
+  const int64_t segments =
+      cluster->metrics()->GetGauge("wal.segments")->value();
+  EXPECT_GE(segments, 1);
+  EXPECT_LE(segments, 2);
+  std::vector<std::string> wal_files;
+  ASSERT_TRUE(Env::Default()
+                  ->GetChildren(cluster->server(1)->wal_dir(), &wal_files)
+                  .ok());
+  EXPECT_LE(wal_files.size(), 2u);
+
+  // And the data is all there.
+  for (int i = 0; i < 600; i += 37) {
+    std::string got;
+    ASSERT_TRUE(
+        client->GetCell("t", SpreadRow(i, "w"), "c", kMaxTimestamp, &got)
+            .ok())
+        << i;
+  }
+}
+
+TEST(RecoveryTest, PersistentOpenFailureIsolatedToOneRegion) {
+  // Regression for the phase-1 early-return bug: one region's persistent
+  // open failure used to abort the whole recovery, leaving every sibling
+  // assigned-but-never-opened. Now the siblings must serve.
+  fault::FaultEnv fenv(Env::Default());
+  ClusterOptions options;
+  options.num_servers = 3;
+  options.regions_per_table = 6;
+  options.master.recovery_open_attempts = 2;  // keep the give-up fast
+  options.client.retry_backoff_ms = 1;
+  options.client.retry_backoff_max_ms = 4;
+  options.env = &fenv;
+  std::unique_ptr<Cluster> cluster;
+  ASSERT_TRUE(Cluster::Create(options, &cluster).ok());
+  ASSERT_TRUE(cluster->master()->CreateTable("t").ok());
+  auto client = cluster->NewClient();
+  for (int i = 0; i < 64; i++) {
+    ASSERT_TRUE(client->PutColumn("t", SpreadRow(i, "r"), "c", "v").ok());
+  }
+  // Flush so every region has a manifest (the poisoned read target) and
+  // the victim's data survives without replay.
+  ASSERT_TRUE(client->FlushTable("t").ok());
+
+  // Poison ONE victim region's manifest reads: its open fails on every
+  // survivor, no matter where the master reassigns it.
+  uint64_t poisoned_region = 0;
+  for (const auto& info : cluster->master()->regions()) {
+    if (info.server_id == 1) poisoned_region = info.region_id;
+  }
+  fault::FaultEnv::Rule rule;
+  rule.path_substring =
+      "tables/t/r" + std::to_string(poisoned_region) + "/TABLES";
+  rule.kind = fault::FaultEnv::Rule::Kind::kReadError;
+  fenv.AddRule(rule);
+
+  const uint64_t failed_before = CounterValue(cluster.get(), "recovery.failed");
+  ASSERT_TRUE(cluster->SilentlyCrashServer(1).ok());
+  Status dead = cluster->master()->OnServerDead(1);
+  EXPECT_FALSE(dead.ok());  // the poisoned region's failure is reported
+  EXPECT_EQ(CounterValue(cluster.get(), "recovery.failed") - failed_before,
+            1u);
+  EXPECT_GT(CounterValue(cluster.get(), "recovery.reassigned"), 0u);
+
+  // Every row OUTSIDE the poisoned region still serves.
+  ASSERT_TRUE(client->RefreshLayout().ok());
+  int outside = 0;
+  for (int i = 0; i < 64; i++) {
+    const std::string row = SpreadRow(i, "r");
+    RegionInfoWire info;
+    ASSERT_TRUE(client->RouteRow("t", row, &info).ok());
+    if (info.region_id == poisoned_region) continue;
+    outside++;
+    std::string got;
+    ASSERT_TRUE(client->GetCell("t", row, "c", kMaxTimestamp, &got).ok())
+        << row;
+    EXPECT_EQ(got, "v");
+  }
+  EXPECT_GT(outside, 0);
+  fenv.ClearRules();
+}
+
+TEST(RecoveryTest, SecondServerDiesMidRecovery) {
+  // Chained failure: while server 1's regions are being recovered, a
+  // second server (often one of the new owners) dies too. Whatever the
+  // interleaving, every acked write must survive to the final layout.
+  ClusterOptions options;
+  options.num_servers = 4;
+  options.regions_per_table = 8;
+  options.client.retry_backoff_ms = 1;
+  options.client.retry_backoff_max_ms = 8;
+  std::unique_ptr<Cluster> cluster;
+  ASSERT_TRUE(Cluster::Create(options, &cluster).ok());
+  ASSERT_TRUE(cluster->master()->CreateTable("t").ok());
+  auto client = cluster->NewClient();
+  const int kRows = 150;
+  for (int i = 0; i < kRows; i++) {
+    ASSERT_TRUE(
+        client->PutColumn("t", SpreadRow(i, "d"), "c", std::to_string(i))
+            .ok());
+  }
+
+  ASSERT_TRUE(cluster->SilentlyCrashServer(1).ok());
+  std::atomic<bool> first_done{false};
+  std::thread first([&] {
+    // May legitimately fail if server 2 stops mid-open; OnServerDead(2)
+    // then owns those regions' recovery.
+    (void)cluster->master()->OnServerDead(1);
+    first_done.store(true);
+  });
+  // Kill a survivor while the first recovery is (likely) in flight.
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_TRUE(cluster->SilentlyCrashServer(2).ok());
+  (void)cluster->master()->OnServerDead(2);
+  first.join();
+  ASSERT_TRUE(first_done.load());
+
+  ASSERT_TRUE(client->RefreshLayout().ok());
+  for (int i = 0; i < kRows; i++) {
+    const std::string row = SpreadRow(i, "d");
+    std::string got;
+    Status s = client->GetCell("t", row, "c", kMaxTimestamp, &got);
+    ASSERT_TRUE(s.ok()) << row << ": " << s.ToString();
+    EXPECT_EQ(got, std::to_string(i)) << row;
+  }
+}
+
+TEST(RecoveryTest, DeadWalDirsRetiredAfterRecovery) {
+  // Once every recovered region has flushed, the dead server's WAL dir
+  // is garbage and the master deletes it.
+  ClusterOptions options;
+  options.num_servers = 2;
+  options.regions_per_table = 2;
+  std::unique_ptr<Cluster> cluster;
+  ASSERT_TRUE(Cluster::Create(options, &cluster).ok());
+  ASSERT_TRUE(cluster->master()->CreateTable("t").ok());
+  auto client = cluster->NewClient();
+  for (int i = 0; i < 20; i++) {
+    ASSERT_TRUE(client->PutColumn("t", SpreadRow(i, "r"), "c", "v").ok());
+  }
+  const std::string dead_dir = cluster->server(1)->wal_dir();
+  std::vector<std::string> files;
+  ASSERT_TRUE(Env::Default()->GetChildren(dead_dir, &files).ok());
+  ASSERT_FALSE(files.empty());
+
+  ASSERT_TRUE(cluster->KillServer(1).ok());
+  // Recovery flushed every region: the dir is gone.
+  EXPECT_FALSE(Env::Default()->GetChildren(dead_dir, &files).ok());
+}
+
+}  // namespace
+}  // namespace diffindex

@@ -122,7 +122,7 @@ TEST_F(RegionServerTest, WalRollsWhenLarge) {
   ClusterOptions options;
   options.num_servers = 1;
   options.regions_per_table = 2;
-  options.server.wal_roll_bytes = 8 << 10;
+  options.server.wal_segment_bytes = 8 << 10;
   options.server.lsm.memtable_flush_bytes = 16 << 10;
   std::unique_ptr<Cluster> cluster;
   ASSERT_TRUE(Cluster::Create(options, &cluster).ok());

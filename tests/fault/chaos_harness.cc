@@ -11,6 +11,7 @@
 
 #include "check/model_workload.h"
 #include "check/schedule.h"
+#include "cluster/checkpoint.h"
 #include "cluster/cluster.h"
 #include "core/index_codec.h"
 #include "fault/failpoint.h"
@@ -115,6 +116,10 @@ const char* EventName(Event e) {
 const char* const kChaosFailpoints[] = {
     "wal.append", "wal.sync",     "lsm.flush",       "lsm.sst_write",
     "auq.process", "index.put",   "index.delete",    "index.read_base",
+    // Checkpointed-recovery seams: a failed checkpoint write is tolerated
+    // (stale checkpoints only widen replay) and a fired wal.gc skips one
+    // GC pass (a stalled collector), so both are safe to arm randomly.
+    "checkpoint.write", "wal.gc",
 };
 
 bool WaitAuqDrained(Cluster* cluster, int timeout_ms) {
@@ -792,6 +797,147 @@ ChaosReport RunBrokenDrainScenario(uint64_t seed, bool break_invariant) {
     if (indexed.count(row) == 0) {
       report.violations.push_back("lost index entry: acked put of row " +
                                   row + " has no index entry after recovery");
+    }
+  }
+
+  fprintf(stderr, "%s\n", report.Summary().c_str());
+  return report;
+}
+
+ChaosReport RunRecoveryScenario(uint64_t seed, RecoveryScenario scenario) {
+  ChaosReport report;
+  report.seed = seed;
+  switch (scenario) {
+    case RecoveryScenario::kKillRecoveringOwner:
+      report.scheme = "recovery/kill-recovering-owner";
+      break;
+    case RecoveryScenario::kCorruptCheckpoint:
+      report.scheme = "recovery/corrupt-checkpoint";
+      break;
+    case RecoveryScenario::kGcRacesFailover:
+      report.scheme = "recovery/gc-races-failover";
+      break;
+  }
+  fprintf(stderr, "[chaos] seed=%llu scenario=%s starting\n",
+          static_cast<unsigned long long>(seed), report.scheme.c_str());
+
+  fault::ScopedFailpointCleanup cleanup;
+  Random rng(seed);
+
+  ClusterOptions copt;
+  copt.num_servers = 4;
+  copt.regions_per_table = 6;
+  copt.client.retry_backoff_ms = 1;
+  copt.client.retry_backoff_max_ms = 8;
+  copt.client.retry_jitter_seed = seed ^ 0x4ecULL;
+  if (scenario == RecoveryScenario::kGcRacesFailover) {
+    // Tiny segments and a 1 ms sweep: the collector runs continuously
+    // while the failover replays, maximizing the delete-vs-read race.
+    copt.server.wal_segment_bytes = 2 << 10;
+    copt.server.wal_gc_interval_ms = 1;
+    copt.server.lsm.memtable_flush_bytes = 32 << 10;
+  }
+
+  std::unique_ptr<Cluster> cluster;
+  Status s = Cluster::Create(copt, &cluster);
+  if (!s.ok()) {
+    report.violations.push_back("cluster create failed: " + s.ToString());
+    return report;
+  }
+  s = cluster->master()->CreateTable("t");
+  if (!s.ok()) {
+    report.violations.push_back("table setup failed: " + s.ToString());
+    return report;
+  }
+  auto client = cluster->NewClient();
+  (void)client->RefreshLayout();
+
+  // Acked writes the epilogue must find, whatever the scenario does.
+  std::map<std::string, std::string> acked;
+  auto put_phase = [&](int count, const std::string& tag) {
+    for (int i = 0; i < count; i++) {
+      const std::string row = RowName(i * 3 + static_cast<int>(tag.size()));
+      const std::string value = tag + std::to_string(i);
+      report.ops++;
+      if (client->PutColumn("t", row, "c", value).ok()) {
+        report.ok_ops++;
+        acked[row] = value;
+      } else {
+        report.failed_ops++;
+      }
+    }
+  };
+
+  put_phase(40, "a");
+  (void)client->FlushTable("t");  // flush checkpoints cover phase "a"
+  put_phase(30, "b");             // lives in WAL + memtables only
+
+  const NodeId victim = 1 + static_cast<NodeId>(rng.Uniform(4));
+  switch (scenario) {
+    case RecoveryScenario::kKillRecoveringOwner: {
+      report.crashes += 2;
+      (void)cluster->SilentlyCrashServer(victim);
+      std::thread first(
+          [&] { (void)cluster->master()->OnServerDead(victim); });
+      // Kill a random survivor while the first failover is in flight; the
+      // re-entrant OnServerDead must converge either way.
+      std::this_thread::sleep_for(std::chrono::milliseconds(rng.Uniform(3)));
+      std::vector<NodeId> ids = cluster->server_ids();
+      const NodeId second = ids[rng.Uniform(ids.size())];
+      (void)cluster->SilentlyCrashServer(second);
+      (void)cluster->master()->OnServerDead(second);
+      first.join();
+      break;
+    }
+    case RecoveryScenario::kCorruptCheckpoint: {
+      // Scribble every checkpoint the victim's regions wrote, then kill.
+      for (const auto& info : cluster->master()->regions()) {
+        if (info.server_id != victim) continue;
+        const std::string path = RegionCheckpointPath(cluster->data_root(),
+                                                      info.table,
+                                                      info.region_id);
+        std::unique_ptr<WritableFile> file;
+        if (Env::Default()->NewWritableFile(path, &file).ok()) {
+          (void)file->Append("scribble");
+          (void)file->Close();
+        }
+      }
+      report.crashes++;
+      (void)cluster->KillServer(victim);
+      break;
+    }
+    case RecoveryScenario::kGcRacesFailover: {
+      // Keep writing (rolling + GC-ing segments) while the failover
+      // replays the victim's log.
+      std::atomic<bool> stop{false};
+      std::thread writer([&] {
+        auto wclient = cluster->NewClient();
+        Random wrng(seed ^ 0x6cULL);
+        int i = 0;
+        while (!stop.load()) {
+          (void)wclient->PutColumn("t", RowName(200 + (i++ % 40)), "pad",
+                                   wrng.RandomBytes(300));
+          if (i % 64 == 0) (void)wclient->FlushTable("t");
+        }
+      });
+      report.crashes++;
+      (void)cluster->KillServer(victim);
+      stop.store(true);
+      writer.join();
+      break;
+    }
+  }
+
+  (void)client->RefreshLayout();
+  for (const auto& [row, value] : acked) {
+    std::string got;
+    Status rs = client->GetCell("t", row, "c", kMaxTimestamp, &got);
+    if (!rs.ok()) {
+      report.violations.push_back("lost acked write: row " + row + ": " +
+                                  rs.ToString());
+    } else if (got != value) {
+      report.violations.push_back("wrong value for row " + row + ": got " +
+                                  got + " want " + value);
     }
   }
 

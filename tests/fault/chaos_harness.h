@@ -102,5 +102,24 @@ ChaosReport ReplaySchedule(const std::string& text);
 // barrier intact the same schedule must verify clean.
 ChaosReport RunBrokenDrainScenario(uint64_t seed, bool break_invariant);
 
+// Targeted recovery scenarios for the checkpointed-recovery path. Each is
+// seeded/replayable and verifies the no-lost-acked-write contract after
+// the dust settles.
+enum class RecoveryScenario {
+  // Kill a server, then kill one of the survivors mid-recovery (often a
+  // new owner holding half-recovered regions). The re-entrant failover
+  // must converge with every acked write served.
+  kKillRecoveringOwner,
+  // Scribble over the victim's flush checkpoints before the kill: a
+  // corrupt checkpoint must widen replay to the full log, never narrow
+  // it — over-replay costs time, data loss is a violation.
+  kCorruptCheckpoint,
+  // Aggressive background WAL GC (tiny segments, 1 ms sweep) racing the
+  // failover's replay: GC must never delete a segment replay still
+  // needs, and replay tolerates files GC'd under it.
+  kGcRacesFailover,
+};
+ChaosReport RunRecoveryScenario(uint64_t seed, RecoveryScenario scenario);
+
 }  // namespace chaos
 }  // namespace diffindex

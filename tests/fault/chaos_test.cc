@@ -72,6 +72,29 @@ TEST(ChaosTest, IntactDrainInvariantVerifiesClean) {
   EXPECT_TRUE(intact.ok()) << intact.Summary();
 }
 
+// Checkpointed-recovery scenarios (several seeds each; replay a failure
+// by re-running with the printed seed).
+void RunRecoverySeeds(RecoveryScenario scenario) {
+  const uint64_t base = BaseSeed();
+  for (int i = 0; i < 4; i++) {
+    ChaosReport report =
+        RunRecoveryScenario(base + static_cast<uint64_t>(i) * 104729, scenario);
+    EXPECT_TRUE(report.ok()) << report.Summary();
+  }
+}
+
+TEST(ChaosTest, KillRecoveringOwnerConverges) {
+  RunRecoverySeeds(RecoveryScenario::kKillRecoveringOwner);
+}
+
+TEST(ChaosTest, CorruptCheckpointNeverLosesData) {
+  RunRecoverySeeds(RecoveryScenario::kCorruptCheckpoint);
+}
+
+TEST(ChaosTest, GcRacingFailoverKeepsAckedWrites) {
+  RunRecoverySeeds(RecoveryScenario::kGcRacesFailover);
+}
+
 }  // namespace
 }  // namespace chaos
 }  // namespace diffindex
