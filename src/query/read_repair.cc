@@ -161,6 +161,8 @@ Status SequentialRepairHits(Client* client, OpStats* stats,
       metrics->GetCounter("query.repair.deleted")->Add();
     }
     if (stats != nullptr) stats->AddIndexPut();
+    // Best-effort, like the batched path above: a failed delete leaves
+    // the stale entry for a later read to repair.
     client
         ->Put(index.index_table, EncodeIndexRow(hit.value_encoded, hit.base_row),
               {Cell{"", "", /*is_delete=*/true}}, hit.ts)

@@ -1,0 +1,19 @@
+// Seeded blocking-under-lock violation in the PR 7 failover shape:
+// recovery holds the region registry lock and calls into a flush that
+// does a durable sync. The finding must carry the interprocedural
+// chain (OnServerDead -> FlushRegion) — the sync itself is innocent,
+// the lock context it inherits is not.
+
+class MiniServer {
+ public:
+  void OnServerDead() {
+    MutexLock lock(regions_mu_);
+    FlushRegion();  // fsync now reachable under the registry lock
+  }
+
+  void FlushRegion() { file_->Sync(); }
+
+ private:
+  Mutex regions_mu_{LockRank::kHigh};
+  WritableFile* file_ = nullptr;
+};

@@ -1,0 +1,12 @@
+// Seeded failpoint-reachability violation: the first consult below is
+// armed by name in tests/armed_fixture_test.cc (so it is covered); the
+// second is consulted here but armed nowhere — dead chaos coverage.
+
+class MiniApplier {
+ public:
+  Status Apply() {
+    DIFFINDEX_FAILPOINT("fixture.apply.armed");
+    DIFFINDEX_FAILPOINT("fixture.apply.never_armed");
+    return Status::OK();
+  }
+};

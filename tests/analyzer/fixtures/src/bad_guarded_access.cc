@@ -1,0 +1,17 @@
+// Seeded guarded-access violation in the PR 5 ts-inversion shape: the
+// guarded timestamp is published BEFORE the guard is taken, so a racing
+// reader can observe it ahead of the state it is supposed to cover.
+
+class MiniOracle {
+ public:
+  void Publish(unsigned long ts) {
+    last_ts_ = ts;  // guarded write runs before the lock below
+    MutexLock lock(mu_);
+    sequence_ = sequence_ + 1;
+  }
+
+ private:
+  Mutex mu_;
+  unsigned long last_ts_ GUARDED_BY(mu_) = 0;
+  unsigned long sequence_ GUARDED_BY(mu_) = 0;
+};

@@ -1,0 +1,14 @@
+// Seeded lock-order-global violation: takes the high-rank lock first,
+// then the low-rank one — the exact inversion the ladder forbids.
+
+class Inverted {
+ public:
+  void Backwards() {
+    MutexLock high(high_mu_);
+    MutexLock low(low_mu_);  // rank 10 acquired under rank 20
+  }
+
+ private:
+  Mutex low_mu_{LockRank::kLow};
+  Mutex high_mu_{LockRank::kHigh};
+};

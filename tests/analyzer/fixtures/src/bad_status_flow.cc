@@ -1,0 +1,12 @@
+// Seeded status-flow violation, the interprocedural half: a void
+// wrapper calls a Status-returning member as a bare statement — no
+// propagation, no .IgnoreError(), the error simply evaporates.
+
+class MiniCommitter {
+ public:
+  void CommitQuietly() {
+    Persist();  // Status dropped on the floor
+  }
+
+  Status Persist() { return Status::OK(); }
+};

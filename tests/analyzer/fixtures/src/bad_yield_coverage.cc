@@ -1,0 +1,22 @@
+// Seeded yield-coverage violation: this file carries CHECK_YIELD seams
+// (so it is a model-checked module), but Reset mutates guarded state
+// with no seam of its own and no seamed callee — the model checker can
+// never schedule around that mutation.
+
+class MiniQueue {
+ public:
+  void Enqueue() {
+    CHECK_YIELD_RES("fixture.enqueue", &mu_);
+    MutexLock lock(mu_);
+    depth_ = depth_ + 1;
+  }
+
+  void Reset() {
+    MutexLock lock(mu_);
+    depth_ = 0;  // invisible to every explored schedule
+  }
+
+ private:
+  Mutex mu_;
+  unsigned long depth_ GUARDED_BY(mu_) = 0;
+};

@@ -1,0 +1,21 @@
+// A fixture that does everything right: locks taken in ladder order,
+// guarded writes under their guard, the guarded mutation carries a
+// CHECK_YIELD seam, and the Status is propagated. Must stay clean.
+
+class WellBehaved {
+ public:
+  Status Append(unsigned long ts) {
+    CHECK_YIELD_RES("fixture.append", &low_mu_);
+    MutexLock low(low_mu_);
+    MutexLock high(high_mu_);
+    last_ts_ = ts;
+    return Persist();
+  }
+
+  Status Persist() { return Status::OK(); }
+
+ private:
+  Mutex low_mu_{LockRank::kLow};
+  Mutex high_mu_{LockRank::kHigh};
+  unsigned long last_ts_ GUARDED_BY(low_mu_) = 0;
+};

@@ -1,0 +1,11 @@
+// Miniature rank ladder for the analyzer fixture corpus. The fixtures
+// are analyzed with --root pointing at tests/analyzer/fixtures, so this
+// file plays the role src/util/lock_order.h plays in the real tree.
+// Never compiled — the analyzer reads it textually.
+
+enum class LockRank : int {
+  kNone = 0,
+  kLow = 10,
+  kHigh = 20,
+  kLeaf = 90,
+};

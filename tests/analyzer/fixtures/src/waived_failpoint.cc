@@ -1,0 +1,12 @@
+// An unreachable failpoint kept on purpose, with the waiver explaining
+// why the dead coverage is acceptable.
+
+class RetiredApplier {
+ public:
+  Status Apply() {
+    // ANALYZER_WAIVE(failpoint-reachability): retired injection point
+    // kept for wire compatibility with recorded fixture chaos traces.
+    DIFFINDEX_FAILPOINT("fixture.apply.retired");
+    return Status::OK();
+  }
+};

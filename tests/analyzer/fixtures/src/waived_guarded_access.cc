@@ -1,0 +1,16 @@
+// Same write-before-guard shape as bad_guarded_access.cc, waived with
+// the only argument that ever justifies it: no second thread exists yet.
+
+class WaivedMiniOracle {
+ public:
+  void Seed(unsigned long ts) {
+    // ANALYZER_WAIVE(guarded-access): seeding runs before Start()
+    // returns, while the fixture object is still single-threaded; the
+    // guard contract begins with the first reader thread.
+    last_ts_ = ts;
+  }
+
+ private:
+  Mutex mu_;
+  unsigned long last_ts_ GUARDED_BY(mu_) = 0;
+};

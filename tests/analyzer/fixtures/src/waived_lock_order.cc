@@ -1,0 +1,17 @@
+// Same inversion as bad_lock_order.cc, suppressed by an in-source
+// waiver with a written rationale — the fixture proves the waiver
+// grammar works for this rule.
+
+class WaivedInverted {
+ public:
+  void Backwards() {
+    MutexLock high(high_mu_);
+    // ANALYZER_WAIVE(lock-order-global): fixture-only inversion kept to
+    // prove the waiver grammar; no real code path takes this edge.
+    MutexLock low(low_mu_);
+  }
+
+ private:
+  Mutex low_mu_{LockRank::kLow};
+  Mutex high_mu_{LockRank::kHigh};
+};

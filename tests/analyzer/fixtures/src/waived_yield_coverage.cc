@@ -1,0 +1,22 @@
+// Same seamless mutation as bad_yield_coverage.cc, waived: some state
+// changes genuinely run only between checked schedules.
+
+class WaivedMiniQueue {
+ public:
+  void Enqueue() {
+    CHECK_YIELD_RES("fixture.enqueue", &mu_);
+    MutexLock lock(mu_);
+    depth_ = depth_ + 1;
+  }
+
+  void Reset() {
+    MutexLock lock(mu_);
+    // ANALYZER_WAIVE(yield-coverage): fixture reset runs between model
+    // checker schedules, never concurrently with an explored one.
+    depth_ = 0;
+  }
+
+ private:
+  Mutex mu_;
+  unsigned long depth_ GUARDED_BY(mu_) = 0;
+};

@@ -1,0 +1,9 @@
+// The fixture corpus's "test tree": arming a failpoint by literal name
+// here is what makes it reachable for failpoint-reachability. Only
+// "fixture.apply.armed" is covered — bad_failpoint.cc's second consult
+// must still fire.
+
+void ArmFixtureFailpoints() {
+  FailpointRegistry::Global()->Arm("fixture.apply.armed",
+                                   FailpointPolicy::ErrorOnce());
+}

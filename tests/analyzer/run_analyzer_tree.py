@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Gates the real tree on the whole-program analyzer.
+
+Two checks, registered together as the `analyzer_tree` ctest:
+
+  1. `python3 tools/analyzer` over src/ + tests/ must exit 0 — every
+     finding is either fixed or carries an ANALYZER_WAIVE with a written
+     rationale. The full report is echoed on failure.
+  2. The deterministic lock-graph dump must match the golden snapshot
+     (tests/analyzer/golden/lock_graph.txt). Any refactor that changes
+     the rank ladder, a declared ACQUIRED_BEFORE edge, or an observed
+     held->acquired nesting changes this text; review the diff, then
+     regenerate with `python3 tools/analyzer --dump-lock-graph`.
+"""
+
+import argparse
+import difflib
+import os
+import subprocess
+import sys
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--root", required=True, help="repo root")
+    args = parser.parse_args()
+    root = os.path.abspath(args.root)
+    analyzer = os.path.join(root, "tools", "analyzer")
+
+    proc = subprocess.run(
+        [sys.executable, analyzer, "--root", root],
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        print("FAIL: analyzer reported unwaived findings (exit %d):"
+              % proc.returncode)
+        print(proc.stdout, end="")
+        print(proc.stderr, end="")
+        return 1
+    summary = [l for l in proc.stdout.splitlines()
+               if l.startswith("diffindex_analyzer:")]
+    print(summary[0] if summary else proc.stdout.strip())
+
+    golden_path = os.path.join(root, "tests", "analyzer", "golden",
+                               "lock_graph.txt")
+    with open(golden_path, encoding="utf-8") as f:
+        golden = f.read()
+    proc = subprocess.run(
+        [sys.executable, analyzer, "--root", root, "--dump-lock-graph"],
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        print("FAIL: --dump-lock-graph exited %d:\n%s%s"
+              % (proc.returncode, proc.stdout, proc.stderr))
+        return 1
+    if proc.stdout != golden:
+        print("FAIL: lock graph drifted from the golden snapshot.")
+        print("If the change is intentional, review the diff below and")
+        print("regenerate: python3 tools/analyzer --dump-lock-graph >"
+              " tests/analyzer/golden/lock_graph.txt")
+        sys.stdout.writelines(difflib.unified_diff(
+            golden.splitlines(keepends=True),
+            proc.stdout.splitlines(keepends=True),
+            fromfile="golden/lock_graph.txt",
+            tofile="--dump-lock-graph",
+        ))
+        return 1
+    print("ok: lock graph matches golden snapshot")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

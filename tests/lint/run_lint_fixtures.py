@@ -22,6 +22,7 @@ EXPECTATIONS = {
     "bad_naked_new.cc": "naked-new",
     "bad_index_ts_put.cc": "index-ts",
     "bad_index_ts_delete.cc": "index-ts",
+    "bad_ignore_error.cc": "ignore-error",
     "bad_lock_cycle.cc": "lock-order",
     "bad_nested_unannotated.cc": "lock-order",
     os.path.join("lsm", "bad_layering.cc"): "lsm-layering",

@@ -1,0 +1,10 @@
+"""Diff-Index whole-program static analyzer (DESIGN.md section 15).
+
+A self-contained, stdlib-only Python package that extends the
+tools/lint tokenizer into a symbol table, name-resolved call graph, and
+held-lock dataflow, then runs interprocedural ordering rules over every
+translation unit: lock-order-global, blocking-under-lock,
+guarded-access, yield-coverage, status-flow, failpoint-reachability.
+
+Run as `python3 tools/analyzer`; see cli.py for flags.
+"""

@@ -1,0 +1,13 @@
+"""Entry point: `python3 tools/analyzer [...]` (the directory is
+executable; Python prepends it to sys.path, so the package's modules
+import each other by plain name)."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import cli  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(cli.main())

@@ -1,0 +1,102 @@
+"""Command-line driver for the Diff-Index whole-program analyzer.
+
+Usage:
+  python3 tools/analyzer [--root DIR] [--rules r1,r2,...]
+                         [--json OUT.sarif] [--dump-lock-graph]
+                         [--compile-commands PATH] [files...]
+
+With explicit `files` only those are analyzed (the fixture tests use
+this; each fixture is a self-contained translation unit). Otherwise the
+file set is every source under <root>/src and <root>/tests (fixture
+corpora excluded), cross-checked against compile_commands.json when
+present so a TU the build knows about is never silently skipped.
+
+Exit status: 0 clean, 1 unwaived findings, 2 usage/config error.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+import dataflow
+import model
+import report
+import rules as rules_mod
+import source
+
+
+def default_root():
+    return os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+
+
+def build_program(root, paths, notes):
+    files = [source.SourceFile(p, root) for p in paths]
+    program = model.Program(root, files)
+    for fn in program.functions:
+        dataflow.build_events(program, fn)
+    contexts = dataflow.propagate(program, notes)
+    return program, contexts
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None)
+    parser.add_argument("--compile-commands", default=None)
+    parser.add_argument("--rules", default=",".join(rules_mod.ALL_RULES))
+    parser.add_argument("--json", default=None,
+                        help="write a SARIF-style JSON report here")
+    parser.add_argument("--dump-lock-graph", action="store_true",
+                        help="print the lock-graph snapshot and exit")
+    parser.add_argument("files", nargs="*")
+    args = parser.parse_args(argv)
+
+    root = os.path.abspath(args.root or default_root())
+    selected = [r.strip() for r in args.rules.split(",") if r.strip()]
+    for r in selected:
+        if r not in rules_mod.ALL_RULES:
+            print("diffindex_analyzer: unknown rule '%s'" % r)
+            return 2
+
+    if args.files:
+        paths = [os.path.abspath(f) for f in args.files]
+    else:
+        paths = source.gather_files(root)
+        cc = args.compile_commands or os.path.join(
+            root, "build", "compile_commands.json")
+        if os.path.exists(cc):
+            known = set(paths)
+            with open(cc) as f:
+                for entry in json.load(f):
+                    p = os.path.normpath(os.path.join(
+                        entry.get("directory", ""), entry["file"]))
+                    if p.endswith(source.SOURCE_EXTS) and p not in known \
+                            and os.path.exists(p) \
+                            and not any(part in p for part in
+                                        source.EXCLUDED_DIR_PARTS):
+                        paths.append(p)
+    if not paths:
+        print("diffindex_analyzer: no source files found")
+        return 2
+    missing = [p for p in paths if not os.path.exists(p)]
+    if missing:
+        print("diffindex_analyzer: missing input: %s" % missing[0])
+        return 2
+
+    notes = []
+    program, contexts = build_program(root, paths, notes)
+
+    if args.dump_lock_graph:
+        sys.stdout.write(report.lock_graph_dump(program, contexts))
+        return 0
+
+    engine = rules_mod.RuleEngine(program, contexts, notes)
+    findings = engine.run(selected)
+
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump(report.sarif_report(findings, len(paths)), f, indent=2)
+            f.write("\n")
+    print(report.text_report(findings, notes, len(paths)))
+    return 1 if any(f.waiver is None for f in findings) else 0

@@ -1,0 +1,573 @@
+"""Program model: symbol table, call graph, and lock/field registries.
+
+Built purely from text (no clang frontend is available in the build
+image), with the same tokenizer discipline as tools/lint: comments and
+strings are blanked first, so every position maps back to a true line.
+
+The extraction is a scope-tracking scanner rather than a grammar: it
+walks brace structure, classifies the text segment that precedes each
+`{` (namespace / class / function signature / control block), and
+records function definitions with their enclosing class. That is enough
+to build, for this codebase's consistent style:
+
+  * a function table keyed by qualified name, with body extents,
+    return type, and REQUIRES/REQUIRES_SHARED entry locks;
+  * a name-resolved call graph (virtual calls resolve by simple name to
+    every definition, a sound over-approximation for the rules here);
+  * the ranked-lock registry: every Mutex/SharedMutex constructed with
+    a LockRank, attributed to its enclosing class;
+  * the GUARDED_BY field registry per class.
+
+Known limits are documented in DESIGN.md section 15 (templates are
+scanned as text, overload sets collapse to one node, lambdas belong to
+their enclosing function).
+"""
+
+import os
+import re
+
+from source import line_of
+
+# Segment heads that open a scope but are not function definitions.
+CONTROL_KEYWORDS = {
+    "if", "for", "while", "switch", "catch", "do", "else", "try",
+    "return", "new", "delete", "throw", "case", "default", "sizeof",
+    "alignof", "decltype", "static_assert", "co_await", "co_return",
+}
+
+# Annotation/assertion macros whose trailing `(...)` must not be read as
+# a function signature (member brace-init directly follows some of
+# them: `SharedMutex g_ ACQUIRED_BEFORE(m_){LockRank::kX, "g_"};`).
+MACRO_NAMES = {
+    "GUARDED_BY", "PT_GUARDED_BY", "ACQUIRED_BEFORE", "ACQUIRED_AFTER",
+    "REQUIRES", "REQUIRES_SHARED", "EXCLUDES", "RETURN_CAPABILITY",
+    "CAPABILITY", "SCOPED_CAPABILITY", "ACQUIRE", "ACQUIRE_SHARED",
+    "RELEASE", "RELEASE_SHARED", "TRY_ACQUIRE", "TRY_ACQUIRE_SHARED",
+    "NO_THREAD_SAFETY_ANALYSIS", "ASSERT_CAPABILITY",
+    "DIFFINDEX_FAILPOINT", "DIFFINDEX_RETURN_NOT_OK", "CHECK_YIELD",
+    "CHECK_YIELD_RES", "CHECK_POINT_VAL", "NOLINT",
+}
+
+GTEST_MACROS = {"TEST", "TEST_F", "TEST_P", "TYPED_TEST", "INSTANTIATE_TEST_SUITE_P"}
+
+# Call-site names that are never interesting callees.
+CALL_BLACKLIST = CONTROL_KEYWORDS | MACRO_NAMES | GTEST_MACROS | {
+    "EXPECT_TRUE", "EXPECT_FALSE", "EXPECT_EQ", "EXPECT_NE", "EXPECT_LT",
+    "EXPECT_LE", "EXPECT_GT", "EXPECT_GE", "EXPECT_OK", "ASSERT_TRUE",
+    "ASSERT_FALSE", "ASSERT_EQ", "ASSERT_NE", "ASSERT_OK", "FAIL",
+    "ADD_FAILURE", "SCOPED_TRACE", "static_cast", "dynamic_cast",
+    "reinterpret_cast", "const_cast", "defined", "assert", "move",
+    "make_unique", "make_shared", "make_pair", "get", "size", "begin",
+    "end", "empty", "push_back", "emplace_back", "insert", "erase",
+    "find", "count", "clear", "reserve", "resize", "front", "back",
+    "max", "min", "swap", "load", "store", "fetch_add", "fetch_sub",
+    "c_str", "data", "append", "substr", "reset", "release", "at",
+    "emplace", "pop_back", "pop_front", "push_front", "str", "value",
+    "has_value", "ok", "ToString", "code", "exchange", "compare",
+}
+
+
+def canonical_lock_name(expr):
+    """`&wal_sync_mu_`, `region->flush_gate()`, `flush_gate_` all
+    resolve to `wal_sync_mu` / `flush_gate` (same canonicalization as
+    the lint's lock-order rule)."""
+    e = expr.strip().lstrip("&*")
+    e = re.sub(r"\(\s*\)", "", e)
+    for sep in ("->", "."):
+        if sep in e:
+            e = e.rsplit(sep, 1)[-1]
+    return e.strip().rstrip("_")
+
+
+def parse_lock_ranks(root):
+    """LockRank enumerator -> numeric rank, from util/lock_order.h."""
+    path = os.path.join(root, "src", "util", "lock_order.h")
+    ranks = {}
+    if os.path.exists(path):
+        with open(path, encoding="utf-8", errors="replace") as f:
+            text = f.read()
+        for m in re.finditer(r"\bk(\w+)\s*=\s*(\d+)", text):
+            ranks["k" + m.group(1)] = int(m.group(2))
+    return ranks
+
+
+class Function:
+    def __init__(self, name, qualname, cls, sf, sig_line, body_start,
+                 body_end, return_type, requires, args_text=""):
+        self.name = name            # simple name (last component)
+        self.qualname = qualname    # Class::name or ns-qualified
+        self.cls = cls              # enclosing/owning class or ""
+        self.sf = sf                # SourceFile
+        self.sig_line = sig_line
+        self.body_start = body_start  # offset of '{' in sf.clean
+        self.body_end = body_end      # offset past matching '}'
+        self.return_type = return_type
+        self.requires = requires    # [(raw lock expression, shared)]
+        self.args_text = args_text  # parameter list text
+        self.var_types = {}         # param/local name -> class type
+        # Filled by the event scan (dataflow.py):
+        self.events = []
+        self.has_yield = False
+        self.direct_callees = set()
+
+    @property
+    def body(self):
+        return self.sf.clean[self.body_start:self.body_end]
+
+    def __repr__(self):
+        return "<fn %s %s:%d>" % (self.qualname, self.sf.rel, self.sig_line)
+
+
+class LockDecl:
+    def __init__(self, name, cls, rank_token, rank, is_shared, sf, line):
+        self.name = name            # canonical (trailing _ stripped)
+        self.cls = cls
+        self.rank_token = rank_token
+        self.rank = rank
+        self.is_shared = is_shared
+        self.sf = sf
+        self.line = line
+
+
+class GuardedField:
+    def __init__(self, name, cls, guard, sf, line):
+        self.name = name            # field name as written (with _)
+        self.cls = cls
+        self.guard = guard          # canonical lock name
+        self.sf = sf
+        self.line = line
+
+
+SIG_TAIL_RE = re.compile(
+    r"(?:\s*(?:const|noexcept|final|override|mutable|->\s*[\w:<>]+"
+    r"|(?:REQUIRES|REQUIRES_SHARED|EXCLUDES|ACQUIRE|ACQUIRE_SHARED"
+    r"|RELEASE|RELEASE_SHARED|TRY_ACQUIRE|RETURN_CAPABILITY"
+    r"|NO_THREAD_SAFETY_ANALYSIS)\s*(?:\([^()]*\))?))*\s*$"
+)
+
+NAME_BEFORE_PAREN_RE = re.compile(
+    r"((?:[A-Za-z_]\w*\s*::\s*)*(?:~\s*)?[A-Za-z_]\w*|operator\s*[^\s\w]{1,3})\s*$"
+)
+
+REQUIRES_RE = re.compile(r"\b(REQUIRES|REQUIRES_SHARED)\s*\(([^()]*)\)")
+
+# Variable-declaration shapes used to type call receivers. Class types
+# in this codebase are CamelCase; requiring a leading capital keeps
+# `a * b` arithmetic and builtin-typed declarations out of the map.
+SMART_PTR_DECL_RE = re.compile(
+    r"\b(?:std\s*::\s*)?(?:unique_ptr|shared_ptr|weak_ptr)\s*<\s*"
+    r"(?:const\s+)?([A-Za-z_][\w:]*)\s*>\s*(?:[*&]\s*)?([A-Za-z_]\w*)")
+PTR_REF_DECL_RE = re.compile(
+    r"\b(?:const\s+)?([A-Z]\w*)\s*[*&]+\s*(?:const\s+)?([A-Za-z_]\w*)")
+VALUE_MEMBER_RE = re.compile(
+    r"\b([A-Z]\w*)\s+(\w+_)\s*(?:GUARDED_BY\s*\([^)]*\)\s*)?[;={]")
+
+LOCK_DECL_RE = re.compile(
+    r"\b(Mutex|SharedMutex)\s+(\w+)\s*"
+    r"((?:ACQUIRED_(?:BEFORE|AFTER)\s*\([^)]*\)\s*)*)"
+    r"\{\s*LockRank::(k\w+)"
+)
+
+LOCK_ANN_RE = re.compile(r"ACQUIRED_(BEFORE|AFTER)\s*\(([^)]*)\)")
+
+GUARDED_FIELD_RE = re.compile(r"\b([A-Za-z_]\w*)\s+GUARDED_BY\(([^)]*)\)")
+
+
+def _strip_ctor_init_list(seg):
+    """Removes a trailing constructor initializer list so the signature's
+    closing paren is the segment's last ')'. Heuristic: a top-level
+    ` : name(...)...` after a balanced `(...)` group."""
+    # Find the last top-level ':' that is not part of '::'.
+    depth = 0
+    for i, c in enumerate(seg):
+        if c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth -= 1
+        elif c == ":" and depth == 0:
+            if i + 1 < len(seg) and seg[i + 1] == ":":
+                continue
+            if i > 0 and seg[i - 1] == ":":
+                continue
+            head = seg[:i].rstrip()
+            if head.endswith(")"):
+                return head
+    return seg
+
+
+def _match_open_paren(seg, close_idx):
+    depth = 0
+    for i in range(close_idx, -1, -1):
+        if seg[i] == ")":
+            depth += 1
+        elif seg[i] == "(":
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+class Program:
+    """The whole-program model over a set of SourceFiles."""
+
+    def __init__(self, root, files):
+        self.root = root
+        self.files = files
+        self.rank_values = parse_lock_ranks(root)
+        self.functions = []                 # all definitions
+        self.defs_by_name = {}              # simple name -> [Function]
+        self.lock_decls = []                # [LockDecl]
+        self.locks_by_class = {}            # (cls, canonical) -> LockDecl
+        self.locks_global = {}              # canonical -> LockDecl | None(ambiguous)
+        self.guarded_by_class = {}          # cls -> {field name -> GuardedField}
+        self.declared_edges = {}            # before -> {after: (rel, line)}
+        self.member_types = {}              # (cls, member name) -> class type
+        self.subclasses = {}                # base -> {derived}
+        self.decl_requires = {}             # (cls, method) -> {(raw, shared)}
+        for sf in files:
+            self._scan_file(sf)
+        for fn in self.functions:
+            self.defs_by_name.setdefault(fn.name, []).append(fn)
+            for req in self.decl_requires.get((fn.cls, fn.name), ()):
+                if req not in fn.requires:
+                    fn.requires.append(req)
+            self._type_variables(fn)
+        self._descendants_cache = {}
+
+    @staticmethod
+    def _type_name(t):
+        return t.rsplit("::", 1)[-1]
+
+    def _type_variables(self, fn):
+        """Types call receivers from parameter and local declarations
+        (pointer/reference and smart-pointer shapes only)."""
+        for text in (fn.args_text, fn.body):
+            for m in SMART_PTR_DECL_RE.finditer(text):
+                fn.var_types.setdefault(m.group(2), self._type_name(m.group(1)))
+            for m in PTR_REF_DECL_RE.finditer(text):
+                fn.var_types.setdefault(m.group(2), self._type_name(m.group(1)))
+
+    def descendants(self, cls):
+        cached = self._descendants_cache.get(cls)
+        if cached is not None:
+            return cached
+        out, frontier = set(), [cls]
+        while frontier:
+            for d in self.subclasses.get(frontier.pop(), ()):
+                if d not in out:
+                    out.add(d)
+                    frontier.append(d)
+        self._descendants_cache[cls] = out
+        return out
+
+    # -- registries -------------------------------------------------------
+
+    def rank_of(self, lock_name, cls):
+        """Resolves a canonical lock name to its LockDecl. Bare member
+        names resolve only within the enclosing class (Client::mu_ must
+        not inherit AsyncUpdateQueue::mu_'s rank); accessor/receiver
+        expressions fall back to the global registry when unambiguous."""
+        decl = self.locks_by_class.get((cls, lock_name))
+        if decl is not None:
+            return decl
+        decl = self.locks_global.get(lock_name)
+        if decl is not None and decl.cls == cls:
+            return decl
+        return decl  # may be None or cross-class (receiver expressions)
+
+    # -- scanning ---------------------------------------------------------
+
+    def _scan_file(self, sf):
+        clean = sf.clean
+        # Scope stack entries: (kind, name) with kind in
+        # {namespace, class, function, block, enum}.
+        stack = []
+        seg_start = 0
+        i, n = 0, len(clean)
+        current_fn_stack = []
+        while i < n:
+            c = clean[i]
+            if c == ";":
+                # Class-scope declarations carry lock/field registrations.
+                seg_start = i + 1
+            elif c == "{":
+                seg = clean[seg_start:i]
+                # A brace directly after '=', ',' or '(' is an
+                # initializer (`extra = {}`, `f({...})`), not a scope:
+                # keep accumulating the current segment through it.
+                if seg.rstrip()[-1:] in ("=", ",", "("):
+                    stack.append(("init", ""))
+                    i += 1
+                    continue
+                kind, name = self._classify_segment(seg)
+                if kind == "function" and not current_fn_stack:
+                    fn = self._make_function(sf, seg, seg_start, i, stack)
+                    if fn is not None:
+                        self.functions.append(fn)
+                        current_fn_stack.append((len(stack), fn))
+                        stack.append(("function", fn.name))
+                    else:
+                        stack.append(("block", ""))
+                elif kind in ("namespace", "class", "enum"):
+                    stack.append((kind, name))
+                else:
+                    stack.append(("block", ""))
+                seg_start = i + 1
+            elif c == "}":
+                if stack:
+                    kind, name = stack.pop()
+                    if kind == "init":
+                        i += 1
+                        continue  # still inside the pending segment
+                    if kind == "function" and current_fn_stack and \
+                            current_fn_stack[-1][0] == len(stack):
+                        _, fn = current_fn_stack.pop()
+                        fn.body_end = i + 1
+                seg_start = i + 1
+            i += 1
+        # Registries scan flat text with class attribution via a second
+        # pass: attribute each lock/field decl to the class whose body
+        # contains it.
+        self._register_decls_with_classes(sf)
+
+    def _register_decls_with_classes(self, sf):
+        clean = sf.clean
+        class_spans = self._class_spans(clean)
+
+        def owner(pos):
+            best = ""
+            best_len = None
+            for (start, end, name) in class_spans:
+                if start <= pos < end and (best_len is None or
+                                           end - start < best_len):
+                    best, best_len = name, end - start
+            return best
+
+        # Locks.
+        for m in LOCK_DECL_RE.finditer(clean):
+            kind, raw_name, anns, rank_token = m.groups()
+            rank = self.rank_values.get(rank_token)
+            if rank is None or rank == 0:
+                continue
+            cls = owner(m.start())
+            decl = LockDecl(canonical_lock_name(raw_name), cls, rank_token,
+                            rank, kind == "SharedMutex", sf,
+                            line_of(clean, m.start()))
+            self.lock_decls.append(decl)
+            self.locks_by_class[(cls, decl.name)] = decl
+            if decl.name in self.locks_global:
+                existing = self.locks_global[decl.name]
+                if existing is not None and existing.rank != decl.rank:
+                    self.locks_global[decl.name] = None  # ambiguous name
+            else:
+                self.locks_global[decl.name] = decl
+            for am in LOCK_ANN_RE.finditer(anns):
+                kind2 = am.group(1)
+                for arg in am.group(2).split(","):
+                    other = canonical_lock_name(arg)
+                    if not other:
+                        continue
+                    before, after = ((decl.name, other) if kind2 == "BEFORE"
+                                     else (other, decl.name))
+                    self.declared_edges.setdefault(before, {}).setdefault(
+                        after, (sf.rel, line_of(clean, m.start())))
+        # Guarded fields.
+        for m in GUARDED_FIELD_RE.finditer(clean):
+            cls = owner(m.start())
+            fields = self.guarded_by_class.setdefault(cls, {})
+            name, guard = m.group(1), canonical_lock_name(m.group(2))
+            fields[name] = GuardedField(name, cls, guard, sf,
+                                        line_of(clean, m.start()))
+        # Member variable types (for receiver-based call resolution).
+        for (start, end, cls) in class_spans:
+            body = clean[start:end]
+            for rex in (SMART_PTR_DECL_RE, PTR_REF_DECL_RE, VALUE_MEMBER_RE):
+                for m in rex.finditer(body):
+                    self.member_types.setdefault(
+                        (cls, m.group(2)), self._type_name(m.group(1)))
+        # Declaration-site REQUIRES: annotations live on the header
+        # prototype (`void FooLocked() REQUIRES(mu_);`), not the
+        # definition; fold them into the matching Function by
+        # (class, method) after all files are scanned.
+        for m in REQUIRES_RE.finditer(clean):
+            cls = owner(m.start())
+            head = clean[max(0, m.start() - 400):m.start()].rstrip()
+            while True:
+                q = re.search(r"(?:\bconst|\bnoexcept|\boverride|\bfinal"
+                              r"|\bREQUIRES(?:_SHARED)?\s*\([^()]*\))\s*$",
+                              head)
+                if q is None:
+                    break
+                head = head[:q.start()].rstrip()
+            if not head.endswith(")"):
+                continue
+            open_idx = _match_open_paren(head, len(head) - 1)
+            if open_idx <= 0:
+                continue
+            nm = NAME_BEFORE_PAREN_RE.search(head[:open_idx])
+            if nm is None:
+                continue
+            method = re.sub(r"\s+", "", nm.group(1)).rsplit("::", 1)[-1]
+            if method in CONTROL_KEYWORDS or method in MACRO_NAMES:
+                continue
+            shared = m.group(1) == "REQUIRES_SHARED"
+            reqs = self.decl_requires.setdefault((cls, method), set())
+            for arg in m.group(2).split(","):
+                a = arg.strip()
+                if a:
+                    reqs.add((a, shared))
+
+    def _class_spans(self, clean):
+        """[(start, end, name)] body spans of class/struct definitions.
+        Also records base classes into the subclass map."""
+        spans = []
+        for m in re.finditer(r"\b(?:class|struct)\s+(?:CAPABILITY\s*\([^)]*\)\s*|SCOPED_CAPABILITY\s+)?([A-Za-z_]\w*)\s*(?:final\s*)?(:[^;{()]*)?\{", clean):
+            name = m.group(1)
+            bases = m.group(2) or ""
+            for bm in re.finditer(r"[A-Za-z_][\w:]*", bases):
+                base = bm.group(0)
+                if base in ("public", "protected", "private", "virtual",
+                            "final", "std"):
+                    continue
+                base = self._type_name(base)
+                if base != name:
+                    self.subclasses.setdefault(base, set()).add(name)
+            start = m.end() - 1
+            depth = 0
+            for j in range(start, len(clean)):
+                if clean[j] == "{":
+                    depth += 1
+                elif clean[j] == "}":
+                    depth -= 1
+                    if depth == 0:
+                        spans.append((start, j + 1, name))
+                        break
+        return spans
+
+    def _classify_segment(self, seg):
+        s = seg.strip()
+        if not s:
+            return "block", ""
+        m = re.search(r"\bnamespace\s*([A-Za-z_]\w*)?\s*$", s)
+        if m:
+            return "namespace", m.group(1) or ""
+        if re.search(r"\benum\b", s):
+            return "enum", ""
+        m = re.search(r"\b(?:class|struct|union)\s+(?:CAPABILITY\s*\([^)]*\)\s*|SCOPED_CAPABILITY\s+)?([A-Za-z_]\w*)\s*(?:final\s*)?(?::[^;{]*)?$", s)
+        if m:
+            return "class", m.group(1)
+        # Lambda introducer directly before the brace: `[..](..) {` or
+        # `[..] {` — not a named function.
+        if re.search(r"\]\s*(?:\([^()]*\))?\s*(?:mutable\s*)?(?:REQUIRES(?:_SHARED)?\s*\([^()]*\)\s*)?(?:->\s*[\w:<>]+\s*)?$", s):
+            return "block", ""
+        stripped = _strip_ctor_init_list(s)
+        tail = SIG_TAIL_RE.search(stripped)
+        head = stripped[:tail.start()] if tail else stripped
+        if not head.rstrip().endswith(")"):
+            return "block", ""
+        close = head.rstrip()
+        open_idx = _match_open_paren(close, len(close) - 1)
+        if open_idx <= 0:
+            return "block", ""
+        nm = NAME_BEFORE_PAREN_RE.search(close[:open_idx])
+        if nm is None:
+            return "block", ""
+        name = re.sub(r"\s+", "", nm.group(1))
+        simple = name.rsplit("::", 1)[-1]
+        if simple in CONTROL_KEYWORDS or simple in MACRO_NAMES:
+            return "block", ""
+        if simple in GTEST_MACROS:
+            return "function", name
+        return "function", name
+
+    def _make_function(self, sf, seg, seg_start, brace_pos, stack):
+        s = seg.strip()
+        stripped = _strip_ctor_init_list(s)
+        tail = SIG_TAIL_RE.search(stripped)
+        head = stripped[:tail.start()] if tail else stripped
+        tail_text = stripped[tail.start():] if tail else ""
+        head = head.rstrip()
+        if not head.endswith(")"):
+            return None
+        open_idx = _match_open_paren(head, len(head) - 1)
+        if open_idx <= 0:
+            return None
+        nm = NAME_BEFORE_PAREN_RE.search(head[:open_idx])
+        if nm is None:
+            return None
+        name = re.sub(r"\s+", "", nm.group(1))
+        simple = name.rsplit("::", 1)[-1]
+        if simple in CONTROL_KEYWORDS or simple in MACRO_NAMES:
+            return None
+        args_text = head[open_idx + 1:-1]
+        if simple in GTEST_MACROS:
+            parts = [a.strip() for a in args_text.split(",")]
+            qual = ".".join(p for p in parts if p)
+            fn_name = qual or simple
+            # TEST_F/TEST_P bodies run as methods of the fixture class:
+            # attributing them to it resolves fixture-helper calls.
+            cls = parts[0] if parts and simple in (
+                "TEST_F", "TEST_P", "TYPED_TEST") else ""
+            qualname = simple + ":" + qual
+            return_type = "void"
+            requires = []
+        else:
+            # Enclosing class from the scope stack (innermost class).
+            cls = ""
+            for kind, scope_name in reversed(stack):
+                if kind == "class":
+                    cls = scope_name
+                    break
+            if "::" in name:
+                qual_cls = name.rsplit("::", 2)[-2]
+                cls = qual_cls
+                qualname = name
+            else:
+                qualname = (cls + "::" + name) if cls else name
+            fn_name = simple
+            ret_head = head[:nm.start()].strip()
+            ret_tokens = [t for t in re.split(r"[\s&*]+", ret_head)
+                          if t and t not in ("static", "inline", "virtual",
+                                             "explicit", "constexpr",
+                                             "friend", "mutable", "const")]
+            return_type = ret_tokens[-1] if ret_tokens else ""
+            requires = []
+            for rm in REQUIRES_RE.finditer(tail_text):
+                shared = rm.group(1) == "REQUIRES_SHARED"
+                for arg in rm.group(2).split(","):
+                    a = arg.strip()
+                    if a:
+                        requires.append((a, shared))
+        sig_line = line_of(sf.clean, seg_start + len(seg) - len(seg.lstrip()))
+        return Function(fn_name, qualname, cls, sf, sig_line, brace_pos,
+                        len(sf.clean), return_type, requires, args_text)
+
+    # -- call resolution --------------------------------------------------
+
+    def resolve_call(self, callee, receiver, fn):
+        """Candidate definitions for a call site.
+
+        Plain/this calls prefer the caller's own class. Receiver calls
+        resolve through the receiver's declared type when a member,
+        parameter, or local declaration reveals it (including scanned
+        subclasses, so an interface call reaches every implementation).
+        A multi-class name with an untypable receiver resolves to
+        nothing — the caller counts those sites so the imprecision is
+        reported, never silently absorbed as false edges."""
+        cands = self.defs_by_name.get(callee, [])
+        if not cands:
+            return []
+        if receiver in (None, "", "this"):
+            own = [f for f in cands if f.cls == fn.cls]
+            if own:
+                return own
+        else:
+            t = fn.var_types.get(receiver) or \
+                self.member_types.get((fn.cls, receiver))
+            if t is not None:
+                family = {t} | self.descendants(t)
+                return [f for f in cands if f.cls in family]
+        classes = {f.cls for f in cands}
+        if len(classes) == 1:
+            return cands
+        return []

@@ -1,0 +1,310 @@
+"""The analyzer's interprocedural rules (DESIGN.md section 15).
+
+  lock-order-global       no acquisition path, through any call chain,
+                          may take a ranked lock while holding one of
+                          equal or higher rank (the static twin of the
+                          runtime validator in util/lock_order.h; the
+                          same-rank shared+shared flush-gate edge is
+                          permitted, mirroring the validator's waiver).
+  blocking-under-lock     the blocking-operation catalog (CondVar waits,
+                          thread joins, fsync, fabric RPC — and anything
+                          that reaches one, e.g. drain/flush barriers)
+                          must be unreachable while a ranked lock is
+                          held, unless waived where the design argues
+                          progress (makes the PR 7 failover-deadlock
+                          class a compile-time error).
+  guarded-access          a GUARDED_BY field may only be written while
+                          its guard is held (statically: locally, via a
+                          REQUIRES contract, or via a caller on every
+                          propagated chain) — the PR 5 ts-inversion
+                          shape, where the guarded write ran before the
+                          lock, is this rule's seed fixture.
+  yield-coverage          in model-checked modules (files carrying
+                          CHECK_YIELD seams) every function that writes
+                          a GUARDED_BY field must contain a CHECK_YIELD
+                          or call a function that does, so new code
+                          cannot escape the model checker's schedules.
+  status-flow             interprocedural [[nodiscard]]: a Status
+                          captured into a local that no later statement
+                          reads, or a Status-returning call used as a
+                          bare statement inside a void wrapper, is a
+                          dropped error the compiler cannot see.
+  failpoint-reachability  every failpoint name consulted in src/ must be
+                          armed (by literal name) somewhere in tests/ —
+                          an unreachable failpoint is dead chaos
+                          coverage.
+"""
+
+import re
+from collections import namedtuple
+
+import dataflow
+from dataflow import ACQUIRE, BLOCKING, GUARDED_WRITE, STATUS_DROP, FAILPOINT
+from source import line_of
+
+Finding = namedtuple(
+    "Finding",
+    ["rule", "rel", "line", "message", "chain", "waiver"])
+
+ALL_RULES = (
+    "lock-order-global",
+    "blocking-under-lock",
+    "guarded-access",
+    "yield-coverage",
+    "status-flow",
+    "failpoint-reachability",
+)
+
+# The model checker's scheduler and the annotated-primitive layer block
+# by design; the lock-order unit test violates ordering on purpose but
+# carries inline waivers instead of a path exclusion, so its intent is
+# written next to the code.
+def _excluded(fn, rule):
+    rel = fn.sf.rel.replace("\\", "/")
+    if rel.endswith("util/mutex.h"):
+        return True
+    if rel.startswith("src/check/") and rule in (
+            "blocking-under-lock", "lock-order-global", "guarded-access",
+            "yield-coverage"):
+        return True
+    if rel.startswith("tests/") and rule == "yield-coverage":
+        return True
+    return False
+
+
+def _chain_text(chain, fn):
+    steps = [("%s (%s:%d)" % (q, rel, line)) for q, rel, line in chain]
+    steps.append(fn.qualname)
+    return " -> ".join(steps)
+
+
+class RuleEngine:
+    def __init__(self, program, contexts, notes):
+        self.program = program
+        self.contexts = contexts
+        self.notes = notes
+        self.findings = []
+
+    def _waiver_at(self, rule, fn, line, chain):
+        """A waiver suppresses a finding at the reported line or at any
+        call site on its chain (so a by-design edge is waived once,
+        where the decision lives)."""
+        w = fn.sf.waiver_for(rule, line)
+        if w is not None:
+            return w
+        by_rel = {sf.rel: sf for sf in self.program.files}
+        for _, rel, call_line in chain:
+            sf = by_rel.get(rel)
+            if sf is not None:
+                w = sf.waiver_for(rule, call_line)
+                if w is not None:
+                    return w
+        return None
+
+    def _emit(self, rule, fn, line, message, chain=()):
+        waiver = self._waiver_at(rule, fn, line, chain)
+        self.findings.append(Finding(rule, fn.sf.rel, line, message,
+                                     tuple(chain), waiver))
+
+    # -- per-(function, context) checks -----------------------------------
+
+    def run(self, rules):
+        rules = set(rules)
+        seen = set()
+        for fn, ctxs in self.contexts.items():
+            for ctx in ctxs:
+                self._check_context(fn, ctx, rules, seen)
+        if "yield-coverage" in rules:
+            self._check_yield_coverage()
+        if "failpoint-reachability" in rules:
+            self._check_failpoint_reachability()
+        if "status-flow" in rules:
+            self._check_status_wrappers()
+        self._check_waiver_rationales()
+        return self.findings
+
+    def _check_context(self, fn, ctx, rules, seen):
+        inherited = ctx.held
+        for ev in fn.events:
+            if ev.kind == ACQUIRE and "lock-order-global" in rules \
+                    and not _excluded(fn, "lock-order-global"):
+                lock = ev.data["lock"]
+                if lock.rank <= 0:
+                    continue
+                full = set(ev.held) | inherited
+                for held in full:
+                    if held.rank <= 0:
+                        continue
+                    bad = held.rank > lock.rank or (
+                        held.rank == lock.rank and
+                        not (held.shared and lock.shared))
+                    if not bad:
+                        continue
+                    key = ("lock-order-global", fn.sf.rel, ev.line,
+                           held.name, lock.name)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    msg = ("acquires %s%s (rank %d) while holding %s%s "
+                           "(rank %d); the declared ladder requires "
+                           "strictly increasing ranks" %
+                           (lock.name, " [shared]" if lock.shared else "",
+                            lock.rank, held.name,
+                            " [shared]" if held.shared else "", held.rank))
+                    self._emit("lock-order-global", fn, ev.line, msg,
+                               self._chain_for(ctx, fn, held))
+            elif ev.kind == BLOCKING and "blocking-under-lock" in rules \
+                    and not _excluded(fn, "blocking-under-lock"):
+                full = set(ev.held) | inherited
+                ranked = sorted((h for h in full if h.rank > 0),
+                                key=lambda h: h.rank)
+                if not ranked:
+                    continue
+                names = ", ".join("%s (rank %d)" % (h.name, h.rank)
+                                  for h in ranked)
+                key = ("blocking-under-lock", fn.sf.rel, ev.line,
+                       tuple(h.name for h in ranked))
+                if key in seen:
+                    continue
+                seen.add(key)
+                msg = ("%s [%s] is reachable while holding ranked lock(s) "
+                       "%s; a blocked holder stalls or deadlocks every "
+                       "waiter of those locks" %
+                       (ev.data["detail"], ev.data["op"], names))
+                self._emit("blocking-under-lock", fn, ev.line, msg,
+                           self._chain_for(ctx, fn, ranked[0]))
+            elif ev.kind == GUARDED_WRITE and "guarded-access" in rules \
+                    and not _excluded(fn, "guarded-access") \
+                    and not inherited:
+                # Checked in the base context only: the guard contract is
+                # the function's own (REQUIRES or a local acquisition),
+                # not something a lucky caller provides.
+                guard = ev.data["guard"]
+                if any(h.name == guard for h in ev.held):
+                    continue
+                key = ("guarded-access", fn.sf.rel, ev.line,
+                       ev.data["field"])
+                if key in seen:
+                    continue
+                seen.add(key)
+                msg = ("writes '%s_' (GUARDED_BY %s) but %s is not held "
+                       "here: not acquired in scope and not demanded via "
+                       "REQUIRES — the PR 5 ts-inversion shape" %
+                       (ev.data["field"].rstrip("_"), guard, guard))
+                self._emit("guarded-access", fn, ev.line, msg)
+            elif ev.kind == STATUS_DROP and "status-flow" in rules \
+                    and not inherited:
+                key = ("status-flow", fn.sf.rel, ev.line, ev.data["var"])
+                if key in seen:
+                    continue
+                seen.add(key)
+                msg = ("Status '%s' is assigned but never examined on any "
+                       "later statement of %s; the error it may carry is "
+                       "silently dropped" % (ev.data["var"], fn.qualname))
+                self._emit("status-flow", fn, ev.line, msg)
+
+    def _chain_for(self, ctx, fn, held):
+        """The recorded caller chain, when the offending lock came from a
+        caller; empty for purely local violations."""
+        if any(h == held for h in ctx.held):
+            return ctx.chain
+        return ctx.chain if ctx.chain else ()
+
+    # -- whole-program checks ---------------------------------------------
+
+    def _check_yield_coverage(self):
+        program = self.program
+        yield_files = {fn.sf.rel for fn in program.functions if fn.has_yield
+                       and fn.sf.rel.replace("\\", "/").startswith("src/")}
+        for fn in program.functions:
+            if fn.sf.rel not in yield_files or _excluded(fn, "yield-coverage"):
+                continue
+            writes = [ev for ev in fn.events if ev.kind == GUARDED_WRITE]
+            if not writes or fn.has_yield:
+                continue
+            # Covered by a direct callee's seam?
+            covered = False
+            for callee in fn.direct_callees:
+                for cand in program.defs_by_name.get(callee, ()):
+                    if cand.has_yield:
+                        covered = True
+                        break
+                if covered:
+                    break
+            if covered:
+                continue
+            ev = writes[0]
+            msg = ("%s mutates guarded state ('%s_') in a model-checked "
+                   "module but neither it nor a direct callee has a "
+                   "CHECK_YIELD seam; the model checker cannot schedule "
+                   "around this mutation" %
+                   (fn.qualname, ev.data["field"].rstrip("_")))
+            self._emit("yield-coverage", fn, ev.line, msg)
+
+    def _check_failpoint_reachability(self):
+        program = self.program
+        consults = {}  # name -> (fn, line)
+        armed = set()
+        for sf in program.files:
+            rel = sf.rel.replace("\\", "/")
+            if rel.startswith("tests/"):
+                # Any literal mention in a test (Arm call, chaos table,
+                # scenario string) makes the point reachable.
+                for m in re.finditer(r"\"([a-z_.]+)\"", sf.clean_str):
+                    armed.add(m.group(1))
+        for fn in program.functions:
+            if not fn.sf.rel.replace("\\", "/").startswith("src/"):
+                continue
+            for ev in fn.events:
+                if ev.kind == FAILPOINT:
+                    consults.setdefault(ev.data["name"], (fn, ev.line))
+        for name in sorted(consults):
+            if name in armed:
+                continue
+            fn, line = consults[name]
+            msg = ("failpoint '%s' is consulted here but never armed by "
+                   "name in any test or chaos scenario; its failure mode "
+                   "is untested" % name)
+            self._emit("failpoint-reachability", fn, line, msg)
+
+    def _check_status_wrappers(self):
+        """The interprocedural half of status-flow: a bare-statement call
+        to a Status-returning function inside a void-returning wrapper
+        (no assignment, no RETURN_NOT_OK, no IgnoreError)."""
+        program = self.program
+        for fn in program.functions:
+            if fn.return_type != "void":
+                continue
+            body = fn.body
+            for m in re.finditer(r"(?:^|[;{}])\s*([A-Za-z_]\w*)\s*\(", body):
+                callee = m.group(1)
+                if callee == "Status":
+                    continue
+                # Resolve like a bare call from this function; flag only
+                # when every candidate definition returns Status (a
+                # mixed or unresolved overload set is not evidence).
+                targets = program.resolve_call(callee, None, fn)
+                if not targets or \
+                        any(t.return_type != "Status" for t in targets):
+                    continue
+                args = dataflow.balanced_args(body, m.end() - 1)
+                if args is None:
+                    continue
+                close = m.end() - 1 + len(args) + 1  # the ')'
+                tail = body[close + 1:].split(";", 1)[0]
+                if tail.strip():
+                    continue  # chained (.IgnoreError(), .ok(), ...)
+                line = line_of(fn.sf.clean, fn.body_start + m.start(1))
+                msg = ("void %s drops the Status returned by %s(); "
+                       "propagate it or call .IgnoreError() with a "
+                       "written rationale" % (fn.qualname, callee))
+                self._emit("status-flow", fn, line, msg)
+
+    def _check_waiver_rationales(self):
+        for sf in self.program.files:
+            for w in sf.invalid_waivers():
+                self.findings.append(Finding(
+                    "waiver-rationale", sf.rel, w.line,
+                    "ANALYZER_WAIVE(%s) has no written rationale; a waiver "
+                    "must argue why the exception is safe" % w.rule,
+                    (), None))

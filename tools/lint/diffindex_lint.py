@@ -25,6 +25,14 @@ section 10):
                    base edit's `<x>.ts` verbatim, DeleteIndexEntry takes
                    `<x>.ts - kDelta` verbatim.
   lsm-layering     src/lsm/ never includes cluster/ or core/ headers.
+  ignore-error     every .IgnoreError() carries an adjacent rationale
+                   comment saying why dropping the Status is safe.
+  catalog-sync     the reverse of failpoint-names/metric-names: every
+                   DESIGN.md failpoint catalog row is still consulted
+                   somewhere, and every metric table row still matches
+                   an instrument the code creates — retired names must
+                   leave the catalogs. Tree mode only (skipped when
+                   explicit files are given).
 
 Exit status: 0 clean, 1 violations found, 2 usage/config error.
 
@@ -51,6 +59,8 @@ ALL_RULES = (
     "index-ts",
     "lsm-layering",
     "lock-order",
+    "ignore-error",
+    "catalog-sync",
 )
 
 SOURCE_EXTS = (".cc", ".h", ".cpp", ".hpp")
@@ -165,8 +175,9 @@ def parse_design_failpoints(design_text):
 
 def parse_design_metrics(design_text):
     """Rows of the metric names table plus the span-stage list (DESIGN.md
-    section 6). Returns (metric_patterns, span_stage_patterns) as lists of
-    compiled regexes."""
+    section 6). Returns (metric_rows, span_stage_patterns): the rows as
+    (raw name, compiled regex) pairs — catalog-sync needs the raw names —
+    and the span stages as compiled regexes."""
     names = []
     in_section = False
     for line in design_text.splitlines():
@@ -184,7 +195,7 @@ def parse_design_metrics(design_text):
     m = re.search(r"Span stages [^:]*:\s*((?:`[^`]+`[,.\s]*)+)", design_text)
     if m:
         stage_names = re.findall(r"`([^`]+)`", m.group(1))
-    return [name_to_regex(n) for n in names], [
+    return [(n, name_to_regex(n)) for n in names], [
         name_to_regex(n) for n in stage_names
     ]
 
@@ -588,6 +599,143 @@ def rule_lock_order(path, text, ctx, report):
                 held.pop()
 
 
+def _line_has_comment(raw_line, nostr_line):
+    """True when raw_line carries a real // comment with some substance.
+    nostr_line is the same line with comments blanked but strings kept,
+    so a "//" inside a string literal does not count."""
+    i = raw_line.find("//")
+    while i >= 0:
+        if nostr_line[i:i + 2].strip() == "":
+            return raw_line[i + 2:].strip(" /") != ""
+        i = raw_line.find("//", i + 1)
+    return False
+
+
+def rule_ignore_error(path, text, ctx, report):
+    """Every .IgnoreError() call must sit next to a written rationale:
+    a // comment somewhere on the statement, or a comment line directly
+    above the statement's first line. util/status.h documents the
+    contract; this rule enforces it."""
+    if path.replace("\\", "/").endswith("util/status.h"):
+        return  # the definition site, not a use
+    clean = strip_comments_and_strings(text)
+    nostr = strip_comments_and_strings(text, keep_strings=True)
+    raw_lines = text.split("\n")
+    nostr_lines = nostr.split("\n")
+    for m in re.finditer(r"\.\s*IgnoreError\s*\(\s*\)", clean):
+        # The statement begins after the previous top-level ; or {.
+        # Balanced brackets are skipped so initializer braces and call
+        # arguments inside the statement are not mistaken for its start.
+        depth = 0
+        i = m.start() - 1
+        while i >= 0:
+            c = clean[i]
+            if c in ")]}":
+                depth += 1
+            elif c in "([{":
+                if depth == 0:
+                    break
+                depth -= 1
+            elif c == ";" and depth == 0:
+                break
+            i -= 1
+        stmt_start = i + 1
+        while stmt_start < m.start() and clean[stmt_start].isspace():
+            stmt_start += 1
+        first = line_of(clean, stmt_start)
+        last = line_of(clean, m.start())
+        if any(_line_has_comment(raw_lines[i], nostr_lines[i])
+               for i in range(first - 1, last + 1) if i < len(raw_lines)):
+            continue
+        prev = first - 2  # 0-based index of the line above the statement
+        if prev >= 0 and raw_lines[prev].lstrip().startswith("//") \
+                and raw_lines[prev].lstrip().strip(" /") != "":
+            continue
+        report(
+            path,
+            last,
+            "ignore-error",
+            ".IgnoreError() without an adjacent rationale comment; say "
+            "why dropping this Status is safe (see util/status.h)",
+        )
+
+
+def check_catalog_sync(design_path, design, texts, ctx, report):
+    """Tree-mode half of the catalog invariants (rule `catalog-sync`).
+    The per-file rules prove every name used in code appears in the
+    DESIGN.md catalogs; this direction proves every catalog row still
+    corresponds to code, so retired failpoints and renamed metrics
+    cannot linger as documentation. Wildcard metric rows (`<...>`) are
+    only checked for prefix liveness: some instrument creation must
+    match the row pattern, with dynamic fragments treated as wildcards.
+    Runs only in tree mode — a single-file scan proves nothing about
+    absence."""
+    all_clean = "\n".join(
+        strip_comments_and_strings(t, keep_strings=True)
+        for t in texts.values()
+    )
+
+    def design_line(name):
+        m = re.search(r"^\|\s*`%s`" % re.escape(name), design, re.M)
+        return line_of(design, m.start()) if m else 1
+
+    consulted = set(
+        re.findall(
+            r"(?:DIFFINDEX_FAILPOINT|MaybeFail|Fires|IsArmed)"
+            r"\s*\(\s*\"([^\"]+)\"",
+            all_clean,
+        )
+    )
+    for name in sorted(ctx["failpoints"]):
+        if name not in consulted:
+            report(
+                design_path,
+                design_line(name),
+                "catalog-sync",
+                "failpoint catalog row '%s' is consulted nowhere in the "
+                "scanned tree; retire the row or restore the consult"
+                % name,
+            )
+
+    created = set()
+    for m in re.finditer(r"Get(?:Counter|Gauge|Histogram)\s*\(", all_clean):
+        argtext = balanced_args(all_clean, m.end() - 1)
+        if argtext is None:
+            continue
+        name = collect_instrument_name(split_top_level_args(argtext)[0])
+        if name is not None:
+            created.add(name)
+    # Span instruments are created by the recorder as "span." + stage;
+    # the literal stage names live at the SpanTimer call sites.
+    for m in re.finditer(r"\bSpanTimer\s+\w+\s*\(", all_clean):
+        argtext = balanced_args(all_clean, m.end() - 1)
+        if argtext is None:
+            continue
+        span_args = split_top_level_args(argtext)
+        if len(span_args) < 3:
+            continue
+        stage = collect_instrument_name(span_args[2])
+        if stage is not None:
+            created.add("span." + stage)
+    created_res = [
+        re.compile(
+            "^" + ".*".join(re.escape(p) for p in name.split(DYN)) + "$")
+        for name in created
+    ]
+    for row, row_re in ctx["metric_rows"]:
+        if any(row_re.match(name) for name in created)  \
+                or any(r.match(row) for r in created_res):
+            continue
+        report(
+            design_path,
+            design_line(row),
+            "catalog-sync",
+            "metric table row '%s' matches no instrument created in the "
+            "scanned tree; retire the row or restore the instrument"
+            % row,
+        )
+
+
 RULE_FUNCS = {
     "failpoint-names": rule_failpoint_names,
     "metric-names": rule_metric_names,
@@ -596,6 +744,8 @@ RULE_FUNCS = {
     "index-ts": rule_index_ts,
     "lsm-layering": rule_lsm_layering,
     "lock-order": rule_lock_order,
+    "ignore-error": rule_ignore_error,
+    "catalog-sync": None,  # whole-tree rule; dispatched from main()
 }
 
 
@@ -642,10 +792,11 @@ def main():
 
     with open(design_path) as f:
         design = f.read()
-    metrics, span_stages = parse_design_metrics(design)
+    metric_rows, span_stages = parse_design_metrics(design)
     ctx = {
         "failpoints": parse_design_failpoints(design),
-        "metrics": metrics,
+        "metrics": [rx for _, rx in metric_rows],
+        "metric_rows": metric_rows,
         "span_stages": span_stages,
     }
     if not ctx["failpoints"]:
@@ -694,11 +845,19 @@ def main():
             "%s:%d: [%s] %s" % (os.path.relpath(path, root), line, rule, message)
         )
 
+    texts = {}
     for path in files:
         with open(path, encoding="utf-8", errors="replace") as f:
             text = f.read()
+        texts[path] = text
         for r in rules:
-            RULE_FUNCS[r](path, text, ctx, report)
+            if RULE_FUNCS[r] is not None:
+                RULE_FUNCS[r](path, text, ctx, report)
+
+    # Absence can only be proven against the whole tree, so the catalog
+    # back-check skips fixture-style single-file invocations.
+    if "catalog-sync" in rules and not args.files:
+        check_catalog_sync(design_path, design, texts, ctx, report)
 
     for v in violations:
         print(v)
