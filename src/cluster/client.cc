@@ -138,7 +138,10 @@ Status Client::CallRegion(const std::string& table, const Slice& row,
     response->clear();
     last = fabric_->Call(self_node_, region.server_id, type, body, response);
     if (last.ok()) return last;
-    if (!last.IsWrongRegion() && !last.IsUnavailable()) return last;
+    if (!last.IsWrongRegion() && !last.IsUnavailable() &&
+        !last.IsResourceExhausted()) {
+      return last;
+    }
   }
   CountRetryExhausted();
   return last;
@@ -213,7 +216,10 @@ Status Client::MultiPut(const std::string& table,
       }
     }
     if (last.ok()) return Status::OK();
-    if (!last.IsWrongRegion() && !last.IsUnavailable()) return last;
+    if (!last.IsWrongRegion() && !last.IsUnavailable() &&
+        !last.IsResourceExhausted()) {
+      return last;
+    }
   }
   CountRetryExhausted();
   return last;
@@ -256,7 +262,10 @@ Status Client::MultiPutBatch(std::vector<PutRequest> puts) {
       }
     }
     if (last.ok()) return Status::OK();
-    if (!last.IsWrongRegion() && !last.IsUnavailable()) return last;
+    if (!last.IsWrongRegion() && !last.IsUnavailable() &&
+        !last.IsResourceExhausted()) {
+      return last;
+    }
   }
   CountRetryExhausted();
   return last;
@@ -348,7 +357,10 @@ Status Client::MultiGet(const std::string& table,
       }
     }
     if (last.ok()) return Status::OK();
-    if (!last.IsWrongRegion() && !last.IsUnavailable()) return last;
+    if (!last.IsWrongRegion() && !last.IsUnavailable() &&
+        !last.IsResourceExhausted()) {
+      return last;
+    }
   }
   CountRetryExhausted();
   return last;
@@ -477,7 +489,10 @@ Status Client::ScanLocalIndex(const std::string& table,
       }
     }
     if (last.ok()) return Status::OK();
-    if (!last.IsWrongRegion() && !last.IsUnavailable()) return last;
+    if (!last.IsWrongRegion() && !last.IsUnavailable() &&
+        !last.IsResourceExhausted()) {
+      return last;
+    }
   }
   CountRetryExhausted();
   return last;

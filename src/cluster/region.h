@@ -75,6 +75,17 @@ class Region {
   void set_closed() { closed_.store(true, std::memory_order_release); }
   bool closed() const { return closed_.load(std::memory_order_acquire); }
 
+  // Admission signal: wall-clock micros at which the currently running
+  // flush started waiting for (then holding) the exclusive gate; 0 when
+  // no flush is active. Written by the flusher, read lock-free by the
+  // put path's admission check.
+  void set_flush_started_micros(uint64_t micros) {
+    flush_started_micros_.store(micros, std::memory_order_release);
+  }
+  uint64_t flush_started_micros() const {
+    return flush_started_micros_.load(std::memory_order_acquire);
+  }
+
   static std::string DataDir(const std::string& data_root,
                              const std::string& table, uint64_t region_id);
   static std::string LocalIndexDir(const std::string& data_root,
@@ -94,6 +105,7 @@ class Region {
   std::unique_ptr<LsmTree> local_index_tree_;
   std::atomic<LsmTree*> local_index_view_{nullptr};
   std::atomic<bool> closed_{false};
+  std::atomic<uint64_t> flush_started_micros_{0};
   // The global acquisition order starts here: gate before write_mu,
   // write_mu before the server's WAL locks (region_server.h has the full
   // chain). The annotations feed the lock-order lint; the LockRank args

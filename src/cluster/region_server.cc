@@ -104,6 +104,12 @@ RegionServer::RegionServer(NodeId id, std::string data_root, Fabric* fabric,
   }
   if (options_.metrics != nullptr) {
     rs_put_counter_ = options_.metrics->GetCounter("rs.put");
+    admission_delayed_counter_ =
+        options_.metrics->GetCounter("admission.delayed");
+    admission_delayed_micros_counter_ =
+        options_.metrics->GetCounter("admission.delayed_micros");
+    admission_rejected_counter_ =
+        options_.metrics->GetCounter("admission.rejected");
     rs_flush_counter_ = options_.metrics->GetCounter("rs.flush");
     flush_stall_hist_ =
         options_.metrics->GetHistogram("rs.flush_stall_micros");
@@ -765,6 +771,56 @@ Status RegionServer::HandleMultiPut(Slice body, std::string* response) {
   return Status::OK();
 }
 
+bool RegionServer::AdmissionStalled(
+    const std::shared_ptr<Region>& region) const {
+  const uint64_t started = region->flush_started_micros();
+  if (started != 0) {
+    const uint64_t now = TimestampOracle::NowMicros();
+    if (now > started && now - started > options_.admission_stall_micros) {
+      return true;
+    }
+  }
+  if (options_.admission_l0_slack >= 0 &&
+      region->tree()->NumDiskStores() >=
+          lsm_options_.compaction_trigger + options_.admission_l0_slack) {
+    return true;
+  }
+  return false;
+}
+
+Status RegionServer::AdmitPut(const std::shared_ptr<Region>& region) {
+  if (options_.admission_stall_micros == 0) return Status::OK();
+  if (!AdmissionStalled(region)) return Status::OK();
+  // Bounded delay, then shed: wait in 1ms slices for the stall to clear.
+  // The delay counter advances by the nominal slice width (not measured
+  // wall clock) so tests can assert exact deltas.
+  constexpr uint64_t kSliceMicros = 1000;
+  uint64_t waited = 0;
+  bool cleared = false;
+  while (waited < options_.admission_max_delay_micros) {
+    std::this_thread::sleep_for(std::chrono::microseconds(kSliceMicros));
+    waited += kSliceMicros;
+    if (!AdmissionStalled(region)) {
+      cleared = true;
+      break;
+    }
+  }
+  if (admission_delayed_counter_ != nullptr) {
+    admission_delayed_counter_->Add();
+  }
+  if (admission_delayed_micros_counter_ != nullptr) {
+    admission_delayed_micros_counter_->Add(waited);
+  }
+  if (cleared) return Status::OK();
+  if (admission_rejected_counter_ != nullptr) {
+    admission_rejected_counter_->Add();
+  }
+  return Status::ResourceExhausted(
+      "region " + region->info().table + "/r" +
+      std::to_string(region->info().region_id) + " stalled past " +
+      std::to_string(options_.admission_max_delay_micros) + "us");
+}
+
 Status RegionServer::ExecutePut(const PutRequest& put, PutResponse* resp) {
   obs::SpanTimer span(options_.metrics, options_.traces, "rs.put");
   if (rs_put_counter_ != nullptr) rs_put_counter_->Add();
@@ -780,6 +836,12 @@ Status RegionServer::ExecutePut(const PutRequest& put, PutResponse* resp) {
   if (region == nullptr) {
     return Status::WrongRegion(put.table + "/" + put.row);
   }
+
+  // Admission control before the gate: a put that would only pile onto a
+  // long-stalled flush gate (or onto runaway L0 debt) is delayed and then
+  // bounced instead, keeping the stall out of the gate's queue. No lock
+  // is held yet, so the wait blocks nothing else.
+  DIFFINDEX_RETURN_NOT_OK(AdmitPut(region));
 
   // Decision point before the put enters its pipeline (gate, WAL,
   // memtable, index hooks): flushes and concurrent puts order here.
@@ -1169,6 +1231,14 @@ Status RegionServer::FlushRegionInternal(
   // Decision point before the flush claims the exclusive gate: puts
   // racing the flush order here.
   CHECK_YIELD("rs.flush.begin");
+  // Admission signal: the stall clock starts when the flush begins
+  // queueing on the gate (puts start stalling behind the pending writer,
+  // not only once it is held) and stops on every exit path below.
+  region->set_flush_started_micros(TimestampOracle::NowMicros());
+  struct FlushMarkerReset {
+    Region* region;
+    ~FlushMarkerReset() { region->set_flush_started_micros(0); }
+  } marker_reset{region.get()};
   // Exclusive gate: no put is mid-pipeline; every applied put's AUQ entry
   // is enqueued. PreFlush pauses intake and waits for the APS to drain —
   // this is "1. pause & drain / 2. flush / 3. roll forward" of Figure 5.

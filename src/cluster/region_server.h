@@ -113,6 +113,21 @@ struct RegionServerOptions {
   // Heartbeat interval; 0 disables the background heartbeat thread (tests
   // drive failure detection explicitly).
   int heartbeat_interval_ms = 0;
+  // Admission control (0 disables): once the region's running flush has
+  // held (or queued on) the exclusive gate for more than this long, new
+  // puts are delayed instead of piling onto the gate. Exports
+  // `admission.delayed` / `admission.delayed_micros` / `admission.rejected`.
+  uint64_t admission_stall_micros = 0;
+  // Bounded delay budget per admitted put: a put waits (in 1ms slices) up
+  // to this long for the stall to clear, then bounces with
+  // kResourceExhausted — the client retries with backoff.
+  uint64_t admission_max_delay_micros = 20000;
+  // Compaction pacing: when >= 0 and the region's disk-store count reaches
+  // lsm.compaction_trigger + this slack, the L0 debt counts as stall
+  // pressure on the same admission path (delay, then reject), slowing
+  // writers down until the flush-time compaction catches up. -1 disables
+  // the L0 leg.
+  int admission_l0_slack = -1;
   // Observability sinks (either may be null): server-side spans
   // (`span.rs.put.<scheme>`), put/flush counters, and the drain-before-
   // flush / flush-stall timing histograms.
@@ -238,6 +253,15 @@ class RegionServer {
   };
 
   Status HandlePut(Slice body, std::string* response);
+  // Admission control (see RegionServerOptions::admission_stall_micros):
+  // returns OK when the put may proceed to the flush gate, possibly after
+  // a bounded delay; kResourceExhausted when the region is stalled past
+  // the delay budget. Called before any lock is taken.
+  Status AdmitPut(const std::shared_ptr<Region>& region);
+  // True when `region` is currently under admission pressure: its running
+  // flush is older than admission_stall_micros, or its disk-store debt
+  // crossed the compaction-pacing slack.
+  bool AdmissionStalled(const std::shared_ptr<Region>& region) const;
   Status HandleMultiPut(Slice body, std::string* response);
   // The shared put pipeline: validate, route, gate, timestamp, WAL,
   // memtable, coprocessors, flush check.
@@ -382,6 +406,9 @@ class RegionServer {
 
   // Cached registry instruments (null when options_.metrics is null).
   obs::Counter* rs_put_counter_ = nullptr;
+  obs::Counter* admission_delayed_counter_ = nullptr;
+  obs::Counter* admission_delayed_micros_counter_ = nullptr;
+  obs::Counter* admission_rejected_counter_ = nullptr;
   obs::Counter* rs_flush_counter_ = nullptr;
   Histogram* flush_stall_hist_ = nullptr;
   Histogram* wal_group_size_hist_ = nullptr;

@@ -29,6 +29,8 @@ AsyncUpdateQueue::AsyncUpdateQueue(const AuqOptions& options,
     processed_counter_ = options_.metrics->GetCounter("auq.processed");
     retries_counter_ = options_.metrics->GetCounter("auq.retries");
     coalesced_counter_ = options_.metrics->GetCounter("auq.coalesced");
+    shed_counter_ = options_.metrics->GetCounter("auq.shed");
+    degraded_counter_ = options_.metrics->GetCounter("auq.degraded");
     task_micros_hist_ = options_.metrics->GetHistogram("auq.task_micros");
     staleness_hist_ = options_.metrics->GetHistogram("auq.staleness_micros");
     batch_size_hist_ = options_.metrics->GetHistogram("auq.batch_size");
@@ -51,9 +53,14 @@ bool AsyncUpdateQueue::Enqueue(IndexTask task) {
   // explorer branches on enqueue-vs-drain orderings here.
   CHECK_YIELD_RES("auq.enqueue", &mu_);
   MutexLock lock(mu_);
-  intake_cv_.Wait(mu_, [this]() REQUIRES(mu_) {
+  const bool blocking =
+      options_.overflow_policy == AuqOverflowPolicy::kBlock;
+  intake_cv_.Wait(mu_, [this, blocking]() REQUIRES(mu_) {
     if (shutdown_) return true;
     if (paused_ > 0) return false;
+    // Non-blocking overflow policies still honor the flush barrier
+    // (Pause) but never wait for capacity — overflow is resolved below.
+    if (!blocking) return true;
     return options_.max_depth == 0 || queue_.size() < options_.max_depth;
   });
   if (shutdown_) return false;
@@ -61,6 +68,32 @@ bool AsyncUpdateQueue::Enqueue(IndexTask task) {
   // caller is told the task is in (true), but it never lands. Only the
   // chaos harness arms this, to prove its oracle catches lost entries.
   if (fault::FailpointRegistry::Global()->Fires("auq.enqueue")) return true;
+  if (options_.max_depth > 0 && queue_.size() >= options_.max_depth) {
+    if (options_.overflow_policy == AuqOverflowPolicy::kShedToDeadLetter) {
+      // "auq.shed" models a crash between the put's ack and the
+      // dead-letter record landing: the caller still sees true (the base
+      // write is acked) but no repairable record survives. Only the
+      // chaos harness arms this; recovery's WAL replay must re-create
+      // the index work.
+      if (fault::FailpointRegistry::Global()->Fires("auq.shed")) {
+        if (shed_counter_ != nullptr) shed_counter_->Add();
+        return true;
+      }
+      DIFFINDEX_LOG_WARN << "auq: shedding task for index '"
+                         << task.index.name << "' base table '"
+                         << task.base_table << "' row '" << task.row
+                         << "' ts " << task.ts << ": queue full ("
+                         << queue_.size() << " >= " << options_.max_depth
+                         << ")";
+      dead_letters_.push_back(std::move(task));
+      if (shed_counter_ != nullptr) shed_counter_->Add();
+      if (dead_letter_gauge_ != nullptr) dead_letter_gauge_->Add(1);
+      return true;
+    }
+    // kDegradeToAsync: accept beyond the bound; only the accounting
+    // differs from a normal enqueue.
+    if (degraded_counter_ != nullptr) degraded_counter_->Add();
+  }
   queue_.push_back(std::move(task));
   work_cv_.Signal();
   if (enqueued_counter_ != nullptr) enqueued_counter_->Add();
@@ -169,6 +202,11 @@ std::vector<IndexTask> AsyncUpdateQueue::DrainDeadLetters() {
 size_t AsyncUpdateQueue::dead_letters() const {
   MutexLock lock(mu_);
   return dead_letters_.size();
+}
+
+size_t AsyncUpdateQueue::queued_depth() const {
+  MutexLock lock(mu_);
+  return QueuedTaskCountLocked();
 }
 
 size_t AsyncUpdateQueue::depth() const {

@@ -67,6 +67,24 @@ struct IndexTask {
   obs::TraceContext trace;
 };
 
+// What Enqueue does when the queue already holds max_depth tasks (§5's
+// queue-bounding discussion). Only applies when max_depth > 0.
+enum class AuqOverflowPolicy {
+  // Block the enqueuing put until the APS frees capacity — the original
+  // max_depth behavior. Backpressure surfaces as put latency; no index
+  // update is ever dropped, so the final index state is byte-identical to
+  // an unbounded queue (the scheme-equivalence suite pins this).
+  kBlock,
+  // Move the overflowing task straight to the dead-letter list (counter
+  // `auq.shed`, gauge `auq.dead_letters`) and ack the put. The base write
+  // stays acked; the index update waits for an operator / Cleanse repair.
+  kShedToDeadLetter,
+  // Accept the task beyond max_depth without blocking: the bound degrades
+  // to plain asynchronous eventual delivery (counter `auq.degraded`).
+  // Convergence is unchanged — every task is still delivered.
+  kDegradeToAsync,
+};
+
 struct AuqOptions {
   int worker_threads = 2;
   // Retry backoff for failed tasks: attempt n waits min(n, 8) * this.
@@ -74,9 +92,10 @@ struct AuqOptions {
   // Sampling rate for the index-staleness probe (Figure 11): 1 sample per
   // `staleness_sample_every` tasks; 0 disables.
   int staleness_sample_every = 1000;
-  // Queue capacity; Enqueue blocks when full (backpressure under
-  // saturation). 0 = unbounded.
+  // Queue capacity; what happens when it is reached is overflow_policy's
+  // call (kBlock = the historical blocking behavior). 0 = unbounded.
   size_t max_depth = 0;
+  AuqOverflowPolicy overflow_policy = AuqOverflowPolicy::kBlock;
   // Artificial per-task delay before processing — a test/bench knob that
   // throttles the APS to magnify index staleness (Figure 11's saturated
   // regime on demand).
@@ -143,6 +162,12 @@ class AsyncUpdateQueue {
   size_t dead_letters() const EXCLUDES(mu_);
 
   size_t depth() const EXCLUDES(mu_);
+  // Queued backlog only (depth() minus in-flight). Under kBlock the
+  // enqueue predicate caps the deque at max_depth entries, so this stays
+  // <= max_depth on the failure-free path (a failure-requeued coalesced
+  // survivor re-enters counting 1 + absorbed); workers may additionally
+  // hold up to worker_threads * drain_batch_size tasks in flight.
+  size_t queued_depth() const EXCLUDES(mu_);
   uint64_t processed() const;
   uint64_t retries() const;
 
@@ -199,6 +224,8 @@ class AsyncUpdateQueue {
   obs::Counter* processed_counter_ = nullptr;
   obs::Counter* retries_counter_ = nullptr;
   obs::Counter* coalesced_counter_ = nullptr;
+  obs::Counter* shed_counter_ = nullptr;
+  obs::Counter* degraded_counter_ = nullptr;
   Histogram* task_micros_hist_ = nullptr;
   Histogram* staleness_hist_ = nullptr;
   Histogram* batch_size_hist_ = nullptr;

@@ -1,0 +1,64 @@
+#include "obs/slo.h"
+
+namespace diffindex::obs {
+
+SloTracker::SloTracker(const SloOptions& options) : options_(options) {
+  if (options_.metrics != nullptr) {
+    windows_counter_ = options_.metrics->GetCounter("slo.windows");
+    violations_counter_ = options_.metrics->GetCounter("slo.violations");
+    window_p99_hist_ =
+        options_.metrics->GetHistogram("slo.window_p99_micros");
+  }
+}
+
+void SloTracker::RollWindowsLocked(uint64_t now_micros) {
+  const uint64_t width = options_.window_micros;
+  while (now_micros >= window_start_ + width) {
+    SloWindow window;
+    window.start_micros = window_start_;
+    window.end_micros = window_start_ + width;
+    window.operations = window_hist_.Count();
+    window.errors = window_errors_;
+    if (window.operations > 0) {
+      window.p50_micros = window_hist_.Percentile(50);
+      window.p99_micros = window_hist_.Percentile(99);
+      window.p999_micros = window_hist_.Percentile(99.9);
+      window.max_micros = window_hist_.Max();
+      if (window_p99_hist_ != nullptr) {
+        window_p99_hist_->Add(window.p99_micros);
+      }
+      if (options_.p99_target_micros > 0 &&
+          window.p99_micros > options_.p99_target_micros &&
+          violations_counter_ != nullptr) {
+        violations_counter_->Add();
+      }
+    }
+    if (windows_counter_ != nullptr) windows_counter_->Add();
+    closed_.push_back(window);
+    window_hist_.Clear();
+    window_errors_ = 0;
+    window_start_ += width;
+  }
+}
+
+void SloTracker::RecordAt(uint64_t now_micros, uint64_t latency_micros,
+                          bool ok) {
+  MutexLock lock(mu_);
+  RollWindowsLocked(now_micros);
+  window_hist_.Add(latency_micros);
+  if (!ok) window_errors_++;
+}
+
+std::vector<SloWindow> SloTracker::Finish(uint64_t end_micros) {
+  MutexLock lock(mu_);
+  RollWindowsLocked(end_micros);
+  if (end_micros > window_start_) {
+    // end_micros fell mid-window: force the partial tail closed too (it
+    // still carries its stall evidence). An end exactly on a boundary
+    // adds nothing.
+    RollWindowsLocked(window_start_ + options_.window_micros);
+  }
+  return closed_;
+}
+
+}  // namespace diffindex::obs

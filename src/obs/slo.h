@@ -1,0 +1,83 @@
+// Windowed latency-SLO accounting for sustained-load runs: latencies are
+// bucketed into fixed wall-clock windows and each window reports its own
+// p50/p99/p999, so a multi-second stall shows up as a spike in the
+// time-series instead of being averaged away by a whole-run histogram
+// (the failure mode the single-histogram WorkloadRunner result had).
+//
+// Windows with no completed operations are emitted too (count = 0): a
+// closed-loop stall produces exactly such gaps, and a time-series with
+// the gap windows missing would hide the stall it exists to expose.
+
+#ifndef DIFFINDEX_OBS_SLO_H_
+#define DIFFINDEX_OBS_SLO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/histogram.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace diffindex::obs {
+
+// One closed window of the time-series. Times are micros relative to the
+// caller's epoch (the runner uses its run start).
+struct SloWindow {
+  uint64_t start_micros = 0;
+  uint64_t end_micros = 0;
+  uint64_t operations = 0;
+  uint64_t errors = 0;
+  uint64_t p50_micros = 0;
+  uint64_t p99_micros = 0;
+  uint64_t p999_micros = 0;
+  uint64_t max_micros = 0;
+};
+
+struct SloOptions {
+  uint64_t window_micros = 1000000;
+  // Per-window p99 objective; a non-empty window whose p99 exceeds it
+  // counts into `slo.violations`. 0 disables violation accounting.
+  uint64_t p99_target_micros = 0;
+  // Optional registry sink: counters `slo.windows` / `slo.violations`,
+  // histogram `slo.window_p99_micros` (distribution of per-window p99s —
+  // a stall is visible as mass in the high buckets even after the run).
+  MetricsRegistry* metrics = nullptr;
+};
+
+class SloTracker {
+ public:
+  explicit SloTracker(const SloOptions& options);
+
+  // Records one completed operation. `now_micros` is monotonic time since
+  // the caller's epoch; callers must not move it backwards across threads
+  // by more than scheduling noise (late samples land in the open window).
+  void RecordAt(uint64_t now_micros, uint64_t latency_micros, bool ok)
+      EXCLUDES(mu_);
+
+  // Closes every window through `end_micros` (gap windows included) and
+  // returns the full series. The tracker can keep recording afterwards;
+  // later Finish calls return the longer series.
+  std::vector<SloWindow> Finish(uint64_t end_micros) EXCLUDES(mu_);
+
+ private:
+  // Closes windows until `now_micros` falls inside the open one.
+  void RollWindowsLocked(uint64_t now_micros) REQUIRES(mu_);
+
+  const SloOptions options_;
+  Counter* windows_counter_ = nullptr;
+  Counter* violations_counter_ = nullptr;
+  Histogram* window_p99_hist_ = nullptr;
+
+  // Leaf lock: Record does one histogram Add under it; percentile math
+  // runs only on window boundaries.
+  mutable Mutex mu_{LockRank::kLeaf, "slo.mu_"};
+  uint64_t window_start_ GUARDED_BY(mu_) = 0;
+  uint64_t window_errors_ GUARDED_BY(mu_) = 0;
+  Histogram window_hist_;  // cleared on every roll, written under mu_
+  std::vector<SloWindow> closed_ GUARDED_BY(mu_);
+};
+
+}  // namespace diffindex::obs
+
+#endif  // DIFFINDEX_OBS_SLO_H_

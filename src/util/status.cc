@@ -30,6 +30,8 @@ const char* CodeName(Status::Code code) {
       return "Aborted";
     case Status::Code::kWrongRegion:
       return "WrongRegion";
+    case Status::Code::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

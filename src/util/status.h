@@ -33,6 +33,8 @@ class [[nodiscard]] Status {
     kSessionExpired = 9,  // session-consistency session idle too long
     kAborted = 10,
     kWrongRegion = 11,  // key not hosted here; client must refresh its map
+    kResourceExhausted = 12,  // admission control shed the request; retry
+                              // with backoff once the server catches up
   };
 
   Status() = default;  // OK
@@ -71,6 +73,9 @@ class [[nodiscard]] Status {
   static Status WrongRegion(std::string_view msg = "") {
     return Status(Code::kWrongRegion, msg);
   }
+  static Status ResourceExhausted(std::string_view msg = "") {
+    return Status(Code::kResourceExhausted, msg);
+  }
   // Reconstructs a Status from a wire code (RPC response decoding).
   static Status FromCode(Code code, std::string_view msg) {
     if (code == Code::kOk) return OK();
@@ -89,6 +94,9 @@ class [[nodiscard]] Status {
   bool IsSessionExpired() const { return code() == Code::kSessionExpired; }
   bool IsAborted() const { return code() == Code::kAborted; }
   bool IsWrongRegion() const { return code() == Code::kWrongRegion; }
+  bool IsResourceExhausted() const {
+    return code() == Code::kResourceExhausted;
+  }
 
   Code code() const { return rep_ == nullptr ? Code::kOk : rep_->code; }
   const std::string& message() const {

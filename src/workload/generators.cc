@@ -1,5 +1,7 @@
 #include "workload/generators.h"
 
+#include <algorithm>
+
 namespace diffindex {
 
 namespace {
@@ -25,13 +27,75 @@ class ZipfianChooser final : public KeyChooser {
   ScrambledZipfianGenerator zipf_;
 };
 
+class HotspotChooser final : public KeyChooser {
+ public:
+  HotspotChooser(uint64_t num_items, uint64_t seed,
+                 double set_fraction, double op_fraction)
+      : num_items_(num_items),
+        hot_items_(std::min(
+            num_items,
+            std::max<uint64_t>(
+                1, static_cast<uint64_t>(static_cast<double>(num_items) *
+                                         set_fraction)))),
+        op_per_million_(static_cast<uint64_t>(
+            std::clamp(op_fraction, 0.0, 1.0) * 1000000.0)),
+        rng_(seed) {}
+
+  uint64_t Next() override {
+    if (rng_.Uniform(1000000) < op_per_million_ ||
+        hot_items_ == num_items_) {
+      return rng_.Uniform(hot_items_);
+    }
+    return hot_items_ + rng_.Uniform(num_items_ - hot_items_);
+  }
+
+ private:
+  uint64_t num_items_;
+  uint64_t hot_items_;
+  uint64_t op_per_million_;
+  Random rng_;
+};
+
+class LatestChooser final : public KeyChooser {
+ public:
+  LatestChooser(uint64_t num_items, uint64_t seed,
+                const std::atomic<uint64_t>* recency)
+      : num_items_(num_items), recency_(recency), zipf_(num_items, seed) {}
+
+  uint64_t Next() override {
+    // Zipfian offset back from the recency cursor, wrapping over the key
+    // space: offset 0 is the most recently written key.
+    const uint64_t offset = zipf_.Next() % num_items_;
+    const uint64_t edge =
+        recency_ != nullptr
+            ? recency_->load(std::memory_order_relaxed) % num_items_
+            : num_items_ - 1;
+    return (edge + num_items_ - offset) % num_items_;
+  }
+
+ private:
+  uint64_t num_items_;
+  const std::atomic<uint64_t>* recency_;
+  ZipfianGenerator zipf_;
+};
+
 }  // namespace
 
-std::unique_ptr<KeyChooser> KeyChooser::Create(KeyDistribution dist,
-                                               uint64_t num_items,
-                                               uint64_t seed) {
-  if (dist == KeyDistribution::kZipfian) {
-    return std::make_unique<ZipfianChooser>(num_items, seed);
+std::unique_ptr<KeyChooser> KeyChooser::Create(
+    KeyDistribution dist, uint64_t num_items, uint64_t seed,
+    const KeyChooserParams& params) {
+  switch (dist) {
+    case KeyDistribution::kZipfian:
+      return std::make_unique<ZipfianChooser>(num_items, seed);
+    case KeyDistribution::kHotspot:
+      return std::make_unique<HotspotChooser>(num_items, seed,
+                                              params.hotspot_set_fraction,
+                                              params.hotspot_op_fraction);
+    case KeyDistribution::kLatest:
+      return std::make_unique<LatestChooser>(num_items, seed,
+                                             params.recency);
+    case KeyDistribution::kUniform:
+      break;
   }
   return std::make_unique<UniformChooser>(num_items, seed);
 }

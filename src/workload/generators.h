@@ -4,6 +4,7 @@
 #ifndef DIFFINDEX_WORKLOAD_GENERATORS_H_
 #define DIFFINDEX_WORKLOAD_GENERATORS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 
@@ -12,16 +13,37 @@
 
 namespace diffindex {
 
-enum class KeyDistribution { kUniform, kZipfian };
+enum class KeyDistribution {
+  kUniform,
+  kZipfian,
+  // YCSB hotspot: hotspot_op_fraction of the draws land uniformly in a
+  // hot set of hotspot_set_fraction * num_items keys, the rest uniformly
+  // in the cold remainder.
+  kHotspot,
+  // YCSB latest: zipfian-skewed toward the most recently written keys.
+  // The "now" edge is a recency cursor the runner advances on every write
+  // (see KeyChooserParams::recency); draws cluster just below it and wrap
+  // around the key space.
+  kLatest,
+};
+
+struct KeyChooserParams {
+  double hotspot_set_fraction = 0.2;
+  double hotspot_op_fraction = 0.8;
+  // kLatest only: monotonically increasing write cursor published by the
+  // workload runner. May be null — the chooser then treats the newest
+  // preloaded key (num_items - 1) as the fixed recency edge.
+  const std::atomic<uint64_t>* recency = nullptr;
+};
 
 class KeyChooser {
  public:
   virtual ~KeyChooser() = default;
   virtual uint64_t Next() = 0;
 
-  static std::unique_ptr<KeyChooser> Create(KeyDistribution dist,
-                                            uint64_t num_items,
-                                            uint64_t seed);
+  static std::unique_ptr<KeyChooser> Create(
+      KeyDistribution dist, uint64_t num_items, uint64_t seed,
+      const KeyChooserParams& params = KeyChooserParams());
 };
 
 }  // namespace diffindex

@@ -1,0 +1,189 @@
+// Flush-stall admission control (RegionServerOptions::admission_*): a
+// put arriving while the region's flush has been stalled past
+// admission_stall_micros is delayed in bounded 1ms slices, then shed with
+// kResourceExhausted instead of queueing forever behind the exclusive
+// flush gate. Counters admission.delayed / admission.delayed_micros /
+// admission.rejected advance by exact nominal deltas (the slice width is
+// charged, not measured wall clock, precisely so these tests can assert
+// equality). The L0-debt leg (admission_l0_slack) feeds the same signal
+// from compaction backlog — simple compaction pacing.
+//
+// The stall is injected with the existing "auq.process" failpoint: every
+// APS delivery fails, so the backlog never drains, so the flush blocks in
+// the Figure 5 drain barrier while holding the gate exclusively.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "cluster/cluster.h"
+#include "fault/failpoint.h"
+#include "obs/metrics.h"
+
+namespace diffindex {
+namespace {
+
+class AdmissionTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    fault::FailpointRegistry::Global()->DisarmAll();
+  }
+
+  // One server, one region: every put lands on the region whose flush we
+  // stall, and counter deltas are attributable to our own requests.
+  std::unique_ptr<Cluster> MakeCluster(uint64_t stall_micros,
+                                       uint64_t max_delay_micros,
+                                       int l0_slack, int max_retries) {
+    ClusterOptions options;
+    options.num_servers = 1;
+    options.regions_per_table = 1;
+    options.server.admission_stall_micros = stall_micros;
+    options.server.admission_max_delay_micros = max_delay_micros;
+    options.server.admission_l0_slack = l0_slack;
+    options.server.lsm.compaction_trigger = 2;
+    options.auq.retry_backoff_ms = 1;
+    options.client.max_retries = max_retries;
+    options.client.retry_backoff_ms = 2;
+    std::unique_ptr<Cluster> cluster;
+    EXPECT_TRUE(Cluster::Create(options, &cluster).ok());
+    EXPECT_TRUE(cluster->master()->CreateTable("items").ok());
+    IndexDescriptor index;
+    index.name = "by_title";
+    index.column = "title";
+    index.scheme = IndexScheme::kAsyncSimple;
+    EXPECT_TRUE(cluster->master()->CreateIndex("items", index).ok());
+    return cluster;
+  }
+
+  uint64_t Counter(Cluster* cluster, const char* name) {
+    return cluster->metrics()->GetCounter(name)->value();
+  }
+};
+
+TEST_F(AdmissionTest, StalledFlushDelaysThenRejectsWithExactCounters) {
+  auto cluster = MakeCluster(/*stall_micros=*/30000,
+                             /*max_delay_micros=*/5000, /*l0_slack=*/-1,
+                             /*max_retries=*/0);
+  auto client = cluster->NewClient();
+  ASSERT_TRUE(client->RefreshLayout().ok());
+
+  // Backlog a task the APS can never deliver, then flush: the drain
+  // barrier blocks with the gate held and the stall clock running.
+  fault::FailpointRegistry::Global()->Arm(
+      "auq.process", fault::FailpointPolicy::ErrorEveryNth(1));
+  ASSERT_TRUE(client->PutColumn("items", "r0", "title", "t0").ok());
+  std::thread flusher([&] {
+    auto flush_client = cluster->NewClient();
+    ASSERT_TRUE(flush_client->RefreshLayout().ok());
+    EXPECT_TRUE(flush_client->FlushTable("items").ok());
+  });
+  // Let the stall age past admission_stall_micros.
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+
+  const uint64_t delayed = Counter(cluster.get(), "admission.delayed");
+  const uint64_t delayed_micros =
+      Counter(cluster.get(), "admission.delayed_micros");
+  const uint64_t rejected = Counter(cluster.get(), "admission.rejected");
+
+  // Two puts, no client retries: each is delayed the full bounded window
+  // (5 nominal 1ms slices) and then shed.
+  Status s1 = client->PutColumn("items", "r1", "title", "t1");
+  ASSERT_TRUE(s1.IsResourceExhausted()) << s1.ToString();
+  Status s2 = client->PutColumn("items", "r2", "title", "t2");
+  ASSERT_TRUE(s2.IsResourceExhausted()) << s2.ToString();
+
+  EXPECT_EQ(Counter(cluster.get(), "admission.delayed"), delayed + 2);
+  EXPECT_EQ(Counter(cluster.get(), "admission.delayed_micros"),
+            delayed_micros + 2 * 5000);
+  EXPECT_EQ(Counter(cluster.get(), "admission.rejected"), rejected + 2);
+
+  // Clear the stall: the APS delivers, the drain barrier opens, the flush
+  // finishes and resets the stall clock — puts are admitted again.
+  fault::FailpointRegistry::Global()->Disarm("auq.process");
+  flusher.join();
+  Status s3 = client->PutColumn("items", "r3", "title", "t3");
+  EXPECT_TRUE(s3.ok()) << s3.ToString();
+  EXPECT_EQ(Counter(cluster.get(), "admission.rejected"), rejected + 2);
+}
+
+TEST_F(AdmissionTest, ClientBackoffRetriesSucceedOnceStallClears) {
+  auto cluster = MakeCluster(/*stall_micros=*/10000,
+                             /*max_delay_micros=*/5000, /*l0_slack=*/-1,
+                             /*max_retries=*/8);
+  auto client = cluster->NewClient();
+  ASSERT_TRUE(client->RefreshLayout().ok());
+
+  fault::FailpointRegistry::Global()->Arm(
+      "auq.process", fault::FailpointPolicy::ErrorEveryNth(1));
+  ASSERT_TRUE(client->PutColumn("items", "r0", "title", "t0").ok());
+  std::thread flusher([&] {
+    auto flush_client = cluster->NewClient();
+    ASSERT_TRUE(flush_client->RefreshLayout().ok());
+    EXPECT_TRUE(flush_client->FlushTable("items").ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+
+  // Clear the stall mid-retry: the put's first attempts are shed with
+  // kResourceExhausted, the client backs off and retries, and a later
+  // attempt lands after the flush completes.
+  std::thread healer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    fault::FailpointRegistry::Global()->Disarm("auq.process");
+  });
+  Status s = client->PutColumn("items", "r1", "title", "t1");
+  healer.join();
+  flusher.join();
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  // The success came through the retry loop, not first-try luck.
+  EXPECT_GT(Counter(cluster.get(), "admission.rejected"), 0u);
+  EXPECT_GT(Counter(cluster.get(), "client.retries"), 0u);
+}
+
+TEST_F(AdmissionTest, L0DebtTripsAdmissionUntilCompactionCatchesUp) {
+  // compaction_trigger=2, slack=2: admission trips at 4 disk stores.
+  auto cluster = MakeCluster(/*stall_micros=*/1000000000,
+                             /*max_delay_micros=*/2000, /*l0_slack=*/2,
+                             /*max_retries=*/0);
+  auto client = cluster->NewClient();
+  ASSERT_TRUE(client->RefreshLayout().ok());
+
+  // First flush builds L0=1 with compaction off the table (1 < trigger).
+  ASSERT_TRUE(client->PutColumn("items", "a0", "title", "t").ok());
+  ASSERT_TRUE(client->FlushTable("items").ok());
+
+  // From here every flush writes two SSTs in order: the flushed memtable,
+  // then the compaction output (L0 is at/above trigger). EveryNth(2)
+  // fails exactly the compaction ones — "compaction can't keep up" — so
+  // each put+flush cycle grows the debt by one store.
+  fault::FailpointRegistry::Global()->Arm(
+      "lsm.sst_write", fault::FailpointPolicy::ErrorEveryNth(2));
+  for (int i = 1; i <= 3; i++) {
+    const std::string row = "a" + std::to_string(i);
+    ASSERT_TRUE(client->PutColumn("items", row, "title", "t").ok())
+        << "debt " << i;
+    // The flush itself succeeds; the trailing compaction fails.
+    EXPECT_FALSE(client->FlushTable("items").ok());
+  }
+
+  // Debt is now trigger + slack = 4: puts are delayed the bounded window
+  // and shed, with exact nominal accounting.
+  const uint64_t delayed_micros =
+      Counter(cluster.get(), "admission.delayed_micros");
+  const uint64_t rejected = Counter(cluster.get(), "admission.rejected");
+  Status s = client->PutColumn("items", "b0", "title", "t");
+  ASSERT_TRUE(s.IsResourceExhausted()) << s.ToString();
+  EXPECT_EQ(Counter(cluster.get(), "admission.delayed_micros"),
+            delayed_micros + 2000);
+  EXPECT_EQ(Counter(cluster.get(), "admission.rejected"), rejected + 1);
+
+  // Compaction catches up (failpoint off): the debt collapses and the
+  // same put is admitted.
+  fault::FailpointRegistry::Global()->Disarm("lsm.sst_write");
+  ASSERT_TRUE(client->CompactTable("items").ok());
+  Status retry = client->PutColumn("items", "b0", "title", "t");
+  EXPECT_TRUE(retry.ok()) << retry.ToString();
+}
+
+}  // namespace
+}  // namespace diffindex
