@@ -293,8 +293,14 @@ Status RegionServer::ReplayWalForRegion(
         for (const Cell& cell : put.cells) {
           const std::string cell_key = EncodeCellKey(put.row, cell.column);
           if (cell.is_delete) {
+            // ANALYZER_WAIVE(log-before-apply): WAL replay — this edit
+            // was decoded from the log being replayed, so its covering
+            // append happened before the crash; re-appending would
+            // duplicate it.
             DIFFINDEX_RETURN_NOT_OK(region->tree()->Delete(cell_key, edit.ts));
           } else {
+            // ANALYZER_WAIVE(log-before-apply): WAL replay — same
+            // already-durable argument as the delete arm above.
             DIFFINDEX_RETURN_NOT_OK(
                 region->tree()->Put(cell_key, cell.value, edit.ts));
           }
@@ -1065,8 +1071,14 @@ Status RegionServer::ApplyLocalIndex(const std::string& table,
   DIFFINDEX_RETURN_NOT_OK(region->EnsureLocalIndexTree(lsm_options_));
   const std::string key = index_name + '\0' + index_row;
   if (is_delete) {
+    // ANALYZER_WAIVE(log-before-apply): section 5 — local-index edits
+    // are asynchronously derived and intentionally not WAL-logged;
+    // recovery re-enqueues them from the base table's WAL, and the
+    // AUQ dead-letter path covers the escape.
     return region->local_index_tree()->Delete(key, ts);
   }
+  // ANALYZER_WAIVE(log-before-apply): same section 5 derived-write
+  // argument as the delete arm above.
   return region->local_index_tree()->Put(key, "", ts);
 }
 
@@ -1260,6 +1272,10 @@ Status RegionServer::FlushRegionInternal(
   if (hooks_ != nullptr) {
     CHECK_POINT_VAL("rs.flush.drained_depth", hooks_->QueueDepth());
   }
+  // ANALYZER_WAIVE(blocking-under-lock): the SSTable build + Sync runs
+  // under the flush gate by design — flush must be exclusive of writers
+  // (Figure 5), and the PR 9 admission controller is what bounds the
+  // resulting stall, not lock scope.
   Status s = region->tree()->Flush();
   if (s.ok() && region->local_index_tree() != nullptr) {
     // Local-index writers serialize on write_mu, NOT the flush gate (the
@@ -1267,6 +1283,9 @@ Status RegionServer::FlushRegionInternal(
     // gate alone does not make this flush safe: hold write_mu across it to
     // honor LsmTree's Put/Flush external-serialization contract.
     MutexLock wlock(region->write_mu());
+    // ANALYZER_WAIVE(blocking-under-lock): same flush-exclusivity story
+    // as the base-tree flush above, with write_mu added because local-
+    // index writers serialize on it rather than the gate.
     s = region->local_index_tree()->Flush();
   }
   if (hooks_ != nullptr) hooks_->PostFlush(region->info().table);

@@ -339,6 +339,18 @@ void AsyncUpdateQueue::WorkerLoop() {
                          << "' ts " << task.ts << " after " << task.attempts
                          << " attempts: " << s.ToString();
       MutexLock lock(mu_);
+      // "auq.dead_letter" models a crash between the escape decision and
+      // the in-memory record landing: the task is already off the queue,
+      // its base write stays acked, and only the warning line above
+      // survives. Only the chaos harness arms it; a Cleanse sweep or
+      // WAL-replay recovery must re-create the index work.
+      if (fault::FailpointRegistry::Global()->Fires("auq.dead_letter")) {
+        if (depth_gauge_ != nullptr) depth_gauge_->Sub(1);
+        in_flight_--;
+        if (queue_.empty() && in_flight_ == 0) drained_cv_.SignalAll();
+        intake_cv_.Signal();
+        continue;
+      }
       dead_letters_.push_back(std::move(task));
       if (dead_letter_gauge_ != nullptr) dead_letter_gauge_->Add(1);
       if (depth_gauge_ != nullptr) depth_gauge_->Sub(1);
@@ -521,6 +533,16 @@ void AsyncUpdateQueue::ProcessBatch(std::vector<IndexTask> batch) {
                          << "' ts " << task.ts << " after " << task.attempts
                          << " attempts: " << statuses[i].ToString();
       MutexLock lock(mu_);
+      // Same crash window as the unbatched escape: see "auq.dead_letter"
+      // in WorkerLoop. The batch bookkeeping must still run or the
+      // in-flight count wedges WaitDrained.
+      if (fault::FailpointRegistry::Global()->Fires("auq.dead_letter")) {
+        if (depth_gauge_ != nullptr) depth_gauge_->Sub(count);
+        in_flight_ -= count;
+        if (queue_.empty() && in_flight_ == 0) drained_cv_.SignalAll();
+        intake_cv_.Signal();
+        continue;
+      }
       dead_letters_.push_back(std::move(task));
       if (dead_letter_gauge_ != nullptr) dead_letter_gauge_->Add(1);
       if (depth_gauge_ != nullptr) depth_gauge_->Sub(count);

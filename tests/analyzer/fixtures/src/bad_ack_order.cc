@@ -1,0 +1,21 @@
+// Seeded ack-after-durable mutant: a fixture copy of the RegionServer
+// put path with the success return reordered ahead of the WAL fsync.
+// The append lands, the handler acks, nothing forced the bytes down —
+// a crash after the ack loses an acknowledged write.
+
+class BadAckWal {
+ public:
+  Status AddRecord(unsigned long rec) { return Status::OK(); }
+};
+
+class BadAckRegionServer {
+ public:
+  Status HandlePut(unsigned long rec) {
+    Status s = wal_->AddRecord(rec);
+    if (!s.ok()) return s;
+    return Status::OK();  // mutant: ack issued before any wal Sync()
+  }
+
+ private:
+  BadAckWal* wal_;
+};

@@ -1,0 +1,27 @@
+// Seeded log-before-apply violation: the memtable apply runs before
+// the WAL append that covers it. A crash between the two loses an edit
+// the log never saw. The apply classifies through receiver typing —
+// `mem_` is a MemTable member, so `mem_->Add` resolves to an apply
+// site; a counter's Add would not.
+
+class MemTable {
+ public:
+  void Add(unsigned long key) {}
+};
+
+class ApplyWal {
+ public:
+  Status AddRecord(unsigned long rec) { return Status::OK(); }
+};
+
+class ApplyFirstWriter {
+ public:
+  Status Put(unsigned long key) {
+    mem_->Add(key);  // apply first: the seeded violation
+    return wal_->AddRecord(key);
+  }
+
+ private:
+  MemTable* mem_;
+  ApplyWal* wal_;
+};

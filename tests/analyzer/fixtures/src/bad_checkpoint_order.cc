@@ -1,0 +1,13 @@
+// Seeded checkpoint-after-data violation: the recovery checkpoint
+// frame is written before the manifest commit that makes the flushed
+// SSTables durable — replay would trust a checkpoint pointing past
+// data that may not exist.
+
+class EagerCheckpointer {
+ public:
+  Status PublishFlush(unsigned long seq) {
+    Status c = WriteRegionCheckpoint(seq);  // frame first: the violation
+    if (!c.ok()) return c;
+    return WriteManifest(seq);
+  }
+};

@@ -1,0 +1,22 @@
+// Seeded crash-window-failpoint violation: the first escape path
+// records a dead letter with no named failpoint in the same scope, so
+// the chaos harness cannot crash inside the acked-but-not-durable
+// window. The second path carries its seam (armed by name in
+// tests/armed_fixture_test.cc) and must stay clean.
+
+class EscapeHatch {
+ public:
+  void EscapeUnmarked(unsigned long task) {
+    dead_letters_.push_back(task);  // no failpoint: the seeded violation
+  }
+
+  void EscapeMarked(unsigned long task) {
+    if (FailpointRegistry::Global()->Fires("fixture.crash_window.cut")) {
+      return;
+    }
+    dead_letters_.push_back(task);
+  }
+
+ private:
+  std::vector<unsigned long> dead_letters_;
+};

@@ -1,0 +1,17 @@
+// Seeded rename-after-sync violation: a durable file is built in a tmp
+// path and published by rename with no fsync in between — a crash
+// right after the rename can publish a torn file.
+
+class TornPublisher {
+ public:
+  Status Publish() {
+    Status s = env_->NewWritableFile(tmp_path_, nullptr);
+    if (!s.ok()) return s;
+    return env_->RenameFile(tmp_path_, final_path_);  // no Sync first
+  }
+
+ private:
+  FixtureEnv* env_;
+  const char* tmp_path_;
+  const char* final_path_;
+};

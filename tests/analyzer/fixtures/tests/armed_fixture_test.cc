@@ -6,4 +6,6 @@
 void ArmFixtureFailpoints() {
   FailpointRegistry::Global()->Arm("fixture.apply.armed",
                                    FailpointPolicy::ErrorOnce());
+  FailpointRegistry::Global()->Arm("fixture.crash_window.cut",
+                                   FailpointPolicy::ErrorOnce());
 }

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""SARIF baseline diff gate, registered as the `analyzer_baseline` ctest.
+
+The committed baseline (tests/analyzer/golden/baseline.sarif) is the
+reviewed set of analyzer results for the tree — today that is all
+waived findings (warnings; the tree gate already proves zero unwaived).
+This gate diffs a fresh run against it by line-insensitive fingerprint
+(ruleId, file, level, message), so moving code around does not flake it
+but adding or removing a finding does:
+
+  * a NEW unwaived finding fails — fix it or waive it with a rationale;
+  * a NEW waived finding fails with a refresh hint — the waiver was
+    reviewed in code, so record it in the baseline in the same change;
+  * a RESOLVED finding fails with a refresh hint — keep the baseline
+    honest instead of letting it claim findings that no longer exist.
+
+Refresh after review:
+  python3 tools/analyzer --json tests/analyzer/golden/baseline.sarif
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REFRESH = ("python3 tools/analyzer --json "
+           "tests/analyzer/golden/baseline.sarif")
+
+
+def fingerprints(sarif_path):
+    with open(sarif_path, encoding="utf-8") as f:
+        doc = json.load(f)
+    out = set()
+    for run in doc.get("runs", ()):
+        for res in run.get("results", ()):
+            loc = res["locations"][0]["physicalLocation"]
+            out.add((res["ruleId"],
+                     loc["artifactLocation"]["uri"],
+                     res["level"],
+                     res["message"]["text"]))
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--root", required=True, help="repo root")
+    args = parser.parse_args()
+    root = os.path.abspath(args.root)
+    analyzer = os.path.join(root, "tools", "analyzer")
+    baseline_path = os.path.join(root, "tests", "analyzer", "golden",
+                                 "baseline.sarif")
+
+    with tempfile.TemporaryDirectory(prefix="analyzer_sarif_") as tmp:
+        current_path = os.path.join(tmp, "current.sarif")
+        proc = subprocess.run(
+            [sys.executable, analyzer, "--root", root,
+             "--json", current_path],
+            capture_output=True,
+            text=True,
+        )
+        # exit 1 (unwaived findings present) still writes the SARIF; the
+        # diff below names exactly what is new.
+        if proc.returncode not in (0, 1):
+            print("FAIL: analyzer exited %d:\n%s%s"
+                  % (proc.returncode, proc.stdout, proc.stderr))
+            return 1
+        current = fingerprints(current_path)
+    baseline = fingerprints(baseline_path)
+
+    failures = []
+    new = current - baseline
+    for fp in sorted(new):
+        rule, uri, level, message = fp
+        if level == "error":
+            failures.append(
+                "new unwaived finding: %s [%s] %s" % (uri, rule, message))
+        else:
+            failures.append(
+                "new waived finding not in the baseline: %s [%s] %s\n"
+                "  if the waiver is reviewed, refresh: %s"
+                % (uri, rule, message, REFRESH))
+    for fp in sorted(baseline - current):
+        rule, uri, level, message = fp
+        failures.append(
+            "baseline finding no longer reported (resolved): %s [%s] %s\n"
+            "  refresh the baseline so it stays honest: %s"
+            % (uri, rule, message, REFRESH))
+
+    if failures:
+        for f in failures:
+            print("FAIL:", f)
+        return 1
+    print("ok: %d finding(s) match the SARIF baseline" % len(current))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,19 +31,29 @@ EXPECTATIONS = {
     # so the underlying status-flow finding must surface alongside it.
     os.path.join("src", "bad_waiver_rationale.cc"):
         {"waiver-rationale", "status-flow"},
+    os.path.join("src", "bad_ack_order.cc"): {"ack-after-durable"},
+    os.path.join("src", "bad_apply_order.cc"): {"log-before-apply"},
+    os.path.join("src", "bad_rename_sync.cc"): {"rename-after-sync"},
+    os.path.join("src", "bad_checkpoint_order.cc"): {"checkpoint-after-data"},
+    os.path.join("src", "bad_crash_window.cc"): {"crash-window-failpoint"},
     os.path.join("src", "waived_lock_order.cc"): set(),
     os.path.join("src", "waived_blocking.cc"): set(),
     os.path.join("src", "waived_guarded_access.cc"): set(),
     os.path.join("src", "waived_yield_coverage.cc"): set(),
     os.path.join("src", "waived_status_flow.cc"): set(),
     os.path.join("src", "waived_failpoint.cc"): set(),
+    os.path.join("src", "waived_ack_order.cc"): set(),
+    os.path.join("src", "waived_apply_order.cc"): set(),
+    os.path.join("src", "waived_rename_sync.cc"): set(),
+    os.path.join("src", "waived_checkpoint_order.cc"): set(),
+    os.path.join("src", "waived_crash_window.cc"): set(),
     os.path.join("src", "clean.cc"): set(),
     os.path.join("src", "util", "lock_order.h"): set(),
     os.path.join("tests", "armed_fixture_test.cc"): set(),
 }
 
 # One suppressed finding per waived_*.cc fixture.
-EXPECTED_WAIVED = 6
+EXPECTED_WAIVED = 11
 
 FINDING_RE = re.compile(r"^(\S+?):(\d+): \[([a-z-]+)\]")
 SUMMARY_RE = re.compile(

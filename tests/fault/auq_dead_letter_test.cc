@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "core/auq.h"
+#include "fault/failpoint.h"
 #include "obs/metrics.h"
 
 namespace diffindex {
@@ -60,6 +61,41 @@ TEST(AuqDeadLetterTest, PoisonTaskIsDeadLetteredAfterMaxAttempts) {
   EXPECT_EQ(auq.dead_letters(), 0u);
   EXPECT_EQ(metrics.GetGauge("auq.dead_letters")->value(), 0);
 
+  auq.Shutdown();
+}
+
+// "auq.dead_letter" models a crash between the escape decision and the
+// in-memory record landing: the worker's queue bookkeeping still runs
+// (no wedge, gauges return to zero) but the dead-letter record is lost,
+// which is exactly the window a Cleanse sweep has to repair.
+TEST(AuqDeadLetterTest, DeadLetterCrashWindowLosesRecordButNotBookkeeping) {
+  obs::MetricsRegistry metrics;
+  AuqOptions options;
+  options.worker_threads = 1;
+  options.retry_backoff_ms = 1;
+  options.max_attempts = 3;
+  options.metrics = &metrics;
+  std::atomic<int> attempts{0};
+  AsyncUpdateQueue auq(options, [&](const IndexTask&) {
+    attempts.fetch_add(1);
+    return Status::IOError("poison");
+  });
+
+  fault::FailpointRegistry::Global()->Arm(
+      "auq.dead_letter", fault::FailpointPolicy::ErrorEveryNth(1));
+  ASSERT_TRUE(auq.Enqueue(MakeTask("r1")));
+  ASSERT_TRUE(WaitFor([&] { return attempts.load() == 3; }));
+  auq.WaitDrained();  // in-flight accounting survived the lost record
+  EXPECT_EQ(auq.dead_letters(), 0u);  // ...but the record itself did not
+  EXPECT_EQ(auq.depth(), 0u);
+  EXPECT_EQ(metrics.GetGauge("auq.depth")->value(), 0);
+  EXPECT_EQ(metrics.GetGauge("auq.dead_letters")->value(), 0);
+  fault::FailpointRegistry::Global()->Disarm("auq.dead_letter");
+
+  // Disarmed, the next poison task is recorded normally.
+  ASSERT_TRUE(auq.Enqueue(MakeTask("r2")));
+  ASSERT_TRUE(WaitFor([&] { return auq.dead_letters() == 1; }));
+  EXPECT_EQ(metrics.GetGauge("auq.dead_letters")->value(), 1);
   auq.Shutdown();
 }
 

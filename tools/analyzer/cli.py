@@ -31,13 +31,59 @@ def default_root():
         os.path.dirname(os.path.abspath(__file__))))
 
 
-def build_program(root, paths, notes):
+def build_program(root, paths, notes, cache_dir=None):
     files = [source.SourceFile(p, root) for p in paths]
-    program = model.Program(root, files)
-    for fn in program.functions:
-        dataflow.build_events(program, fn)
+    if cache_dir is None:
+        program = model.Program(root, files)
+        for fn in program.functions:
+            dataflow.build_events(program, fn)
+    else:
+        program = _build_cached(root, files, cache_dir)
     contexts = dataflow.propagate(program, notes)
     return program, contexts
+
+
+def _build_cached(root, files, cache_dir):
+    import cache
+
+    keys = [cache.content_key(sf) for sf in files]
+    blobs = [cache.load(cache_dir, k) for k in keys]
+    stats = {"model_hits": 0, "event_hits": 0, "stored": 0}
+    fms = []
+    for sf, blob in zip(files, blobs):
+        if blob is not None:
+            stats["model_hits"] += 1
+            fms.append(blob["model"])
+        else:
+            fms.append(model.extract_file_model(sf))
+    program = model.Program(root, files, fms)
+    digest = program.registry_digest()
+    for sf, blob, key, fm in zip(files, blobs, keys, fms):
+        fns = program.functions_by_file[sf.rel]
+        cached = None if blob is None else blob.get("events", {}).get(digest)
+        if cached is not None and len(cached) == len(fns):
+            stats["event_hits"] += 1
+            for fn, row in zip(fns, cached):
+                cache.restore_events(fn, row)
+        else:
+            for fn in fns:
+                dataflow.build_events(program, fn)
+            stats["stored"] += 1
+            cache.store(cache_dir, key, {
+                "schema": cache.SCHEMA_VERSION,
+                "model": fm,
+                # Only the current digest's events are kept: stale
+                # registries never come back, so hoarding them just
+                # grows the blob.
+                "events": {digest: [cache.capture_events(fn)
+                                    for fn in fns]},
+            })
+    # stderr only: a warm run's report must be byte-identical to cold.
+    print("diffindex_analyzer: cache %d/%d model hits, %d/%d event hits, "
+          "%d stored" % (stats["model_hits"], len(files),
+                         stats["event_hits"], len(files), stats["stored"]),
+          file=sys.stderr)
+    return program
 
 
 def main(argv=None):
@@ -49,6 +95,11 @@ def main(argv=None):
                         help="write a SARIF-style JSON report here")
     parser.add_argument("--dump-lock-graph", action="store_true",
                         help="print the lock-graph snapshot and exit")
+    parser.add_argument("--dump-effect-graph", action="store_true",
+                        help="print the durable-effect snapshot and exit")
+    parser.add_argument("--cache-dir", default=None,
+                        help="incremental cache directory; warm runs "
+                             "re-analyze only changed files")
     parser.add_argument("files", nargs="*")
     args = parser.parse_args(argv)
 
@@ -85,10 +136,16 @@ def main(argv=None):
         return 2
 
     notes = []
-    program, contexts = build_program(root, paths, notes)
+    program, contexts = build_program(root, paths, notes,
+                                      cache_dir=args.cache_dir)
 
     if args.dump_lock_graph:
         sys.stdout.write(report.lock_graph_dump(program, contexts))
+        return 0
+    if args.dump_effect_graph:
+        import effects
+        summaries = effects.build_summaries(program, [])
+        sys.stdout.write(report.effect_graph_dump(program, summaries))
         return 0
 
     engine = rules_mod.RuleEngine(program, contexts, notes)

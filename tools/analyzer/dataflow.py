@@ -20,6 +20,7 @@ from collections import namedtuple
 
 from source import line_of
 from model import canonical_lock_name, CALL_BLACKLIST
+import effects as fx
 
 HeldLock = namedtuple("HeldLock", ["name", "shared", "rank"])
 
@@ -30,6 +31,7 @@ BLOCKING = "blocking"
 GUARDED_WRITE = "guarded_write"
 STATUS_DROP = "status_drop"
 FAILPOINT = "failpoint"
+EFFECT = fx.EFFECT
 
 Event = namedtuple(
     "Event",
@@ -122,7 +124,15 @@ def build_events(program, fn):
         receiver, callee = m.group(1), m.group(2)
         if callee in CALL_BLACKLIST or callee in ("Wait", "WaitFor"):
             continue
-        markers.append((m.start(), "call", (receiver, callee)))
+        # Receiver typing beyond the regex capture: accessor chains
+        # (`region->tree()->Flush(...)`) have no identifier for group 1
+        # at all, and member paths (`options_.env->RemoveFile(...)`)
+        # capture only the last link. chain_receiver_type walks the
+        # whole postfix expression; for a plain `Foo(...)` call it
+        # returns None immediately (no separator before the name).
+        recv_type = program.chain_receiver_type(fn, body, m.start(2))
+        markers.append((m.start(), "call",
+                        (receiver, callee, recv_type, m.end() - 1)))
     for m in YIELD_RE.finditer(body):
         fn.has_yield = True
     # Guarded-field writes: own-member mutations only (`x_ = ...`,
@@ -150,13 +160,25 @@ def build_events(program, fn):
             markers.append((m.start(), "status_local", var))
     for m in FAILPOINT_RE.finditer(sf.clean_str[fn.body_start:fn.body_end]):
         markers.append((m.start(), "failpoint", m.group(1)))
+    # Durable-effect markers with no call-site shape: success returns
+    # from RPC handlers (the ack moment) and dead-letter recordings.
+    if fn.return_type == "Status" and fx.HANDLER_NAME_RE.match(fn.name or ""):
+        for m in fx.RPC_ACK_RE.finditer(body):
+            markers.append((m.start(), "rpc_ack", None))
+    for m in fx.DEAD_LETTER_RE.finditer(body):
+        markers.append((m.start(), "dead_letter", None))
 
     markers.sort(key=lambda t: t[0])
 
-    # Linear walk: depth + guard stack -> held set at each marker.
+    # Linear walk: depth + guard stack -> held set at each marker. The
+    # scope stack assigns each `{...}` a stable id so the crash-window
+    # rule can ask "is this failpoint in the same innermost scope as
+    # that dead-letter record" without re-walking the text.
     events = []
     depth = 0
     held_stack = []  # (depth_at_acquisition, var, HeldLock)
+    scope_counter = 0
+    scope_stack = [0]
     mi = 0
     # REQUIRES entry locks resolve exactly like guard expressions: a
     # bare member name binds class-only (Client::mu_ must not inherit
@@ -195,11 +217,21 @@ def build_events(program, fn):
             elif kind == "sync":
                 events.append(Event(BLOCKING, base + pos, line, held_now(),
                                     {"op": "fsync", "detail": "Sync"}))
+                events.append(Event(EFFECT, base + pos, line, held_now(),
+                                    {"effect": "fsync",
+                                     "scope": scope_stack[-1]}))
             elif kind == "call":
-                receiver, callee = payload
+                receiver, callee, recv_type, paren = payload
                 fn.direct_callees.add(callee)
+                eff = fx.classify_call(program, fn, callee, receiver,
+                                       recv_type, balanced_args(body, paren))
+                if eff is not None:
+                    events.append(Event(EFFECT, base + pos, line, held_now(),
+                                        {"effect": eff,
+                                         "scope": scope_stack[-1]}))
                 events.append(Event(CALL, base + pos, line, held_now(),
-                                    {"receiver": receiver, "callee": callee}))
+                                    {"receiver": receiver, "callee": callee,
+                                     "recv_type": recv_type}))
                 if callee == "Call" and receiver and "fabric" in receiver:
                     events.append(Event(BLOCKING, base + pos, line,
                                         held_now(),
@@ -215,11 +247,24 @@ def build_events(program, fn):
                                     held_now(), {"var": payload}))
             elif kind == "failpoint":
                 events.append(Event(FAILPOINT, base + pos, line, held_now(),
-                                    {"name": payload}))
+                                    {"name": payload,
+                                     "scope": scope_stack[-1]}))
+            elif kind == "rpc_ack":
+                events.append(Event(EFFECT, base + pos, line, held_now(),
+                                    {"effect": "rpc-ack",
+                                     "scope": scope_stack[-1]}))
+            elif kind == "dead_letter":
+                events.append(Event(EFFECT, base + pos, line, held_now(),
+                                    {"effect": "dead-letter-record",
+                                     "scope": scope_stack[-1]}))
         if ch == "{":
             depth += 1
+            scope_counter += 1
+            scope_stack.append(scope_counter)
         elif ch == "}":
             depth -= 1
+            if len(scope_stack) > 1:
+                scope_stack.pop()
             while held_stack and held_stack[-1][0] > depth:
                 held_stack.pop()
     fn.events = events
@@ -251,7 +296,8 @@ def propagate(program, notes):
             if not ranked:
                 continue
             targets = program.resolve_call(
-                ev.data["callee"], ev.data["receiver"], fn)
+                ev.data["callee"], ev.data["receiver"], fn,
+                ev.data.get("recv_type"))
             if not targets and \
                     len(program.defs_by_name.get(ev.data["callee"], ())) > 1:
                 unresolved.add((fn.qualname, ev.data["callee"], ev.line))

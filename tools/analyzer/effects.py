@@ -1,0 +1,186 @@
+"""Durable-effect layer of the whole-program analyzer (DESIGN.md §15).
+
+Crash-ordering protocols — WAL-append before memtable apply, fsync
+before client ack, tmp+Sync+rename for durable files, SSTables+manifest
+durable before the checkpoint frame, a named failpoint inside every
+intentional ack-before-durable window — are enforced dynamically by the
+chaos harness, but only on the schedules it happens to run. This module
+makes them static: every statement with a durability consequence is
+classified into a small effect alphabet, and an interprocedural summary
+gives, for each function, the ordered sequence of effects reachable
+through ANY call chain from its body (the same linearized-text model the
+held-lock dataflow uses: straight-line within a body, callee summaries
+inlined at call sites).
+
+The effect alphabet:
+
+  wal-append          WAL record append (`Writer::AddRecord` call sites)
+  fsync               durable sync (`->Sync()`, the blocking catalog's op)
+  tmp-write           opening a temporary file for a durable artifact
+                      (`NewWritableFile` whose path argument names a tmp)
+  rename              atomic publish (`RenameFile` call sites)
+  memtable-apply      applying an edit to in-memory state the WAL covers
+                      (calls resolving to LsmTree::Put/Delete or
+                      MemTable::Add — receiver-chain typed, so
+                      `region->tree()->Put(...)` classifies)
+  checkpoint-write    writing the recovery roll-forward checkpoint frame
+                      (`WriteRegionCheckpoint` call sites)
+  manifest-write      committing the SSTable set (`WriteManifest` calls;
+                      the manifest write is the durability point the
+                      flushed SSTs become visible at)
+  rpc-ack             success return from an RPC handler (`return
+                      Status::OK()` inside a `Handle<Msg>` method — the
+                      moment the fabric reports the operation done)
+  dead-letter-record  recording a shed/escaped task on the dead-letter
+                      list (`dead_letters_.push_back/emplace_back`)
+
+Rules over these sequences live in rules.py (log-before-apply,
+ack-after-durable, rename-after-sync, checkpoint-after-data,
+crash-window-failpoint)."""
+
+import re
+from collections import namedtuple
+
+# Event kind contributed to dataflow's event stream.
+EFFECT = "effect"
+
+ALL_EFFECTS = (
+    "wal-append",
+    "fsync",
+    "tmp-write",
+    "rename",
+    "memtable-apply",
+    "checkpoint-write",
+    "manifest-write",
+    "rpc-ack",
+    "dead-letter-record",
+)
+
+# Callee names whose call sites carry an effect unconditionally. These
+# names are unique to their durable role in this codebase (the fixture
+# corpus mirrors them), so no receiver typing is needed.
+CALL_NAME_EFFECTS = {
+    "AddRecord": "wal-append",
+    "RenameFile": "rename",
+    "WriteManifest": "manifest-write",
+    "WriteRegionCheckpoint": "checkpoint-write",
+}
+
+# (class, method) pairs that apply an edit to WAL-covered memory. Calls
+# with these simple names classify only when receiver typing resolves
+# them here — `counter->Add()` must not read as a memtable apply.
+APPLY_SITES = {
+    ("LsmTree", "Put"),
+    ("LsmTree", "Delete"),
+    ("MemTable", "Add"),
+}
+APPLY_NAMES = {name for _, name in APPLY_SITES}
+
+# RPC handler naming convention: the per-message methods the fabric
+# dispatch fans out to. The bare dispatcher (`Handle`) is excluded —
+# its returns forward a handler's status, they do not originate an ack.
+HANDLER_NAME_RE = re.compile(r"^Handle[A-Z]\w*$")
+
+RPC_ACK_RE = re.compile(r"\breturn\s+Status\s*::\s*OK\s*\(")
+
+DEAD_LETTER_RE = re.compile(
+    r"\bdead_letter\w*_\s*\.\s*(?:push_back|emplace_back)\s*\(")
+
+TMP_ARG_RE = re.compile(r"tmp", re.IGNORECASE)
+
+
+def classify_call(program, fn, callee, receiver, recv_type, arg_text):
+    """Effect kind for a call site, or None. `arg_text` is the call's
+    balanced argument text (comments/strings blanked, so a tmp path must
+    be named by an identifier like `tmp_path`, as the tree's tmp+rename
+    writers all do)."""
+    eff = CALL_NAME_EFFECTS.get(callee)
+    if eff is not None:
+        return eff
+    if callee == "NewWritableFile":
+        return "tmp-write" if TMP_ARG_RE.search(arg_text or "") else None
+    if callee in APPLY_NAMES:
+        targets = program.resolve_call(callee, receiver, fn, recv_type)
+        if targets and all((t.cls, t.name) in APPLY_SITES for t in targets):
+            return "memtable-apply"
+    return None
+
+
+# One effect occurrence in a function's flattened interprocedural
+# sequence: the raw site (rel:line inside `owner`) plus the call chain
+# from the summarized function down to it (empty for own-body effects).
+EffectEntry = namedtuple("EffectEntry", ["kind", "rel", "line", "owner",
+                                         "chain"])
+
+# Summary caps, reported as notes — never applied silently.
+MAX_SUMMARY = 400
+MAX_CHAIN = 8
+
+
+def build_summaries(program, notes):
+    """{Function: [EffectEntry]} — each function's ordered effect
+    sequence with callee summaries inlined at call sites (memoized;
+    recursion contributes nothing on the back edge, matching the
+    held-lock walk's treatment of cycles)."""
+    from dataflow import CALL  # local import: dataflow imports us first
+
+    memo = {}
+    in_progress = set()
+    truncated = set()
+
+    def summary(fn):
+        cached = memo.get(fn)
+        if cached is not None:
+            return cached
+        if fn in in_progress:
+            return []
+        in_progress.add(fn)
+        out = []
+        for ev in fn.events:
+            if len(out) >= MAX_SUMMARY:
+                truncated.add(fn.qualname)
+                break
+            if ev.kind == EFFECT:
+                out.append(EffectEntry(ev.data["effect"], fn.sf.rel, ev.line,
+                                       fn.qualname, ()))
+            elif ev.kind == CALL:
+                targets = program.resolve_call(
+                    ev.data["callee"], ev.data["receiver"], fn,
+                    ev.data.get("recv_type"))
+                for t in sorted(targets, key=lambda f: (f.qualname, f.sf.rel,
+                                                        f.sig_line)):
+                    if t is fn:
+                        continue
+                    for e in summary(t):
+                        if len(out) >= MAX_SUMMARY:
+                            truncated.add(fn.qualname)
+                            break
+                        chain = ((fn.qualname, fn.sf.rel, ev.line),) + e.chain
+                        out.append(e._replace(chain=chain[:MAX_CHAIN]))
+        in_progress.discard(fn)
+        memo[fn] = out
+        return out
+
+    # Summaries are only consumed for src/ functions (the ordering rules
+    # and the effect-graph dump both scope there); computing them for
+    # test drivers would just spray truncation notes from mega-mains.
+    # The memoized DFS still fills in every callee a src/ root reaches.
+    for fn in program.functions:
+        if fn.sf.rel.replace("\\", "/").startswith("src/"):
+            summary(fn)
+    for q in sorted(truncated):
+        notes.append("effect-summary cap (%d) reached in %s; later effects "
+                     "not tracked on this path" % (MAX_SUMMARY, q))
+    return memo
+
+
+def collapsed_trace(entries, cap=24):
+    """Human-readable ordering for the effect-graph dump: consecutive
+    duplicate kinds collapse, long tails elide."""
+    kinds = []
+    for e in entries:
+        if not kinds or kinds[-1] != e.kind:
+            kinds.append(e.kind)
+    if len(kinds) > cap:
+        return kinds[:cap] + ["..."]
+    return kinds

@@ -16,6 +16,16 @@ RULE_DESCRIPTIONS = {
         "no Status silently dropped through locals or void wrappers",
     "failpoint-reachability":
         "every consulted failpoint is armed by some test",
+    "log-before-apply":
+        "no memtable apply reachable before the covering WAL append",
+    "ack-after-durable":
+        "no success return before the fsync covering the last WAL append",
+    "rename-after-sync":
+        "tmp-built durable files are fsynced before the publishing rename",
+    "checkpoint-after-data":
+        "checkpoint frame written only after the manifest commit",
+    "crash-window-failpoint":
+        "every dead-letter crash window carries a named failpoint",
     "waiver-rationale":
         "every ANALYZER_WAIVE carries a written rationale",
 }
@@ -141,5 +151,45 @@ def lock_graph_dump(program, contexts):
         out.append("%s%s -> %s%s" %
                    (hname, "[s]" if hshared else "",
                     aname, "[s]" if ashared else ""))
+    out.append("")
+    return "\n".join(out)
+
+
+def effect_graph_dump(program, summaries):
+    """Deterministic snapshot of the durable-effect structure: every
+    classified effect site in src/, then each src/ function's collapsed
+    interprocedural effect ordering. Any change to a crash-ordering
+    protocol — a new effect site, a reordering, a new path — changes
+    this text (golden snapshot test beside the lock graph)."""
+    import effects as fx
+    from dataflow import EFFECT
+
+    out = ["# diffindex-analyzer effect graph (golden snapshot)",
+           "# regenerate: python3 tools/analyzer --dump-effect-graph", ""]
+    out.append("[effect-sites]")
+    sites = set()
+    for fn in program.functions:
+        rel = fn.sf.rel.replace("\\", "/")
+        if not rel.startswith("src/"):
+            continue
+        for ev in fn.events:
+            if ev.kind == EFFECT:
+                sites.add((rel, ev.line, ev.data["effect"], fn.qualname))
+    for rel, line, eff, qual in sorted(sites):
+        out.append("%s:%d %s (%s)" % (rel, line, eff, qual))
+    out.append("")
+    out.append("[effect-orderings]")
+    rows = []
+    for fn in program.functions:
+        rel = fn.sf.rel.replace("\\", "/")
+        if not rel.startswith("src/"):
+            continue
+        trace = summaries.get(fn) or []
+        if not trace:
+            continue
+        rows.append("%s: %s" % (fn.qualname,
+                                " -> ".join(fx.collapsed_trace(trace))))
+    for row in sorted(rows):
+        out.append(row)
     out.append("")
     return "\n".join(out)

@@ -33,18 +33,52 @@
                           armed (by literal name) somewhere in tests/ —
                           an unreachable failpoint is dead chaos
                           coverage.
+
+Crash-ordering rules (DESIGN.md section 15) run over the durable-effect
+summaries from effects.py — each function's text-linear effect sequence
+with callee summaries inlined at call sites:
+
+  log-before-apply        no memtable apply may be reachable before the
+                          covering WAL append on a path that logs — a
+                          crash in between loses an unlogged edit.
+  ack-after-durable       on a handler path that appends to the WAL, the
+                          success status may not be returned before an
+                          fsync covering the last append (the group-
+                          commit leader protocol is the waived case).
+  rename-after-sync       a durable file built in a tmp path must be
+                          fsynced before the rename publishes it, or a
+                          crash can publish a torn file (the PR 7
+                          checkpoint discipline, enforced everywhere).
+  checkpoint-after-data   the recovery checkpoint frame may only be
+                          written after the manifest commit that makes
+                          the flushed SSTables durable — a reordering
+                          widens replay onto data that may not exist.
+  crash-window-failpoint  every intentional ack-before-durable window
+                          (a dead-letter record) must have a named
+                          failpoint in the same innermost scope before
+                          it, so the chaos harness can cut the window.
 """
 
 import re
 from collections import namedtuple
 
 import dataflow
-from dataflow import ACQUIRE, BLOCKING, GUARDED_WRITE, STATUS_DROP, FAILPOINT
+import effects as fx
+from dataflow import (ACQUIRE, BLOCKING, GUARDED_WRITE, STATUS_DROP,
+                      FAILPOINT, EFFECT)
 from source import line_of
 
 Finding = namedtuple(
     "Finding",
     ["rule", "rel", "line", "message", "chain", "waiver"])
+
+DURABILITY_RULES = (
+    "log-before-apply",
+    "ack-after-durable",
+    "rename-after-sync",
+    "checkpoint-after-data",
+    "crash-window-failpoint",
+)
 
 ALL_RULES = (
     "lock-order-global",
@@ -53,7 +87,7 @@ ALL_RULES = (
     "yield-coverage",
     "status-flow",
     "failpoint-reachability",
-)
+) + DURABILITY_RULES
 
 # The model checker's scheduler and the annotated-primitive layer block
 # by design; the lock-order unit test violates ordering on purpose but
@@ -120,6 +154,11 @@ class RuleEngine:
             self._check_failpoint_reachability()
         if "status-flow" in rules:
             self._check_status_wrappers()
+        ordering = rules & set(DURABILITY_RULES) - {"crash-window-failpoint"}
+        if ordering:
+            self._check_effect_orderings(ordering)
+        if "crash-window-failpoint" in rules:
+            self._check_crash_windows()
         self._check_waiver_rationales()
         return self.findings
 
@@ -299,6 +338,143 @@ class RuleEngine:
                        "propagate it or call .IgnoreError() with a "
                        "written rationale" % (fn.qualname, callee))
                 self._emit("status-flow", fn, line, msg)
+
+    # -- crash-ordering checks over effect summaries ----------------------
+
+    def _sf_by_rel(self):
+        if not hasattr(self, "_sf_map"):
+            self._sf_map = {sf.rel: sf for sf in self.program.files}
+        return self._sf_map
+
+    def _emit_at(self, rule, rel, line, message, chain):
+        """Like _emit, but the finding's site may live in a different
+        file than the summarized function (an inlined callee effect);
+        waivers attach at the site or at any chain call site."""
+        sf = self._sf_by_rel().get(rel)
+        waiver = sf.waiver_for(rule, line) if sf is not None else None
+        if waiver is None:
+            for _, crel, cline in chain:
+                csf = self._sf_by_rel().get(crel)
+                if csf is not None:
+                    waiver = csf.waiver_for(rule, cline)
+                    if waiver is not None:
+                        break
+        self.findings.append(Finding(rule, rel, line, message,
+                                     tuple(chain), waiver))
+
+    def _check_effect_orderings(self, rules):
+        """Scans every src/ function's flattened effect trace. The same
+        site surfaces in every caller's trace too; candidates dedup by
+        (rule, site) keeping the shortest chain, so a violation reports
+        once, where the ordering decision lives."""
+        summaries = fx.build_summaries(self.program, self.notes)
+        cands = []  # (rule, rel, line, message, chain)
+        for fn in self.program.functions:
+            if not fn.sf.rel.replace("\\", "/").startswith("src/"):
+                continue
+            trace = summaries.get(fn) or []
+            if "log-before-apply" in rules:
+                self._scan_log_before_apply(fn, trace, cands)
+            if "ack-after-durable" in rules:
+                self._scan_ack_after_durable(fn, trace, cands)
+            if "rename-after-sync" in rules:
+                self._scan_rename_after_sync(fn, trace, cands)
+            if "checkpoint-after-data" in rules:
+                self._scan_checkpoint_after_data(fn, trace, cands)
+        best = {}
+        order = []
+        for rule, rel, line, msg, chain in cands:
+            key = (rule, rel, line)
+            cur = best.get(key)
+            if cur is None:
+                order.append(key)
+                best[key] = (rule, rel, line, msg, chain)
+            elif len(chain) < len(cur[4]):
+                best[key] = (rule, rel, line, msg, chain)
+        for key in order:
+            self._emit_at(*best[key])
+
+    def _scan_log_before_apply(self, fn, trace, cands):
+        first_wal = next((i for i, e in enumerate(trace)
+                          if e.kind == "wal-append"), None)
+        if first_wal is None:
+            return
+        for e in trace[:first_wal]:
+            if e.kind != "memtable-apply":
+                continue
+            msg = ("memtable apply is reachable before the covering WAL "
+                   "append on %s's path; a crash between them loses an "
+                   "edit the log never saw" % fn.qualname)
+            cands.append(("log-before-apply", e.rel, e.line, msg, e.chain))
+
+    def _scan_ack_after_durable(self, fn, trace, cands):
+        for i, e in enumerate(trace):
+            if e.kind != "rpc-ack":
+                continue
+            appends = [j for j in range(i) if trace[j].kind == "wal-append"]
+            if not appends:
+                continue  # read path or early-out before any write
+            last = appends[-1]
+            if any(t.kind == "fsync" for t in trace[last + 1:i]):
+                continue
+            msg = ("%s returns success before any fsync covering the WAL "
+                   "append on this path; a crash after the ack loses an "
+                   "acknowledged write" % fn.qualname)
+            cands.append(("ack-after-durable", e.rel, e.line, msg, e.chain))
+
+    def _scan_rename_after_sync(self, fn, trace, cands):
+        for i, e in enumerate(trace):
+            if e.kind != "rename":
+                continue
+            tmps = [j for j in range(i) if trace[j].kind == "tmp-write"]
+            if not tmps:
+                continue  # rename of something this path didn't build
+            if any(t.kind == "fsync" for t in trace[tmps[-1] + 1:i]):
+                continue
+            msg = ("rename publishes a tmp-built file on %s's path without "
+                   "an fsync after the tmp write; a crash can publish a "
+                   "torn file (tmp+Sync+rename discipline)" % fn.qualname)
+            cands.append(("rename-after-sync", e.rel, e.line, msg, e.chain))
+
+    def _scan_checkpoint_after_data(self, fn, trace, cands):
+        for i, e in enumerate(trace):
+            if e.kind != "checkpoint-write":
+                continue
+            if any(t.kind == "manifest-write" for t in trace[:i]):
+                continue
+            if not any(t.kind == "manifest-write" for t in trace[i + 1:]):
+                continue  # no manifest on this path at all: order unprovable
+            msg = ("checkpoint frame is written before the manifest commit "
+                   "on %s's path; a crash leaves a checkpoint pointing past "
+                   "data that was never made durable" % fn.qualname)
+            cands.append(("checkpoint-after-data", e.rel, e.line, msg,
+                          e.chain))
+
+    def _check_crash_windows(self):
+        """A dead-letter record is an intentional ack-before-durable
+        window; a named failpoint must sit in the same innermost scope,
+        before the record, so the chaos harness can crash inside it.
+        Own-body events only — the window and its seam belong together."""
+        for fn in self.program.functions:
+            if not fn.sf.rel.replace("\\", "/").startswith("src/"):
+                continue
+            fp_scopes = {}
+            for ev in fn.events:
+                if ev.kind == FAILPOINT:
+                    fp_scopes.setdefault(ev.data.get("scope"),
+                                         []).append(ev.pos)
+            for ev in fn.events:
+                if ev.kind != EFFECT \
+                        or ev.data["effect"] != "dead-letter-record":
+                    continue
+                scope = ev.data.get("scope")
+                if any(p < ev.pos for p in fp_scopes.get(scope, ())):
+                    continue
+                msg = ("dead-letter record in %s has no named failpoint in "
+                       "its innermost scope before it; the chaos harness "
+                       "cannot crash inside this acked-but-not-durable "
+                       "window" % fn.qualname)
+                self._emit("crash-window-failpoint", fn, ev.line, msg)
 
     def _check_waiver_rationales(self):
         for sf in self.program.files:
